@@ -1,0 +1,78 @@
+//! Criterion end-to-end engine benchmarks: representative queries
+//! (scan-bound Q1, pair-bound Q5, combinatorics-bound Q6) on each engine
+//! at reduced scale.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use engine_sql::Dialect;
+use hepbench_core::adapters;
+use hepbench_core::QueryId;
+
+fn table() -> Arc<nf2_columnar::Table> {
+    let (_, t) = hep_model::generator::build_dataset(hep_model::DatasetSpec {
+        n_events: 2_048,
+        row_group_size: 256,
+        seed: 0xBE7C,
+    });
+    Arc::new(t)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let t = table();
+    for q in [QueryId::Q1, QueryId::Q5, QueryId::Q6a] {
+        let mut group = c.benchmark_group(format!("e2e/{}", q.name()));
+        group.sample_size(10);
+        group.bench_function("rdataframe", |b| {
+            b.iter(|| {
+                black_box(
+                    adapters::run_rdf(&t, q, engine_rdf::Options::default())
+                        .unwrap()
+                        .histogram
+                        .total(),
+                )
+            })
+        });
+        group.bench_function("sql_presto", |b| {
+            b.iter(|| {
+                black_box(
+                    adapters::run_sql(Dialect::presto(), &t, q, engine_sql::SqlOptions::default())
+                        .unwrap()
+                        .histogram
+                        .total(),
+                )
+            })
+        });
+        group.bench_function("sql_bigquery", |b| {
+            b.iter(|| {
+                black_box(
+                    adapters::run_sql(
+                        Dialect::bigquery(),
+                        &t,
+                        q,
+                        engine_sql::SqlOptions::default(),
+                    )
+                    .unwrap()
+                    .histogram
+                    .total(),
+                )
+            })
+        });
+        group.bench_function("jsoniq", |b| {
+            b.iter(|| {
+                black_box(
+                    adapters::run_jsoniq(&t, q, engine_flwor::FlworOptions::default())
+                        .unwrap()
+                        .histogram
+                        .total(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

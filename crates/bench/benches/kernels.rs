@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks for the hot kernels that determine the
+//! figures: four-vector math, combination enumeration, histogram filling,
+//! columnar scan/reconstruction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hep_model::generator::{Generator, GeneratorConfig};
+use physics::{FourMomentum, HistSpec, Histogram};
+
+fn events(n: usize) -> Vec<hep_model::Event> {
+    Generator::new(GeneratorConfig::default(), 4242).generate(n)
+}
+
+fn bench_fourvec(c: &mut Criterion) {
+    c.bench_function("fourvec/from_pt_eta_phi_m", |b| {
+        b.iter(|| {
+            FourMomentum::from_pt_eta_phi_m(
+                black_box(42.0),
+                black_box(1.2),
+                black_box(-0.7),
+                black_box(5.0),
+            )
+        })
+    });
+    let p1 = FourMomentum::from_pt_eta_phi_m(42.0, 1.2, -0.7, 5.0);
+    let p2 = FourMomentum::from_pt_eta_phi_m(31.0, -0.4, 2.1, 3.0);
+    c.bench_function("fourvec/pair_mass", |b| {
+        b.iter(|| (black_box(p1) + black_box(p2)).mass())
+    });
+}
+
+fn bench_combinations(c: &mut Criterion) {
+    let evs = events(200);
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(20);
+    g.bench_function("best_trijet_per_event", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &evs {
+                if let Some((pt, _, _)) = hepbench_core::reference::best_trijet(&e.jets) {
+                    acc += pt;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("q8_value_per_event", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for e in &evs {
+                if let (Some(mt), _) = hepbench_core::reference::q8_value(e) {
+                    acc += mt;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let values: Vec<f64> = (0..100_000).map(|i| (i % 233) as f64).collect();
+    c.bench_function("hist/fill_100k", |b| {
+        b.iter_batched(
+            || Histogram::new(HistSpec::new(100, 0.0, 200.0)),
+            |mut h| {
+                h.fill_all(values.iter().copied());
+                black_box(h.total())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let evs = events(5_000);
+    let mut g = c.benchmark_group("columnar");
+    g.sample_size(10);
+    g.bench_function("build_table_5k", |b| {
+        b.iter(|| {
+            let t = hep_model::to_value::events_to_table(&evs, 1024).unwrap();
+            black_box(t.n_rows())
+        })
+    });
+    let table = hep_model::to_value::events_to_table(&evs, 1024).unwrap();
+    let proj = nf2_columnar::Projection::of(["MET.pt", "Jet.pt"]);
+    let leaves = proj
+        .resolve(table.schema(), nf2_columnar::PushdownCapability::IndividualLeaves)
+        .unwrap();
+    g.bench_function("read_rows_projected_5k", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for g in table.row_groups() {
+                n += g.read_rows(table.schema(), &leaves).unwrap().len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("scan_stats", |b| {
+        b.iter(|| {
+            nf2_columnar::scan::scan_stats(
+                &table,
+                &proj,
+                nf2_columnar::PushdownCapability::WholeStructs,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.sample_size(10);
+    g.bench_function("1k_events", |b| {
+        b.iter(|| black_box(events(1_000).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fourvec,
+    bench_combinations,
+    bench_histogram,
+    bench_columnar,
+    bench_generator
+);
+criterion_main!(benches);

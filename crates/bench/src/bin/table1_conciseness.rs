@@ -1,0 +1,59 @@
+//! Regenerates **Table 1**: the functionality matrix (star ratings per
+//! requirement) and the conciseness metrics of the five query
+//! implementations.
+
+use hepbench_core::capabilities::{stars, ALL_REQUIREMENTS};
+use hepbench_core::metrics::all_language_metrics;
+use hepbench_core::queries::ALL_LANGUAGES;
+
+fn main() {
+    println!("Table 1 — functionality of general-purpose systems for HEP analyses");
+    println!();
+    print!("{:32}", "");
+    for lang in ALL_LANGUAGES {
+        print!("{:>12}", lang.name());
+    }
+    println!();
+    for req in ALL_REQUIREMENTS {
+        print!("{:32}", req.label());
+        for lang in ALL_LANGUAGES {
+            let cell = match stars(*lang, *req) {
+                None => "-".to_string(),
+                Some(n) => "*".repeat(n as usize),
+            };
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+    println!();
+    println!("Conciseness metrics over all {} query outputs:", hepbench_core::ALL_QUERIES.len());
+    println!();
+    let metrics = all_language_metrics();
+    print!("{:32}", "");
+    for m in &metrics {
+        print!("{:>12}", m.language.name());
+    }
+    println!();
+    let row = |label: &str, f: &dyn Fn(&hepbench_core::metrics::LanguageMetrics) -> String| {
+        print!("{label:32}");
+        for m in &metrics {
+            print!("{:>12}", f(m));
+        }
+        println!();
+    };
+    row("#characters", &|m| format!("{:.1}k", m.characters as f64 / 1000.0));
+    row("#lines", &|m| m.lines.to_string());
+    row("#clauses", &|m| m.clauses.to_string());
+    row("#avg clauses/query", &|m| format!("{:.1}", m.avg_clauses_per_query));
+    row("#unique clauses", &|m| m.unique_clauses.to_string());
+    row("#avg unique clauses/query", &|m| {
+        format!("{:.1}", m.avg_unique_clauses_per_query)
+    });
+    println!();
+    println!(
+        "paper (Table 1):      chars  Athena 6.8k  BigQuery 3.4k  Presto 6.7k  JSONiq 3.8k  RDataFrame 11k"
+    );
+    println!(
+        "                 avg clauses  Athena 26.9  BigQuery 15.7  Presto 18.7  JSONiq  6.2  RDataFrame 14.9"
+    );
+}

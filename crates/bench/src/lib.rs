@@ -1,0 +1,107 @@
+//! # hepbench-bench
+//!
+//! Shared scaffolding for the benchmark harness binaries that regenerate
+//! every table and figure of the paper (see DESIGN.md's per-experiment
+//! index), plus the Criterion micro-benchmarks.
+//!
+//! Scale is controlled by environment variables so the same binaries serve
+//! quick smoke runs and full reproductions:
+//!
+//! * `HEPQUERY_EVENTS` — events to generate (default 65 536);
+//! * `HEPQUERY_ROW_GROUP` — events per row group (default
+//!   `HEPQUERY_EVENTS / 128`, preserving the paper's 128-row-group
+//!   structure);
+//! * `HEPQUERY_SEED` — generator seed (default the benchmark seed).
+
+use std::sync::Arc;
+
+use hep_model::generator::build_dataset;
+use hep_model::{DatasetSpec, Event};
+use nf2_columnar::Table;
+
+/// Reads the benchmark scale from the environment.
+pub fn dataset_spec() -> DatasetSpec {
+    let n_events = std::env::var("HEPQUERY_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65_536);
+    let row_group_size = std::env::var("HEPQUERY_ROW_GROUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| (n_events / 128).max(1));
+    let seed = std::env::var("HEPQUERY_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xAD1B70);
+    DatasetSpec {
+        n_events,
+        row_group_size,
+        seed,
+    }
+}
+
+/// Builds (and memoizes nothing — harnesses run once) the benchmark data.
+pub fn dataset() -> (Vec<Event>, Arc<Table>) {
+    let spec = dataset_spec();
+    eprintln!(
+        "# data set: {} events, {} per row group ({} groups), seed {:#x}",
+        spec.n_events,
+        spec.row_group_size,
+        spec.n_events.div_ceil(spec.row_group_size),
+        spec.seed
+    );
+    let (events, table) = build_dataset(spec);
+    (events, Arc::new(table))
+}
+
+/// Formats seconds for table output.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:8.1}s")
+    } else if s >= 1.0 {
+        format!("{s:8.2}s")
+    } else {
+        format!("{:7.1}ms", s * 1e3)
+    }
+}
+
+/// Formats USD for table output.
+pub fn fmt_usd(c: f64) -> String {
+    if c >= 0.01 {
+        format!("${c:9.4}")
+    } else {
+        format!("${c:9.6}")
+    }
+}
+
+/// Formats byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: &[&str] = &["B", "kB", "MB", "GB", "TB"];
+    let mut x = b as f64;
+    let mut u = 0;
+    while x >= 1000.0 && u + 1 < UNITS.len() {
+        x /= 1000.0;
+        u += 1;
+    }
+    format!("{x:7.2}{}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_secs(0.0123).contains("ms"));
+        assert!(fmt_secs(12.0).contains('s'));
+        assert!(fmt_usd(1.5).starts_with('$'));
+        assert_eq!(fmt_bytes(1_500_000).trim(), "1.50MB");
+    }
+
+    #[test]
+    fn default_spec_sane() {
+        let spec = dataset_spec();
+        assert!(spec.n_events > 0);
+        assert!(spec.row_group_size > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! EC2 `m5d` instance catalog (paper §4.1).
+
+/// One instance type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceType {
+    /// Type name, e.g. `m5d.4xlarge`.
+    pub name: &'static str,
+    /// Logical cores (vCPUs, incl. SMT).
+    pub vcpus: usize,
+    /// Real (physical) CPU cores.
+    pub cores: usize,
+    /// Main memory in GiB.
+    pub mem_gib: usize,
+    /// On-demand price in $/hour (eu-west-1, as in the paper: the
+    /// 24xlarge costs 6.048 $/h; all sizes are proportional).
+    pub price_per_hour: f64,
+}
+
+impl InstanceType {
+    /// Price per second.
+    pub fn price_per_second(&self) -> f64 {
+        self.price_per_hour / 3600.0
+    }
+}
+
+const BASE_PRICE_PER_XLARGE: f64 = 6.048 / 24.0;
+
+macro_rules! m5d {
+    ($name:literal, $x:expr) => {
+        InstanceType {
+            name: $name,
+            vcpus: 4 * $x,
+            cores: 2 * $x,
+            mem_gib: 16 * $x,
+            price_per_hour: BASE_PRICE_PER_XLARGE * $x as f64,
+        }
+    };
+}
+
+/// The `m5d` series from xlarge to 24xlarge (the sizes the paper sweeps).
+pub const M5D_CATALOG: &[InstanceType] = &[
+    m5d!("m5d.xlarge", 1),
+    m5d!("m5d.2xlarge", 2),
+    m5d!("m5d.4xlarge", 4),
+    m5d!("m5d.8xlarge", 8),
+    m5d!("m5d.12xlarge", 12),
+    m5d!("m5d.16xlarge", 16),
+    m5d!("m5d.24xlarge", 24),
+];
+
+/// Looks an instance up by name.
+pub fn by_name(name: &str) -> Option<&'static InstanceType> {
+    M5D_CATALOG.iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_paper_anchor() {
+        let big = by_name("m5d.24xlarge").unwrap();
+        assert_eq!(big.cores, 48);
+        assert_eq!(big.vcpus, 96);
+        assert_eq!(big.mem_gib, 384);
+        assert!((big.price_per_hour - 6.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prices_proportional() {
+        let small = by_name("m5d.xlarge").unwrap();
+        let big = by_name("m5d.24xlarge").unwrap();
+        assert!((big.price_per_hour / small.price_per_hour - 24.0).abs() < 1e-9);
+        assert!((small.price_per_second() * 3600.0 - small.price_per_hour).abs() < 1e-12);
+    }
+
+    #[test]
+    fn catalog_sorted_and_unique() {
+        for w in M5D_CATALOG.windows(2) {
+            assert!(w[0].cores < w[1].cores);
+            assert_ne!(w[0].name, w[1].name);
+        }
+        assert_eq!(M5D_CATALOG.len(), 7);
+    }
+}

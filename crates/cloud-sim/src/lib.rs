@@ -1,0 +1,35 @@
+//! # cloud-sim
+//!
+//! The cloud deployment and pricing simulator behind the paper's monetary
+//! cost analysis (§4.1, Figure 1).
+//!
+//! The paper evaluates two deployment models:
+//!
+//! * **Self-managed** (Presto, Rumble, RDataFrame on EC2 `m5d` instances):
+//!   query cost = wall-clock seconds × the instance's per-second price.
+//!   [`instances`] provides the `m5d` catalog (xlarge…24xlarge, prices
+//!   proportional to 6.048 $/h for the 24xlarge in eu-west-1, §4.1), plus
+//!   the paper's note that spot instances can reduce cost by up to 5×.
+//!
+//! * **Query-as-a-Service** (BigQuery, Athena): compute is free, the query
+//!   is billed at 5 $/TB *scanned* — but the two systems define "scanned"
+//!   differently, which the paper identifies as a decisive cost factor:
+//!   BigQuery bills the **uncompressed logical size** of every referenced
+//!   column, with every float priced as 8 bytes even when the file stores
+//!   4-byte floats; Athena bills the **bytes actually read from storage**
+//!   (compressed), but its missing struct-projection pushdown forces it to
+//!   read (and bill) every leaf of a touched struct. Both models consume
+//!   the [`nf2_columnar::ScanStats`] produced by the engines.
+//!
+//! [`perf`] adds the latency model for QaaS systems (whose resources the
+//! user cannot see): a startup floor plus work spread over a slot pool
+//! capped by row-group granularity — reproducing Figure 2's plateau and
+//! the "essentially constant" QaaS execution times.
+
+pub mod instances;
+pub mod perf;
+pub mod pricing;
+
+pub use instances::{InstanceType, M5D_CATALOG};
+pub use perf::{QaasProfile, SelfManagedProfile};
+pub use pricing::{athena_cost_usd, bigquery_cost_usd, self_managed_cost_usd, spot_cost_usd};

@@ -1,0 +1,303 @@
+//! Latency model for Query-as-a-Service systems.
+//!
+//! The user of a QaaS system cannot choose resources; the paper observes
+//! (§4.2) that both BigQuery and Athena "scale up the amount of resources
+//! to the number of row groups in the input; their per-query execution time
+//! is essentially constant". We model that as:
+//!
+//! ```text
+//! wall = startup + cpu_work / min(slots_cap, row_groups)
+//! ```
+//!
+//! where `cpu_work` is the *measured* CPU seconds our local engine spent on
+//! the query (scaled by a per-system efficiency factor, calibrated from the
+//! Figure 4a gaps), `row_groups` is the parallelism granularity of the
+//! Parquet-like input, and `startup` is the observed service floor
+//! (BigQuery answers trivial queries in ~1–2 s, Athena in ~3–5 s).
+
+/// A QaaS latency profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QaasProfile {
+    /// System name.
+    pub name: &'static str,
+    /// Fixed startup/queueing floor in seconds.
+    pub startup_seconds: f64,
+    /// Maximum parallel slots the service throws at one query.
+    pub max_slots: usize,
+    /// Multiplier on our engine's measured CPU time (≥ 0; how much
+    /// slower/faster the real system's executor is than our local one for
+    /// the same logical work — calibrated against Figure 4a).
+    pub cpu_factor: f64,
+}
+
+impl QaasProfile {
+    /// BigQuery profile (fast floor, effectively unbounded slots).
+    pub fn bigquery() -> QaasProfile {
+        QaasProfile {
+            name: "BigQuery",
+            startup_seconds: 1.5,
+            max_slots: 2000,
+            cpu_factor: 1.0,
+        }
+    }
+
+    /// BigQuery reading external (federated) tables — the paper measures
+    /// roughly 2× slower than with pre-loaded data.
+    pub fn bigquery_external() -> QaasProfile {
+        QaasProfile {
+            name: "BigQuery (external)",
+            startup_seconds: 2.0,
+            max_slots: 2000,
+            cpu_factor: 2.0,
+        }
+    }
+
+    /// Athena v2 profile (higher floor, slower executor).
+    pub fn athena() -> QaasProfile {
+        QaasProfile {
+            name: "Athena v2",
+            startup_seconds: 3.5,
+            max_slots: 500,
+            cpu_factor: 2.5,
+        }
+    }
+
+    /// Athena v1 profile (the paper: all queries run slower than in v2,
+    /// with computationally complex queries much slower).
+    pub fn athena_v1() -> QaasProfile {
+        QaasProfile {
+            name: "Athena v1",
+            startup_seconds: 4.5,
+            max_slots: 500,
+            cpu_factor: 5.0,
+        }
+    }
+
+    /// Simulated wall-clock seconds for a query whose local execution
+    /// measured `cpu_seconds` of work over `row_groups` partitions.
+    pub fn wall_seconds(&self, cpu_seconds: f64, row_groups: usize) -> f64 {
+        let parallelism = self.max_slots.min(row_groups.max(1)) as f64;
+        self.startup_seconds + self.cpu_factor * cpu_seconds / parallelism
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_floor_dominates_small_queries() {
+        let bq = QaasProfile::bigquery();
+        let w = bq.wall_seconds(0.001, 1);
+        assert!((w - bq.startup_seconds).abs() < 0.01);
+    }
+
+    #[test]
+    fn plateau_with_row_groups() {
+        // Once work is spread over all row groups, doubling data (and thus
+        // doubling both cpu and groups) keeps wall time constant.
+        let bq = QaasProfile::bigquery();
+        let w1 = bq.wall_seconds(64.0, 64);
+        let w2 = bq.wall_seconds(128.0, 128);
+        assert!((w1 - w2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_row_group_is_serial() {
+        let bq = QaasProfile::bigquery();
+        let w = bq.wall_seconds(10.0, 1);
+        assert!((w - (bq.startup_seconds + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_of_profiles() {
+        // For the same work, BigQuery < Athena v2 < Athena v1 (paper Fig 1
+        // and the v1/v2 comparison in §4.2).
+        let work = 50.0;
+        let groups = 128;
+        let bq = QaasProfile::bigquery().wall_seconds(work, groups);
+        let bq_ext = QaasProfile::bigquery_external().wall_seconds(work, groups);
+        let a2 = QaasProfile::athena().wall_seconds(work, groups);
+        let a1 = QaasProfile::athena_v1().wall_seconds(work, groups);
+        assert!(bq < bq_ext);
+        assert!(bq_ext < a2);
+        assert!(a2 < a1);
+    }
+
+    #[test]
+    fn slot_cap_limits_parallelism() {
+        let mut p = QaasProfile::bigquery();
+        p.max_slots = 10;
+        let capped = p.wall_seconds(100.0, 1000);
+        assert!((capped - (p.startup_seconds + 10.0)).abs() < 1e-9);
+    }
+}
+
+/// Scalability profile of a self-managed engine, based on the Universal
+/// Scalability Law:
+///
+/// ```text
+/// wall = overhead + cpu·cpu_factor · (1 + σ·(p−1) + κ·p·(p−1)) / p
+/// ```
+///
+/// `σ` models serialization (Amdahl) and `κ` crosstalk (coherence/lock
+/// traffic). A non-zero `κ` produces a *retrograde* region — throughput
+/// decreasing beyond an optimal core count — which is exactly the behaviour
+/// the paper reports for RDataFrame on large multi-core machines (§4.1,
+/// [4], [28]) and, milder, for Presto.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelfManagedProfile {
+    /// System name.
+    pub name: &'static str,
+    /// Fixed per-query overhead in seconds (JVM warmup, cluster
+    /// management, job scheduling).
+    pub overhead_seconds: f64,
+    /// Multiplier on our engine's measured CPU seconds.
+    pub cpu_factor: f64,
+    /// Serialization fraction σ.
+    pub sigma: f64,
+    /// Crosstalk coefficient κ.
+    pub kappa: f64,
+}
+
+impl SelfManagedProfile {
+    /// PrestoDB profile: JVM startup, decent scalability with a mild
+    /// serial fraction (the paper: "sub-optimal scalability on large
+    /// multi-core machines", but better than RDataFrame's).
+    pub fn presto() -> SelfManagedProfile {
+        SelfManagedProfile {
+            name: "Presto",
+            overhead_seconds: 2.5,
+            cpu_factor: 1.8,
+            sigma: 0.03,
+            kappa: 0.0002,
+        }
+    }
+
+    /// Rumble profile: Spark cluster management dominates small runs
+    /// ("super-linear speed-up compared to the smallest instance size due
+    /// to the decreasing relative significance of the overhead of cluster
+    /// management") — interpretation cost is real in our FLWOR engine, so
+    /// `cpu_factor` stays moderate.
+    pub fn rumble() -> SelfManagedProfile {
+        SelfManagedProfile {
+            name: "Rumble",
+            overhead_seconds: 30.0,
+            cpu_factor: 2.0,
+            sigma: 0.05,
+            kappa: 0.0004,
+        }
+    }
+
+    /// ROOT 6.22 RDataFrame: fastest per-core executor (compiled C++ over
+    /// raw columns) but a large κ from the global lock in the fill path —
+    /// the documented contention defect.
+    pub fn rdataframe_v622() -> SelfManagedProfile {
+        SelfManagedProfile {
+            name: "RDataFrame (v6.22)",
+            overhead_seconds: 0.5,
+            cpu_factor: 0.7,
+            sigma: 0.02,
+            kappa: 0.004,
+        }
+    }
+
+    /// The development version with the contention fix applied ("the
+    /// current development version shows a better behavior but scalability
+    /// is still far from ideal").
+    pub fn rdataframe_dev() -> SelfManagedProfile {
+        SelfManagedProfile {
+            name: "RDataFrame (dev)",
+            overhead_seconds: 0.5,
+            cpu_factor: 0.7,
+            sigma: 0.02,
+            kappa: 0.0008,
+        }
+    }
+
+    /// Simulated wall seconds on `instance` for a query measuring
+    /// `cpu_seconds` locally over `row_groups` partitions.
+    pub fn wall_seconds(
+        &self,
+        cpu_seconds: f64,
+        instance: &crate::instances::InstanceType,
+        row_groups: usize,
+    ) -> f64 {
+        let p = instance.vcpus.min(row_groups.max(1)) as f64;
+        let work = cpu_seconds * self.cpu_factor;
+        self.overhead_seconds + work * (1.0 + self.sigma * (p - 1.0) + self.kappa * p * (p - 1.0)) / p
+    }
+
+    /// The core count at which this profile's wall time is minimal for a
+    /// fixed amount of work (the USL optimum `sqrt((1−σ)/κ)`).
+    pub fn optimal_parallelism(&self) -> f64 {
+        if self.kappa == 0.0 {
+            f64::INFINITY
+        } else {
+            ((1.0 - self.sigma) / self.kappa).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod usl_tests {
+    use super::*;
+    use crate::instances::M5D_CATALOG;
+
+    #[test]
+    fn rdataframe_has_retrograde_region() {
+        let p = SelfManagedProfile::rdataframe_v622();
+        let walls: Vec<f64> = M5D_CATALOG
+            .iter()
+            .map(|i| p.wall_seconds(100.0, i, 10_000))
+            .collect();
+        // Improves at first …
+        assert!(walls[1] < walls[0]);
+        // … then degrades on the largest machines (the Fig-1 pattern).
+        let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(*walls.last().unwrap() > best * 1.2, "walls: {walls:?}");
+        // Optimum sits in the tens of cores.
+        let opt = p.optimal_parallelism();
+        assert!((10.0..40.0).contains(&opt), "optimum {opt}");
+    }
+
+    #[test]
+    fn presto_keeps_scaling() {
+        let p = SelfManagedProfile::presto();
+        let small = p.wall_seconds(100.0, &M5D_CATALOG[0], 10_000);
+        let big = p.wall_seconds(100.0, M5D_CATALOG.last().unwrap(), 10_000);
+        assert!(big < small);
+    }
+
+    #[test]
+    fn rumble_overhead_dominates_small_instances() {
+        let p = SelfManagedProfile::rumble();
+        let w = p.wall_seconds(1.0, &M5D_CATALOG[0], 128);
+        assert!(w > 30.0);
+        // Super-linear apparent speed-up: relative gain from 1× to 2×
+        // exceeds 2 when overhead is the dominant term? No — overhead is
+        // constant; but the *work* term halves, so the ratio of totals
+        // approaches 1. Check the documented monotonicity instead.
+        let w2 = p.wall_seconds(100.0, &M5D_CATALOG[1], 128);
+        let w1 = p.wall_seconds(100.0, &M5D_CATALOG[0], 128);
+        assert!(w2 < w1);
+    }
+
+    #[test]
+    fn row_groups_cap_parallelism() {
+        let p = SelfManagedProfile::presto();
+        // With a single row group, bigger machines do not help.
+        let w_small = p.wall_seconds(10.0, &M5D_CATALOG[0], 1);
+        let w_big = p.wall_seconds(10.0, M5D_CATALOG.last().unwrap(), 1);
+        assert!((w_small - w_big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dev_version_scales_further_than_v622() {
+        let old = SelfManagedProfile::rdataframe_v622();
+        let new = SelfManagedProfile::rdataframe_dev();
+        assert!(new.optimal_parallelism() > old.optimal_parallelism());
+        let big = M5D_CATALOG.last().unwrap();
+        assert!(new.wall_seconds(100.0, big, 10_000) < old.wall_seconds(100.0, big, 10_000));
+    }
+}

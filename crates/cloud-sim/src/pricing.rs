@@ -1,0 +1,112 @@
+//! Query pricing models (paper §4.1).
+
+use nf2_columnar::ScanStats;
+
+use crate::instances::InstanceType;
+
+/// Price per terabyte scanned, charged identically by BigQuery and Athena
+/// (the *definition* of "scanned" differs — see below).
+pub const USD_PER_TB: f64 = 5.0;
+
+/// BigQuery's minimum billed volume per query (10 MB).
+pub const BIGQUERY_MIN_BYTES: u64 = 10 * 1024 * 1024;
+
+const TB: f64 = 1e12;
+
+/// BigQuery cost: the **logical uncompressed size** of every referenced
+/// column — entries × the 8-byte logical width for numbers, regardless of
+/// the 4-byte physical floats in the files (paper: "the system only exposes
+/// double-precision floating-point numbers … even if the underlying Parquet
+/// files actually store single-precision").
+pub fn bigquery_cost_usd(scan: &ScanStats) -> f64 {
+    let billed = scan.logical_bytes.max(BIGQUERY_MIN_BYTES);
+    billed as f64 / TB * USD_PER_TB
+}
+
+/// Athena cost: the bytes actually read from storage (compressed), which —
+/// because Athena cannot push projections into structs — includes every
+/// leaf of every struct the query touches.
+pub fn athena_cost_usd(scan: &ScanStats) -> f64 {
+    scan.bytes_scanned as f64 / TB * USD_PER_TB
+}
+
+/// Self-managed cost: wall seconds × the instance's per-second price.
+pub fn self_managed_cost_usd(wall_seconds: f64, instance: &InstanceType) -> f64 {
+    wall_seconds * instance.price_per_second()
+}
+
+/// Spot-instance cost: the paper notes spot can reduce cost "sometimes by
+/// up to 5×"; `discount` defaults to that bound via [`spot_cost_usd`].
+pub fn spot_cost_usd(wall_seconds: f64, instance: &InstanceType, discount: f64) -> f64 {
+    assert!(discount >= 1.0, "discount is a division factor ≥ 1");
+    self_managed_cost_usd(wall_seconds, instance) / discount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::by_name;
+
+    fn scan(logical: u64, scanned: u64) -> ScanStats {
+        ScanStats {
+            logical_bytes: logical,
+            bytes_scanned: scanned,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bigquery_charges_logical_bytes() {
+        // 1 TB logical → 5 $.
+        let c = bigquery_cost_usd(&scan(1_000_000_000_000, 1));
+        assert!((c - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigquery_minimum_charge() {
+        let tiny = bigquery_cost_usd(&scan(1, 1));
+        let expect = BIGQUERY_MIN_BYTES as f64 / 1e12 * 5.0;
+        assert!((tiny - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn athena_charges_compressed_bytes() {
+        let c = athena_cost_usd(&scan(999, 2_000_000_000_000));
+        assert!((c - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pricing_gap_mirrors_pushdown_gap() {
+        // The paper's Q1 situation: Athena reads the whole MET struct
+        // (compressed ≈ physical), BigQuery bills one logical column.
+        // With 8 B logical vs 7 columns × 4 B physical, Athena is pricier.
+        let n = 54_000_000u64;
+        let bq = bigquery_cost_usd(&scan(n * 8, 0));
+        let at = athena_cost_usd(&scan(0, n * 4 * 7));
+        assert!(at > bq);
+    }
+
+    #[test]
+    fn self_managed_scales_with_time_and_size() {
+        let small = by_name("m5d.xlarge").unwrap();
+        let big = by_name("m5d.24xlarge").unwrap();
+        let c_small = self_managed_cost_usd(100.0, small);
+        let c_big = self_managed_cost_usd(100.0, big);
+        assert!((c_big / c_small - 24.0).abs() < 1e-9);
+        assert!((self_managed_cost_usd(3600.0, big) - 6.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_discount() {
+        let i = by_name("m5d.8xlarge").unwrap();
+        let on_demand = self_managed_cost_usd(60.0, i);
+        assert!((spot_cost_usd(60.0, i, 5.0) - on_demand / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount")]
+    fn spot_rejects_negative_discount() {
+        let i = by_name("m5d.xlarge").unwrap();
+        spot_cost_usd(1.0, i, 0.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Uniform execution of any benchmark query on any engine.
+
+use std::sync::Arc;
+
+use engine_flwor::{FlworEngine, FlworOptions};
+use engine_sql::{Dialect, SqlEngine, SqlOptions};
+use nested_value::Value;
+use nf2_columnar::{ExecStats, Table};
+use physics::Histogram;
+
+use crate::queries::{self, Language};
+use crate::spec::QueryId;
+
+/// An adapter failure (engine error or malformed result shape).
+#[derive(Debug)]
+pub struct AdapterError(pub String);
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for AdapterError {}
+
+/// Result of running a query through an engine.
+pub struct EngineRun {
+    /// The query's histogram.
+    pub histogram: Histogram,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Runs a query on the SQL engine under a dialect profile.
+pub fn run_sql(
+    dialect: Dialect,
+    table: &Arc<Table>,
+    q: QueryId,
+    options: SqlOptions,
+) -> Result<EngineRun, AdapterError> {
+    let lang = match dialect.name {
+        engine_sql::DialectName::BigQuery => Language::BigQuery,
+        engine_sql::DialectName::Presto => Language::Presto,
+        engine_sql::DialectName::Athena => Language::Athena,
+    };
+    let sql = queries::text(lang, q);
+    let mut engine = SqlEngine::new(dialect, options);
+    engine.register(table.clone());
+    let out = engine
+        .execute(&sql)
+        .map_err(|e| AdapterError(format!("{} {}: {e}", lang.name(), q.name())))?;
+    let mut histogram = Histogram::new(q.hist_spec());
+    for row in &out.relation.rows {
+        let (bin, n) = bin_count_row(row)
+            .map_err(|e| AdapterError(format!("{} {}: {e}", lang.name(), q.name())))?;
+        histogram.add_bin_count(bin, n);
+    }
+    Ok(EngineRun {
+        histogram,
+        stats: out.stats,
+    })
+}
+
+fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
+    match row {
+        [bin, n] => {
+            let b = bin
+                .as_i64()
+                .map_err(|e| format!("bin column: {e} ({bin})"))?;
+            let c = n.as_i64().map_err(|e| format!("count column: {e}"))?;
+            Ok((b, c as u64))
+        }
+        other => Err(format!("expected (bin, n) rows, got {} columns", other.len())),
+    }
+}
+
+/// Runs a query on the JSONiq engine (Rumble analog).
+pub fn run_jsoniq(
+    table: &Arc<Table>,
+    q: QueryId,
+    options: FlworOptions,
+) -> Result<EngineRun, AdapterError> {
+    let text = queries::text(Language::Jsoniq, q);
+    let mut engine = FlworEngine::new(options);
+    engine.register(table.clone());
+    let out = engine
+        .execute(&text)
+        .map_err(|e| AdapterError(format!("JSONiq {}: {e}", q.name())))?;
+    let mut histogram = Histogram::new(q.hist_spec());
+    for item in &out.items {
+        let bin = item
+            .as_i64()
+            .map_err(|e| AdapterError(format!("JSONiq {}: bin item {e}", q.name())))?;
+        histogram.add_bin_count(bin, 1);
+    }
+    Ok(EngineRun {
+        histogram,
+        stats: out.stats,
+    })
+}
+
+/// Runs a query on the RDataFrame-style engine.
+pub fn run_rdf(
+    table: &Arc<Table>,
+    q: QueryId,
+    options: engine_rdf::Options,
+) -> Result<EngineRun, AdapterError> {
+    let df = crate::rdf_programs::build(q, table.clone(), options);
+    let out = df
+        .run_all()
+        .map_err(|e| AdapterError(format!("RDataFrame {}: {e}", q.name())))?;
+    Ok(EngineRun {
+        histogram: out.histograms.into_iter().next().expect("one booking"),
+        stats: out.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_model::generator::build_dataset;
+    use hep_model::DatasetSpec;
+
+    #[test]
+    fn q1_all_engines_agree_on_totals() {
+        let (events, table) = build_dataset(DatasetSpec {
+            n_events: 1_000,
+            row_group_size: 256,
+            seed: 3,
+        });
+        let table = Arc::new(table);
+        let n = events.len() as u64;
+        let sql = run_sql(Dialect::presto(), &table, QueryId::Q1, SqlOptions::default()).unwrap();
+        assert_eq!(sql.histogram.total(), n);
+        let jq = run_jsoniq(&table, QueryId::Q1, FlworOptions::default()).unwrap();
+        assert_eq!(jq.histogram.total(), n);
+        let rdf = run_rdf(&table, QueryId::Q1, engine_rdf::Options::default()).unwrap();
+        assert_eq!(rdf.histogram.total(), n);
+    }
+}

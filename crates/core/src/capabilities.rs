@@ -1,0 +1,208 @@
+//! The Table-1 functionality matrix as data.
+//!
+//! Star ratings follow the paper (0–3 stars; `None` = unsupported). Where
+//! a rating concerns our *executable* dialect profiles, a consistency test
+//! asserts the matrix agrees with `engine-sql`'s capability enforcement.
+
+use crate::queries::Language;
+
+/// One functional requirement from §3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Requirement {
+    /// R1.1 unnesting arrays.
+    UnnestArrays,
+    /// R1.2 asymmetric combinations.
+    AsymCombinations,
+    /// R1.3 symmetric combinations.
+    SymCombinations,
+    /// R1.4 user-defined functions.
+    Udfs,
+    /// R2.1 structured data types.
+    StructuredTypes,
+    /// R2.2 nested sub-queries.
+    NestedSubqueries,
+    /// R2.3 variables.
+    Variables,
+    /// R2.4 group by variable/alias.
+    GroupByVariable,
+    /// R2.5 struct parameters in UDFs.
+    StructParamsInUdfs,
+    /// R2.6 tables in UDFs.
+    TablesInUdfs,
+    /// R3.1 inline struct types.
+    InlineStructTypes,
+    /// R3.2 anonymous structs.
+    AnonymousStructs,
+    /// R3.3 array functions.
+    ArrayFunctions,
+    /// R3.4 array construction.
+    ArrayConstruction,
+    /// R3.5 unnesting whole structs.
+    UnnestWholeStructs,
+}
+
+/// All requirements in Table-1 order.
+pub const ALL_REQUIREMENTS: &[Requirement] = &[
+    Requirement::UnnestArrays,
+    Requirement::AsymCombinations,
+    Requirement::SymCombinations,
+    Requirement::Udfs,
+    Requirement::StructuredTypes,
+    Requirement::NestedSubqueries,
+    Requirement::Variables,
+    Requirement::GroupByVariable,
+    Requirement::StructParamsInUdfs,
+    Requirement::TablesInUdfs,
+    Requirement::InlineStructTypes,
+    Requirement::AnonymousStructs,
+    Requirement::ArrayFunctions,
+    Requirement::ArrayConstruction,
+    Requirement::UnnestWholeStructs,
+];
+
+impl Requirement {
+    /// Table-1 row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Requirement::UnnestArrays => "(R1.1) unnest arrays",
+            Requirement::AsymCombinations => "(R1.2) asym. combination",
+            Requirement::SymCombinations => "(R1.3) sym. combination",
+            Requirement::Udfs => "(R1.4) UDFs",
+            Requirement::StructuredTypes => "(R2.1) structured types",
+            Requirement::NestedSubqueries => "(R2.2) nested sub-query",
+            Requirement::Variables => "(R2.3) variables",
+            Requirement::GroupByVariable => "(R2.4) group by variable",
+            Requirement::StructParamsInUdfs => "(R2.5) struct params in UDFs",
+            Requirement::TablesInUdfs => "(R2.6) tables in UDFs",
+            Requirement::InlineStructTypes => "(R3.1) inline struct types",
+            Requirement::AnonymousStructs => "(R3.2) anonymous structs",
+            Requirement::ArrayFunctions => "(R3.3) array functions",
+            Requirement::ArrayConstruction => "(R3.4) array construction",
+            Requirement::UnnestWholeStructs => "(R3.5) unnest whole structs",
+        }
+    }
+}
+
+/// Star rating for `(language, requirement)` — `None` is the paper's dash.
+pub fn stars(lang: Language, req: Requirement) -> Option<u8> {
+    use Language::*;
+    use Requirement::*;
+    let v = match (lang, req) {
+        (Athena, UnnestArrays) => 2,
+        (BigQuery, UnnestArrays) => 2,
+        (Presto, UnnestArrays) => 1,
+        (Jsoniq, UnnestArrays) => 3,
+        (RDataFrame, UnnestArrays) => 2,
+
+        (Athena, AsymCombinations) | (BigQuery, AsymCombinations) => 3,
+        (Presto, AsymCombinations) => 2,
+        (Jsoniq, AsymCombinations) => 3,
+        (RDataFrame, AsymCombinations) => 2,
+
+        (Athena, SymCombinations) | (BigQuery, SymCombinations) => 3,
+        (Presto, SymCombinations) => 2,
+        (Jsoniq, SymCombinations) => 3,
+        (RDataFrame, SymCombinations) => 2,
+
+        (Athena, Udfs) => return None,
+        (BigQuery, Udfs) => 2,
+        (Presto, Udfs) => 2, // parenthesized in the paper: experimental
+        (Jsoniq, Udfs) => 3,
+        (RDataFrame, Udfs) => 3,
+
+        (Athena, StructuredTypes) | (Presto, StructuredTypes) => 2,
+        (BigQuery, StructuredTypes) => 3,
+        (Jsoniq, StructuredTypes) => 3,
+        (RDataFrame, StructuredTypes) => return None,
+
+        (BigQuery, NestedSubqueries) => 3,
+        (Jsoniq, NestedSubqueries) => 3,
+        (RDataFrame, NestedSubqueries) => 3,
+        (_, NestedSubqueries) => return None,
+
+        (Jsoniq, Variables) | (RDataFrame, Variables) => 3,
+        (_, Variables) => return None,
+
+        (BigQuery, GroupByVariable) => 3,
+        (Jsoniq, GroupByVariable) => 3,
+        (RDataFrame, GroupByVariable) => 3,
+        (_, GroupByVariable) => return None,
+
+        (Athena, StructParamsInUdfs) | (BigQuery, StructParamsInUdfs)
+        | (Presto, StructParamsInUdfs) => 1,
+        (Jsoniq, StructParamsInUdfs) => 3,
+        (RDataFrame, StructParamsInUdfs) => 3,
+
+        (Jsoniq, TablesInUdfs) | (RDataFrame, TablesInUdfs) => 3,
+        (_, TablesInUdfs) => return None,
+
+        (BigQuery, InlineStructTypes) => 3,
+        (Jsoniq, InlineStructTypes) => 3,
+        (_, InlineStructTypes) => return None,
+
+        (Athena, AnonymousStructs) => 2,
+        (BigQuery, AnonymousStructs) => 3,
+        (Presto, AnonymousStructs) => 3,
+        (Jsoniq, AnonymousStructs) => return None,
+        (RDataFrame, AnonymousStructs) => 3,
+
+        (Athena, ArrayFunctions) | (BigQuery, ArrayFunctions) => 2,
+        (Presto, ArrayFunctions) => 3,
+        (Jsoniq, ArrayFunctions) => 2,
+        (RDataFrame, ArrayFunctions) => 3,
+
+        (BigQuery, ArrayConstruction) => 2,
+        (Jsoniq, ArrayConstruction) => 3,
+        (RDataFrame, ArrayConstruction) => 3,
+        (_, ArrayConstruction) => return None,
+
+        (Athena, UnnestWholeStructs) | (BigQuery, UnnestWholeStructs) => 3,
+        (Jsoniq, UnnestWholeStructs) => 3,
+        (_, UnnestWholeStructs) => return None,
+    };
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine_sql::{Dialect, UdfSupport};
+
+    #[test]
+    fn matrix_is_total() {
+        for lang in crate::queries::ALL_LANGUAGES {
+            let rated = ALL_REQUIREMENTS
+                .iter()
+                .filter(|r| stars(*lang, **r).is_some())
+                .count();
+            assert!(rated >= 6, "{lang:?} has too few ratings");
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_dialect_enforcement() {
+        // UDFs.
+        assert_eq!(stars(Language::Athena, Requirement::Udfs), None);
+        assert_eq!(Dialect::athena().udf_support, UdfSupport::None);
+        assert!(stars(Language::Presto, Requirement::Udfs).is_some());
+        assert_eq!(Dialect::presto().udf_support, UdfSupport::NoNestedCalls);
+        assert_eq!(Dialect::bigquery().udf_support, UdfSupport::Full);
+        // Nested subqueries.
+        assert!(stars(Language::BigQuery, Requirement::NestedSubqueries).is_some());
+        assert!(Dialect::bigquery().nested_subqueries);
+        assert!(stars(Language::Presto, Requirement::NestedSubqueries).is_none());
+        assert!(!Dialect::presto().nested_subqueries);
+        // Group by alias.
+        assert!(stars(Language::BigQuery, Requirement::GroupByVariable).is_some());
+        assert!(Dialect::bigquery().group_by_alias);
+        assert!(!Dialect::athena().group_by_alias);
+        // Whole-struct unnest.
+        assert!(stars(Language::Presto, Requirement::UnnestWholeStructs).is_none());
+        assert!(!Dialect::presto().unnest_struct_alias);
+        assert!(Dialect::athena().unnest_struct_alias);
+        // Inline struct types.
+        assert!(stars(Language::BigQuery, Requirement::InlineStructTypes).is_some());
+        assert!(Dialect::bigquery().struct_ctor);
+        assert!(!Dialect::presto().struct_ctor);
+    }
+}

@@ -1,0 +1,172 @@
+//! Table-2 query complexity: analytic formulas and empirical ops/event.
+
+use hep_model::Event;
+
+use crate::reference;
+use crate::spec::QueryId;
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct ComplexityRow {
+    /// Query output.
+    pub query: &'static str,
+    /// The analytic formula (paper notation: E/J/M = electrons/jets/muons
+    /// per event, σ = the Q7 jet filter).
+    pub formula: &'static str,
+    /// Ops/event predicted by evaluating the formula on the data set.
+    pub analytic_ops_per_event: f64,
+    /// Ops/event actually counted by the instrumented reference run.
+    pub measured_ops_per_event: f64,
+    /// The value the paper reports for the CMS data set.
+    pub paper_ops_per_event: f64,
+}
+
+fn c2(n: usize) -> u64 {
+    (n * n.saturating_sub(1) / 2) as u64
+}
+
+fn c3(n: usize) -> u64 {
+    (n * n.saturating_sub(1) * n.saturating_sub(2) / 6) as u64
+}
+
+/// Evaluates the analytic Table-2 formula for one event.
+pub fn analytic_ops(q: QueryId, e: &Event) -> u64 {
+    let (jets, muons, electrons) = (e.jets.len(), e.muons.len(), e.electrons.len());
+    match q {
+        QueryId::Q1 => 1,
+        QueryId::Q2 | QueryId::Q3 => jets as u64,
+        QueryId::Q4 => 1 + jets as u64,
+        QueryId::Q5 => 1 + c2(muons),
+        QueryId::Q6a | QueryId::Q6b => 1 + c3(jets),
+        QueryId::Q7 => {
+            // (E + M) · σ(J): lepton comparisons for each jet passing the
+            // pt > 30 filter.
+            let passing = e.jets.iter().filter(|j| j.pt > 30.0).count() as u64;
+            (electrons + muons) as u64 * passing
+        }
+        QueryId::Q8 => {
+            // E·M + E + M + 1 (the paper's formula for the pair scan plus
+            // the remaining-lepton scan).
+            (electrons * muons + electrons + muons) as u64 + 1
+        }
+    }
+}
+
+/// The paper's reported ops/event (Table 2) for the CMS data set.
+pub fn paper_ops(q: QueryId) -> f64 {
+    match q {
+        QueryId::Q1 => 1.0,
+        QueryId::Q2 | QueryId::Q3 => 3.2,
+        QueryId::Q4 => 4.2,
+        QueryId::Q5 => 1.6,
+        QueryId::Q6a | QueryId::Q6b => 42.8,
+        QueryId::Q7 => 1.5,
+        QueryId::Q8 => 11.6,
+    }
+}
+
+/// The paper's formula string.
+pub fn formula(q: QueryId) -> &'static str {
+    match q {
+        QueryId::Q1 => "1",
+        QueryId::Q2 | QueryId::Q3 => "J",
+        QueryId::Q4 => "1 + J",
+        QueryId::Q5 => "1 + C(M,2)",
+        QueryId::Q6a | QueryId::Q6b => "1 + C(J,3)",
+        QueryId::Q7 => "(E + M) * sigma(J)",
+        QueryId::Q8 => "E*M + E + M + 1",
+    }
+}
+
+/// Builds the full Table-2 row for a query over a data set.
+pub fn row(q: QueryId, events: &[Event]) -> ComplexityRow {
+    let n = events.len() as f64;
+    let analytic: u64 = events.iter().map(|e| analytic_ops(q, e)).sum();
+    let measured = reference::run(q, events).ops;
+    ComplexityRow {
+        query: q.name(),
+        formula: formula(q),
+        analytic_ops_per_event: analytic as f64 / n,
+        measured_ops_per_event: measured as f64 / n,
+        paper_ops_per_event: paper_ops(q),
+    }
+}
+
+/// Particle-multiplicity distribution (Figure 3): fraction of events with
+/// exactly `i` particles, for i in `0..=max`.
+pub fn multiplicity_distribution(
+    events: &[Event],
+    count: impl Fn(&Event) -> usize,
+    max: usize,
+) -> Vec<f64> {
+    let mut bins = vec![0u64; max + 1];
+    for e in events {
+        let n = count(e).min(max);
+        bins[n] += 1;
+    }
+    bins.iter()
+        .map(|&b| b as f64 / events.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ALL_QUERIES;
+    use hep_model::generator::build_dataset;
+    use hep_model::DatasetSpec;
+
+    fn events() -> Vec<Event> {
+        build_dataset(DatasetSpec {
+            n_events: 10_000,
+            row_group_size: 2_048,
+            seed: 42,
+        })
+        .0
+    }
+
+    #[test]
+    fn measured_matches_analytic_for_exact_queries() {
+        let evs = events();
+        for q in [QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4, QueryId::Q5, QueryId::Q6a] {
+            let r = row(q, &evs);
+            assert!(
+                (r.analytic_ops_per_event - r.measured_ops_per_event).abs() < 1e-9,
+                "{}: analytic {} vs measured {}",
+                r.query,
+                r.analytic_ops_per_event,
+                r.measured_ops_per_event
+            );
+        }
+    }
+
+    #[test]
+    fn q6_dominates_like_in_the_paper() {
+        let evs = events();
+        let q6 = row(QueryId::Q6a, &evs).measured_ops_per_event;
+        for q in ALL_QUERIES {
+            if matches!(q, QueryId::Q6a | QueryId::Q6b) {
+                continue;
+            }
+            let other = row(*q, &evs).measured_ops_per_event;
+            assert!(q6 > other, "{}: {other} >= Q6's {q6}", q.name());
+        }
+        // Within a factor ~2 of the paper's 42.8.
+        assert!((15.0..90.0).contains(&q6), "Q6 ops/event {q6}");
+    }
+
+    #[test]
+    fn multiplicities_shape() {
+        let evs = events();
+        let jets = multiplicity_distribution(&evs, |e| e.jets.len(), 40);
+        let muons = multiplicity_distribution(&evs, |e| e.muons.len(), 40);
+        let electrons = multiplicity_distribution(&evs, |e| e.electrons.len(), 40);
+        assert!((jets.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Figure 3: jets have the heaviest tail, electrons the lightest.
+        let tail = |d: &[f64]| d[8..].iter().sum::<f64>();
+        assert!(tail(&jets) > tail(&muons));
+        assert!(tail(&muons) <= tail(&jets));
+        let mean = |d: &[f64]| d.iter().enumerate().map(|(i, p)| i as f64 * p).sum::<f64>();
+        assert!(mean(&muons) > mean(&electrons));
+    }
+}

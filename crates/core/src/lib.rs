@@ -1,0 +1,35 @@
+//! # hepbench-core
+//!
+//! The ADL (Analysis Description Languages) benchmark — the paper's
+//! workload — implemented end to end:
+//!
+//! * [`spec`] — the eight benchmark queries (Q1–Q8, with Q6's two plots as
+//!   `Q6a`/`Q6b`), their physics definitions and histogram specifications;
+//! * [`reference`] — ground-truth Rust implementations over the in-memory
+//!   event model, instrumented with the Table-2 "ops/event" counters;
+//! * [`queries`] — the query *texts* for every system under test: three
+//!   SQL dialects (BigQuery / Presto / Athena profiles of `engine-sql`),
+//!   JSONiq (for `engine-flwor`), and RDataFrame C++ (counted for Table 1;
+//!   executed via the equivalent `engine-rdf` programs in
+//!   [`rdf_programs`]);
+//! * [`adapters`] — uniform execution of any query on any engine, with
+//!   histogram extraction and [`nf2_columnar::ExecStats`] collection;
+//! * [`validate`] — cross-engine result validation against the reference;
+//! * [`metrics`] — the Table-1 conciseness metrics (characters, lines,
+//!   clauses, unique clauses) computed from the embedded query texts;
+//! * [`complexity`] — Table-2 analytic formulas and empirical measurement;
+//! * [`capabilities`] — the Table-1 functionality matrix as data;
+//! * [`runner`] — the benchmark orchestrator behind Figures 1, 2 and 4.
+
+pub mod adapters;
+pub mod capabilities;
+pub mod complexity;
+pub mod metrics;
+pub mod queries;
+pub mod rdf_programs;
+pub mod reference;
+pub mod runner;
+pub mod spec;
+pub mod validate;
+
+pub use spec::{QueryId, ALL_QUERIES};

@@ -1,0 +1,161 @@
+//! JSONiq implementations of the benchmark queries (Rumble).
+//!
+//! The paper's §3 singles JSONiq out for natural nested-data handling:
+//! FLWOR `let` variables eliminate the repeated sub-expressions the SQL
+//! dialects suffer from, `for … at` clauses express particle combinations
+//! directly, and functions take objects without declaring member lists.
+//!
+//! Output contract: each module returns the flat sequence of **bin
+//! indices** (one per plotted value) computed by the declared `hep:bin`
+//! function — the engine-side equivalent of Rumble collecting per-record
+//! results from Spark and counting them into the final histogram.
+
+use super::{jq_bin_call, jq_bin_fn};
+use crate::spec::QueryId;
+
+/// `hep:pair-mass` — invariant mass with the reference float path.
+fn pair_mass_fn() -> &'static str {
+    "declare function hep:pair-mass($p1, $p2) {\n\
+     \x20 let $px1 := $p1.pt * cos($p1.phi) let $py1 := $p1.pt * sin($p1.phi) let $pz1 := $p1.pt * sinh($p1.eta)\n\
+     \x20 let $px2 := $p2.pt * cos($p2.phi) let $py2 := $p2.pt * sin($p2.phi) let $pz2 := $p2.pt * sinh($p2.eta)\n\
+     \x20 let $e1 := sqrt($px1 * $px1 + $py1 * $py1 + $pz1 * $pz1 + $p1.mass * $p1.mass)\n\
+     \x20 let $e2 := sqrt($px2 * $px2 + $py2 * $py2 + $pz2 * $pz2 + $p2.mass * $p2.mass)\n\
+     \x20 let $e := $e1 + $e2 let $px := $px1 + $px2 let $py := $py1 + $py2 let $pz := $pz1 + $pz2\n\
+     \x20 return sqrt(max((0.0, $e * $e - ($px * $px + $py * $py + $pz * $pz))))\n\
+     };\n"
+}
+
+/// `hep:delta-r` — ΔR with the closed-form Δφ wrap of
+/// [`physics::delta_phi`].
+fn delta_r_fn() -> &'static str {
+    "declare function hep:delta-r($eta1, $phi1, $eta2, $phi2) {\n\
+     \x20 let $tau := 2.0 * pi()\n\
+     \x20 let $dphi := (($phi1 - $phi2 + pi()) mod $tau + $tau) mod $tau - pi()\n\
+     \x20 let $deta := $eta1 - $eta2\n\
+     \x20 return sqrt($deta * $deta + $dphi * $dphi)\n\
+     };\n"
+}
+
+/// Returns the JSONiq text for a query output.
+pub fn text(q: QueryId) -> String {
+    let spec = q.hist_spec();
+    match q {
+        QueryId::Q1 => format!(
+            "{binfn}\
+             for $e in parquet-file(\"events\")\n\
+             return {bin}",
+            binfn = jq_bin_fn(),
+            bin = jq_bin_call("$e.MET.pt", spec),
+        ),
+        QueryId::Q2 => format!(
+            "{binfn}\
+             for $e in parquet-file(\"events\")\n\
+             return for $j in $e.Jet[] return {bin}",
+            binfn = jq_bin_fn(),
+            bin = jq_bin_call("$j.pt", spec),
+        ),
+        QueryId::Q3 => format!(
+            "{binfn}\
+             for $e in parquet-file(\"events\")\n\
+             return for $j in $e.Jet[][abs($$.eta) < 1.0] return {bin}",
+            binfn = jq_bin_fn(),
+            bin = jq_bin_call("$j.pt", spec),
+        ),
+        QueryId::Q4 => format!(
+            "{binfn}\
+             for $e in parquet-file(\"events\")\n\
+             where count($e.Jet[][$$.pt > 40.0]) ge 2\n\
+             return {bin}",
+            binfn = jq_bin_fn(),
+            bin = jq_bin_call("$e.MET.pt", spec),
+        ),
+        QueryId::Q5 => format!(
+            "{binfn}{massfn}\
+             for $e in parquet-file(\"events\")\n\
+             where exists(\n\
+             \x20 for $m1 at $i in $e.Muon[]\n\
+             \x20 for $m2 at $k in $e.Muon[]\n\
+             \x20 where $i lt $k and $m1.charge ne $m2.charge\n\
+             \x20 let $m := hep:pair-mass($m1, $m2)\n\
+             \x20 where $m ge 60.0 and $m le 120.0\n\
+             \x20 return 1)\n\
+             return {bin}",
+            binfn = jq_bin_fn(),
+            massfn = pair_mass_fn(),
+            bin = jq_bin_call("$e.MET.pt", spec),
+        ),
+        QueryId::Q6a | QueryId::Q6b => {
+            let member = if q == QueryId::Q6a { "pt" } else { "btag" };
+            format!(
+                "{binfn}\
+                 declare function hep:best-trijet($jets) {{\n\
+                 \x20 let $candidates := (\n\
+                 \x20   for $j1 at $i in $jets\n\
+                 \x20   for $j2 at $j in $jets\n\
+                 \x20   for $j3 at $k in $jets\n\
+                 \x20   where $i lt $j and $j lt $k\n\
+                 \x20   let $px1 := $j1.pt * cos($j1.phi) let $py1 := $j1.pt * sin($j1.phi) let $pz1 := $j1.pt * sinh($j1.eta)\n\
+                 \x20   let $px2 := $j2.pt * cos($j2.phi) let $py2 := $j2.pt * sin($j2.phi) let $pz2 := $j2.pt * sinh($j2.eta)\n\
+                 \x20   let $px3 := $j3.pt * cos($j3.phi) let $py3 := $j3.pt * sin($j3.phi) let $pz3 := $j3.pt * sinh($j3.eta)\n\
+                 \x20   let $e := sqrt($px1 * $px1 + $py1 * $py1 + $pz1 * $pz1 + $j1.mass * $j1.mass)\n\
+                 \x20          + sqrt($px2 * $px2 + $py2 * $py2 + $pz2 * $pz2 + $j2.mass * $j2.mass)\n\
+                 \x20          + sqrt($px3 * $px3 + $py3 * $py3 + $pz3 * $pz3 + $j3.mass * $j3.mass)\n\
+                 \x20   let $px := $px1 + $px2 + $px3 let $py := $py1 + $py2 + $py3 let $pz := $pz1 + $pz2 + $pz3\n\
+                 \x20   let $mass := sqrt(max((0.0, $e * $e - ($px * $px + $py * $py + $pz * $pz))))\n\
+                 \x20   order by abs($mass - 172.5)\n\
+                 \x20   return {{ \"pt\": sqrt($px * $px + $py * $py), \"btag\": max(($j1.btag, $j2.btag, $j3.btag)) }})\n\
+                 \x20 return $candidates[1]\n\
+                 }};\n\
+                 for $e in parquet-file(\"events\")\n\
+                 where size($e.Jet) ge 3\n\
+                 return {bin}",
+                binfn = jq_bin_fn(),
+                bin = jq_bin_call(&format!("hep:best-trijet($e.Jet[]).{member}"), spec),
+            )
+        }
+        QueryId::Q7 => format!(
+            "{binfn}{drfn}\
+             for $e in parquet-file(\"events\")\n\
+             let $leptons := ($e.Muon[], $e.Electron[])\n\
+             let $good := (\n\
+             \x20 for $j in $e.Jet[]\n\
+             \x20 where $j.pt > 30.0 and empty(\n\
+             \x20   for $l in $leptons\n\
+             \x20   where $l.pt > 10.0 and hep:delta-r($j.eta, $j.phi, $l.eta, $l.phi) < 0.4\n\
+             \x20   return 1)\n\
+             \x20 return $j.pt)\n\
+             where exists($good)\n\
+             return {bin}",
+            binfn = jq_bin_fn(),
+            drfn = delta_r_fn(),
+            bin = jq_bin_call("sum($good)", spec),
+        ),
+        QueryId::Q8 => format!(
+            "{binfn}{massfn}\
+             for $e in parquet-file(\"events\")\n\
+             let $leptons := (\n\
+             \x20 for $m in $e.Muon[] return {{ \"pt\": $m.pt, \"eta\": $m.eta, \"phi\": $m.phi, \"mass\": $m.mass, \"charge\": $m.charge, \"flavor\": 0 }},\n\
+             \x20 for $el in $e.Electron[] return {{ \"pt\": $el.pt, \"eta\": $el.eta, \"phi\": $el.phi, \"mass\": $el.mass, \"charge\": $el.charge, \"flavor\": 1 }})\n\
+             where count($leptons) ge 3\n\
+             let $best := (\n\
+             \x20 for $l1 at $i in $leptons\n\
+             \x20 for $l2 at $k in $leptons\n\
+             \x20 where $i lt $k and $l1.flavor eq $l2.flavor and $l1.charge ne $l2.charge\n\
+             \x20 order by abs(hep:pair-mass($l1, $l2) - 91.2)\n\
+             \x20 return {{ \"i\": $i, \"k\": $k }})\n\
+             let $b := $best[1]\n\
+             where exists($b)\n\
+             let $rest := (\n\
+             \x20 for $l at $x in $leptons\n\
+             \x20 where $x ne $b.i and $x ne $b.k\n\
+             \x20 order by $l.pt descending\n\
+             \x20 return $l)\n\
+             let $lead := $rest[1]\n\
+             let $mt := sqrt(max((0.0, 2.0 * $lead.pt * $e.MET.pt * (1.0 - cos($lead.phi - $e.MET.phi)))))\n\
+             return {bin}",
+            binfn = jq_bin_fn(),
+            massfn = pair_mass_fn(),
+            bin = jq_bin_call("$mt", spec),
+        ),
+    }
+}

@@ -1,0 +1,173 @@
+//! PrestoDB SQL implementations of the benchmark queries.
+//!
+//! Characteristic dialect constraints on display (paper §3): no nested
+//! subqueries in expressions, so multi-array logic uses `CROSS JOIN
+//! UNNEST … WITH ORDINALITY` with the **full column list** spelled out
+//! (Presto lacks whole-struct aliases, R3.5), chained CTEs substitute for
+//! variables (R2.3), lambda array functions (`FILTER`, `REDUCE`,
+//! `NONE_MATCH`, R3.3), `MIN_BY`/`MAX_BY` for per-event argmins, and
+//! experimental UDFs that may not call other UDFs.
+
+use super::{flit, presto_hist_tail};
+use crate::spec::QueryId;
+
+/// Full Presto column list for the constructed lepton rows.
+fn lepton_cols(suffix: &str, ord: &str) -> String {
+    format!(
+        "pt{s}, eta{s}, phi{s}, mass{s}, q{s}, f{s}, {ord}",
+        s = suffix
+    )
+}
+
+/// The ΔR UDF. Presto UDFs are single expressions without variables, so
+/// the wrapped Δφ (`MOD(MOD(d, 2π) + 2π, 2π) − π`, the exact float path of
+/// [`physics::delta_phi`]) is spelled twice.
+fn dr_fn() -> String {
+    let dphi = "(MOD(MOD(phi1 - phi2 + PI(), 2.0 * PI()) + 2.0 * PI(), 2.0 * PI()) - PI())";
+    format!(
+        "CREATE FUNCTION dr(eta1 DOUBLE, phi1 DOUBLE, eta2 DOUBLE, phi2 DOUBLE) RETURNS DOUBLE\n\
+         RETURN SQRT((eta1 - eta2) * (eta1 - eta2) + {dphi} * {dphi});\n"
+    )
+}
+
+/// Returns the Presto text for a query output.
+pub fn text(q: QueryId) -> String {
+    let spec = q.hist_spec();
+    let tail = presto_hist_tail(spec);
+    match q {
+        QueryId::Q1 => format!(
+            "WITH plotted AS (SELECT MET.pt AS x FROM events)\n{tail}"
+        ),
+        QueryId::Q2 => format!(
+            "WITH plotted AS (\n\
+             \x20 SELECT jpt AS x FROM events\n\
+             \x20 CROSS JOIN UNNEST(Jet) AS j (jpt, jeta, jphi, jmass, jbtag, jpuid))\n{tail}"
+        ),
+        QueryId::Q3 => format!(
+            "WITH plotted AS (\n\
+             \x20 SELECT jpt AS x FROM events\n\
+             \x20 CROSS JOIN UNNEST(Jet) AS j (jpt, jeta, jphi, jmass, jbtag, jpuid)\n\
+             \x20 WHERE ABS(jeta) < 1.0)\n{tail}"
+        ),
+        QueryId::Q4 => format!(
+            "WITH plotted AS (\n\
+             \x20 SELECT MET.pt AS x FROM events\n\
+             \x20 WHERE CARDINALITY(FILTER(Jet, j -> j.pt > 40.0)) >= 2)\n{tail}"
+        ),
+        QueryId::Q5 => format!(
+            "WITH pairs AS (\n\
+             \x20 SELECT event AS eid, MET.pt AS met,\n\
+             \x20        pt1 * COS(phi1) AS px1, pt1 * SIN(phi1) AS py1, pt1 * SINH(eta1) AS pz1, mass1 AS m1,\n\
+             \x20        pt2 * COS(phi2) AS px2, pt2 * SIN(phi2) AS py2, pt2 * SINH(eta2) AS pz2, mass2 AS m2\n\
+             \x20 FROM events\n\
+             \x20 CROSS JOIN UNNEST(Muon) WITH ORDINALITY AS t1 (pt1, eta1, phi1, mass1, q1, iso31, iso41, tight1, soft1, dxy1, dxyerr1, dz1, dzerr1, jidx1, gidx1, i1)\n\
+             \x20 CROSS JOIN UNNEST(Muon) WITH ORDINALITY AS t2 (pt2, eta2, phi2, mass2, q2, iso32, iso42, tight2, soft2, dxy2, dxyerr2, dz2, dzerr2, jidx2, gidx2, i2)\n\
+             \x20 WHERE i1 < i2 AND q1 != q2),\n\
+             cand AS (\n\
+             \x20 SELECT c.eid, c.met,\n\
+             \x20        SQRT(c.px1 * c.px1 + c.py1 * c.py1 + c.pz1 * c.pz1 + c.m1 * c.m1) AS e1,\n\
+             \x20        SQRT(c.px2 * c.px2 + c.py2 * c.py2 + c.pz2 * c.pz2 + c.m2 * c.m2) AS e2,\n\
+             \x20        c.px1 + c.px2 AS px, c.py1 + c.py2 AS py, c.pz1 + c.pz2 AS pz\n\
+             \x20 FROM pairs c),\n\
+             sel AS (\n\
+             \x20 SELECT d.eid AS eid, MIN(d.met) AS met\n\
+             \x20 FROM cand d\n\
+             \x20 WHERE SQRT(GREATEST(0.0, (d.e1 + d.e2) * (d.e1 + d.e2) - (d.px * d.px + d.py * d.py + d.pz * d.pz))) BETWEEN 60.0 AND 120.0\n\
+             \x20 GROUP BY d.eid),\n\
+             plotted AS (SELECT s.met AS x FROM sel s)\n{tail}"
+        ),
+        QueryId::Q6a | QueryId::Q6b => {
+            let plot = if q == QueryId::Q6a { "b.pt" } else { "b.btag" };
+            format!(
+                "WITH combos AS (\n\
+                 \x20 SELECT event AS eid,\n\
+                 \x20        pt1 * COS(phi1) AS px1, pt1 * SIN(phi1) AS py1, pt1 * SINH(eta1) AS pz1, mass1 AS m1, btag1 AS b1,\n\
+                 \x20        pt2 * COS(phi2) AS px2, pt2 * SIN(phi2) AS py2, pt2 * SINH(eta2) AS pz2, mass2 AS m2, btag2 AS b2,\n\
+                 \x20        pt3 * COS(phi3) AS px3, pt3 * SIN(phi3) AS py3, pt3 * SINH(eta3) AS pz3, mass3 AS m3, btag3 AS b3\n\
+                 \x20 FROM events\n\
+                 \x20 CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS t1 (pt1, eta1, phi1, mass1, btag1, puid1, i1)\n\
+                 \x20 CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS t2 (pt2, eta2, phi2, mass2, btag2, puid2, i2)\n\
+                 \x20 CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS t3 (pt3, eta3, phi3, mass3, btag3, puid3, i3)\n\
+                 \x20 WHERE i1 < i2 AND i2 < i3),\n\
+                 systems AS (\n\
+                 \x20 SELECT c.eid,\n\
+                 \x20        c.px1 + c.px2 + c.px3 AS px, c.py1 + c.py2 + c.py3 AS py, c.pz1 + c.pz2 + c.pz3 AS pz,\n\
+                 \x20        SQRT(c.px1 * c.px1 + c.py1 * c.py1 + c.pz1 * c.pz1 + c.m1 * c.m1)\n\
+                 \x20        + SQRT(c.px2 * c.px2 + c.py2 * c.py2 + c.pz2 * c.pz2 + c.m2 * c.m2)\n\
+                 \x20        + SQRT(c.px3 * c.px3 + c.py3 * c.py3 + c.pz3 * c.pz3 + c.m3 * c.m3) AS e,\n\
+                 \x20        GREATEST(c.b1, c.b2, c.b3) AS btag\n\
+                 \x20 FROM combos c),\n\
+                 scored AS (\n\
+                 \x20 SELECT s.eid, SQRT(s.px * s.px + s.py * s.py) AS pt, s.btag,\n\
+                 \x20        ABS(SQRT(GREATEST(0.0, s.e * s.e - (s.px * s.px + s.py * s.py + s.pz * s.pz))) - {top}) AS dist\n\
+                 \x20 FROM systems s),\n\
+                 best AS (\n\
+                 \x20 SELECT b.eid AS eid, MIN_BY(b.pt, b.dist) AS pt, MIN_BY(b.btag, b.dist) AS btag\n\
+                 \x20 FROM scored b GROUP BY b.eid),\n\
+                 plotted AS (SELECT {plot} AS x FROM best b)\n{tail}",
+                top = flit(crate::spec::masses::TOP),
+            )
+        }
+        QueryId::Q7 => format!(
+            "{drfn}\
+             WITH plotted AS (\n\
+             \x20 SELECT REDUCE(\n\
+             \x20   FILTER(Jet, j -> j.pt > 30.0\n\
+             \x20     AND NONE_MATCH(Muon, m -> m.pt > 10.0 AND dr(j.eta, j.phi, m.eta, m.phi) < 0.4)\n\
+             \x20     AND NONE_MATCH(Electron, e -> e.pt > 10.0 AND dr(j.eta, j.phi, e.eta, e.phi) < 0.4)),\n\
+             \x20   0.0, (s, j) -> s + j.pt, s -> s) AS x\n\
+             \x20 FROM events)\n\
+             {tail_filtered}",
+            drfn = dr_fn(),
+            tail_filtered = presto_hist_tail(spec).replacen(
+                "FROM plotted p",
+                "FROM plotted p WHERE p.x > 0.0",
+                1
+            ),
+        ),
+        QueryId::Q8 => format!(
+            "WITH lep AS (\n\
+             \x20 SELECT event AS eid, MET.pt AS met, MET.phi AS metphi,\n\
+             \x20   CONCAT(\n\
+             \x20     TRANSFORM(Muon, m -> CAST(ROW(m.pt, m.eta, m.phi, m.mass, m.charge, 0)\n\
+             \x20                          AS ROW(pt DOUBLE, eta DOUBLE, phi DOUBLE, mass DOUBLE, charge BIGINT, flavor BIGINT))),\n\
+             \x20     TRANSFORM(Electron, e -> CAST(ROW(e.pt, e.eta, e.phi, e.mass, e.charge, 1)\n\
+             \x20                          AS ROW(pt DOUBLE, eta DOUBLE, phi DOUBLE, mass DOUBLE, charge BIGINT, flavor BIGINT)))\n\
+             \x20   ) AS leptons\n\
+             \x20 FROM events\n\
+             \x20 WHERE CARDINALITY(Muon) + CARDINALITY(Electron) >= 3),\n\
+             pairs AS (\n\
+             \x20 SELECT l.eid, l.met, l.metphi, l.leptons, i1, i2,\n\
+             \x20        pt1 * COS(phi1) AS px1, pt1 * SIN(phi1) AS py1, pt1 * SINH(eta1) AS pz1, mass1 AS m1,\n\
+             \x20        pt2 * COS(phi2) AS px2, pt2 * SIN(phi2) AS py2, pt2 * SINH(eta2) AS pz2, mass2 AS m2\n\
+             \x20 FROM lep l\n\
+             \x20 CROSS JOIN UNNEST(l.leptons) WITH ORDINALITY AS a ({lc1})\n\
+             \x20 CROSS JOIN UNNEST(l.leptons) WITH ORDINALITY AS b ({lc2})\n\
+             \x20 WHERE i1 < i2 AND f1 = f2 AND q1 != q2),\n\
+             scored AS (\n\
+             \x20 SELECT p.eid, p.met, p.metphi, p.leptons, p.i1, p.i2,\n\
+             \x20        SQRT(p.px1 * p.px1 + p.py1 * p.py1 + p.pz1 * p.pz1 + p.m1 * p.m1) AS e1,\n\
+             \x20        SQRT(p.px2 * p.px2 + p.py2 * p.py2 + p.pz2 * p.pz2 + p.m2 * p.m2) AS e2,\n\
+             \x20        p.px1 + p.px2 AS px, p.py1 + p.py2 AS py, p.pz1 + p.pz2 AS pz\n\
+             \x20 FROM pairs p),\n\
+             best AS (\n\
+             \x20 SELECT s.eid AS eid, ANY_VALUE(s.met) AS met, ANY_VALUE(s.metphi) AS metphi, ANY_VALUE(s.leptons) AS leptons,\n\
+             \x20        MIN_BY(CAST(ROW(s.i1, s.i2) AS ROW(i BIGINT, k BIGINT)),\n\
+             \x20               ABS(SQRT(GREATEST(0.0, (s.e1 + s.e2) * (s.e1 + s.e2) - (s.px * s.px + s.py * s.py + s.pz * s.pz))) - {z})) AS pair\n\
+             \x20 FROM scored s GROUP BY s.eid),\n\
+             lead AS (\n\
+             \x20 SELECT b.eid AS eid, ANY_VALUE(b.met) AS met, ANY_VALUE(b.metphi) AS metphi,\n\
+             \x20        MAX_BY(CAST(ROW(lpt, lphi) AS ROW(pt DOUBLE, phi DOUBLE)), lpt) AS lep\n\
+             \x20 FROM best b\n\
+             \x20 CROSS JOIN UNNEST(b.leptons) WITH ORDINALITY AS l (lpt, leta, lphi, lmass, lq, lf, li)\n\
+             \x20 WHERE li != b.pair.i AND li != b.pair.k\n\
+             \x20 GROUP BY b.eid),\n\
+             plotted AS (\n\
+             \x20 SELECT SQRT(GREATEST(0.0, 2.0 * d.lep.pt * d.met * (1.0 - COS(d.lep.phi - d.metphi)))) AS x\n\
+             \x20 FROM lead d)\n{tail}",
+            lc1 = lepton_cols("1", "i1"),
+            lc2 = lepton_cols("2", "i2"),
+            z = flit(crate::spec::masses::Z),
+        ),
+    }
+}

@@ -1,0 +1,439 @@
+//! Ground-truth implementations of the benchmark queries.
+//!
+//! Every kernel here is written so that its floating-point operation
+//! sequence can be reproduced *verbatim* in the SQL and JSONiq query texts
+//! (component sums before subtraction, `GREATEST(0, …)` clamps, raw-angle
+//! cosines) — making exact, bin-for-bin cross-engine validation possible.
+//! The RDataFrame programs call these kernels directly.
+//!
+//! Each run also counts the **records or record combinations explored per
+//! event**, the quantity of the paper's Table 2.
+
+use hep_model::{Electron, Event, Muon};
+use physics::{FourMomentum, Histogram};
+
+use crate::spec::{masses, QueryId};
+
+/// Result of a reference run.
+#[derive(Clone, Debug)]
+pub struct RefOutput {
+    /// The filled histogram.
+    pub hist: Histogram,
+    /// Total records/record-combinations explored (Table 2 numerator).
+    pub ops: u64,
+}
+
+/// A light lepton in (Q7)/(Q8): the merged muon+electron view.
+#[derive(Clone, Copy, Debug)]
+pub struct Lepton {
+    /// Transverse momentum.
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuth.
+    pub phi: f64,
+    /// Rest mass.
+    pub mass: f64,
+    /// Charge (±1).
+    pub charge: i32,
+    /// Flavor tag: 0 = muon, 1 = electron (the merge order is muons then
+    /// electrons, fixed across all engines).
+    pub flavor: i32,
+}
+
+/// Merged light-lepton list: muons first, then electrons (order matters
+/// for deterministic tie-breaking and must match every query text).
+pub fn light_leptons(muons: &[Muon], electrons: &[Electron]) -> Vec<Lepton> {
+    let mut out = Vec::with_capacity(muons.len() + electrons.len());
+    for m in muons {
+        out.push(Lepton {
+            pt: m.pt,
+            eta: m.eta,
+            phi: m.phi,
+            mass: m.mass,
+            charge: m.charge,
+            flavor: 0,
+        });
+    }
+    for e in electrons {
+        out.push(Lepton {
+            pt: e.pt,
+            eta: e.eta,
+            phi: e.phi,
+            mass: e.mass,
+            charge: e.charge,
+            flavor: 1,
+        });
+    }
+    out
+}
+
+/// Invariant mass of two particles via explicit component sums — the
+/// formula the SQL/JSONiq texts spell out.
+#[allow(clippy::too_many_arguments)]
+pub fn pair_mass(
+    pt1: f64,
+    eta1: f64,
+    phi1: f64,
+    m1: f64,
+    pt2: f64,
+    eta2: f64,
+    phi2: f64,
+    m2: f64,
+) -> f64 {
+    let a = FourMomentum::from_pt_eta_phi_m(pt1, eta1, phi1, m1);
+    let b = FourMomentum::from_pt_eta_phi_m(pt2, eta2, phi2, m2);
+    let e = a.e + b.e;
+    let px = a.px + b.px;
+    let py = a.py + b.py;
+    let pz = a.pz + b.pz;
+    let m2sum = e * e - (px * px + py * py + pz * pz);
+    m2sum.max(0.0).sqrt()
+}
+
+/// Best trijet of an event: the 3-jet combination (in `i<j<k` enumeration
+/// order, first-minimum wins) whose invariant mass is closest to the top
+/// mass. Returns `(system_pt, max_btag, combinations_explored)`.
+pub fn best_trijet(jets: &[hep_model::Jet]) -> Option<(f64, f64, u64)> {
+    let n = jets.len();
+    if n < 3 {
+        return None;
+    }
+    let vecs: Vec<FourMomentum> = jets
+        .iter()
+        .map(|j| FourMomentum::from_pt_eta_phi_m(j.pt, j.eta, j.phi, j.mass))
+        .collect();
+    let mut best: Option<(f64, f64, f64)> = None; // (dist, pt, btag)
+    let mut ops = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                ops += 1;
+                let e = vecs[i].e + vecs[j].e + vecs[k].e;
+                let px = vecs[i].px + vecs[j].px + vecs[k].px;
+                let py = vecs[i].py + vecs[j].py + vecs[k].py;
+                let pz = vecs[i].pz + vecs[j].pz + vecs[k].pz;
+                let mass = (e * e - (px * px + py * py + pz * pz)).max(0.0).sqrt();
+                let dist = (mass - masses::TOP).abs();
+                let better = match &best {
+                    None => true,
+                    Some((d, _, _)) => dist < *d,
+                };
+                if better {
+                    let pt = (px * px + py * py).sqrt();
+                    let btag = jets[i].btag.max(jets[j].btag).max(jets[k].btag);
+                    best = Some((dist, pt, btag));
+                }
+            }
+        }
+    }
+    best.map(|(_, pt, btag)| (pt, btag, ops))
+}
+
+/// (Q7)'s per-event scalar sum: pt of jets with pt > 30 that are ≥ 0.4 in
+/// ΔR away from every light lepton with pt > 10. Returns `None` when no
+/// jet qualifies; also reports lepton-comparison ops.
+pub fn q7_sum(event: &Event) -> (Option<f64>, u64) {
+    let leptons = light_leptons(&event.muons, &event.electrons);
+    let mut sum = 0.0;
+    let mut any = false;
+    let mut ops = 0u64;
+    for j in &event.jets {
+        if j.pt <= 30.0 {
+            continue;
+        }
+        let mut isolated = true;
+        for l in &leptons {
+            ops += 1;
+            if l.pt > 10.0 && physics::delta_r(j.eta, j.phi, l.eta, l.phi) < 0.4 {
+                isolated = false;
+                break;
+            }
+        }
+        if isolated {
+            sum += j.pt;
+            any = true;
+        }
+    }
+    (any.then_some(sum), ops)
+}
+
+/// (Q8)'s per-event value: the transverse mass of the MET system and the
+/// hardest lepton outside the best same-flavor opposite-charge pair.
+pub fn q8_value(event: &Event) -> (Option<f64>, u64) {
+    let leptons = light_leptons(&event.muons, &event.electrons);
+    let mut ops = 1u64;
+    if leptons.len() < 3 {
+        return (None, ops);
+    }
+    let n = leptons.len();
+    let mut best: Option<(f64, usize, usize)> = None; // (dist, i, k)
+    for i in 0..n {
+        for k in (i + 1)..n {
+            ops += 1;
+            let (a, b) = (&leptons[i], &leptons[k]);
+            if a.flavor != b.flavor || a.charge == b.charge {
+                continue;
+            }
+            let m = pair_mass(a.pt, a.eta, a.phi, a.mass, b.pt, b.eta, b.phi, b.mass);
+            let dist = (m - masses::Z).abs();
+            let better = match &best {
+                None => true,
+                Some((d, _, _)) => dist < *d,
+            };
+            if better {
+                best = Some((dist, i, k));
+            }
+        }
+    }
+    let Some((_, bi, bk)) = best else {
+        return (None, ops);
+    };
+    let mut lead: Option<&Lepton> = None;
+    for (idx, l) in leptons.iter().enumerate() {
+        ops += 1;
+        if idx == bi || idx == bk {
+            continue;
+        }
+        lead = Some(match lead {
+            None => l,
+            Some(cur) => {
+                if l.pt > cur.pt {
+                    l
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    let lead = lead.expect("n >= 3 leaves at least one lepton");
+    let mt = physics::transverse_mass(lead.pt, lead.phi, event.met.pt, event.met.phi);
+    (Some(mt), ops)
+}
+
+/// Runs the reference implementation of a query output.
+pub fn run(q: QueryId, events: &[Event]) -> RefOutput {
+    let mut hist = Histogram::new(q.hist_spec());
+    let mut ops = 0u64;
+    match q {
+        QueryId::Q1 => {
+            for e in events {
+                ops += 1;
+                hist.fill(e.met.pt);
+            }
+        }
+        QueryId::Q2 => {
+            for e in events {
+                for j in &e.jets {
+                    ops += 1;
+                    hist.fill(j.pt);
+                }
+            }
+        }
+        QueryId::Q3 => {
+            for e in events {
+                for j in &e.jets {
+                    ops += 1;
+                    if j.eta.abs() < 1.0 {
+                        hist.fill(j.pt);
+                    }
+                }
+            }
+        }
+        QueryId::Q4 => {
+            for e in events {
+                ops += 1;
+                let mut n = 0;
+                for j in &e.jets {
+                    ops += 1;
+                    if j.pt > 40.0 {
+                        n += 1;
+                    }
+                }
+                if n >= 2 {
+                    hist.fill(e.met.pt);
+                }
+            }
+        }
+        QueryId::Q5 => {
+            for e in events {
+                ops += 1;
+                let mut pass = false;
+                for i in 0..e.muons.len() {
+                    for k in (i + 1)..e.muons.len() {
+                        ops += 1;
+                        let (a, b) = (&e.muons[i], &e.muons[k]);
+                        if a.charge == b.charge {
+                            continue;
+                        }
+                        let m =
+                            pair_mass(a.pt, a.eta, a.phi, a.mass, b.pt, b.eta, b.phi, b.mass);
+                        if (60.0..=120.0).contains(&m) {
+                            pass = true;
+                        }
+                    }
+                }
+                if pass {
+                    hist.fill(e.met.pt);
+                }
+            }
+        }
+        QueryId::Q6a | QueryId::Q6b => {
+            for e in events {
+                ops += 1;
+                if let Some((pt, btag, combos)) = best_trijet(&e.jets) {
+                    ops += combos;
+                    hist.fill(if q == QueryId::Q6a { pt } else { btag });
+                }
+            }
+        }
+        QueryId::Q7 => {
+            for e in events {
+                let (v, o) = q7_sum(e);
+                ops += o;
+                if let Some(sum) = v {
+                    hist.fill(sum);
+                }
+            }
+        }
+        QueryId::Q8 => {
+            for e in events {
+                let (v, o) = q8_value(e);
+                ops += o;
+                if let Some(mt) = v {
+                    hist.fill(mt);
+                }
+            }
+        }
+    }
+    RefOutput { hist, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ALL_QUERIES;
+    use hep_model::generator::build_dataset;
+    use hep_model::DatasetSpec;
+
+    fn events() -> Vec<Event> {
+        build_dataset(DatasetSpec {
+            n_events: 3_000,
+            row_group_size: 512,
+            seed: 77,
+        })
+        .0
+    }
+
+    #[test]
+    fn q1_counts_every_event() {
+        let evs = events();
+        let out = run(QueryId::Q1, &evs);
+        assert_eq!(out.hist.total(), evs.len() as u64);
+        assert_eq!(out.ops, evs.len() as u64);
+    }
+
+    #[test]
+    fn q2_counts_every_jet() {
+        let evs = events();
+        let out = run(QueryId::Q2, &evs);
+        let jets: u64 = evs.iter().map(|e| e.jets.len() as u64).sum();
+        assert_eq!(out.hist.total(), jets);
+        assert_eq!(out.ops, jets);
+    }
+
+    #[test]
+    fn q3_subset_of_q2() {
+        let evs = events();
+        let q2 = run(QueryId::Q2, &evs);
+        let q3 = run(QueryId::Q3, &evs);
+        assert!(q3.hist.total() < q2.hist.total());
+        assert!(q3.hist.total() > 0);
+    }
+
+    #[test]
+    fn q4_selects_multijet_events() {
+        let evs = events();
+        let out = run(QueryId::Q4, &evs);
+        let expect = evs
+            .iter()
+            .filter(|e| e.jets.iter().filter(|j| j.pt > 40.0).count() >= 2)
+            .count() as u64;
+        assert_eq!(out.hist.total(), expect);
+    }
+
+    #[test]
+    fn q5_finds_z_candidates() {
+        let evs = events();
+        let out = run(QueryId::Q5, &evs);
+        // The generator injects Z → μμ in ~6.7% of events; with background
+        // pairs the selection should land in single-digit percent.
+        let frac = out.hist.total() as f64 / evs.len() as f64;
+        assert!((0.01..0.2).contains(&frac), "selected fraction {frac}");
+    }
+
+    #[test]
+    fn q6_shares_selection_between_outputs() {
+        let evs = events();
+        let a = run(QueryId::Q6a, &evs);
+        let b = run(QueryId::Q6b, &evs);
+        assert_eq!(a.hist.total(), b.hist.total());
+        assert_eq!(a.ops, b.ops);
+        let expect = evs.iter().filter(|e| e.jets.len() >= 3).count() as u64;
+        assert_eq!(a.hist.total(), expect);
+        // Q6b is a discriminant in [0, 1]: no out-of-range fills.
+        assert_eq!(b.hist.underflow(), 0);
+    }
+
+    #[test]
+    fn q7_sums_exceed_single_jet_cut() {
+        let evs = events();
+        let out = run(QueryId::Q7, &evs);
+        assert!(out.hist.total() > 0);
+        // Every plotted sum is > 30 (at least one jet above the cut).
+        assert_eq!(out.hist.underflow(), 0); // spec lo = 15 < 30
+    }
+
+    #[test]
+    fn q8_requires_three_leptons() {
+        let evs = events();
+        let out = run(QueryId::Q8, &evs);
+        let upper = evs.iter().filter(|e| e.n_light_leptons() >= 3).count() as u64;
+        assert!(out.hist.total() <= upper);
+        assert!(out.hist.total() > 0, "no trilepton events selected");
+    }
+
+    #[test]
+    fn best_trijet_deterministic_and_counts() {
+        let evs = events();
+        let e = evs.iter().find(|e| e.jets.len() >= 4).unwrap();
+        let (pt1, b1, ops1) = best_trijet(&e.jets).unwrap();
+        let (pt2, b2, ops2) = best_trijet(&e.jets).unwrap();
+        assert_eq!((pt1, b1, ops1), (pt2, b2, ops2));
+        let n = e.jets.len() as u64;
+        assert_eq!(ops1, n * (n - 1) * (n - 2) / 6);
+    }
+
+    #[test]
+    fn ops_per_event_match_table2_shape() {
+        let evs = events();
+        let n = evs.len() as f64;
+        let per_event = |q: QueryId| run(q, &evs).ops as f64 / n;
+        // Q1 = 1 exactly; Q2 ≈ mean jets; Q6 dominates everything.
+        assert_eq!(per_event(QueryId::Q1), 1.0);
+        let q2 = per_event(QueryId::Q2);
+        assert!((2.0..5.0).contains(&q2), "Q2 ops/event {q2}");
+        let q6 = per_event(QueryId::Q6a);
+        assert!(q6 > 10.0, "Q6 ops/event {q6}");
+        assert!(q6 > per_event(QueryId::Q8));
+    }
+
+    #[test]
+    fn all_queries_produce_output() {
+        let evs = events();
+        for q in ALL_QUERIES {
+            let out = run(*q, &evs);
+            assert!(out.hist.total() > 0, "{} empty", q.name());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Benchmark query identities and histogram specifications.
+
+use physics::HistSpec;
+
+/// Reference masses used by the selections (GeV).
+pub mod masses {
+    /// The Z boson mass targeted by (Q8)'s best-pair search.
+    pub const Z: f64 = 91.2;
+    /// The top quark mass targeted by (Q6)'s best-trijet search.
+    pub const TOP: f64 = 172.5;
+}
+
+/// The benchmark's query outputs. (Q6) produces two plots from one event
+/// selection, counted separately like in the paper's Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// MET of all events.
+    Q1,
+    /// pt of all jets.
+    Q2,
+    /// pt of jets with |η| < 1.
+    Q3,
+    /// MET of events with ≥ 2 jets with pt > 40 GeV.
+    Q4,
+    /// MET of events with an opposite-charge muon pair with invariant mass
+    /// in [60, 120] GeV.
+    Q5,
+    /// pt of the trijet system closest in mass to 172.5 GeV.
+    Q6a,
+    /// Maximum b-tag discriminant among that trijet's jets.
+    Q6b,
+    /// Scalar sum of pt of jets (pt > 30) isolated (ΔR ≥ 0.4) from all
+    /// light leptons with pt > 10, per event with at least one such jet.
+    Q7,
+    /// Transverse mass of MET and the hardest light lepton outside the
+    /// best same-flavor opposite-charge pair, in events with ≥ 3 leptons.
+    Q8,
+}
+
+/// All query outputs in benchmark order.
+pub const ALL_QUERIES: &[QueryId] = &[
+    QueryId::Q1,
+    QueryId::Q2,
+    QueryId::Q3,
+    QueryId::Q4,
+    QueryId::Q5,
+    QueryId::Q6a,
+    QueryId::Q6b,
+    QueryId::Q7,
+    QueryId::Q8,
+];
+
+impl QueryId {
+    /// Short name, e.g. `Q6a`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q2 => "Q2",
+            QueryId::Q3 => "Q3",
+            QueryId::Q4 => "Q4",
+            QueryId::Q5 => "Q5",
+            QueryId::Q6a => "Q6a",
+            QueryId::Q6b => "Q6b",
+            QueryId::Q7 => "Q7",
+            QueryId::Q8 => "Q8",
+        }
+    }
+
+    /// One-line description (the paper's §2.2 definitions).
+    pub fn description(&self) -> &'static str {
+        match self {
+            QueryId::Q1 => "MET of all events",
+            QueryId::Q2 => "pt of all jets",
+            QueryId::Q3 => "pt of jets with |eta| < 1",
+            QueryId::Q4 => "MET of events with >=2 jets with pt > 40 GeV",
+            QueryId::Q5 => "MET of events with an OS muon pair with mass in [60,120] GeV",
+            QueryId::Q6a => "pt of the trijet closest in mass to 172.5 GeV",
+            QueryId::Q6b => "max b-tag among the jets of that trijet",
+            QueryId::Q7 => "scalar sum of pt of jets (pt>30) isolated from leptons (pt>10)",
+            QueryId::Q8 => "transverse mass of MET + hardest lepton outside the best SFOS pair",
+        }
+    }
+
+    /// The plot's histogram specification (100 equi-width bins with
+    /// statically chosen bounds, as the benchmark prescribes; under- and
+    /// overflow get dedicated bins).
+    pub fn hist_spec(&self) -> HistSpec {
+        match self {
+            QueryId::Q1 | QueryId::Q4 | QueryId::Q5 => HistSpec::new(100, 0.0, 200.0),
+            QueryId::Q2 | QueryId::Q3 => HistSpec::new(100, 15.0, 60.0),
+            QueryId::Q6a => HistSpec::new(100, 0.0, 250.0),
+            QueryId::Q6b => HistSpec::new(100, 0.0, 1.0),
+            QueryId::Q7 => HistSpec::new(100, 15.0, 200.0),
+            QueryId::Q8 => HistSpec::new(100, 0.0, 250.0),
+        }
+    }
+
+    /// The underlying query (Q6a and Q6b share selection and CPU work).
+    pub fn base_query(&self) -> &'static str {
+        match self {
+            QueryId::Q6a | QueryId::Q6b => "Q6",
+            other => other.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_outputs_eight_queries() {
+        assert_eq!(ALL_QUERIES.len(), 9);
+        let bases: std::collections::HashSet<_> =
+            ALL_QUERIES.iter().map(|q| q.base_query()).collect();
+        assert_eq!(bases.len(), 8);
+    }
+
+    #[test]
+    fn specs_are_100_bins() {
+        for q in ALL_QUERIES {
+            assert_eq!(q.hist_spec().bins, 100);
+            assert!(q.hist_spec().lo < q.hist_spec().hi);
+        }
+    }
+}

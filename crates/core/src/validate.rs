@@ -1,0 +1,111 @@
+//! Cross-engine result validation.
+//!
+//! Because the query texts replicate the reference kernels' float paths
+//! exactly, validation demands **bin-for-bin equality** against the
+//! reference for every engine and dialect. A rich diff is produced on
+//! mismatch so divergence is debuggable.
+
+use std::sync::Arc;
+
+use engine_sql::Dialect;
+use nf2_columnar::Table;
+use physics::Histogram;
+
+use crate::adapters;
+use crate::reference;
+use crate::spec::QueryId;
+
+/// One engine's validation outcome for one query.
+#[derive(Debug)]
+pub struct Validation {
+    /// Engine/dialect label.
+    pub system: &'static str,
+    /// Query output.
+    pub query: &'static str,
+    /// Exact bin-for-bin match?
+    pub exact: bool,
+    /// Total-entries difference (signed).
+    pub total_delta: i64,
+    /// Largest per-bin absolute difference.
+    pub max_bin_delta: u64,
+}
+
+/// Compares a histogram against the reference.
+pub fn diff(system: &'static str, q: QueryId, got: &Histogram, expect: &Histogram) -> Validation {
+    let exact = got.counts_equal(expect);
+    let max_bin_delta = got
+        .counts()
+        .iter()
+        .zip(expect.counts().iter())
+        .map(|(a, b)| a.abs_diff(*b))
+        .chain([
+            got.underflow().abs_diff(expect.underflow()),
+            got.overflow().abs_diff(expect.overflow()),
+        ])
+        .max()
+        .unwrap_or(0);
+    Validation {
+        system,
+        query: q.name(),
+        exact,
+        total_delta: got.total() as i64 - expect.total() as i64,
+        max_bin_delta,
+    }
+}
+
+/// Runs one query on every engine and validates against the reference.
+/// Returns one entry per system.
+pub fn validate_query(
+    q: QueryId,
+    events: &[hep_model::Event],
+    table: &Arc<Table>,
+) -> Result<Vec<Validation>, adapters::AdapterError> {
+    let expect = reference::run(q, events).hist;
+    let mut out = Vec::new();
+    for (label, dialect) in [
+        ("BigQuery", Dialect::bigquery()),
+        ("Presto", Dialect::presto()),
+        ("Athena", Dialect::athena()),
+    ] {
+        let run = adapters::run_sql(dialect, table, q, engine_sql::SqlOptions::default())?;
+        out.push(diff(label, q, &run.histogram, &expect));
+    }
+    let run = adapters::run_jsoniq(table, q, engine_flwor::FlworOptions::default())?;
+    out.push(diff("JSONiq", q, &run.histogram, &expect));
+    let run = adapters::run_rdf(table, q, engine_rdf::Options::default())?;
+    out.push(diff("RDataFrame", q, &run.histogram, &expect));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ALL_QUERIES;
+    use hep_model::generator::build_dataset;
+    use hep_model::DatasetSpec;
+
+    /// The headline correctness property of the whole workspace: five
+    /// independent implementations of each query produce identical
+    /// histograms.
+    #[test]
+    fn all_engines_agree_with_reference() {
+        let (events, table) = build_dataset(DatasetSpec {
+            n_events: 2_000,
+            row_group_size: 512,
+            seed: 1234,
+        });
+        let table = Arc::new(table);
+        let mut failures = Vec::new();
+        for q in ALL_QUERIES {
+            for v in validate_query(*q, &events, &table).unwrap() {
+                if !v.exact {
+                    failures.push(format!(
+                        "{} {}: total Δ {}, max bin Δ {}",
+                        v.system, v.query, v.total_delta, v.max_bin_delta
+                    ));
+                }
+            }
+        }
+        assert!(failures.is_empty(), "mismatches:\n{}", failures.join("\n"));
+    }
+}

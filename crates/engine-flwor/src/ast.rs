@@ -1,0 +1,173 @@
+//! JSONiq AST.
+
+/// A parsed module: function declarations followed by the main expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// `declare function name($p, …) { body }` declarations.
+    pub functions: Vec<FunctionDecl>,
+    /// The main query expression.
+    pub body: Expr,
+}
+
+/// A user-declared function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDecl {
+    /// Qualified name (e.g. `hep:histogram`).
+    pub name: String,
+    /// Parameter names (without `$`).
+    pub params: Vec<String>,
+    /// Body expression.
+    pub body: Expr,
+}
+
+/// FLWOR clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clause {
+    /// `for $x (at $i)? in expr` — one binding per clause (multiple
+    /// bindings are parsed into consecutive clauses).
+    For {
+        /// Bound variable.
+        var: String,
+        /// Positional variable (`at $i`), 1-based.
+        at: Option<String>,
+        /// Source sequence.
+        source: Expr,
+    },
+    /// `let $x := expr`.
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `where expr`.
+    Where(Expr),
+    /// `group by $k := expr, …` — after grouping, non-grouping variables
+    /// re-bind to the sequence of their per-tuple values.
+    GroupBy(Vec<(String, Option<Expr>)>),
+    /// `order by expr (descending)?, …`.
+    OrderBy(Vec<(Expr, bool)>),
+    /// `count $c`.
+    Count(String),
+}
+
+/// Comparison operators (general, existential semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` / `eq`
+    Eq,
+    /// `!=` / `ne`
+    Ne,
+    /// `<` / `lt`
+    Lt,
+    /// `<=` / `le`
+    Le,
+    /// `>` / `gt`
+    Gt,
+    /// `>=` / `ge`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+/// JSONiq expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `null`.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal/double literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `$var`.
+    Var(String),
+    /// `$$` context item.
+    ContextItem,
+    /// Sequence construction `e1, e2` (flattens).
+    Sequence(Vec<Expr>),
+    /// FLWOR expression.
+    Flwor {
+        /// Clauses in order (first is for/let).
+        clauses: Vec<Clause>,
+        /// `return` expression.
+        ret: Box<Expr>,
+    },
+    /// `if (c) then a else b`.
+    If {
+        /// Condition (EBV).
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+    /// `some $x in e satisfies p` / `every …`.
+    Quantified {
+        /// True for `every`, false for `some`.
+        every: bool,
+        /// Bound variable.
+        var: String,
+        /// Source sequence.
+        source: Box<Expr>,
+        /// Predicate.
+        predicate: Box<Expr>,
+    },
+    /// `a or b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `not e` (also available as the `not(…)` function).
+    Not(Box<Expr>),
+    /// General comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// `a to b` integer range.
+    Range(Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Concatenation `a || b` (strings).
+    StrConcat(Box<Expr>, Box<Expr>),
+    /// `.field` member lookup (maps over sequences).
+    Member(Box<Expr>, String),
+    /// `[]` array unboxing (maps over sequences).
+    Unbox(Box<Expr>),
+    /// `[[i]]` array member access (1-based).
+    ArrayAt(Box<Expr>, Box<Expr>),
+    /// `[p]` predicate filter (boolean or positional).
+    Predicate(Box<Expr>, Box<Expr>),
+    /// Object constructor `{ "k": v, … }`.
+    ObjectCtor(Vec<(ObjectKey, Expr)>),
+    /// Array constructor `[ e ]`.
+    ArrayCtor(Option<Box<Expr>>),
+    /// Static function call `name(args…)`.
+    Call(String, Vec<Expr>),
+}
+
+/// Object constructor key: a literal name or a computed expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectKey {
+    /// Literal key.
+    Name(String),
+    /// Computed key (must evaluate to a string).
+    Computed(Expr),
+}

@@ -1,0 +1,368 @@
+//! The public Rumble-like engine: register tables, execute modules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nested_value::Value;
+use nf2_columnar::{ExecStats, Projection, PushdownCapability, Table};
+use parking_lot::Mutex;
+
+use crate::ast::{Clause, Expr, Module};
+use crate::error::FlworError;
+use crate::interp::{Env, Interp, Seq, Source};
+use crate::parser;
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct FlworOptions {
+    /// Worker threads (0 ⇒ all cores). Parallelism applies only to
+    /// partitionable top-level FLWORs (see crate docs).
+    pub n_threads: usize,
+    /// Per-item interpretation overhead injected per event, in *simulated*
+    /// nanoseconds of busy work. Models Rumble's JVM/Spark per-record
+    /// overhead beyond what a tree-walking interpreter already costs.
+    /// 0 disables (default).
+    pub overhead_ns_per_item: u64,
+}
+
+impl Default for FlworOptions {
+    fn default() -> Self {
+        FlworOptions {
+            n_threads: 0,
+            overhead_ns_per_item: 0,
+        }
+    }
+}
+
+/// Result of executing a module.
+#[derive(Clone, Debug)]
+pub struct FlworOutput {
+    /// The result sequence.
+    pub items: Seq,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// The JSONiq engine (Rumble analog).
+pub struct FlworEngine {
+    options: FlworOptions,
+    tables: Vec<Arc<Table>>,
+}
+
+struct TableSource<'a> {
+    rows: &'a [Value],
+    name: &'a str,
+}
+
+impl<'a> Source for TableSource<'a> {
+    fn read(&self, name: &str) -> Result<Seq, FlworError> {
+        if name == self.name {
+            Ok(self.rows.to_vec())
+        } else {
+            Err(FlworError::Unresolved(format!("input {name}")))
+        }
+    }
+}
+
+impl FlworEngine {
+    /// Creates an engine.
+    pub fn new(options: FlworOptions) -> FlworEngine {
+        FlworEngine {
+            options,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Registers a table; `parquet-file("<name>")` resolves to it.
+    pub fn register(&mut self, table: Arc<Table>) {
+        self.tables.push(table);
+    }
+
+    fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// Parses and executes a module.
+    pub fn execute(&self, text: &str) -> Result<FlworOutput, FlworError> {
+        let start = Instant::now();
+        let module = parser::parse_module(text)?;
+
+        // Which input does the module read?
+        let input = find_input(&module);
+        let Some(input_name) = input else {
+            // Pure expression: no table access.
+            let source = crate::interp::NoSource;
+            let interp = Interp::new(&module, &source)?;
+            let items = interp.eval_body(&module, &Env::new())?;
+            return Ok(FlworOutput {
+                items,
+                stats: ExecStats {
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                    cpu_seconds: start.elapsed().as_secs_f64(),
+                    scan: Default::default(),
+                    threads_used: 1,
+                    row_groups_skipped: 0,
+                },
+            });
+        };
+        let table = self
+            .table(&input_name)
+            .ok_or_else(|| FlworError::Unresolved(format!("input {input_name}")))?
+            .clone();
+
+        // Rumble pushes no projections: the scan reads every leaf column.
+        let scan = nf2_columnar::scan::scan_stats(
+            &table,
+            &Projection::all(),
+            PushdownCapability::None,
+        )?;
+        let leaves: Vec<_> = table.schema().leaves().iter().collect();
+
+        let partitionable = is_partitionable(&module);
+        let n_groups = table.row_groups().len();
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let n_threads = if partitionable {
+            let n = if self.options.n_threads == 0 {
+                hw
+            } else {
+                self.options.n_threads
+            };
+            n.max(1).min(n_groups.max(1))
+        } else {
+            1
+        };
+
+        let cpu = Mutex::new(0.0f64);
+        let items = if n_threads <= 1 {
+            let t0 = Instant::now();
+            let mut rows = Vec::with_capacity(table.n_rows());
+            for g in table.row_groups() {
+                rows.extend(g.read_rows(table.schema(), &leaves)?);
+            }
+            self.busy_overhead(rows.len());
+            let source = TableSource {
+                rows: &rows,
+                name: table.name(),
+            };
+            let interp = Interp::new(&module, &source)?;
+            let out = interp.eval_body(&module, &Env::new())?;
+            *cpu.lock() += t0.elapsed().as_secs_f64();
+            out
+        } else {
+            // Partition-parallel: evaluate the module per row group and
+            // concatenate in group order (sound for map-like FLWORs).
+            let next = AtomicUsize::new(0);
+            let results: Mutex<Vec<(usize, Seq)>> = Mutex::new(Vec::new());
+            let first_err: Mutex<Option<FlworError>> = Mutex::new(None);
+            let worker = || {
+                let t0 = Instant::now();
+                loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= n_groups {
+                        break;
+                    }
+                    let r = (|| -> Result<Seq, FlworError> {
+                        let rows =
+                            table.row_groups()[g].read_rows(table.schema(), &leaves)?;
+                        self.busy_overhead(rows.len());
+                        let source = TableSource {
+                            rows: &rows,
+                            name: table.name(),
+                        };
+                        let interp = Interp::new(&module, &source)?;
+                        interp.eval_body(&module, &Env::new())
+                    })();
+                    match r {
+                        Ok(seq) => results.lock().push((g, seq)),
+                        Err(e) => {
+                            first_err.lock().get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+                *cpu.lock() += t0.elapsed().as_secs_f64();
+            };
+            crossbeam::thread::scope(|s| {
+                for _ in 0..n_threads {
+                    s.spawn(|_| worker());
+                }
+            })
+            .expect("scope");
+            if let Some(e) = first_err.into_inner() {
+                return Err(e);
+            }
+            let mut parts = results.into_inner();
+            parts.sort_by_key(|(g, _)| *g);
+            parts.into_iter().flat_map(|(_, s)| s).collect()
+        };
+
+        Ok(FlworOutput {
+            items,
+            stats: ExecStats {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                cpu_seconds: cpu.into_inner(),
+                scan,
+                threads_used: n_threads,
+                row_groups_skipped: 0,
+            },
+        })
+    }
+
+    /// Simulated per-record overhead (documented Rumble substitution; the
+    /// spin models JVM serialization cost per record).
+    fn busy_overhead(&self, n_items: usize) {
+        if self.options.overhead_ns_per_item == 0 {
+            return;
+        }
+        let total = std::time::Duration::from_nanos(
+            self.options.overhead_ns_per_item * n_items as u64,
+        );
+        let t0 = Instant::now();
+        while t0.elapsed() < total {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Finds the (single) `parquet-file("…")` input name, if any.
+fn find_input(module: &Module) -> Option<String> {
+    let mut found = None;
+    for f in &module.functions {
+        walk(&f.body, &mut |e| {
+            if let Expr::Call(name, args) = e {
+                if name == "parquet-file" {
+                    if let Some(Expr::Str(s)) = args.first() {
+                        found.get_or_insert(s.clone());
+                    }
+                }
+            }
+        });
+    }
+    walk(&module.body, &mut |e| {
+        if let Expr::Call(name, args) = e {
+            if name == "parquet-file" {
+                if let Some(Expr::Str(s)) = args.first() {
+                    found.get_or_insert(s.clone());
+                }
+            }
+        }
+    });
+    found
+}
+
+/// True when the module's top-level expression is a FLWOR whose first
+/// clause iterates `parquet-file(…)` and whose clause list is map-like
+/// (no group/order/count), so per-partition evaluation + concatenation is
+/// equivalent to serial evaluation.
+fn is_partitionable(module: &Module) -> bool {
+    let Expr::Flwor { clauses, ret } = &module.body else {
+        return false;
+    };
+    let Some(Clause::For { source, .. }) = clauses.first() else {
+        return false;
+    };
+    if !matches!(source, Expr::Call(name, _) if name == "parquet-file") {
+        return false;
+    }
+    // No other parquet-file use and no order-sensitive clauses.
+    let mut extra_reads = 0usize;
+    for c in clauses.iter().skip(1) {
+        match c {
+            Clause::GroupBy(_) | Clause::OrderBy(_) | Clause::Count(_) => return false,
+            Clause::For { source, .. } | Clause::Let { value: source, .. } => {
+                walk(source, &mut |e| {
+                    if matches!(e, Expr::Call(n, _) if n == "parquet-file") {
+                        extra_reads += 1;
+                    }
+                });
+            }
+            Clause::Where(p) => {
+                walk(p, &mut |e| {
+                    if matches!(e, Expr::Call(n, _) if n == "parquet-file") {
+                        extra_reads += 1;
+                    }
+                });
+            }
+        }
+    }
+    walk(ret, &mut |e| {
+        if matches!(e, Expr::Call(n, _) if n == "parquet-file") {
+            extra_reads += 1;
+        }
+    });
+    extra_reads == 0
+}
+
+/// Pre-order expression walk.
+fn walk(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Sequence(items) => {
+            for i in items {
+                walk(i, f);
+            }
+        }
+        Expr::Flwor { clauses, ret } => {
+            for c in clauses {
+                match c {
+                    Clause::For { source, .. } => walk(source, f),
+                    Clause::Let { value, .. } => walk(value, f),
+                    Clause::Where(p) => walk(p, f),
+                    Clause::GroupBy(keys) => {
+                        for (_, ke) in keys {
+                            if let Some(ke) = ke {
+                                walk(ke, f);
+                            }
+                        }
+                    }
+                    Clause::OrderBy(keys) => {
+                        for (ke, _) in keys {
+                            walk(ke, f);
+                        }
+                    }
+                    Clause::Count(_) => {}
+                }
+            }
+            walk(ret, f);
+        }
+        Expr::If { cond, then, els } => {
+            walk(cond, f);
+            walk(then, f);
+            walk(els, f);
+        }
+        Expr::Quantified {
+            source, predicate, ..
+        } => {
+            walk(source, f);
+            walk(predicate, f);
+        }
+        Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::Cmp(a, _, b)
+        | Expr::Range(a, b)
+        | Expr::Arith(a, _, b)
+        | Expr::StrConcat(a, b)
+        | Expr::ArrayAt(a, b)
+        | Expr::Predicate(a, b) => {
+            walk(a, f);
+            walk(b, f);
+        }
+        Expr::Not(a) | Expr::Neg(a) | Expr::Member(a, _) | Expr::Unbox(a) => walk(a, f),
+        Expr::ObjectCtor(pairs) => {
+            for (k, v) in pairs {
+                if let crate::ast::ObjectKey::Computed(ke) = k {
+                    walk(ke, f);
+                }
+                walk(v, f);
+            }
+        }
+        Expr::ArrayCtor(Some(inner)) => walk(inner, f),
+        Expr::Call(_, args) => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the JSONiq engine.
+
+use std::fmt;
+
+/// Errors from parsing or evaluating JSONiq.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlworError {
+    /// Tokenizer failure.
+    Lex(usize, String),
+    /// Parser failure.
+    Parse(String),
+    /// Unbound variable or unknown function.
+    Unresolved(String),
+    /// Dynamic type error (JSONiq errors like XPTY0004/JNTY0004).
+    Type(String),
+    /// Other dynamic errors (arity, arithmetic, …).
+    Dynamic(String),
+    /// Substrate error.
+    Columnar(String),
+}
+
+impl fmt::Display for FlworError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlworError::Lex(pos, m) => write!(f, "lex error at byte {pos}: {m}"),
+            FlworError::Parse(m) => write!(f, "parse error: {m}"),
+            FlworError::Unresolved(m) => write!(f, "unresolved: {m}"),
+            FlworError::Type(m) => write!(f, "type error: {m}"),
+            FlworError::Dynamic(m) => write!(f, "dynamic error: {m}"),
+            FlworError::Columnar(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlworError {}
+
+impl From<nf2_columnar::ColumnarError> for FlworError {
+    fn from(e: nf2_columnar::ColumnarError) -> Self {
+        FlworError::Columnar(e.to_string())
+    }
+}

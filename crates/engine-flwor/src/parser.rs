@@ -1,0 +1,641 @@
+//! Recursive-descent parser for the JSONiq subset.
+
+use crate::ast::*;
+use crate::error::FlworError;
+use crate::token::{tokenize, Token};
+
+/// Parses a module (function declarations + main expression).
+pub fn parse_module(src: &str) -> Result<Module, FlworError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek_kw("declare") {
+        functions.push(p.function_decl()?);
+        p.eat_punct(";")?;
+    }
+    let body = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(FlworError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(Module { functions, body })
+}
+
+/// Parses a standalone expression.
+pub fn parse_expr(src: &str) -> Result<Expr, FlworError> {
+    let m = parse_module(src)?;
+    if !m.functions.is_empty() {
+        return Err(FlworError::Parse("unexpected function declarations".into()));
+    }
+    Ok(m.body)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + k)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn peek_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_punct(&mut self, p: &str) -> bool {
+        if self.peek_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), FlworError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(FlworError::Parse(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), FlworError> {
+        if self.accept_punct(p) {
+            Ok(())
+        } else {
+            Err(FlworError::Parse(format!(
+                "expected '{p}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn var(&mut self) -> Result<String, FlworError> {
+        match self.peek() {
+            Some(Token::Var(v)) => {
+                let v = v.clone();
+                self.pos += 1;
+                Ok(v)
+            }
+            other => Err(FlworError::Parse(format!("expected $var, found {other:?}"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, FlworError> {
+        match self.peek() {
+            Some(Token::Name(n)) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(FlworError::Parse(format!("expected name, found {other:?}"))),
+        }
+    }
+
+    fn function_decl(&mut self) -> Result<FunctionDecl, FlworError> {
+        self.eat_kw("declare")?;
+        self.eat_kw("function")?;
+        let name = self.name()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.peek_punct(")") {
+            loop {
+                params.push(self.var()?);
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        self.eat_punct("{")?;
+        let body = self.expr()?;
+        self.eat_punct("}")?;
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    /// Expr := ExprSingle ("," ExprSingle)* — sequence construction.
+    fn expr(&mut self) -> Result<Expr, FlworError> {
+        let first = self.expr_single()?;
+        if !self.peek_punct(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.accept_punct(",") {
+            items.push(self.expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    fn expr_single(&mut self) -> Result<Expr, FlworError> {
+        if self.peek_kw("for") || self.peek_kw("let") {
+            return self.flwor();
+        }
+        if self.peek_kw("if") && self.peek_at(1).is_some_and(|t| t.is_punct("(")) {
+            return self.if_expr();
+        }
+        if self.peek_kw("some") || self.peek_kw("every") {
+            return self.quantified();
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> Result<Expr, FlworError> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.accept_kw("for") {
+                loop {
+                    let var = self.var()?;
+                    let at = if self.accept_kw("at") {
+                        Some(self.var()?)
+                    } else {
+                        None
+                    };
+                    self.eat_kw("in")?;
+                    let source = self.expr_single()?;
+                    clauses.push(Clause::For { var, at, source });
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+            } else if self.accept_kw("let") {
+                loop {
+                    let var = self.var()?;
+                    self.eat_punct(":=")?;
+                    let value = self.expr_single()?;
+                    clauses.push(Clause::Let { var, value });
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+            } else if self.accept_kw("where") {
+                clauses.push(Clause::Where(self.expr_single()?));
+            } else if self.peek_kw("group") && self.peek_at(1).is_some_and(|t| t.is_kw("by")) {
+                self.pos += 2;
+                let mut keys = Vec::new();
+                loop {
+                    let var = self.var()?;
+                    let expr = if self.accept_punct(":=") {
+                        Some(self.expr_single()?)
+                    } else {
+                        None
+                    };
+                    keys.push((var, expr));
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+                clauses.push(Clause::GroupBy(keys));
+            } else if self.peek_kw("order") && self.peek_at(1).is_some_and(|t| t.is_kw("by")) {
+                self.pos += 2;
+                let mut keys = Vec::new();
+                loop {
+                    let e = self.expr_single()?;
+                    let desc = if self.accept_kw("descending") {
+                        true
+                    } else {
+                        self.accept_kw("ascending");
+                        false
+                    };
+                    keys.push((e, desc));
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+                clauses.push(Clause::OrderBy(keys));
+            } else if self.peek_kw("count")
+                && self.peek_at(1).is_some_and(|t| matches!(t, Token::Var(_)))
+            {
+                self.pos += 1;
+                clauses.push(Clause::Count(self.var()?));
+            } else {
+                break;
+            }
+        }
+        self.eat_kw("return")?;
+        let ret = self.expr_single()?;
+        Ok(Expr::Flwor {
+            clauses,
+            ret: Box::new(ret),
+        })
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, FlworError> {
+        self.eat_kw("if")?;
+        self.eat_punct("(")?;
+        let cond = self.expr()?;
+        self.eat_punct(")")?;
+        self.eat_kw("then")?;
+        let then = self.expr_single()?;
+        self.eat_kw("else")?;
+        let els = self.expr_single()?;
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        })
+    }
+
+    fn quantified(&mut self) -> Result<Expr, FlworError> {
+        let every = if self.accept_kw("every") {
+            true
+        } else {
+            self.eat_kw("some")?;
+            false
+        };
+        let var = self.var()?;
+        self.eat_kw("in")?;
+        let source = self.expr_single()?;
+        self.eat_kw("satisfies")?;
+        let predicate = self.expr_single()?;
+        Ok(Expr::Quantified {
+            every,
+            var,
+            source: Box::new(source),
+            predicate: Box::new(predicate),
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FlworError> {
+        let mut e = self.and_expr()?;
+        while self.accept_kw("or") {
+            let r = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FlworError> {
+        let mut e = self.not_expr()?;
+        while self.accept_kw("and") {
+            let r = self.not_expr()?;
+            e = Expr::And(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, FlworError> {
+        // `not` is also a builtin function; treat bare keyword as operator
+        // only when not followed by '('.
+        if self.peek_kw("not") && !self.peek_at(1).is_some_and(|t| t.is_punct("(")) {
+            self.pos += 1;
+            let e = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, FlworError> {
+        let e = self.range_expr()?;
+        let op = if self.accept_punct("=") || self.accept_keyword_op("eq") {
+            CmpOp::Eq
+        } else if self.accept_punct("!=") || self.accept_keyword_op("ne") {
+            CmpOp::Ne
+        } else if self.accept_punct("<=") || self.accept_keyword_op("le") {
+            CmpOp::Le
+        } else if self.accept_punct(">=") || self.accept_keyword_op("ge") {
+            CmpOp::Ge
+        } else if self.accept_punct("<") || self.accept_keyword_op("lt") {
+            CmpOp::Lt
+        } else if self.accept_punct(">") || self.accept_keyword_op("gt") {
+            CmpOp::Gt
+        } else {
+            return Ok(e);
+        };
+        let r = self.range_expr()?;
+        Ok(Expr::Cmp(Box::new(e), op, Box::new(r)))
+    }
+
+    fn accept_keyword_op(&mut self, kw: &str) -> bool {
+        self.accept_kw(kw)
+    }
+
+    fn range_expr(&mut self) -> Result<Expr, FlworError> {
+        let e = self.additive()?;
+        if self.accept_kw("to") {
+            let hi = self.additive()?;
+            return Ok(Expr::Range(Box::new(e), Box::new(hi)));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, FlworError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            if self.accept_punct("+") {
+                let r = self.multiplicative()?;
+                e = Expr::Arith(Box::new(e), ArithOp::Add, Box::new(r));
+            } else if self.accept_punct("-") {
+                let r = self.multiplicative()?;
+                e = Expr::Arith(Box::new(e), ArithOp::Sub, Box::new(r));
+            } else if self.accept_punct("||") {
+                let r = self.multiplicative()?;
+                e = Expr::StrConcat(Box::new(e), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, FlworError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.accept_punct("*") {
+                ArithOp::Mul
+            } else if self.accept_kw("div") {
+                ArithOp::Div
+            } else if self.accept_kw("idiv") {
+                ArithOp::IDiv
+            } else if self.accept_kw("mod") {
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            let r = self.unary()?;
+            e = Expr::Arith(Box::new(e), op, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FlworError> {
+        if self.accept_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        if self.accept_punct("+") {
+            return self.unary();
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, FlworError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.accept_punct(".") {
+                let field = self.name()?;
+                e = Expr::Member(Box::new(e), field);
+            } else if self.accept_punct("[[") {
+                let idx = self.expr()?;
+                self.eat_punct("]]")?;
+                e = Expr::ArrayAt(Box::new(e), Box::new(idx));
+            } else if self.peek_punct("[") {
+                // `[]` unboxing vs `[p]` predicate.
+                self.pos += 1;
+                if self.accept_punct("]") {
+                    e = Expr::Unbox(Box::new(e));
+                } else {
+                    let p = self.expr()?;
+                    self.eat_punct("]")?;
+                    e = Expr::Predicate(Box::new(e), Box::new(p));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, FlworError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(Expr::Float)
+                        .map_err(|_| FlworError::Parse(format!("bad number {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(Expr::Int)
+                        .map_err(|_| FlworError::Parse(format!("bad integer {n}")))
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Token::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::Var(v))
+            }
+            Some(Token::ContextItem) => {
+                self.pos += 1;
+                Ok(Expr::ContextItem)
+            }
+            Some(Token::Punct("(")) => {
+                self.pos += 1;
+                if self.accept_punct(")") {
+                    return Ok(Expr::Sequence(Vec::new()));
+                }
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Punct("{")) => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if !self.peek_punct("}") {
+                    loop {
+                        let key = match self.peek().cloned() {
+                            Some(Token::Str(s)) => {
+                                self.pos += 1;
+                                ObjectKey::Name(s)
+                            }
+                            Some(Token::Name(n)) if self.peek_at(1).is_some_and(|t| t.is_punct(":")) => {
+                                self.pos += 1;
+                                ObjectKey::Name(n)
+                            }
+                            _ => ObjectKey::Computed(self.expr_single()?),
+                        };
+                        self.eat_punct(":")?;
+                        let value = self.expr_single()?;
+                        pairs.push((key, value));
+                        if !self.accept_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct("}")?;
+                Ok(Expr::ObjectCtor(pairs))
+            }
+            Some(Token::Punct("[")) => {
+                self.pos += 1;
+                if self.accept_punct("]") {
+                    return Ok(Expr::ArrayCtor(None));
+                }
+                let e = self.expr()?;
+                self.eat_punct("]")?;
+                Ok(Expr::ArrayCtor(Some(Box::new(e))))
+            }
+            Some(Token::Name(n)) => {
+                match n.as_str() {
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Null);
+                    }
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Bool(true));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Bool(false));
+                    }
+                    _ => {}
+                }
+                if self.peek_at(1).is_some_and(|t| t.is_punct("(")) {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if !self.peek_punct(")") {
+                        loop {
+                            args.push(self.expr_single()?);
+                            if !self.accept_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call(n, args))
+                } else {
+                    Err(FlworError::Parse(format!("unexpected name '{n}'")))
+                }
+            }
+            other => Err(FlworError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_flwor() {
+        let e = parse_expr("for $x in $xs where $x > 2 return $x * 2").unwrap();
+        match e {
+            Expr::Flwor { clauses, .. } => {
+                assert_eq!(clauses.len(), 2);
+                assert!(matches!(clauses[0], Clause::For { .. }));
+                assert!(matches!(clauses[1], Clause::Where(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_navigation() {
+        let e = parse_expr("$events.jet[][$$.pt > 40].eta").unwrap();
+        // .eta ( predicate ( unbox ( member($events, jet) ) ) )
+        assert!(matches!(e, Expr::Member(_, ref f) if f == "eta"));
+    }
+
+    #[test]
+    fn for_at_and_multiple_bindings() {
+        let e = parse_expr(
+            "for $j1 at $i in $jets, $j2 at $k in $jets where $i < $k return $j1",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { clauses, .. } => {
+                assert!(matches!(
+                    &clauses[0],
+                    Clause::For { at: Some(i), .. } if i == "i"
+                ));
+                assert!(matches!(&clauses[1], Clause::For { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_and_order_by() {
+        let e = parse_expr(
+            "for $x in $xs let $b := floor($x) group by $k := $b order by $k descending \
+             return { bin: $k, n: count($x) }",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { clauses, .. } => {
+                assert!(clauses.iter().any(|c| matches!(c, Clause::GroupBy(_))));
+                assert!(clauses
+                    .iter()
+                    .any(|c| matches!(c, Clause::OrderBy(keys) if keys[0].1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_declarations() {
+        let m = parse_module(
+            "declare function hep:square($x) { $x * $x };\n\
+             declare function hep:add($a, $b) { $a + $b };\n\
+             hep:add(hep:square(3), 4)",
+        )
+        .unwrap();
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.functions[0].name, "hep:square");
+        assert!(matches!(m.body, Expr::Call(ref n, _) if n == "hep:add"));
+    }
+
+    #[test]
+    fn object_and_array_ctors() {
+        let e = parse_expr(r#"{ "x": 1, y: [2, 3], "z": {} }"#).unwrap();
+        assert!(matches!(e, Expr::ObjectCtor(ref ps) if ps.len() == 3));
+        let e = parse_expr("[]").unwrap();
+        assert_eq!(e, Expr::ArrayCtor(None));
+    }
+
+    #[test]
+    fn array_positional_access() {
+        let e = parse_expr("$a[[2]]").unwrap();
+        assert!(matches!(e, Expr::ArrayAt(_, _)));
+        let e = parse_expr("$s[3]").unwrap();
+        assert!(matches!(e, Expr::Predicate(_, _)));
+    }
+
+    #[test]
+    fn quantified_expressions() {
+        let e = parse_expr("some $m in $muons satisfies $m.pt > 10").unwrap();
+        assert!(matches!(e, Expr::Quantified { every: false, .. }));
+        let e = parse_expr("every $m in $muons satisfies $m.pt > 10").unwrap();
+        assert!(matches!(e, Expr::Quantified { every: true, .. }));
+    }
+
+    #[test]
+    fn range_and_idiv() {
+        let e = parse_expr("1 to 10").unwrap();
+        assert!(matches!(e, Expr::Range(_, _)));
+        let e = parse_expr("7 idiv 2").unwrap();
+        assert!(matches!(e, Expr::Arith(_, ArithOp::IDiv, _)));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_expr("1 + 2 garbage(").is_err());
+        assert!(parse_expr("for $x in").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! JSONiq tokenizer.
+
+use crate::error::FlworError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Name (possibly qualified, e.g. `hep:add-PtEtaPhiM`). JSONiq names
+    /// may contain hyphens.
+    Name(String),
+    /// `$name` variable reference.
+    Var(String),
+    /// `$$` context item.
+    ContextItem,
+    /// Numeric literal.
+    Number(String),
+    /// String literal (double quotes).
+    Str(String),
+    /// Punctuation.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// Keyword check (names only; JSONiq keywords are contextual).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Name(s) if s == kw)
+    }
+
+    /// Punctuation check.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "[[", "]]", ":=", "!=", "<=", ">=", "||", "{", "}", "[", "]", "(", ")", ",", ".", ";", "+",
+    "-", "*", "<", ">", "=", ":", "?",
+];
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_part(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Tokenizes JSONiq text. `(: comments :)` are skipped.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, FlworError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if (c as char).is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments `(: … :)` (nesting supported).
+        if c == b'(' && b.get(i + 1) == Some(&b':') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j + 1 < b.len() && depth > 0 {
+                if b[j] == b'(' && b[j + 1] == b':' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b':' && b[j + 1] == b')' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(FlworError::Lex(i, "unterminated comment".into()));
+            }
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == b'"' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                if j >= b.len() {
+                    return Err(FlworError::Lex(i, "unterminated string".into()));
+                }
+                match b[j] {
+                    b'"' => break,
+                    b'\\' => {
+                        let esc = b.get(j + 1).ok_or_else(|| {
+                            FlworError::Lex(j, "dangling escape".into())
+                        })?;
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            other => {
+                                return Err(FlworError::Lex(
+                                    j,
+                                    format!("unknown escape \\{}", *other as char),
+                                ))
+                            }
+                        });
+                        j += 2;
+                    }
+                    other => {
+                        s.push(other as char);
+                        j += 1;
+                    }
+                }
+            }
+            out.push(Token::Str(s));
+            i = j + 1;
+            continue;
+        }
+        // Variables and context item.
+        if c == b'$' {
+            if b.get(i + 1) == Some(&b'$') {
+                out.push(Token::ContextItem);
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < b.len() && is_name_part(b[j]) {
+                j += 1;
+            }
+            if j == i + 1 {
+                return Err(FlworError::Lex(i, "expected variable name after $".into()));
+            }
+            out.push(Token::Var(src[i + 1..j].to_string()));
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                i += 1;
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token::Number(src[start..i].to_string()));
+            continue;
+        }
+        // Names (with optional `prefix:` qualification).
+        if is_name_start(c) {
+            let start = i;
+            while i < b.len() && is_name_part(b[i]) {
+                i += 1;
+            }
+            // QName: `prefix:name` — only when ':' is not part of ':='.
+            if i < b.len()
+                && b[i] == b':'
+                && b.get(i + 1).is_some_and(|n| is_name_start(*n))
+            {
+                i += 1;
+                while i < b.len() && is_name_part(b[i]) {
+                    i += 1;
+                }
+            }
+            out.push(Token::Name(src[start..i].to_string()));
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(FlworError::Lex(i, format!("unexpected character {:?}", c as char)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_and_context_item() {
+        let t = tokenize("for $event in $events where $$.pt").unwrap();
+        assert!(t[0].is_kw("for"));
+        assert_eq!(t[1], Token::Var("event".into()));
+        assert_eq!(t[2], Token::Name("in".into()));
+        assert_eq!(t[3], Token::Var("events".into()));
+        assert!(t.iter().any(|x| *x == Token::ContextItem));
+    }
+
+    #[test]
+    fn qnames_with_hyphens() {
+        let t = tokenize("hep:add-PtEtaPhiM2($p1, $p2)").unwrap();
+        assert_eq!(t[0], Token::Name("hep:add-PtEtaPhiM2".into()));
+    }
+
+    #[test]
+    fn assign_vs_qname() {
+        let t = tokenize("let $x := a:b").unwrap();
+        assert_eq!(t[2], Token::Punct(":="));
+        assert_eq!(t[3], Token::Name("a:b".into()));
+    }
+
+    #[test]
+    fn double_brackets() {
+        let t = tokenize("$a[[1]] $b[] $c[2]").unwrap();
+        assert!(t.iter().any(|x| x.is_punct("[[")));
+        assert!(t.iter().any(|x| x.is_punct("]]")));
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let t = tokenize(r#"(: hello (: nested :) :) "a\"b""#).unwrap();
+        assert_eq!(t, vec![Token::Str("a\"b".into())]);
+        assert!(tokenize("(: open").is_err());
+        assert!(tokenize("\"open").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The lazy dataframe graph: `define`/`filter` chains and booked actions.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nf2_columnar::Table;
+use physics::HistSpec;
+
+use crate::exec::{self, ContentionModel, RunOutput};
+use crate::view::{ColValue, ColumnRegistry, EventView};
+
+/// Errors from graph construction or execution.
+#[derive(Debug)]
+pub enum RdfError {
+    /// A column name could not be mapped to a leaf of the table schema.
+    UnknownColumn(String),
+    /// Substrate error (projection, I/O).
+    Columnar(nf2_columnar::ColumnarError),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RdfError::Columnar(e) => write!(f, "columnar error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl From<nf2_columnar::ColumnarError> for RdfError {
+    fn from(e: nf2_columnar::ColumnarError) -> Self {
+        RdfError::Columnar(e)
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Worker threads (row-group granularity). 0 ⇒ all available cores.
+    pub n_threads: usize,
+    /// Result-merging behaviour; see [`ContentionModel`].
+    pub contention: ContentionModel,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            n_threads: 0,
+            contention: ContentionModel::Fixed,
+        }
+    }
+}
+
+type DefineFn = Arc<dyn Fn(&EventView) -> ColValue + Send + Sync>;
+type FilterFn = Arc<dyn Fn(&EventView) -> bool + Send + Sync>;
+
+#[derive(Clone)]
+pub(crate) enum Node {
+    Define { slot: usize, func: DefineFn },
+    Filter { func: FilterFn },
+}
+
+/// A booking: one histogram to fill at the end of the chain.
+#[derive(Clone)]
+pub(crate) struct Booking {
+    pub spec: HistSpec,
+    pub column: String,
+}
+
+/// A lazily built dataframe computation over one table.
+///
+/// `define`/`filter` return a new dataframe (builder style); `histo1d` books
+/// an action and returns a [`BookedHisto`] whose `run` triggers the event
+/// loop. Use [`RDataFrame::run_all`] to execute several bookings in a single
+/// pass (like ROOT's shared event loop for multiple results).
+#[derive(Clone)]
+pub struct RDataFrame {
+    pub(crate) table: Arc<Table>,
+    pub(crate) options: Options,
+    pub(crate) registry: ColumnRegistry,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) bookings: Vec<Booking>,
+}
+
+impl RDataFrame {
+    /// Creates a dataframe over a table.
+    pub fn new(table: Arc<Table>, options: Options) -> RDataFrame {
+        RDataFrame {
+            table,
+            options,
+            registry: ColumnRegistry::default(),
+            nodes: Vec::new(),
+            bookings: Vec::new(),
+        }
+    }
+
+    fn declare_deps(&mut self, deps: &[&str]) {
+        for d in deps {
+            if !self.registry.by_name.contains_key(*d) {
+                self.registry.base(d);
+            }
+        }
+    }
+
+    /// Adds a derived per-event column. `deps` must list every column the
+    /// callback reads (like RDataFrame's column list parameter); base
+    /// columns are resolved against the table schema at run time.
+    pub fn define<F>(mut self, name: &str, deps: &[&str], func: F) -> RDataFrame
+    where
+        F: Fn(&EventView) -> ColValue + Send + Sync + 'static,
+    {
+        self.declare_deps(deps);
+        let slot = match self.registry.define(name) {
+            crate::view::ColumnId::Defined(i) => i,
+            crate::view::ColumnId::Base(_) => unreachable!(),
+        };
+        self.nodes.push(Node::Define {
+            slot,
+            func: Arc::new(func),
+        });
+        self
+    }
+
+    /// Adds an event filter; subsequent defines/bookings only see passing
+    /// events.
+    pub fn filter<F>(mut self, deps: &[&str], func: F) -> RDataFrame
+    where
+        F: Fn(&EventView) -> bool + Send + Sync + 'static,
+    {
+        self.declare_deps(deps);
+        self.nodes.push(Node::Filter {
+            func: Arc::new(func),
+        });
+        self
+    }
+
+    /// Books a 1-D histogram of `column` (scalar: one fill per event;
+    /// array: one fill per element) and returns a lazily runnable handle.
+    pub fn histo1d(mut self, spec: HistSpec, column: &str) -> BookedHisto {
+        self.declare_deps(&[column]);
+        self.bookings.push(Booking {
+            spec,
+            column: column.to_string(),
+        });
+        let index = self.bookings.len() - 1;
+        BookedHisto { df: self, index }
+    }
+
+    /// Books an additional histogram on an existing booking's chain
+    /// (the (Q6a)/(Q6b) pattern: one event loop, two plots).
+    pub fn also_histo1d(mut self, spec: HistSpec, column: &str) -> RDataFrame {
+        self.declare_deps(&[column]);
+        self.bookings.push(Booking {
+            spec,
+            column: column.to_string(),
+        });
+        self
+    }
+
+    /// Runs the event loop and returns every booked histogram in booking
+    /// order.
+    pub fn run_all(&self) -> Result<RunOutput, RdfError> {
+        exec::run(self)
+    }
+}
+
+/// Handle to a single booked histogram.
+pub struct BookedHisto {
+    pub(crate) df: RDataFrame,
+    pub(crate) index: usize,
+}
+
+impl BookedHisto {
+    /// Executes the event loop and returns this booking's result (plus
+    /// run-wide stats).
+    pub fn run(&self) -> Result<SingleOutput, RdfError> {
+        let out = exec::run(&self.df)?;
+        let histogram = out.histograms[self.index].clone();
+        Ok(SingleOutput {
+            histogram,
+            stats: out.stats,
+        })
+    }
+
+    /// Access to the underlying dataframe (e.g. to book more results).
+    pub fn dataframe(&self) -> &RDataFrame {
+        &self.df
+    }
+}
+
+/// Result of running a single booking.
+pub struct SingleOutput {
+    /// The filled histogram.
+    pub histogram: physics::Histogram,
+    /// Execution statistics for the whole event loop.
+    pub stats: nf2_columnar::ExecStats,
+}

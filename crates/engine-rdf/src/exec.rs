@@ -1,0 +1,389 @@
+//! The parallel event loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nested_value::Path;
+use nf2_columnar::{ColumnChunk, ExecStats, Projection, PushdownCapability, RowGroup, Table};
+use parking_lot::Mutex;
+use physics::Histogram;
+
+use crate::dataframe::{Node, RDataFrame, RdfError};
+use crate::view::{BaseColumn, ColValue, ColumnId, EventView};
+
+/// How workers publish partial results.
+///
+/// The paper reports that ROOT 6.22's RDataFrame loses performance beyond a
+/// certain core count due to lock contention ([4], [28], §4.1). We model the
+/// two ends of that spectrum:
+///
+/// * [`ContentionModel::Fixed`] — each worker merges its partial histograms
+///   once per row group (what a contention-free design does).
+/// * [`ContentionModel::RootV622`] — each worker merges into one global
+///   mutex-protected accumulator every `merge_every` events, serializing
+///   all workers on a single lock exactly like the v6.22 fill path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentionModel {
+    /// Contention-free merging (the "fixed development version").
+    Fixed,
+    /// ROOT 6.22-like frequent global merging.
+    RootV622 {
+        /// Events between global merges; ROOT's effective batching was
+        /// small — 64 reproduces the reported cliff at high core counts.
+        merge_every: usize,
+    },
+}
+
+/// Result of one event loop.
+pub struct RunOutput {
+    /// One histogram per booking, in booking order.
+    pub histograms: Vec<Histogram>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Maps an RDataFrame-style flat column name (`Jet_pt`, `MET_sumet`,
+/// `event`) to a schema path.
+pub(crate) fn resolve_column(table: &Table, name: &str) -> Result<Path, RdfError> {
+    let schema = table.schema();
+    if schema.field(name).is_some() {
+        return Ok(Path::root(name));
+    }
+    if let Some((head, rest)) = name.split_once('_') {
+        if schema.field(head).is_some() {
+            let path = Path::parse(&format!("{head}.{rest}"));
+            if schema.leaf(&path).is_some() {
+                return Ok(path);
+            }
+        }
+    }
+    Err(RdfError::UnknownColumn(name.to_string()))
+}
+
+fn widen(chunk: &ColumnChunk) -> Vec<f64> {
+    (0..chunk.n_entries()).map(|i| chunk.data.get_f64(i)).collect()
+}
+
+/// Materializes the base columns of one row group (shared with the
+/// low-level event loop).
+pub(crate) fn materialize_base(
+    group: &RowGroup,
+    paths: &[Path],
+) -> Result<Vec<BaseColumn>, RdfError> {
+    paths
+        .iter()
+        .map(|p| {
+            let chunk = group.column(p)?;
+            let values = Arc::new(widen(chunk));
+            Ok(match &chunk.offsets {
+                Some(off) => BaseColumn::Array(values, Arc::new(off.clone())),
+                None => BaseColumn::Scalar(values),
+            })
+        })
+        .collect()
+}
+
+/// Executes the dataframe's event loop.
+pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
+    let start = Instant::now();
+    let table = &df.table;
+
+    // Resolve base columns and the projection they imply.
+    let base_paths: Vec<Path> = df
+        .registry
+        .base_names
+        .iter()
+        .map(|n| resolve_column(table, n))
+        .collect::<Result<_, _>>()?;
+    let projection = Projection::of(base_paths.iter().map(|p| p.to_string()));
+    let scan = nf2_columnar::scan::scan_stats(table, &projection, PushdownCapability::IndividualLeaves)?;
+
+    // Resolve booking targets.
+    let booking_cols: Vec<ColumnId> = df
+        .bookings
+        .iter()
+        .map(|b| *df.registry.by_name.get(&b.column).expect("declared"))
+        .collect();
+
+    let n_groups = table.row_groups().len();
+    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let n_threads = if df.options.n_threads == 0 {
+        hw
+    } else {
+        df.options.n_threads
+    }
+    .max(1)
+    .min(n_groups.max(1));
+
+    let fresh = || -> Vec<Histogram> {
+        df.bookings
+            .iter()
+            .map(|b| Histogram::new(b.spec))
+            .collect()
+    };
+
+    let global: Mutex<Vec<Histogram>> = Mutex::new(fresh());
+    let next_group = AtomicUsize::new(0);
+    let cpu_seconds = Mutex::new(0.0f64);
+
+    let process_group = |group: &RowGroup, partial: &mut Vec<Histogram>, events_since_merge: &mut usize| -> Result<(), RdfError> {
+        let base = materialize_base(group, &base_paths)?;
+        let mut defined: Vec<Option<ColValue>> = vec![None; df.registry.n_defined];
+        for row in 0..group.n_rows() {
+            for d in defined.iter_mut() {
+                *d = None;
+            }
+            let mut passed = true;
+            for node in &df.nodes {
+                match node {
+                    Node::Define { slot, func } => {
+                        let v = {
+                            let view = EventView {
+                                registry: &df.registry,
+                                base: &base,
+                                row,
+                                defined: &defined,
+                            };
+                            func(&view)
+                        };
+                        defined[*slot] = Some(v);
+                    }
+                    Node::Filter { func } => {
+                        let view = EventView {
+                            registry: &df.registry,
+                            base: &base,
+                            row,
+                            defined: &defined,
+                        };
+                        if !func(&view) {
+                            passed = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if passed {
+                let view = EventView {
+                    registry: &df.registry,
+                    base: &base,
+                    row,
+                    defined: &defined,
+                };
+                for ((b, col), booking) in
+                    partial.iter_mut().zip(&booking_cols).zip(&df.bookings)
+                {
+                    match col {
+                        ColumnId::Base(i) => match &base[*i] {
+                            BaseColumn::Scalar(v) => b.fill(v[row]),
+                            BaseColumn::Array(..) => {
+                                for &x in view.arr(&booking.column) {
+                                    b.fill(x);
+                                }
+                            }
+                        },
+                        ColumnId::Defined(i) => match defined[*i].as_ref().expect("defined") {
+                            ColValue::F64(x) => b.fill(*x),
+                            ColValue::Arr(xs) => {
+                                for &x in xs {
+                                    b.fill(x);
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+            // Contention model: frequent global merges under one lock.
+            if let ContentionModel::RootV622 { merge_every } = df.options.contention {
+                *events_since_merge += 1;
+                if *events_since_merge >= merge_every {
+                    let mut g = global.lock();
+                    for (dst, src) in g.iter_mut().zip(partial.iter()) {
+                        dst.merge(src);
+                    }
+                    *partial = fresh();
+                    *events_since_merge = 0;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let worker = || -> Result<(), RdfError> {
+        let t0 = Instant::now();
+        let mut partial = fresh();
+        let mut since_merge = 0usize;
+        loop {
+            let g = next_group.fetch_add(1, Ordering::Relaxed);
+            if g >= n_groups {
+                break;
+            }
+            process_group(&table.row_groups()[g], &mut partial, &mut since_merge)?;
+        }
+        {
+            let mut global = global.lock();
+            for (dst, src) in global.iter_mut().zip(partial.iter()) {
+                dst.merge(src);
+            }
+        }
+        *cpu_seconds.lock() += t0.elapsed().as_secs_f64();
+        Ok(())
+    };
+
+    if n_threads <= 1 {
+        worker()?;
+    } else {
+        crossbeam::thread::scope(|s| -> Result<(), RdfError> {
+            let mut handles = Vec::new();
+            for _ in 0..n_threads {
+                handles.push(s.spawn(|_| worker()));
+            }
+            for h in handles {
+                h.join().expect("worker panicked")?;
+            }
+            Ok(())
+        })
+        .expect("scope")?;
+    }
+
+    let histograms = global.into_inner();
+    Ok(RunOutput {
+        histograms,
+        stats: ExecStats {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cpu_seconds: cpu_seconds.into_inner(),
+            scan,
+            threads_used: n_threads,
+            row_groups_skipped: 0,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::Options;
+    use hep_model::{DatasetSpec, generator::build_dataset};
+    use physics::HistSpec;
+
+    fn test_table() -> (Vec<hep_model::Event>, Arc<Table>) {
+        let (events, table) = build_dataset(DatasetSpec {
+            n_events: 1_000,
+            row_group_size: 128,
+            seed: 11,
+        });
+        (events, Arc::new(table))
+    }
+
+    #[test]
+    fn resolve_names() {
+        let (_, t) = test_table();
+        assert_eq!(resolve_column(&t, "event").unwrap().to_string(), "event");
+        assert_eq!(resolve_column(&t, "MET_pt").unwrap().to_string(), "MET.pt");
+        assert_eq!(
+            resolve_column(&t, "Muon_pfRelIso03_all").unwrap().to_string(),
+            "Muon.pfRelIso03_all"
+        );
+        assert!(resolve_column(&t, "Jets_pt").is_err());
+        assert!(resolve_column(&t, "Jet_ptt").is_err());
+    }
+
+    #[test]
+    fn scalar_histogram_matches_reference() {
+        let (events, t) = test_table();
+        let df = RDataFrame::new(t, Options::default());
+        let out = df
+            .histo1d(HistSpec::new(100, 0.0, 200.0), "MET_pt")
+            .run()
+            .unwrap();
+        let mut expect = Histogram::new(HistSpec::new(100, 0.0, 200.0));
+        for e in &events {
+            expect.fill(e.met.pt);
+        }
+        assert!(out.histogram.counts_equal(&expect));
+        assert!(out.stats.scan.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn array_histogram_fills_all_elements() {
+        let (events, t) = test_table();
+        let df = RDataFrame::new(t, Options::default());
+        let out = df
+            .histo1d(HistSpec::new(100, 15.0, 60.0), "Jet_pt")
+            .run()
+            .unwrap();
+        let total: u64 = events.iter().map(|e| e.jets.len() as u64).sum();
+        assert_eq!(out.histogram.total(), total);
+    }
+
+    #[test]
+    fn filter_and_define_chain() {
+        let (events, t) = test_table();
+        let df = RDataFrame::new(t, Options::default())
+            .filter(&["Muon_pt"], |v| v.arr("Muon_pt").len() >= 2)
+            .define("lead_mu_pt", &["Muon_pt"], |v| {
+                crate::view::ColValue::F64(v.arr("Muon_pt")[0])
+            });
+        let out = df
+            .histo1d(HistSpec::new(50, 0.0, 100.0), "lead_mu_pt")
+            .run()
+            .unwrap();
+        let expect_n = events.iter().filter(|e| e.muons.len() >= 2).count() as u64;
+        assert_eq!(out.histogram.total(), expect_n);
+    }
+
+    #[test]
+    fn contention_model_produces_same_results() {
+        let (_, t) = test_table();
+        let mk = |contention| {
+            RDataFrame::new(
+                t.clone(),
+                Options {
+                    n_threads: 4,
+                    contention,
+                },
+            )
+            .histo1d(HistSpec::new(100, 0.0, 200.0), "MET_pt")
+            .run()
+            .unwrap()
+        };
+        let fixed = mk(ContentionModel::Fixed);
+        let contended = mk(ContentionModel::RootV622 { merge_every: 16 });
+        assert!(fixed.histogram.counts_equal(&contended.histogram));
+    }
+
+    #[test]
+    fn multiple_bookings_one_pass() {
+        let (events, t) = test_table();
+        let df = RDataFrame::new(t, Options::default())
+            .also_histo1d(HistSpec::new(100, 0.0, 200.0), "MET_pt")
+            .also_histo1d(HistSpec::new(100, 0.0, 2000.0), "MET_sumet");
+        let out = df.run_all().unwrap();
+        assert_eq!(out.histograms.len(), 2);
+        assert_eq!(out.histograms[0].total(), events.len() as u64);
+        assert_eq!(out.histograms[1].total(), events.len() as u64);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let (_, t) = test_table();
+        let run_with = |n| {
+            RDataFrame::new(
+                t.clone(),
+                Options {
+                    n_threads: n,
+                    contention: ContentionModel::Fixed,
+                },
+            )
+            .histo1d(HistSpec::new(100, 15.0, 60.0), "Jet_pt")
+            .run()
+            .unwrap()
+            .histogram
+        };
+        let h1 = run_with(1);
+        let h4 = run_with(4);
+        let h16 = run_with(16);
+        assert!(h1.counts_equal(&h4));
+        assert!(h1.counts_equal(&h16));
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-event column access for user callbacks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A value produced by a `Define` callback: a per-event scalar or a
+/// per-event variable-length vector (ROOT's `RVec` analog).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColValue {
+    /// Scalar per event.
+    F64(f64),
+    /// Variable-length numeric vector per event.
+    Arr(Vec<f64>),
+}
+
+impl ColValue {
+    /// Scalar accessor; panics on arrays (programming error in the query).
+    pub fn f64(&self) -> f64 {
+        match self {
+            ColValue::F64(x) => *x,
+            ColValue::Arr(_) => panic!("expected scalar column, found array"),
+        }
+    }
+
+    /// Array accessor; panics on scalars.
+    pub fn arr(&self) -> &[f64] {
+        match self {
+            ColValue::Arr(v) => v,
+            ColValue::F64(_) => panic!("expected array column, found scalar"),
+        }
+    }
+}
+
+/// Materialized base column for one row group, widened to `f64`.
+#[derive(Clone, Debug)]
+pub(crate) enum BaseColumn {
+    /// One value per event.
+    Scalar(Arc<Vec<f64>>),
+    /// Flattened values plus per-event offsets.
+    Array(Arc<Vec<f64>>, Arc<Vec<u32>>),
+}
+
+/// Resolved column identifiers: base columns index into the row-group
+/// buffers, defined columns into the per-event cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ColumnId {
+    Base(usize),
+    Defined(usize),
+}
+
+/// Name → id map shared by the whole graph.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ColumnRegistry {
+    pub by_name: HashMap<String, ColumnId>,
+    /// Base column names in id order (for projection resolution).
+    pub base_names: Vec<String>,
+    /// Number of defined columns.
+    pub n_defined: usize,
+}
+
+impl ColumnRegistry {
+    pub fn base(&mut self, name: &str) -> ColumnId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = ColumnId::Base(self.base_names.len());
+        self.base_names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    pub fn define(&mut self, name: &str) -> ColumnId {
+        let id = ColumnId::Defined(self.n_defined);
+        self.n_defined += 1;
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+}
+
+/// The view user callbacks receive: access to base columns of the current
+/// event and to previously defined columns.
+pub struct EventView<'a> {
+    pub(crate) registry: &'a ColumnRegistry,
+    pub(crate) base: &'a [BaseColumn],
+    pub(crate) row: usize,
+    pub(crate) defined: &'a [Option<ColValue>],
+}
+
+impl<'a> EventView<'a> {
+    fn id(&self, name: &str) -> ColumnId {
+        *self
+            .registry
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("column {name} not declared as a dependency"))
+    }
+
+    /// Scalar column value for the current event.
+    pub fn f64(&self, name: &str) -> f64 {
+        match self.id(name) {
+            ColumnId::Base(i) => match &self.base[i] {
+                BaseColumn::Scalar(v) => v[self.row],
+                BaseColumn::Array(..) => panic!("column {name} is an array; use arr()"),
+            },
+            ColumnId::Defined(i) => self.defined[i]
+                .as_ref()
+                .expect("defined upstream")
+                .f64(),
+        }
+    }
+
+    /// Array column contents for the current event (zero-copy for base
+    /// columns).
+    pub fn arr(&self, name: &str) -> &[f64] {
+        match self.id(name) {
+            ColumnId::Base(i) => match &self.base[i] {
+                BaseColumn::Array(v, off) => {
+                    &v[off[self.row] as usize..off[self.row + 1] as usize]
+                }
+                BaseColumn::Scalar(_) => panic!("column {name} is a scalar; use f64()"),
+            },
+            ColumnId::Defined(i) => self.defined[i]
+                .as_ref()
+                .expect("defined upstream")
+                .arr(),
+        }
+    }
+
+    /// Generic access returning a [`ColValue`] (copies arrays).
+    pub fn get(&self, name: &str) -> ColValue {
+        match self.id(name) {
+            ColumnId::Base(i) => match &self.base[i] {
+                BaseColumn::Scalar(v) => ColValue::F64(v[self.row]),
+                BaseColumn::Array(v, off) => ColValue::Arr(
+                    v[off[self.row] as usize..off[self.row + 1] as usize].to_vec(),
+                ),
+            },
+            ColumnId::Defined(i) => self.defined[i].as_ref().expect("defined upstream").clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_stable_ids() {
+        let mut r = ColumnRegistry::default();
+        let a = r.base("Jet_pt");
+        let b = r.base("Jet_pt");
+        assert_eq!(a, b);
+        let c = r.base("MET_pt");
+        assert_ne!(a, c);
+        let d = r.define("mass");
+        assert_eq!(d, ColumnId::Defined(0));
+        assert_eq!(r.base_names, vec!["Jet_pt".to_string(), "MET_pt".to_string()]);
+    }
+
+    #[test]
+    fn view_reads_base_and_defined() {
+        let mut r = ColumnRegistry::default();
+        r.base("met");
+        r.base("jets");
+        r.define("x");
+        let base = vec![
+            BaseColumn::Scalar(Arc::new(vec![1.0, 2.0])),
+            BaseColumn::Array(Arc::new(vec![10.0, 20.0, 30.0]), Arc::new(vec![0, 2, 3])),
+        ];
+        let defined = vec![Some(ColValue::F64(42.0))];
+        let v = EventView {
+            registry: &r,
+            base: &base,
+            row: 0,
+            defined: &defined,
+        };
+        assert_eq!(v.f64("met"), 1.0);
+        assert_eq!(v.arr("jets"), &[10.0, 20.0]);
+        assert_eq!(v.f64("x"), 42.0);
+        let v1 = EventView { row: 1, ..v };
+        assert_eq!(v1.f64("met"), 2.0);
+        assert_eq!(v1.arr("jets"), &[30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_column_panics() {
+        let r = ColumnRegistry::default();
+        let v = EventView {
+            registry: &r,
+            base: &[],
+            row: 0,
+            defined: &[],
+        };
+        v.f64("nope");
+    }
+}

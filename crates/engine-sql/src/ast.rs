@@ -1,0 +1,372 @@
+//! Abstract syntax tree for the SQL subset.
+
+/// A parsed script: zero or more function definitions followed by one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Script {
+    /// `CREATE [TEMP] FUNCTION` statements in order.
+    pub functions: Vec<CreateFunction>,
+    /// The final query.
+    pub query: Query,
+}
+
+/// A SQL user-defined function (expression-bodied).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateFunction {
+    /// Function name (case-insensitive at call sites).
+    pub name: String,
+    /// Parameter names and declared types.
+    pub params: Vec<(String, TypeName)>,
+    /// Declared return type, if given.
+    pub returns: Option<TypeName>,
+    /// The body expression.
+    pub body: Expr,
+    /// True when declared with BigQuery's `CREATE TEMP FUNCTION … AS (…)`,
+    /// false for Presto's `CREATE FUNCTION … RETURN …`.
+    pub bigquery_syntax: bool,
+}
+
+/// A query: optional CTEs plus a select body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// `WITH name AS (…)` definitions, in order (later CTEs may reference
+    /// earlier ones).
+    pub ctes: Vec<(String, Query)>,
+    /// The select statement.
+    pub select: Select,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// One `ORDER BY` item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    /// Sort key.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A `SELECT … FROM … WHERE … GROUP BY … HAVING …` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` relations (comma-joined) with their unnest/join chain.
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` (all columns of all in-scope bindings).
+    Wildcard,
+    /// `alias.*`.
+    QualifiedWildcard(String),
+    /// Expression with optional alias. For BigQuery's `SELECT AS STRUCT`,
+    /// the select marks `as_struct` on the whole select (see [`Select`]) —
+    /// modeled instead as a single struct-typed item by the parser.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A relation in the FROM clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromItem {
+    /// Base table or CTE reference with optional alias.
+    Table {
+        /// Table / CTE name.
+        name: String,
+        /// Alias.
+        alias: Option<String>,
+    },
+    /// Parenthesized subquery with alias.
+    Subquery {
+        /// The inner query.
+        query: Box<Query>,
+        /// Alias (required).
+        alias: String,
+    },
+    /// `UNNEST(expr)` producing one row per array element.
+    Unnest(Unnest),
+    /// Explicit join of two from-items.
+    Join {
+        /// Left input.
+        left: Box<FromItem>,
+        /// Right input.
+        right: Box<FromItem>,
+        /// Join kind.
+        kind: JoinKind,
+        /// `ON` predicate (None for CROSS JOIN).
+        on: Option<Expr>,
+    },
+}
+
+/// Join kinds (the benchmark needs CROSS for unnesting and INNER for
+/// CTE-to-CTE recombination).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Cartesian product.
+    Cross,
+    /// Inner join with predicate.
+    Inner,
+}
+
+/// An `UNNEST` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unnest {
+    /// The array expression being unnested (may reference preceding
+    /// relations — lateral semantics, like all three systems).
+    pub expr: Expr,
+    /// Alias for the element (whole-struct alias: Athena/BigQuery style),
+    /// or the name the Presto column list binds the struct's fields to.
+    pub alias: Option<String>,
+    /// Presto's `AS t (f1, …, fn [, ord])` column list, exploding struct
+    /// fields into columns.
+    pub column_aliases: Vec<String>,
+    /// `WITH ORDINALITY` (Presto/Athena, 1-based) — the last column alias
+    /// names the index.
+    pub with_ordinality: bool,
+    /// `WITH OFFSET [AS] name` (BigQuery, 0-based).
+    pub with_offset: Option<String>,
+}
+
+/// A type name in CAST / function signatures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeName {
+    /// 64-bit integer (`BIGINT`, `INT64`, `INTEGER`).
+    Int,
+    /// Double (`DOUBLE`, `FLOAT64`).
+    Float,
+    /// `BOOLEAN`.
+    Bool,
+    /// `VARCHAR` / `STRING`.
+    Str,
+    /// `ROW(name type, …)` / `STRUCT<name type, …>`.
+    Row(Vec<(String, TypeName)>),
+    /// `ARRAY(T)` / `ARRAY<T>`.
+    Array(Box<TypeName>),
+    /// BigQuery `ANY TYPE`.
+    Any,
+}
+
+/// Scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// NULL literal.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Unqualified or qualified name: `a`, `a.b.c` — resolution decides
+    /// which prefix is a binding and which suffixes are field accesses.
+    Name(Vec<String>),
+    /// Explicit field access on an arbitrary expression: `(e).f`.
+    Field(Box<Expr>, String),
+    /// Array subscript `a[e]` (Presto, 1-based).
+    Index(Box<Expr>, Box<Expr>),
+    /// BigQuery `a[OFFSET(e)]` (0-based).
+    OffsetIndex(Box<Expr>, Box<Expr>),
+    /// Unary operators.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operators.
+    Binary(Box<Expr>, BinaryOp, Box<Expr>),
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `expr IN (e1, e2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull(Box<Expr>, bool),
+    /// `CASE WHEN … THEN … [ELSE …] END` (searched form).
+    Case {
+        /// (condition, result) arms.
+        whens: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        else_: Option<Box<Expr>>,
+    },
+    /// `CAST(e AS type)`.
+    Cast(Box<Expr>, TypeName),
+    /// Function call (scalar, array, aggregate, or UDF — resolved at
+    /// planning). `distinct` applies to aggregates.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `COUNT(DISTINCT x)`.
+        distinct: bool,
+        /// `ARRAY_AGG(x ORDER BY y [DESC] LIMIT n)` modifiers.
+        order_by: Vec<OrderItem>,
+        /// LIMIT inside an aggregate call.
+        limit: Option<u64>,
+    },
+    /// `COUNT(*)`.
+    CountStar,
+    /// Lambda `x -> e` or `(x, y) -> e` (argument of array functions).
+    Lambda(Vec<String>, Box<Expr>),
+    /// `ROW(e1, …)` — anonymous row (Presto).
+    RowCtor(Vec<Expr>),
+    /// BigQuery struct constructor: `STRUCT(e [AS name], …)` or
+    /// `STRUCT<n1 t1, …>(e1, …)`.
+    StructCtor {
+        /// Field values with optional names.
+        fields: Vec<(Option<String>, Expr)>,
+        /// Inline type declaration (names override, values cast).
+        declared: Option<Vec<(String, TypeName)>>,
+    },
+    /// Array literal `ARRAY[e1, …]` / `[e1, …]`.
+    ArrayCtor(Vec<Expr>),
+    /// Scalar subquery `(SELECT …)`.
+    Subquery(Box<Query>),
+    /// `EXISTS (SELECT …)`.
+    Exists(Box<Query>),
+    /// BigQuery `ARRAY(SELECT …)`.
+    ArraySubquery(Box<Query>),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Lte,
+    /// `>`
+    Gt,
+    /// `>=`
+    Gte,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `||` (string/array concatenation)
+    Concat,
+}
+
+impl Expr {
+    /// Convenience: a simple (single-segment) name.
+    pub fn name(s: &str) -> Expr {
+        Expr::Name(vec![s.to_string()])
+    }
+
+    /// Walks the expression tree, calling `f` on every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Field(e, _)
+            | Expr::Unary(_, e)
+            | Expr::Cast(e, _)
+            | Expr::IsNull(e, _)
+            | Expr::Lambda(_, e) => e.walk(f),
+            Expr::Index(a, b) | Expr::OffsetIndex(a, b) | Expr::Binary(a, _, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.walk(f);
+                lo.walk(f);
+                hi.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Case { whens, else_ } => {
+                for (c, r) in whens {
+                    c.walk(f);
+                    r.walk(f);
+                }
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Expr::Call { args, order_by, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+                for o in order_by {
+                    o.expr.walk(f);
+                }
+            }
+            Expr::RowCtor(es) | Expr::ArrayCtor(es) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            Expr::StructCtor { fields, .. } => {
+                for (_, e) in fields {
+                    e.walk(f);
+                }
+            }
+            Expr::Null
+            | Expr::Bool(_)
+            | Expr::Int(_)
+            | Expr::Float(_)
+            | Expr::Str(_)
+            | Expr::Name(_)
+            | Expr::CountStar
+            | Expr::Subquery(_)
+            | Expr::Exists(_)
+            | Expr::ArraySubquery(_) => {}
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Dialect capability profiles — Table 1 of the paper in executable form.
+
+use nf2_columnar::PushdownCapability;
+
+use crate::ast::{Expr, FromItem, Query, Script, Select, SelectItem};
+use crate::error::SqlError;
+
+/// UDF support level (paper §3.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UdfSupport {
+    /// No usable UDFs (Athena: only serverless preview, unusable for
+    /// data-intensive work).
+    None,
+    /// Experimental SQL UDFs that cannot call other UDFs (Presto).
+    NoNestedCalls,
+    /// Mature permanent/temporary UDFs (BigQuery).
+    Full,
+}
+
+/// The three SQL systems under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DialectName {
+    /// Google BigQuery (Dremel's public interface).
+    BigQuery,
+    /// PrestoDB 0.248.
+    Presto,
+    /// Amazon Athena v2 (Presto-derived QaaS).
+    Athena,
+}
+
+impl DialectName {
+    /// Human-readable name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DialectName::BigQuery => "BigQuery",
+            DialectName::Presto => "Presto",
+            DialectName::Athena => "Athena",
+        }
+    }
+}
+
+/// A capability profile controlling which parsed constructs are legal and
+/// how the storage layer behaves.
+#[derive(Clone, Copy, Debug)]
+pub struct Dialect {
+    /// Which system this profile models.
+    pub name: DialectName,
+    /// UDF support level (R1.4).
+    pub udf_support: UdfSupport,
+    /// Correlated/nested subqueries in expressions (R2.2).
+    pub nested_subqueries: bool,
+    /// `GROUP BY` may reference select aliases (R2.4).
+    pub group_by_alias: bool,
+    /// `UNNEST … WITH OFFSET` (BigQuery index syntax).
+    pub unnest_with_offset: bool,
+    /// `UNNEST … WITH ORDINALITY` (Presto/Athena index syntax).
+    pub unnest_with_ordinality: bool,
+    /// Whole-struct unnest alias without a column list (R3.5 — BigQuery and
+    /// Athena; Presto requires the full field list).
+    pub unnest_struct_alias: bool,
+    /// BigQuery struct constructors `STRUCT<…>(…)` / `STRUCT(… AS n)`
+    /// (R3.1).
+    pub struct_ctor: bool,
+    /// Presto/Athena `ROW(…)` constructor + `CAST(… AS ROW(…))`.
+    pub row_ctor: bool,
+    /// BigQuery `ARRAY(SELECT …)` construction (R3.4).
+    pub array_subquery: bool,
+    /// Lambda-based array functions `FILTER`/`TRANSFORM`/`REDUCE`/… (R3.3).
+    pub lambda_array_functions: bool,
+    /// Presto's `COMBINATIONS` function (not in Athena despite the shared
+    /// code base — paper §3.4).
+    pub combinations_function: bool,
+    /// How far the scan layer pushes projections (paper §4.1/Fig 4b).
+    pub pushdown: PushdownCapability,
+}
+
+impl Dialect {
+    /// The BigQuery profile.
+    pub fn bigquery() -> Dialect {
+        Dialect {
+            name: DialectName::BigQuery,
+            udf_support: UdfSupport::Full,
+            nested_subqueries: true,
+            group_by_alias: true,
+            unnest_with_offset: true,
+            unnest_with_ordinality: false,
+            unnest_struct_alias: true,
+            struct_ctor: true,
+            row_ctor: false,
+            array_subquery: true,
+            lambda_array_functions: false,
+            combinations_function: false,
+            pushdown: PushdownCapability::IndividualLeaves,
+        }
+    }
+
+    /// The PrestoDB profile.
+    pub fn presto() -> Dialect {
+        Dialect {
+            name: DialectName::Presto,
+            udf_support: UdfSupport::NoNestedCalls,
+            nested_subqueries: false,
+            group_by_alias: false,
+            unnest_with_offset: false,
+            unnest_with_ordinality: true,
+            unnest_struct_alias: false,
+            struct_ctor: false,
+            row_ctor: true,
+            array_subquery: false,
+            lambda_array_functions: true,
+            combinations_function: true,
+            pushdown: PushdownCapability::WholeStructs,
+        }
+    }
+
+    /// The Athena v2 profile.
+    pub fn athena() -> Dialect {
+        Dialect {
+            name: DialectName::Athena,
+            udf_support: UdfSupport::None,
+            nested_subqueries: false,
+            group_by_alias: false,
+            unnest_with_offset: false,
+            unnest_with_ordinality: true,
+            unnest_struct_alias: true,
+            struct_ctor: false,
+            row_ctor: true,
+            array_subquery: false,
+            lambda_array_functions: true,
+            combinations_function: false,
+            pushdown: PushdownCapability::WholeStructs,
+        }
+    }
+
+    /// Profile by name.
+    pub fn of(name: DialectName) -> Dialect {
+        match name {
+            DialectName::BigQuery => Dialect::bigquery(),
+            DialectName::Presto => Dialect::presto(),
+            DialectName::Athena => Dialect::athena(),
+        }
+    }
+
+    fn err(&self, construct: &str) -> SqlError {
+        SqlError::Capability {
+            dialect: self.name.as_str(),
+            construct: construct.to_string(),
+        }
+    }
+
+    /// Validates a parsed script against this profile.
+    pub fn validate(&self, script: &Script) -> Result<(), SqlError> {
+        // UDFs.
+        if !script.functions.is_empty() && self.udf_support == UdfSupport::None {
+            return Err(self.err("user-defined functions"));
+        }
+        if self.udf_support == UdfSupport::NoNestedCalls {
+            let names: Vec<String> = script
+                .functions
+                .iter()
+                .map(|f| f.name.to_ascii_lowercase())
+                .collect();
+            for f in &script.functions {
+                let mut violation = None;
+                f.body.walk(&mut |e| {
+                    if let Expr::Call { name, .. } = e {
+                        if names.contains(&name.to_ascii_lowercase()) {
+                            violation = Some(name.clone());
+                        }
+                    }
+                });
+                if let Some(callee) = violation {
+                    return Err(self.err(&format!(
+                        "UDFs calling other UDFs ({} calls {})",
+                        f.name, callee
+                    )));
+                }
+            }
+        }
+        for f in &script.functions {
+            self.validate_expr(&f.body)?;
+        }
+        self.validate_query(&script.query)
+    }
+
+    fn validate_query(&self, q: &Query) -> Result<(), SqlError> {
+        for (_, cte) in &q.ctes {
+            self.validate_query(cte)?;
+        }
+        self.validate_select(&q.select)?;
+        for o in &q.order_by {
+            self.validate_expr(&o.expr)?;
+        }
+        Ok(())
+    }
+
+    fn validate_select(&self, s: &Select) -> Result<(), SqlError> {
+        for item in &s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.validate_expr(expr)?;
+            }
+        }
+        for f in &s.from {
+            self.validate_from(f)?;
+        }
+        for e in s
+            .where_clause
+            .iter()
+            .chain(s.group_by.iter())
+            .chain(s.having.iter())
+        {
+            self.validate_expr(e)?;
+        }
+        Ok(())
+    }
+
+    fn validate_from(&self, f: &FromItem) -> Result<(), SqlError> {
+        match f {
+            FromItem::Table { .. } => Ok(()),
+            FromItem::Subquery { query, .. } => self.validate_query(query),
+            FromItem::Join { left, right, on, .. } => {
+                self.validate_from(left)?;
+                self.validate_from(right)?;
+                if let Some(e) = on {
+                    self.validate_expr(e)?;
+                }
+                Ok(())
+            }
+            FromItem::Unnest(u) => {
+                self.validate_expr(&u.expr)?;
+                if u.with_offset.is_some() && !self.unnest_with_offset {
+                    return Err(self.err("UNNEST … WITH OFFSET"));
+                }
+                if u.with_ordinality && !self.unnest_with_ordinality {
+                    return Err(self.err("UNNEST … WITH ORDINALITY"));
+                }
+                if u.alias.is_some() && u.column_aliases.is_empty() && !self.unnest_struct_alias {
+                    return Err(self.err(
+                        "whole-struct aliases in UNNEST (the full column list must be spelled out)",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn validate_expr(&self, root: &Expr) -> Result<(), SqlError> {
+        let mut err: Option<SqlError> = None;
+        root.walk(&mut |e| {
+            if err.is_some() {
+                return;
+            }
+            match e {
+                Expr::Subquery(q) | Expr::Exists(q) => {
+                    if !self.nested_subqueries {
+                        err = Some(self.err("nested subqueries in expressions"));
+                    } else if let Err(e2) = self.validate_query(q) {
+                        err = Some(e2);
+                    }
+                }
+                Expr::ArraySubquery(q) => {
+                    if !self.array_subquery {
+                        err = Some(self.err("ARRAY(SELECT …) construction"));
+                    } else if let Err(e2) = self.validate_query(q) {
+                        err = Some(e2);
+                    }
+                }
+                Expr::StructCtor { .. } if !self.struct_ctor => {
+                    err = Some(self.err("STRUCT constructors"));
+                }
+                Expr::RowCtor(_) if !self.row_ctor => {
+                    err = Some(self.err("ROW constructors"));
+                }
+                Expr::Lambda(..) if !self.lambda_array_functions => {
+                    err = Some(self.err("lambda expressions / array functions"));
+                }
+                Expr::Call { name, .. } => {
+                    if name.eq_ignore_ascii_case("combinations") && !self.combinations_function {
+                        err = Some(self.err("the COMBINATIONS array function"));
+                    }
+                }
+                _ => {}
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    #[test]
+    fn athena_rejects_udfs() {
+        let s = parse_script("CREATE TEMP FUNCTION f(x FLOAT64) AS (x); SELECT f(1.0)").unwrap();
+        assert!(Dialect::bigquery().validate(&s).is_ok());
+        assert!(matches!(
+            Dialect::athena().validate(&s),
+            Err(SqlError::Capability { dialect: "Athena", .. })
+        ));
+    }
+
+    #[test]
+    fn presto_rejects_nested_udf_calls() {
+        let s = parse_script(
+            "CREATE FUNCTION f(x DOUBLE) RETURNS DOUBLE RETURN x;\n\
+             CREATE FUNCTION g(x DOUBLE) RETURNS DOUBLE RETURN f(x) + 1;\n\
+             SELECT g(1.0)",
+        )
+        .unwrap();
+        assert!(Dialect::bigquery().validate(&s).is_ok());
+        let err = Dialect::presto().validate(&s).unwrap_err();
+        assert!(matches!(err, SqlError::Capability { dialect: "Presto", .. }));
+    }
+
+    #[test]
+    fn presto_rejects_correlated_subqueries() {
+        let s = parse_script(
+            "SELECT 1 FROM events WHERE (SELECT COUNT(*) FROM UNNEST(Jet) j) > 1",
+        )
+        .unwrap();
+        assert!(Dialect::bigquery().validate(&s).is_ok());
+        assert!(Dialect::presto().validate(&s).is_err());
+        assert!(Dialect::athena().validate(&s).is_err());
+    }
+
+    #[test]
+    fn bigquery_rejects_lambdas_prestos_accept() {
+        let s = parse_script("SELECT CARDINALITY(FILTER(Jet, j -> j.pt > 40)) FROM events")
+            .unwrap();
+        assert!(Dialect::presto().validate(&s).is_ok());
+        assert!(Dialect::athena().validate(&s).is_ok());
+        assert!(Dialect::bigquery().validate(&s).is_err());
+    }
+
+    #[test]
+    fn combinations_is_presto_only() {
+        let s = parse_script("SELECT COMBINATIONS(Jet, 3) FROM events").unwrap();
+        assert!(Dialect::presto().validate(&s).is_ok());
+        assert!(Dialect::athena().validate(&s).is_err());
+    }
+
+    #[test]
+    fn struct_vs_row_constructors() {
+        let bq = parse_script("SELECT STRUCT(1 AS x) FROM t").unwrap();
+        assert!(Dialect::bigquery().validate(&bq).is_ok());
+        assert!(Dialect::presto().validate(&bq).is_err());
+        let presto = parse_script("SELECT CAST(ROW(1) AS ROW(x BIGINT)) FROM t").unwrap();
+        assert!(Dialect::presto().validate(&presto).is_ok());
+        assert!(Dialect::bigquery().validate(&presto).is_err());
+    }
+
+    #[test]
+    fn unnest_index_syntax() {
+        let bq = parse_script("SELECT 1 FROM t, UNNEST(Jet) j WITH OFFSET i").unwrap();
+        assert!(Dialect::bigquery().validate(&bq).is_ok());
+        assert!(Dialect::presto().validate(&bq).is_err());
+        let presto = parse_script(
+            "SELECT 1 FROM t CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS u (pt, i)",
+        )
+        .unwrap();
+        assert!(Dialect::presto().validate(&presto).is_ok());
+        assert!(Dialect::bigquery().validate(&presto).is_err());
+        // Whole-struct alias: fine in Athena, not in Presto (R3.5).
+        let athena = parse_script("SELECT 1 FROM t CROSS JOIN UNNEST(Jet) AS j").unwrap();
+        assert!(Dialect::athena().validate(&athena).is_ok());
+        assert!(Dialect::presto().validate(&athena).is_err());
+    }
+
+    #[test]
+    fn pushdown_capabilities() {
+        assert_eq!(
+            Dialect::bigquery().pushdown,
+            nf2_columnar::PushdownCapability::IndividualLeaves
+        );
+        assert_eq!(
+            Dialect::presto().pushdown,
+            nf2_columnar::PushdownCapability::WholeStructs
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! The public engine API: register tables, execute scripts, collect stats.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nested_value::Value;
+use nf2_columnar::{ExecStats, Projection, RowGroup, ScanStats, Table};
+use parking_lot::Mutex;
+
+use crate::ast::Script;
+use crate::dialect::Dialect;
+use crate::error::SqlError;
+use crate::exec::{self, ExecContext, Relation, Scope, Udf};
+use crate::parser;
+use crate::plan::{self, ColMerge};
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct SqlOptions {
+    /// Worker threads for segment-parallel execution (0 ⇒ all cores).
+    pub n_threads: usize,
+    /// Allow running decomposable aggregations per row group in parallel
+    /// (Presto's split model). Requires joins/grouping inside the query to
+    /// be partition-local — true for HEP queries, where every join and
+    /// per-event `GROUP BY` stays within one event and events never span
+    /// row groups. Disable for arbitrary SQL.
+    pub partition_parallel: bool,
+    /// Skip row groups whose min/max statistics cannot satisfy top-level
+    /// WHERE conjuncts on scalar columns (zone maps). Sound — extraction
+    /// in [`crate::plan::prunable_predicates`] is conservative.
+    pub zone_map_pruning: bool,
+}
+
+impl Default for SqlOptions {
+    fn default() -> Self {
+        SqlOptions {
+            n_threads: 0,
+            partition_parallel: true,
+            zone_map_pruning: true,
+        }
+    }
+}
+
+/// Result of executing a script.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// The final relation.
+    pub relation: Relation,
+    /// Execution statistics (wall/CPU/scan accounting).
+    pub stats: ExecStats,
+}
+
+/// A SQL engine bound to a dialect profile.
+pub struct SqlEngine {
+    dialect: Dialect,
+    options: SqlOptions,
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl SqlEngine {
+    /// Creates an engine for a dialect.
+    pub fn new(dialect: Dialect, options: SqlOptions) -> SqlEngine {
+        SqlEngine {
+            dialect,
+            options,
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Registers a base table under its own name.
+    pub fn register(&mut self, table: Arc<Table>) {
+        self.tables
+            .insert(table.name().to_ascii_lowercase(), table);
+    }
+
+    /// The engine's dialect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Parses, validates (against the dialect), and executes a script.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput, SqlError> {
+        let start = Instant::now();
+        let script = parser::parse_script(sql)?;
+        self.dialect.validate(&script)?;
+
+        // Static projection analysis → scan accounting per base table.
+        let schemas: HashMap<String, &nf2_columnar::Schema> = self
+            .tables
+            .iter()
+            .map(|(n, t)| (n.clone(), t.schema()))
+            .collect();
+        let projections = plan::collect_projections(&script, &schemas);
+
+        // Zone-map pruning: per table, a keep-mask over row groups derived
+        // from the chunk min/max statistics (reading statistics is free —
+        // they live in the footer, like Parquet's).
+        let prune_preds = if self.options.zone_map_pruning {
+            plan::prunable_predicates(&script, &schemas)
+        } else {
+            Vec::new()
+        };
+        let mut masks: HashMap<String, Vec<bool>> = HashMap::new();
+        let mut skipped_groups = 0u64;
+        for (name, table) in &self.tables {
+            let preds: Vec<_> = prune_preds.iter().filter(|p| &p.table == name).collect();
+            let mask: Vec<bool> = table
+                .row_groups()
+                .iter()
+                .map(|g| {
+                    preds.iter().all(|p| {
+                        match g.column(&nested_value::Path::parse(&p.leaf)) {
+                            Ok(chunk) => match (chunk.min, chunk.max) {
+                                (Some(min), Some(max)) => p.may_match(min, max),
+                                _ => chunk.n_entries() > 0,
+                            },
+                            Err(_) => true,
+                        }
+                    })
+                })
+                .collect();
+            skipped_groups += mask.iter().filter(|k| !**k).count() as u64;
+            masks.insert(name.clone(), mask);
+        }
+
+        let mut scan = ScanStats::default();
+        let mut table_projs: HashMap<String, Projection> = HashMap::new();
+        for (name, table) in &self.tables {
+            let proj = match projections.get(name) {
+                Some(cols) if !cols.is_empty() => Projection::of(cols.iter()),
+                // Table in FROM but no column referenced (bare COUNT(*)):
+                // real engines still read one (cheap) column to count rows.
+                Some(_) => {
+                    let first = table
+                        .schema()
+                        .leaves()
+                        .first()
+                        .map(|l| l.path.to_string())
+                        .unwrap_or_default();
+                    Projection::of([first])
+                }
+                None => continue, // table not referenced
+            };
+            // Accumulate scan bytes only over surviving row groups.
+            let read_leaves = proj.resolve(table.schema(), self.dialect.pushdown)?;
+            let logical_leaves = proj.logical_leaves(table.schema())?;
+            let mask = masks.get(name).expect("mask built above");
+            let mut s = ScanStats {
+                columns_read: read_leaves.len() as u64,
+                ..ScanStats::default()
+            };
+            for (g, keep) in table.row_groups().iter().zip(mask) {
+                if !keep {
+                    continue;
+                }
+                s.rows += g.n_rows() as u64;
+                s.bytes_scanned += g.compressed_bytes(&read_leaves) as u64;
+                s.uncompressed_bytes += g.uncompressed_bytes(&read_leaves) as u64;
+                s.logical_bytes += g.logical_bytes(&logical_leaves) as u64;
+                s.ideal_compressed_bytes += g.compressed_bytes(&logical_leaves) as u64;
+                s.ideal_uncompressed_bytes += g.uncompressed_bytes(&logical_leaves) as u64;
+            }
+            scan.merge(&s);
+            table_projs.insert(name.clone(), proj);
+        }
+
+        let udfs = compile_udfs(&script)?;
+
+        // Segment-parallel if the root is decomposable and exactly one base
+        // table is referenced.
+        let merge_spec = plan::root_merge_spec(&script);
+        let cpu = Mutex::new(0.0f64);
+        let (relation, threads_used) = match (&merge_spec, table_projs.len()) {
+            (Some(spec), 1) if self.options.partition_parallel => {
+                let (name, proj) = table_projs.iter().next().expect("one table");
+                let table = self.tables.get(name).expect("registered");
+                let mask = masks.get(name).expect("mask built above");
+                self.run_parallel(&script, &udfs, name, table, proj, mask, spec, &cpu)?
+            }
+            _ => {
+                let t0 = Instant::now();
+                let rel = self.run_serial(&script, &udfs, &table_projs, &masks)?;
+                *cpu.lock() += t0.elapsed().as_secs_f64();
+                (rel, 1)
+            }
+        };
+
+        Ok(QueryOutput {
+            relation,
+            stats: ExecStats {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                cpu_seconds: cpu.into_inner(),
+                scan,
+                threads_used,
+                row_groups_skipped: skipped_groups,
+            },
+        })
+    }
+
+    fn materialize_group(
+        &self,
+        table: &Table,
+        group: &RowGroup,
+        proj: &Projection,
+    ) -> Result<Vec<Value>, SqlError> {
+        // Rows are reconstructed from the *logical* leaves; the dialect's
+        // pushdown limitation affects bytes scanned (accounted above), not
+        // the values the executor sees.
+        let leaves = proj.logical_leaves(table.schema())?;
+        Ok(group.read_rows(table.schema(), &leaves)?)
+    }
+
+    fn run_serial(
+        &self,
+        script: &Script,
+        udfs: &HashMap<String, Udf>,
+        projs: &HashMap<String, Projection>,
+        masks: &HashMap<String, Vec<bool>>,
+    ) -> Result<Relation, SqlError> {
+        let mut relations = HashMap::new();
+        for (name, proj) in projs {
+            let table = self.tables.get(name).expect("registered");
+            let mask = masks.get(name).expect("mask built");
+            let mut rows = Vec::with_capacity(table.n_rows());
+            for (g, keep) in table.row_groups().iter().zip(mask) {
+                if !keep {
+                    continue;
+                }
+                rows.extend(self.materialize_group(table, g, proj)?);
+            }
+            relations.insert(name.clone(), Rc::new(rows));
+        }
+        let ctx = ExecContext {
+            relations,
+            udfs: udfs.clone(),
+            dialect: self.dialect,
+        };
+        let root = Scope::root();
+        exec::eval_query(&script.query, &ctx, &root)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel(
+        &self,
+        script: &Script,
+        udfs: &HashMap<String, Udf>,
+        table_name: &str,
+        table: &Arc<Table>,
+        proj: &Projection,
+        mask: &[bool],
+        spec: &[ColMerge],
+        cpu: &Mutex<f64>,
+    ) -> Result<(Relation, usize), SqlError> {
+        let n_groups = table.row_groups().len();
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let n_threads = if self.options.n_threads == 0 {
+            hw
+        } else {
+            self.options.n_threads
+        }
+        .max(1)
+        .min(n_groups.max(1));
+
+        let next = AtomicUsize::new(0);
+        let partials: Mutex<Vec<Relation>> = Mutex::new(Vec::new());
+        let first_err: Mutex<Option<SqlError>> = Mutex::new(None);
+
+        let worker = || {
+            let t0 = Instant::now();
+            loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= n_groups {
+                    break;
+                }
+                if !mask[g] {
+                    continue;
+                }
+                let result = (|| -> Result<Relation, SqlError> {
+                    let rows =
+                        self.materialize_group(table, &table.row_groups()[g], proj)?;
+                    let mut relations = HashMap::new();
+                    relations.insert(table_name.to_string(), Rc::new(rows));
+                    let ctx = ExecContext {
+                        relations,
+                        udfs: udfs.clone(),
+                        dialect: self.dialect,
+                    };
+                    let root = Scope::root();
+                    exec::eval_query(&script.query, &ctx, &root)
+                })();
+                match result {
+                    Ok(rel) => partials.lock().push(rel),
+                    Err(e) => {
+                        first_err.lock().get_or_insert(e);
+                        break;
+                    }
+                }
+            }
+            *cpu.lock() += t0.elapsed().as_secs_f64();
+        };
+
+        if n_threads <= 1 {
+            worker();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..n_threads {
+                    s.spawn(|_| worker());
+                }
+            })
+            .expect("scope");
+        }
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        let merged = merge_partials(partials.into_inner(), spec)?;
+        // Re-apply root ORDER BY on the merged result.
+        let mut merged = merged;
+        if !script.query.order_by.is_empty() {
+            let ctx = ExecContext {
+                relations: HashMap::new(),
+                udfs: udfs.clone(),
+                dialect: self.dialect,
+            };
+            let root = Scope::root();
+            exec::sort_relation_pub(&mut merged, &script.query.order_by, &ctx, &root)?;
+        }
+        Ok((merged, n_threads))
+    }
+}
+
+fn compile_udfs(script: &Script) -> Result<HashMap<String, Udf>, SqlError> {
+    let mut udfs = HashMap::new();
+    for f in &script.functions {
+        let udf = Udf {
+            params: f.params.iter().map(|(n, _)| n.clone()).collect(),
+            types: f.params.iter().map(|(_, t)| t.clone()).collect(),
+            body: f.body.clone(),
+        };
+        udfs.insert(f.name.to_ascii_lowercase(), udf);
+    }
+    Ok(udfs)
+}
+
+/// Merges per-segment relations by key columns, combining aggregate columns
+/// per the merge spec.
+fn merge_partials(partials: Vec<Relation>, spec: &[ColMerge]) -> Result<Relation, SqlError> {
+    let cols = partials
+        .iter()
+        .find(|r| !r.cols.is_empty())
+        .map(|r| r.cols.clone())
+        .unwrap_or_default();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for part in &partials {
+        for row in &part.rows {
+            if row.len() != spec.len() {
+                return Err(SqlError::Plan(format!(
+                    "merge spec covers {} columns but row has {}",
+                    spec.len(),
+                    row.len()
+                )));
+            }
+            let key: Vec<Value> = row
+                .iter()
+                .zip(spec.iter())
+                .filter(|(_, m)| **m == ColMerge::Key)
+                .map(|(v, _)| v.clone())
+                .collect();
+            let kb = exec::row_key(&key);
+            match index.get(&kb) {
+                None => {
+                    index.insert(kb, rows.len());
+                    rows.push(row.clone());
+                }
+                Some(&slot) => {
+                    let dst = &mut rows[slot];
+                    for (i, m) in spec.iter().enumerate() {
+                        match m {
+                            ColMerge::Key => {}
+                            ColMerge::Sum => {
+                                dst[i] = nested_value::ops::arith(
+                                    nested_value::ops::ArithOp::Add,
+                                    &dst[i],
+                                    &row[i],
+                                )?;
+                            }
+                            ColMerge::Min | ColMerge::Max => {
+                                let ord = nested_value::ops::compare(&row[i], &dst[i])?;
+                                let take = if *m == ColMerge::Max {
+                                    ord == std::cmp::Ordering::Greater
+                                } else {
+                                    ord == std::cmp::Ordering::Less
+                                };
+                                if take || dst[i].is_null() {
+                                    dst[i] = row[i].clone();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Relation { cols, rows })
+}

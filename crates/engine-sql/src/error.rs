@@ -1,0 +1,58 @@
+//! SQL engine error type.
+
+use std::fmt;
+
+/// Errors from parsing, planning, or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer failure (position, message).
+    Lex(usize, String),
+    /// Parser failure.
+    Parse(String),
+    /// The query uses a construct the active dialect does not support
+    /// (the Table-1 capability matrix in executable form).
+    Capability {
+        /// Dialect name.
+        dialect: &'static str,
+        /// Description of the unsupported construct.
+        construct: String,
+    },
+    /// Name resolution failure.
+    Unresolved(String),
+    /// Semantic/planning error.
+    Plan(String),
+    /// Runtime evaluation error.
+    Eval(String),
+    /// Substrate error.
+    Columnar(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(pos, m) => write!(f, "lex error at byte {pos}: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Capability { dialect, construct } => {
+                write!(f, "{dialect} does not support {construct}")
+            }
+            SqlError::Unresolved(m) => write!(f, "cannot resolve {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Columnar(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<nested_value::ValueError> for SqlError {
+    fn from(e: nested_value::ValueError) -> Self {
+        SqlError::Eval(e.to_string())
+    }
+}
+
+impl From<nf2_columnar::ColumnarError> for SqlError {
+    fn from(e: nf2_columnar::ColumnarError) -> Self {
+        SqlError::Columnar(e.to_string())
+    }
+}

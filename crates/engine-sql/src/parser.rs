@@ -1,0 +1,1186 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! The parser accepts the **union** of the three dialects' syntaxes
+//! (BigQuery `STRUCT<…>(…)`/`WITH OFFSET`, Presto `CAST(ROW(…) AS ROW(…))`/
+//! `WITH ORDINALITY`, Athena's whole-struct unnest aliases); dialect
+//! *capability* enforcement happens at plan time ([`crate::dialect`]), so a
+//! query can be parsed once and validated against each system profile —
+//! exactly how the paper's Table 1 was assembled.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::token::{tokenize, Token};
+
+/// Parses a full script (UDF definitions + one query).
+pub fn parse_script(sql: &str) -> Result<Script, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek_kw("CREATE") {
+        functions.push(p.create_function()?);
+        p.eat_punct(";")?;
+    }
+    let query = p.query()?;
+    if p.peek_punct(";") {
+        p.bump();
+    }
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(Script { functions, query })
+}
+
+/// Parses a single query (no UDFs).
+pub fn parse_query(sql: &str) -> Result<Query, SqlError> {
+    let script = parse_script(sql)?;
+    if !script.functions.is_empty() {
+        return Err(SqlError::Parse("unexpected function definitions".into()));
+    }
+    Ok(script.query)
+}
+
+/// Parses a standalone scalar expression (used in tests and by the UDF
+/// machinery).
+pub fn parse_expr(sql: &str) -> Result<Expr, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse("trailing tokens after expression".into()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos];
+        self.pos += 1;
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn peek_kw_at(&self, off: usize, kw: &str) -> bool {
+        self.peek_at(off).is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn peek_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), SqlError> {
+        if self.peek_punct(p) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {p:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn accept_punct(&mut self, p: &str) -> bool {
+        if self.peek_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(Token::QuotedIdent(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn create_function(&mut self) -> Result<CreateFunction, SqlError> {
+        self.eat_kw("CREATE")?;
+        if self.accept_kw("OR") {
+            self.eat_kw("REPLACE")?;
+        }
+        let _temp = self.accept_kw("TEMP") || self.accept_kw("TEMPORARY");
+        self.eat_kw("FUNCTION")?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.peek_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                let ptype = self.type_name()?;
+                params.push((pname, ptype));
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        let mut returns = None;
+        if self.accept_kw("RETURNS") {
+            returns = Some(self.type_name()?);
+        }
+        if self.accept_kw("AS") {
+            // BigQuery: AS ( expr )
+            self.eat_punct("(")?;
+            let body = self.expr()?;
+            self.eat_punct(")")?;
+            Ok(CreateFunction {
+                name,
+                params,
+                returns,
+                body,
+                bigquery_syntax: true,
+            })
+        } else if self.accept_kw("RETURN") {
+            // Presto: RETURN expr
+            let body = self.expr()?;
+            Ok(CreateFunction {
+                name,
+                params,
+                returns,
+                body,
+                bigquery_syntax: false,
+            })
+        } else {
+            Err(SqlError::Parse("expected AS (…) or RETURN …".into()))
+        }
+    }
+
+    // ---------------- queries ----------------
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        let mut ctes = Vec::new();
+        if self.accept_kw("WITH") {
+            loop {
+                let name = self.ident()?;
+                self.eat_kw("AS")?;
+                self.eat_punct("(")?;
+                let q = self.query()?;
+                self.eat_punct(")")?;
+                ctes.push((name, q));
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+        }
+        let select = self.select()?;
+        let mut order_by = Vec::new();
+        if self.accept_kw("ORDER") {
+            self.eat_kw("BY")?;
+            order_by = self.order_items()?;
+        }
+        let mut limit = None;
+        if self.accept_kw("LIMIT") {
+            limit = Some(self.number_u64()?);
+        }
+        Ok(Query {
+            ctes,
+            select,
+            order_by,
+            limit,
+        })
+    }
+
+    fn order_items(&mut self) -> Result<Vec<OrderItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let desc = if self.accept_kw("DESC") {
+                true
+            } else {
+                self.accept_kw("ASC");
+                false
+            };
+            items.push(OrderItem { expr, desc });
+            if !self.accept_punct(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn number_u64(&mut self) -> Result<u64, SqlError> {
+        match self.peek() {
+            Some(Token::Number(n)) => {
+                let v = n
+                    .parse::<u64>()
+                    .map_err(|_| SqlError::Parse(format!("bad integer {n}")))?;
+                self.pos += 1;
+                Ok(v)
+            }
+            other => Err(SqlError::Parse(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.eat_kw("SELECT")?;
+        let distinct = self.accept_kw("DISTINCT");
+        // BigQuery's `SELECT AS STRUCT …` (subquery producing one struct).
+        let as_struct = if self.peek_kw("AS") && self.peek_kw_at(1, "STRUCT") {
+            self.bump();
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.accept_punct(",") {
+                break;
+            }
+        }
+        if as_struct {
+            // Desugar: SELECT AS STRUCT a, b AS y  ⇒  one STRUCT(…) item.
+            let fields = items
+                .into_iter()
+                .map(|it| match it {
+                    SelectItem::Expr { expr, alias } => {
+                        let name = alias.or_else(|| implied_name(&expr));
+                        Ok((name, expr))
+                    }
+                    _ => Err(SqlError::Parse(
+                        "wildcard not supported in SELECT AS STRUCT".into(),
+                    )),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            items = vec![SelectItem::Expr {
+                expr: Expr::StructCtor {
+                    fields,
+                    declared: None,
+                },
+                alias: None,
+            }];
+        }
+        let mut from = Vec::new();
+        if self.accept_kw("FROM") {
+            loop {
+                from.push(self.from_item()?);
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.eat_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.accept_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.accept_punct("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* lookahead.
+        if let (Some(Token::Ident(name)), Some(t1), Some(t2)) =
+            (self.peek(), self.peek_at(1), self.peek_at(2))
+        {
+            if t1.is_punct(".") && t2.is_punct("*") {
+                let name = name.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.accept_kw("AS") {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, SqlError> {
+        let mut item = self.from_primary()?;
+        loop {
+            if self.peek_kw("CROSS") {
+                self.bump();
+                self.eat_kw("JOIN")?;
+                let right = self.from_primary()?;
+                item = FromItem::Join {
+                    left: Box::new(item),
+                    right: Box::new(right),
+                    kind: JoinKind::Cross,
+                    on: None,
+                };
+            } else if self.peek_kw("INNER") || self.peek_kw("JOIN") {
+                self.accept_kw("INNER");
+                self.eat_kw("JOIN")?;
+                let right = self.from_primary()?;
+                self.eat_kw("ON")?;
+                let on = self.expr()?;
+                item = FromItem::Join {
+                    left: Box::new(item),
+                    right: Box::new(right),
+                    kind: JoinKind::Inner,
+                    on: Some(on),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(item)
+    }
+
+    fn from_primary(&mut self) -> Result<FromItem, SqlError> {
+        if self.peek_kw("UNNEST") {
+            return Ok(FromItem::Unnest(self.unnest()?));
+        }
+        if self.accept_punct("(") {
+            let query = self.query()?;
+            self.eat_punct(")")?;
+            self.accept_kw("AS");
+            let alias = self.ident()?;
+            return Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.accept_kw("AS") {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn unnest(&mut self) -> Result<Unnest, SqlError> {
+        self.eat_kw("UNNEST")?;
+        self.eat_punct("(")?;
+        let expr = self.expr()?;
+        self.eat_punct(")")?;
+        // Presto order: UNNEST(x) WITH ORDINALITY AS t (a, b, i)
+        let mut with_ordinality = false;
+        if self.peek_kw("WITH") && self.peek_kw_at(1, "ORDINALITY") {
+            self.bump();
+            self.bump();
+            with_ordinality = true;
+        }
+        let mut alias = None;
+        let mut column_aliases = Vec::new();
+        let has_as = self.accept_kw("AS");
+        if has_as || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+            alias = Some(self.ident()?);
+            if self.accept_punct("(") {
+                loop {
+                    column_aliases.push(self.ident()?);
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+                self.eat_punct(")")?;
+            }
+        }
+        // BigQuery order: UNNEST(x) AS a WITH OFFSET [AS] i
+        let mut with_offset = None;
+        if self.peek_kw("WITH") && self.peek_kw_at(1, "OFFSET") {
+            self.bump();
+            self.bump();
+            self.accept_kw("AS");
+            with_offset = Some(self.ident()?);
+        }
+        Ok(Unnest {
+            expr,
+            alias,
+            column_aliases,
+            with_ordinality,
+            with_offset,
+        })
+    }
+
+    // ---------------- types ----------------
+
+    fn type_name(&mut self) -> Result<TypeName, SqlError> {
+        let name = self.ident()?;
+        let upper = name.to_ascii_uppercase();
+        Ok(match upper.as_str() {
+            "BIGINT" | "INT64" | "INTEGER" | "INT" => TypeName::Int,
+            "DOUBLE" | "FLOAT64" | "REAL" | "FLOAT" => TypeName::Float,
+            "BOOLEAN" | "BOOL" => TypeName::Bool,
+            "VARCHAR" | "STRING" => TypeName::Str,
+            "ANY" => {
+                self.eat_kw("TYPE")?;
+                TypeName::Any
+            }
+            "ROW" => {
+                self.eat_punct("(")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident()?;
+                    let ftype = self.type_name()?;
+                    fields.push((fname, ftype));
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+                self.eat_punct(")")?;
+                TypeName::Row(fields)
+            }
+            "STRUCT" => {
+                self.eat_punct("<")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident()?;
+                    let ftype = self.type_name()?;
+                    fields.push((fname, ftype));
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+                self.eat_punct(">")?;
+                TypeName::Row(fields)
+            }
+            "ARRAY" => {
+                if self.accept_punct("(") {
+                    let inner = self.type_name()?;
+                    self.eat_punct(")")?;
+                    TypeName::Array(Box::new(inner))
+                } else {
+                    self.eat_punct("<")?;
+                    let inner = self.type_name()?;
+                    self.eat_punct(">")?;
+                    TypeName::Array(Box::new(inner))
+                }
+            }
+            other => return Err(SqlError::Parse(format!("unknown type {other}"))),
+        })
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        // Lambda lookahead: `x ->` or `(x, y) ->`.
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !is_reserved(s) && self.peek_at(1).is_some_and(|t| t.is_punct("->")) {
+                let param = self.ident()?;
+                self.eat_punct("->")?;
+                let body = self.expr()?;
+                return Ok(Expr::Lambda(vec![param], Box::new(body)));
+            }
+        }
+        if self.peek_punct("(") {
+            // Try (x, y) -> …
+            if let Some(params) = self.try_lambda_params() {
+                let body = self.expr()?;
+                return Ok(Expr::Lambda(params, Box::new(body)));
+            }
+        }
+        self.or_expr()
+    }
+
+    /// If the cursor is at `(id, id, …) ->`, consume through `->` and return
+    /// the parameter names; otherwise leave the cursor unchanged.
+    fn try_lambda_params(&mut self) -> Option<Vec<String>> {
+        let start = self.pos;
+        let mut params = Vec::new();
+        if !self.accept_punct("(") {
+            return None;
+        }
+        loop {
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_reserved(s) => {
+                    params.push(s.clone());
+                    self.pos += 1;
+                }
+                _ => {
+                    self.pos = start;
+                    return None;
+                }
+            }
+            if self.accept_punct(",") {
+                continue;
+            }
+            break;
+        }
+        if self.accept_punct(")") && self.accept_punct("->") {
+            Some(params)
+        } else {
+            self.pos = start;
+            None
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let r = self.and_expr()?;
+            e = Expr::Binary(Box::new(e), BinaryOp::Or, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.not_expr()?;
+        while self.accept_kw("AND") {
+            let r = self.not_expr()?;
+            e = Expr::Binary(Box::new(e), BinaryOp::And, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.accept_kw("NOT") {
+            let e = self.not_expr()?;
+            Ok(Expr::Unary(UnaryOp::Not, Box::new(e)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let e = self.additive()?;
+        // IS [NOT] NULL
+        if self.peek_kw("IS") {
+            self.bump();
+            let negated = self.accept_kw("NOT");
+            self.eat_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(e), negated));
+        }
+        // [NOT] BETWEEN / [NOT] IN
+        let negated = if self.peek_kw("NOT")
+            && (self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "IN"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.accept_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.eat_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(e),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.accept_kw("IN") {
+            self.eat_punct("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+            self.eat_punct(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(e),
+                list,
+                negated,
+            });
+        }
+        let op = if self.accept_punct("=") {
+            BinaryOp::Eq
+        } else if self.accept_punct("!=") || self.accept_punct("<>") {
+            BinaryOp::Neq
+        } else if self.accept_punct("<=") {
+            BinaryOp::Lte
+        } else if self.accept_punct(">=") {
+            BinaryOp::Gte
+        } else if self.accept_punct("<") {
+            BinaryOp::Lt
+        } else if self.accept_punct(">") {
+            BinaryOp::Gt
+        } else {
+            return Ok(e);
+        };
+        let r = self.additive()?;
+        Ok(Expr::Binary(Box::new(e), op, Box::new(r)))
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = if self.accept_punct("+") {
+                BinaryOp::Add
+            } else if self.accept_punct("-") {
+                BinaryOp::Sub
+            } else if self.accept_punct("||") {
+                BinaryOp::Concat
+            } else {
+                break;
+            };
+            let r = self.multiplicative()?;
+            e = Expr::Binary(Box::new(e), op, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.accept_punct("*") {
+                BinaryOp::Mul
+            } else if self.accept_punct("/") {
+                BinaryOp::Div
+            } else if self.accept_punct("%") {
+                BinaryOp::Mod
+            } else {
+                break;
+            };
+            let r = self.unary()?;
+            e = Expr::Binary(Box::new(e), op, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.accept_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(e)));
+        }
+        if self.accept_punct("+") {
+            return self.unary();
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.accept_punct(".") {
+                let field = self.ident()?;
+                // Fold name chains so the resolver can decide binding vs
+                // field (a.b.c stays one Name until a non-Name base occurs).
+                e = match e {
+                    Expr::Name(mut parts) => {
+                        parts.push(field);
+                        Expr::Name(parts)
+                    }
+                    other => Expr::Field(Box::new(other), field),
+                };
+            } else if self.accept_punct("[") {
+                // BigQuery a[OFFSET(i)] vs Presto a[i].
+                if self.peek_kw("OFFSET") {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let idx = self.expr()?;
+                    self.eat_punct(")")?;
+                    self.eat_punct("]")?;
+                    e = Expr::OffsetIndex(Box::new(e), Box::new(idx));
+                } else {
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(Expr::Float)
+                        .map_err(|_| SqlError::Parse(format!("bad number {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(Expr::Int)
+                        .map_err(|_| SqlError::Parse(format!("bad integer {n}")))
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Token::Punct("(")) => {
+                self.bump();
+                // Subquery?
+                if self.peek_kw("SELECT") || self.peek_kw("WITH") {
+                    let q = self.query()?;
+                    self.eat_punct(")")?;
+                    return Ok(Expr::Subquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::QuotedIdent(_)) | Some(Token::Ident(_)) => self.ident_led(),
+            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn ident_led(&mut self) -> Result<Expr, SqlError> {
+        let name = self.ident()?;
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "NULL" => Ok(Expr::Null),
+            "TRUE" => Ok(Expr::Bool(true)),
+            "FALSE" => Ok(Expr::Bool(false)),
+            "CASE" => self.case_expr(),
+            "CAST" => {
+                self.eat_punct("(")?;
+                let e = self.expr()?;
+                self.eat_kw("AS")?;
+                let t = self.type_name()?;
+                self.eat_punct(")")?;
+                Ok(Expr::Cast(Box::new(e), t))
+            }
+            "EXISTS" => {
+                self.eat_punct("(")?;
+                let q = self.query()?;
+                self.eat_punct(")")?;
+                Ok(Expr::Exists(Box::new(q)))
+            }
+            "ROW" if self.peek_punct("(") => {
+                self.bump();
+                let mut es = Vec::new();
+                if !self.peek_punct(")") {
+                    loop {
+                        es.push(self.expr()?);
+                        if !self.accept_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(")")?;
+                Ok(Expr::RowCtor(es))
+            }
+            "STRUCT" => self.struct_ctor(),
+            "ARRAY" => {
+                if self.accept_punct("[") {
+                    let mut es = Vec::new();
+                    if !self.peek_punct("]") {
+                        loop {
+                            es.push(self.expr()?);
+                            if !self.accept_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct("]")?;
+                    Ok(Expr::ArrayCtor(es))
+                } else if self.accept_punct("(") {
+                    if self.peek_kw("SELECT") || self.peek_kw("WITH") {
+                        let q = self.query()?;
+                        self.eat_punct(")")?;
+                        Ok(Expr::ArraySubquery(Box::new(q)))
+                    } else {
+                        // ARRAY(expr, …) is not a form we accept.
+                        Err(SqlError::Parse("expected subquery after ARRAY(".into()))
+                    }
+                } else {
+                    Err(SqlError::Parse("expected [ or ( after ARRAY".into()))
+                }
+            }
+            "COUNT" if self.peek_punct("(") && self.peek_at(1).is_some_and(|t| t.is_punct("*")) => {
+                self.bump();
+                self.bump();
+                self.eat_punct(")")?;
+                Ok(Expr::CountStar)
+            }
+            _ if self.peek_punct("(") => {
+                // Generic function call.
+                self.bump();
+                let distinct = self.accept_kw("DISTINCT");
+                let mut args = Vec::new();
+                if !self.peek_punct(")") && !self.peek_kw("ORDER") && !self.peek_kw("LIMIT") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.accept_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                let mut order_by = Vec::new();
+                if self.accept_kw("ORDER") {
+                    self.eat_kw("BY")?;
+                    order_by = self.order_items()?;
+                }
+                let mut limit = None;
+                if self.accept_kw("LIMIT") {
+                    limit = Some(self.number_u64()?);
+                }
+                self.eat_punct(")")?;
+                Ok(Expr::Call {
+                    name,
+                    args,
+                    distinct,
+                    order_by,
+                    limit,
+                })
+            }
+            _ => Ok(Expr::Name(vec![name])),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut whens = Vec::new();
+        while self.accept_kw("WHEN") {
+            let c = self.expr()?;
+            self.eat_kw("THEN")?;
+            let r = self.expr()?;
+            whens.push((c, r));
+        }
+        if whens.is_empty() {
+            return Err(SqlError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_ = if self.accept_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.eat_kw("END")?;
+        Ok(Expr::Case { whens, else_ })
+    }
+
+    fn struct_ctor(&mut self) -> Result<Expr, SqlError> {
+        // STRUCT<name type, …>(values…)  or  STRUCT(v [AS name], …)
+        if self.accept_punct("<") {
+            let mut decls = Vec::new();
+            loop {
+                let fname = self.ident()?;
+                let ftype = self.type_name()?;
+                decls.push((fname, ftype));
+                if !self.accept_punct(",") {
+                    break;
+                }
+            }
+            self.eat_punct(">")?;
+            self.eat_punct("(")?;
+            let mut values = Vec::new();
+            if !self.peek_punct(")") {
+                loop {
+                    values.push(self.expr()?);
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+            if values.len() != decls.len() {
+                return Err(SqlError::Parse(format!(
+                    "STRUCT<> declared {} fields but got {} values",
+                    decls.len(),
+                    values.len()
+                )));
+            }
+            let fields = values.into_iter().map(|v| (None, v)).collect();
+            Ok(Expr::StructCtor {
+                fields,
+                declared: Some(decls),
+            })
+        } else {
+            self.eat_punct("(")?;
+            let mut fields = Vec::new();
+            if !self.peek_punct(")") {
+                loop {
+                    let e = self.expr()?;
+                    let name = if self.accept_kw("AS") {
+                        Some(self.ident()?)
+                    } else {
+                        implied_name(&e)
+                    };
+                    fields.push((name, e));
+                    if !self.accept_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+            Ok(Expr::StructCtor {
+                fields,
+                declared: None,
+            })
+        }
+    }
+}
+
+/// The field name a bare expression implies in struct contexts
+/// (`STRUCT(a.x)` has field `x`).
+fn implied_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Name(parts) => parts.last().cloned(),
+        Expr::Field(_, f) => Some(f.clone()),
+        _ => None,
+    }
+}
+
+/// Keywords that terminate an implicit alias position.
+fn is_reserved(s: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND",
+        "OR", "NOT", "JOIN", "CROSS", "INNER", "UNNEST", "WITH", "CASE", "WHEN", "THEN", "ELSE",
+        "END", "BETWEEN", "IN", "IS", "NULL", "TRUE", "FALSE", "CAST", "EXISTS", "DISTINCT",
+        "CREATE", "TEMP", "TEMPORARY", "FUNCTION", "RETURNS", "RETURN", "REPLACE", "OFFSET",
+        "ORDINALITY", "DESC", "ASC", "STRUCT", "ARRAY", "ROW", "UNION", "ALL",
+    ];
+    RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT MET.pt AS x FROM events WHERE x > 10").unwrap();
+        assert_eq!(q.select.items.len(), 1);
+        assert!(q.select.where_clause.is_some());
+        match &q.select.from[0] {
+            FromItem::Table { name, .. } => assert_eq!(name, "events"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctes_and_group_by() {
+        let q = parse_query(
+            "WITH a AS (SELECT 1 AS x), b AS (SELECT x FROM a) \
+             SELECT x, COUNT(*) FROM b GROUP BY x HAVING COUNT(*) > 0 ORDER BY x DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 2);
+        assert_eq!(q.select.group_by.len(), 1);
+        assert!(q.select.having.is_some());
+        assert_eq!(q.limit, Some(5));
+        assert!(q.order_by[0].desc);
+    }
+
+    #[test]
+    fn unnest_variants() {
+        // Presto.
+        let q = parse_query(
+            "SELECT 1 FROM events CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS t (pt, eta, idx)",
+        )
+        .unwrap();
+        match &q.select.from[0] {
+            FromItem::Join { right, kind, .. } => {
+                assert_eq!(*kind, JoinKind::Cross);
+                match &**right {
+                    FromItem::Unnest(u) => {
+                        assert!(u.with_ordinality);
+                        assert_eq!(u.column_aliases, vec!["pt", "eta", "idx"]);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // BigQuery comma-join + WITH OFFSET.
+        let q = parse_query("SELECT 1 FROM events e, UNNEST(e.Jet) AS j WITH OFFSET i").unwrap();
+        assert_eq!(q.select.from.len(), 2);
+        match &q.select.from[1] {
+            FromItem::Unnest(u) => {
+                assert_eq!(u.alias.as_deref(), Some("j"));
+                assert_eq!(u.with_offset.as_deref(), Some("i"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_constructors() {
+        let e = parse_expr("STRUCT<x INT64, y FLOAT64>(a.x + b.x, 42.0)").unwrap();
+        match e {
+            Expr::StructCtor { declared, fields } => {
+                assert_eq!(declared.unwrap().len(), 2);
+                assert_eq!(fields.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("STRUCT(a.x + b.x AS x, 42.0 AS y)").unwrap();
+        match e {
+            Expr::StructCtor { fields, .. } => {
+                assert_eq!(fields[0].0.as_deref(), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("CAST(ROW(a.x, 42.0) AS ROW(x BIGINT, y DOUBLE))").unwrap();
+        assert!(matches!(e, Expr::Cast(_, TypeName::Row(_))));
+    }
+
+    #[test]
+    fn lambdas_and_array_functions() {
+        let e = parse_expr("CARDINALITY(FILTER(Jet, j -> j.pt > 40))").unwrap();
+        match e {
+            Expr::Call { name, args, .. } => {
+                assert_eq!(name, "CARDINALITY");
+                match &args[0] {
+                    Expr::Call { name, args, .. } => {
+                        assert_eq!(name, "FILTER");
+                        assert!(matches!(args[1], Expr::Lambda(_, _)));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("REDUCE(xs, 0.0, (s, x) -> s + x.pt, s -> s)").unwrap();
+        match e {
+            Expr::Call { args, .. } => {
+                assert!(matches!(&args[2], Expr::Lambda(p, _) if p.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subqueries() {
+        let e = parse_expr("(SELECT COUNT(*) FROM UNNEST(Jet) j WHERE j.pt > 40) > 1").unwrap();
+        assert!(matches!(e, Expr::Binary(_, BinaryOp::Gt, _)));
+        let e = parse_expr("EXISTS (SELECT 1 FROM t)").unwrap();
+        assert!(matches!(e, Expr::Exists(_)));
+        let e = parse_expr("ARRAY(SELECT AS STRUCT x, y FROM t)").unwrap();
+        assert!(matches!(e, Expr::ArraySubquery(_)));
+    }
+
+    #[test]
+    fn udf_statements() {
+        let s = parse_script(
+            "CREATE TEMP FUNCTION f(x FLOAT64) AS (x * 2);\n\
+             CREATE FUNCTION g(y DOUBLE) RETURNS DOUBLE RETURN y + 1;\n\
+             SELECT f(g(1.0))",
+        )
+        .unwrap();
+        assert_eq!(s.functions.len(), 2);
+        assert!(s.functions[0].bigquery_syntax);
+        assert!(!s.functions[1].bigquery_syntax);
+    }
+
+    #[test]
+    fn aggregate_modifiers() {
+        let e = parse_expr("ARRAY_AGG(x ORDER BY y DESC LIMIT 1)").unwrap();
+        match e {
+            Expr::Call {
+                order_by, limit, ..
+            } => {
+                assert_eq!(order_by.len(), 1);
+                assert!(order_by[0].desc);
+                assert_eq!(limit, Some(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("COUNT(*)").unwrap();
+        assert_eq!(e, Expr::CountStar);
+        let e = parse_expr("COUNT(DISTINCT x)").unwrap();
+        assert!(matches!(e, Expr::Call { distinct: true, .. }));
+    }
+
+    #[test]
+    fn case_between_in() {
+        let e = parse_expr(
+            "CASE WHEN x < 0 THEN -1 WHEN x BETWEEN 60 AND 120 THEN 1 ELSE 0 END",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Case { .. }));
+        let e = parse_expr("x NOT IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        let e = parse_expr("m IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::IsNull(_, true)));
+    }
+
+    #[test]
+    fn name_chains_fold() {
+        let e = parse_expr("a.b.c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Name(vec!["a".into(), "b".into(), "c".into()])
+        );
+        let e = parse_expr("f(x).y").unwrap();
+        assert!(matches!(e, Expr::Field(_, _)));
+    }
+
+    #[test]
+    fn indexing() {
+        let e = parse_expr("arr[1]").unwrap();
+        assert!(matches!(e, Expr::Index(_, _)));
+        let e = parse_expr("arr[OFFSET(0)]").unwrap();
+        assert!(matches!(e, Expr::OffsetIndex(_, _)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT 1 FROM t garbage !!").is_err());
+        assert!(parse_expr("1 + ").is_err());
+    }
+}

@@ -1,0 +1,915 @@
+//! Static analyses over parsed scripts:
+//!
+//! * **Projection extraction** — which leaf columns of each base table the
+//!   query references, feeding projection pushdown and the scan/pricing
+//!   accounting (paper Fig 4b).
+//! * **Merge-spec analysis** — whether the root query is a decomposable
+//!   aggregation, enabling segment-parallel execution over row groups
+//!   (Presto's split model; see [`crate::engine`]).
+
+use std::collections::{BTreeSet, HashMap};
+
+use nf2_columnar::{DataType, Schema};
+
+use crate::ast::*;
+
+/// Which base-table leaf columns a script references.
+pub type TableProjections = HashMap<String, BTreeSet<String>>;
+
+#[derive(Clone, Debug)]
+enum Origin {
+    /// A base table row (whole struct of the table).
+    BaseTable(String),
+    /// A value nested under a base table path (e.g. an unnested `Jet`
+    /// element: fields resolve to `Jet.<field>`).
+    Nested(String, Vec<String>),
+    /// Anything we cannot trace (CTE outputs, lambda params, computed
+    /// values). References through it add no leaves — the leaves were
+    /// counted where the CTE/expression read the base table.
+    Opaque,
+}
+
+struct Analyzer<'s> {
+    schemas: &'s HashMap<String, &'s Schema>,
+    out: TableProjections,
+}
+
+/// Scope frame: alias → origin; `open` base tables also resolve
+/// unqualified field references.
+type Frame = Vec<(String, Origin)>;
+
+/// Extracts the leaf projections a script needs from each base table.
+pub fn collect_projections(
+    script: &Script,
+    schemas: &HashMap<String, &Schema>,
+) -> TableProjections {
+    let mut a = Analyzer {
+        schemas,
+        out: HashMap::new(),
+    };
+    // UDF bodies only see parameters — no table references to collect.
+    a.query(&script.query, &[]);
+    a.out
+}
+
+impl<'s> Analyzer<'s> {
+    fn query(&mut self, q: &Query, outer: &[Frame]) {
+        for (_, cte) in &q.ctes {
+            self.query(cte, outer);
+        }
+        self.select(&q.select, outer, &q.order_by);
+    }
+
+    fn select(&mut self, s: &Select, outer: &[Frame], order_by: &[OrderItem]) {
+        let mut frame: Frame = Vec::new();
+        for item in &s.from {
+            self.from_item(item, &mut frame, outer);
+        }
+        let mut frames: Vec<Frame> = outer.to_vec();
+        frames.push(frame);
+
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => self.mark_wildcard(&frames),
+                SelectItem::QualifiedWildcard(name) => {
+                    if let Some(origin) = lookup(&frames, name) {
+                        self.mark_whole(&origin);
+                    }
+                }
+                SelectItem::Expr { expr, .. } => self.expr(expr, &frames),
+            }
+        }
+        for e in s
+            .where_clause
+            .iter()
+            .chain(s.group_by.iter())
+            .chain(s.having.iter())
+        {
+            self.expr(e, &frames);
+        }
+        for o in order_by {
+            self.expr(&o.expr, &frames);
+        }
+    }
+
+    fn from_item(&mut self, item: &FromItem, frame: &mut Frame, outer: &[Frame]) {
+        match item {
+            FromItem::Table { name, alias } => {
+                let origin = if self.schemas.contains_key(&name.to_ascii_lowercase()) {
+                    // Ensure the table appears in the output even when no
+                    // column is referenced (e.g. SELECT COUNT(*)).
+                    self.out.entry(name.to_ascii_lowercase()).or_default();
+                    Origin::BaseTable(name.to_ascii_lowercase())
+                } else {
+                    Origin::Opaque
+                };
+                let bind = alias.as_deref().unwrap_or(name);
+                frame.push((bind.to_ascii_lowercase(), origin));
+            }
+            FromItem::Subquery { query, alias } => {
+                self.query(query, outer);
+                frame.push((alias.to_ascii_lowercase(), Origin::Opaque));
+            }
+            FromItem::Unnest(u) => {
+                // Trace the unnested expression to a base-table path.
+                let mut frames: Vec<Frame> = outer.to_vec();
+                frames.push(frame.clone());
+                let origin = self.trace(&u.expr, &frames);
+                if origin.is_none() {
+                    // Untraceable: account the referenced expression as-is.
+                    self.expr(&u.expr, &frames);
+                }
+                let element_origin = match origin {
+                    Some((t, path)) => Origin::Nested(t, path),
+                    None => Origin::Opaque,
+                };
+                if !u.column_aliases.is_empty() {
+                    // Positional field aliases: map to schema field order.
+                    let n = if u.with_ordinality {
+                        u.column_aliases.len().saturating_sub(1)
+                    } else {
+                        u.column_aliases.len()
+                    };
+                    if let Origin::Nested(t, path) = &element_origin {
+                        if let Some(fields) = self.struct_fields_at(t, path) {
+                            for (i, ca) in u.column_aliases.iter().take(n).enumerate() {
+                                if let Some(fname) = fields.get(i) {
+                                    let mut p = path.clone();
+                                    p.push(fname.clone());
+                                    // Positional binding requires the field
+                                    // to be materialized whether or not it
+                                    // is referenced later (Presto requires
+                                    // the full field list — and reads whole
+                                    // structs anyway).
+                                    self.mark(&t.clone(), &p);
+                                    frame.push((
+                                        ca.to_ascii_lowercase(),
+                                        Origin::Nested(t.clone(), p),
+                                    ));
+                                } else {
+                                    frame.push((ca.to_ascii_lowercase(), Origin::Opaque));
+                                }
+                            }
+                        } else {
+                            for ca in u.column_aliases.iter().take(n) {
+                                frame.push((ca.to_ascii_lowercase(), Origin::Opaque));
+                            }
+                        }
+                    } else {
+                        for ca in u.column_aliases.iter().take(n) {
+                            frame.push((ca.to_ascii_lowercase(), Origin::Opaque));
+                        }
+                    }
+                    if u.with_ordinality {
+                        if let Some(last) = u.column_aliases.last() {
+                            frame.push((last.to_ascii_lowercase(), Origin::Opaque));
+                        }
+                    }
+                } else if let Some(alias) = &u.alias {
+                    frame.push((alias.to_ascii_lowercase(), element_origin));
+                }
+                if let Some(off) = &u.with_offset {
+                    frame.push((off.to_ascii_lowercase(), Origin::Opaque));
+                }
+            }
+            FromItem::Join {
+                left, right, on, ..
+            } => {
+                self.from_item(left, frame, outer);
+                self.from_item(right, frame, outer);
+                if let Some(e) = on {
+                    let mut frames: Vec<Frame> = outer.to_vec();
+                    frames.push(frame.clone());
+                    self.expr(e, &frames);
+                }
+            }
+        }
+    }
+
+    /// Field names (in order) of the struct at a table path, descending
+    /// through lists.
+    fn struct_fields_at(&self, table: &str, path: &[String]) -> Option<Vec<String>> {
+        let schema = self.schemas.get(table)?;
+        let mut dt: Option<&DataType> = None;
+        let mut fields = schema.fields();
+        for seg in path {
+            let f = fields.iter().find(|f| f.name.eq_ignore_ascii_case(seg))?;
+            dt = Some(&f.dtype);
+            let mut cur = &f.dtype;
+            loop {
+                match cur {
+                    DataType::List(inner) => cur = inner,
+                    DataType::Struct(inner) => {
+                        fields = inner;
+                        break;
+                    }
+                    DataType::Scalar(_) => break,
+                }
+            }
+        }
+        let mut cur = dt?;
+        loop {
+            match cur {
+                DataType::List(inner) => cur = inner,
+                DataType::Struct(inner) => {
+                    return Some(inner.iter().map(|f| f.name.clone()).collect())
+                }
+                DataType::Scalar(_) => return None,
+            }
+        }
+    }
+
+    /// Traces a name-chain expression to `(table, path)` if possible.
+    fn trace(&self, e: &Expr, frames: &[Frame]) -> Option<(String, Vec<String>)> {
+        match e {
+            Expr::Name(parts) => {
+                if let Some(origin) = lookup(frames, &parts[0]) {
+                    match origin {
+                        Origin::BaseTable(t) => Some((t, parts[1..].to_vec())),
+                        Origin::Nested(t, base) => {
+                            let mut p = base;
+                            p.extend(parts[1..].iter().cloned());
+                            Some((t, p))
+                        }
+                        Origin::Opaque => None,
+                    }
+                } else {
+                    // Unqualified: search open base tables for the field.
+                    for frame in frames.iter().rev() {
+                        for (_, origin) in frame.iter().rev() {
+                            if let Origin::BaseTable(t) = origin {
+                                if let Some(schema) = self.schemas.get(t) {
+                                    if schema
+                                        .fields()
+                                        .iter()
+                                        .any(|f| f.name.eq_ignore_ascii_case(&parts[0]))
+                                    {
+                                        return Some((t.clone(), parts.to_vec()));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None
+                }
+            }
+            Expr::Field(base, f) => {
+                let (t, mut p) = self.trace(base, frames)?;
+                p.push(f.clone());
+                Some((t, p))
+            }
+            _ => None,
+        }
+    }
+
+    fn mark(&mut self, table: &str, path: &[String]) {
+        // Trim the path to the longest prefix the schema knows; an empty
+        // path marks the whole table.
+        let Some(schema) = self.schemas.get(table) else {
+            return;
+        };
+        if path.is_empty() {
+            for f in schema.fields() {
+                self.out
+                    .entry(table.to_string())
+                    .or_default()
+                    .insert(f.name.clone());
+            }
+            return;
+        }
+        let mut valid = Vec::new();
+        let mut fields = schema.fields();
+        for seg in path {
+            let Some(f) = fields.iter().find(|f| f.name.eq_ignore_ascii_case(seg)) else {
+                break;
+            };
+            valid.push(f.name.clone());
+            let mut cur = &f.dtype;
+            loop {
+                match cur {
+                    DataType::List(inner) => cur = inner,
+                    DataType::Struct(inner) => {
+                        fields = inner;
+                        break;
+                    }
+                    DataType::Scalar(_) => {
+                        fields = &[];
+                        break;
+                    }
+                }
+            }
+        }
+        if !valid.is_empty() {
+            self.out
+                .entry(table.to_string())
+                .or_default()
+                .insert(valid.join("."));
+        }
+    }
+
+    fn mark_whole(&mut self, origin: &Origin) {
+        match origin {
+            Origin::BaseTable(t) => self.mark(&t.clone(), &[]),
+            Origin::Nested(t, p) => self.mark(&t.clone(), &p.clone()),
+            Origin::Opaque => {}
+        }
+    }
+
+    fn mark_wildcard(&mut self, frames: &[Frame]) {
+        if let Some(frame) = frames.last() {
+            for (_, origin) in frame {
+                self.mark_whole(origin);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, frames: &[Frame]) {
+        match e {
+            Expr::Name(_) | Expr::Field(_, _) => {
+                if let Some((t, p)) = self.trace(e, frames) {
+                    self.mark(&t, &p);
+                }
+                // Field on non-name bases: recurse into the base.
+                if let Expr::Field(base, _) = e {
+                    if !matches!(**base, Expr::Name(_) | Expr::Field(_, _)) {
+                        self.expr(base, frames);
+                    }
+                }
+            }
+            Expr::Subquery(q) | Expr::Exists(q) | Expr::ArraySubquery(q) => {
+                self.query_with_outer(q, frames);
+            }
+            Expr::Lambda(params, body) => {
+                let mut frames2 = frames.to_vec();
+                frames2.push(
+                    params
+                        .iter()
+                        .map(|p| (p.to_ascii_lowercase(), Origin::Opaque))
+                        .collect(),
+                );
+                self.expr(body, &frames2);
+            }
+            other => {
+                // Generic recursion over children (shallow clone of walk,
+                // but scope-aware for subquery/lambda cases above).
+                match other {
+                    Expr::Unary(_, a) | Expr::Cast(a, _) | Expr::IsNull(a, _) => {
+                        self.expr(a, frames)
+                    }
+                    Expr::Index(a, b) | Expr::OffsetIndex(a, b) | Expr::Binary(a, _, b) => {
+                        self.expr(a, frames);
+                        self.expr(b, frames);
+                    }
+                    Expr::Between { expr, lo, hi, .. } => {
+                        self.expr(expr, frames);
+                        self.expr(lo, frames);
+                        self.expr(hi, frames);
+                    }
+                    Expr::InList { expr, list, .. } => {
+                        self.expr(expr, frames);
+                        for i in list {
+                            self.expr(i, frames);
+                        }
+                    }
+                    Expr::Case { whens, else_ } => {
+                        for (c, r) in whens {
+                            self.expr(c, frames);
+                            self.expr(r, frames);
+                        }
+                        if let Some(e2) = else_ {
+                            self.expr(e2, frames);
+                        }
+                    }
+                    Expr::Call { args, order_by, .. } => {
+                        for a in args {
+                            self.expr(a, frames);
+                        }
+                        for o in order_by {
+                            self.expr(&o.expr, frames);
+                        }
+                    }
+                    Expr::RowCtor(es) | Expr::ArrayCtor(es) => {
+                        for e2 in es {
+                            self.expr(e2, frames);
+                        }
+                    }
+                    Expr::StructCtor { fields, .. } => {
+                        for (_, e2) in fields {
+                            self.expr(e2, frames);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn query_with_outer(&mut self, q: &Query, outer: &[Frame]) {
+        for (_, cte) in &q.ctes {
+            self.query_with_outer(cte, outer);
+        }
+        self.select(&q.select, outer, &q.order_by);
+    }
+}
+
+fn lookup(frames: &[Frame], name: &str) -> Option<Origin> {
+    let lower = name.to_ascii_lowercase();
+    for frame in frames.iter().rev() {
+        for (n, origin) in frame.iter().rev() {
+            if *n == lower {
+                return Some(origin.clone());
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- merging
+
+/// How one output column of a partitioned execution merges across segments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColMerge {
+    /// Grouping key: identical values collapse.
+    Key,
+    /// Partial sums add (COUNT, SUM).
+    Sum,
+    /// Keep the minimum.
+    Min,
+    /// Keep the maximum.
+    Max,
+}
+
+/// Decides whether the script's root query is a decomposable aggregation
+/// that can run per row group and merge. Returns one [`ColMerge`] per
+/// output column, or `None` when the query must run serially.
+pub fn root_merge_spec(script: &Script) -> Option<Vec<ColMerge>> {
+    let q = &script.query;
+    if q.limit.is_some() {
+        return None;
+    }
+    let s = &q.select;
+    if s.having.is_some() || s.distinct {
+        return None;
+    }
+    let mut spec = Vec::with_capacity(s.items.len());
+    let mut any_agg = false;
+    for item in &s.items {
+        match item {
+            SelectItem::Expr { expr, .. } => {
+                let m = classify(expr)?;
+                if m != ColMerge::Key {
+                    any_agg = true;
+                }
+                spec.push(m);
+            }
+            _ => return None,
+        }
+    }
+    if !any_agg && s.group_by.is_empty() {
+        return None;
+    }
+    Some(spec)
+}
+
+fn classify(e: &Expr) -> Option<ColMerge> {
+    match e {
+        Expr::CountStar => Some(ColMerge::Sum),
+        Expr::Call { name, distinct, .. } => {
+            if *distinct {
+                return None;
+            }
+            match name.to_ascii_lowercase().as_str() {
+                "count" | "sum" => Some(ColMerge::Sum),
+                "min" => Some(ColMerge::Min),
+                "max" => Some(ColMerge::Max),
+                "avg" | "min_by" | "max_by" | "array_agg" | "any_value" => None,
+                _ => {
+                    // Non-aggregate call: key column if it contains no
+                    // aggregates at all.
+                    if crate::exec::contains_aggregate(e) {
+                        None
+                    } else {
+                        Some(ColMerge::Key)
+                    }
+                }
+            }
+        }
+        other => {
+            if crate::exec::contains_aggregate(other) {
+                None
+            } else {
+                Some(ColMerge::Key)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+    use nf2_columnar::{DataType as DT, Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("event", DT::i64()),
+            Field::new(
+                "MET",
+                DT::Struct(vec![
+                    Field::new("pt", DT::f32()),
+                    Field::new("phi", DT::f32()),
+                ]),
+            ),
+            Field::new(
+                "Jet",
+                DT::particle_list(vec![
+                    Field::new("pt", DT::f32()),
+                    Field::new("eta", DT::f32()),
+                    Field::new("mass", DT::f32()),
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn projections(sql: &str) -> Vec<String> {
+        let script = parse_script(sql).unwrap();
+        let s = schema();
+        let mut schemas = HashMap::new();
+        schemas.insert("events".to_string(), &s);
+        let out = collect_projections(&script, &schemas);
+        out.get("events")
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn direct_field_reference() {
+        assert_eq!(projections("SELECT MET.pt FROM events"), vec!["MET.pt"]);
+        assert_eq!(
+            projections("SELECT e.MET.phi FROM events e"),
+            vec!["MET.phi"]
+        );
+    }
+
+    #[test]
+    fn unnest_alias_maps_to_leaves() {
+        assert_eq!(
+            projections("SELECT j.pt FROM events CROSS JOIN UNNEST(Jet) AS j"),
+            vec!["Jet.pt"]
+        );
+        assert_eq!(
+            projections("SELECT j.pt FROM events e, UNNEST(e.Jet) AS j WITH OFFSET i"),
+            vec!["Jet.pt"]
+        );
+    }
+
+    #[test]
+    fn presto_column_list_maps_positionally() {
+        assert_eq!(
+            projections(
+                "SELECT jpt FROM events CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS t (jpt, jeta, jmass, i) WHERE jeta > 1"
+            ),
+            // Positional column lists require every listed field to be
+            // materialized (and Presto reads whole structs regardless).
+            vec!["Jet.eta", "Jet.mass", "Jet.pt"]
+        );
+    }
+
+    #[test]
+    fn whole_struct_when_untraceable() {
+        // Whole-table wildcard marks every top-level field.
+        let p = projections("SELECT * FROM events");
+        assert!(p.contains(&"MET".to_string()));
+        assert!(p.contains(&"Jet".to_string()));
+        assert!(p.contains(&"event".to_string()));
+    }
+
+    #[test]
+    fn cte_references_counted_in_cte() {
+        let p = projections(
+            "WITH base AS (SELECT MET.pt AS met FROM events) SELECT met FROM base",
+        );
+        assert_eq!(p, vec!["MET.pt"]);
+    }
+
+    #[test]
+    fn subquery_over_unnest() {
+        let p = projections(
+            "SELECT (SELECT COUNT(*) FROM UNNEST(Jet) j WHERE j.pt > 40) FROM events",
+        );
+        assert_eq!(p, vec!["Jet.pt"]);
+    }
+
+    #[test]
+    fn lambda_bodies_are_opaque_params() {
+        let p = projections("SELECT CARDINALITY(FILTER(Jet, j -> j.pt > 40)) FROM events");
+        // `Jet` itself is referenced; `j.pt` traces nowhere (lambda param).
+        assert!(p.contains(&"Jet".to_string()));
+    }
+
+    #[test]
+    fn merge_spec_for_histogram_query() {
+        let s = parse_script(
+            "SELECT FLOOR(MET.pt) AS bin, COUNT(*) FROM events GROUP BY FLOOR(MET.pt)",
+        )
+        .unwrap();
+        assert_eq!(
+            root_merge_spec(&s),
+            Some(vec![ColMerge::Key, ColMerge::Sum])
+        );
+    }
+
+    #[test]
+    fn merge_spec_rejects_non_decomposable() {
+        let s =
+            parse_script("SELECT AVG(MET.pt) FROM events").unwrap();
+        assert_eq!(root_merge_spec(&s), None);
+        let s = parse_script("SELECT x, COUNT(*) FROM t GROUP BY x LIMIT 3").unwrap();
+        assert_eq!(root_merge_spec(&s), None);
+        let s = parse_script("SELECT x, COUNT(*) FROM t GROUP BY x HAVING COUNT(*) > 1").unwrap();
+        assert_eq!(root_merge_spec(&s), None);
+        let s = parse_script("SELECT x FROM t").unwrap();
+        assert_eq!(root_merge_spec(&s), None);
+    }
+
+    #[test]
+    fn merge_spec_min_max() {
+        let s = parse_script("SELECT x, MIN(y), MAX(z), SUM(w) FROM t GROUP BY x").unwrap();
+        assert_eq!(
+            root_merge_spec(&s),
+            Some(vec![ColMerge::Key, ColMerge::Min, ColMerge::Max, ColMerge::Sum])
+        );
+    }
+}
+
+// ---------------------------------------------------------------- pruning
+
+/// Comparison kinds usable for zone-map pruning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruneCmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// A conjunct of the root WHERE clause usable to skip whole row groups via
+/// per-chunk min/max statistics (zone maps).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrunePredicate {
+    /// Base table name (lowercase).
+    pub table: String,
+    /// Non-repeated scalar leaf path, e.g. `MET.pt`.
+    pub leaf: String,
+    /// Comparison.
+    pub cmp: PruneCmp,
+    /// Literal bound.
+    pub value: f64,
+}
+
+impl PrunePredicate {
+    /// Can a chunk with the given min/max contain a satisfying row?
+    pub fn may_match(&self, min: f64, max: f64) -> bool {
+        match self.cmp {
+            PruneCmp::Lt => min < self.value,
+            PruneCmp::Le => min <= self.value,
+            PruneCmp::Gt => max > self.value,
+            PruneCmp::Ge => max >= self.value,
+            PruneCmp::Eq => min <= self.value && self.value <= max,
+        }
+    }
+}
+
+/// Extracts zone-map-prunable predicates from the script's root query.
+///
+/// Sound only when (a) the predicate is a top-level AND-conjunct of the
+/// root `WHERE`, (b) it compares a **non-repeated scalar leaf** of a base
+/// table against a numeric literal, and (c) that base table is scanned
+/// exactly once in the whole script (pruning a shared materialization
+/// would corrupt other readers).
+pub fn prunable_predicates(
+    script: &Script,
+    schemas: &HashMap<String, &Schema>,
+) -> Vec<PrunePredicate> {
+    let select = &script.query.select;
+    // (c): count table scans over the whole script.
+    let mut scan_counts: HashMap<String, usize> = HashMap::new();
+    count_table_scans_query(&script.query, &mut scan_counts);
+
+    // The root FROM must directly scan the base table (possibly aliased,
+    // possibly with additional unnest joins — those only multiply rows).
+    let mut frame: Frame = Vec::new();
+    let mut a = Analyzer {
+        schemas,
+        out: HashMap::new(),
+    };
+    for item in &select.from {
+        a.from_item(item, &mut frame, &[]);
+    }
+    let frames = vec![frame];
+
+    let Some(pred) = &select.where_clause else {
+        return Vec::new();
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+
+    let mut out = Vec::new();
+    for c in conjuncts {
+        let Expr::Binary(l, op, r) = c else { continue };
+        let (name_side, lit_side, flip) = match (literal_f64(l), literal_f64(r)) {
+            (None, Some(v)) => (l.as_ref(), v, false),
+            (Some(v), None) => (r.as_ref(), v, true),
+            _ => continue,
+        };
+        let Some((table, path)) = a.trace(name_side, &frames) else {
+            continue;
+        };
+        let Some(schema) = schemas.get(&table) else { continue };
+        let leaf_path = nested_value::Path::parse(&path.join("."));
+        let Some(leaf) = schema.leaf(&leaf_path) else { continue };
+        if leaf.repeated {
+            continue; // array elements: min/max of the flat buffer is per
+                      // group, but the predicate semantics are per element
+                      // within events — conservatively skip.
+        }
+        if scan_counts.get(&table).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let cmp = match (op, flip) {
+            (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => PruneCmp::Lt,
+            (BinaryOp::Lte, false) | (BinaryOp::Gte, true) => PruneCmp::Le,
+            (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => PruneCmp::Gt,
+            (BinaryOp::Gte, false) | (BinaryOp::Lte, true) => PruneCmp::Ge,
+            (BinaryOp::Eq, _) => PruneCmp::Eq,
+            _ => continue,
+        };
+        out.push(PrunePredicate {
+            table,
+            leaf: path.join("."),
+            cmp,
+            value: lit_side,
+        });
+    }
+    out
+}
+
+fn collect_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary(l, BinaryOp::And, r) = e {
+        collect_conjuncts(l, out);
+        collect_conjuncts(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn literal_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Int(i) => Some(*i as f64),
+        Expr::Float(f) => Some(*f),
+        Expr::Unary(crate::ast::UnaryOp::Neg, inner) => literal_f64(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+fn count_table_scans_query(q: &Query, counts: &mut HashMap<String, usize>) {
+    for (_, cte) in &q.ctes {
+        count_table_scans_query(cte, counts);
+    }
+    count_table_scans_select(&q.select, counts);
+}
+
+fn count_table_scans_select(s: &Select, counts: &mut HashMap<String, usize>) {
+    for item in &s.from {
+        count_table_scans_from(item, counts);
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            exprs.push(expr);
+        }
+    }
+    exprs.extend(s.where_clause.iter());
+    exprs.extend(s.group_by.iter());
+    exprs.extend(s.having.iter());
+    for e in exprs {
+        e.walk(&mut |n| match n {
+            Expr::Subquery(q) | Expr::Exists(q) | Expr::ArraySubquery(q) => {
+                count_table_scans_query(q, counts)
+            }
+            _ => {}
+        });
+    }
+}
+
+fn count_table_scans_from(f: &FromItem, counts: &mut HashMap<String, usize>) {
+    match f {
+        FromItem::Table { name, .. } => {
+            *counts.entry(name.to_ascii_lowercase()).or_default() += 1;
+        }
+        FromItem::Subquery { query, .. } => count_table_scans_query(query, counts),
+        FromItem::Unnest(_) => {}
+        FromItem::Join { left, right, .. } => {
+            count_table_scans_from(left, counts);
+            count_table_scans_from(right, counts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use crate::parser::parse_script;
+    use nf2_columnar::{DataType as DT, Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("event", DT::i64()),
+            Field::new(
+                "MET",
+                DT::Struct(vec![Field::new("pt", DT::f32())]),
+            ),
+            Field::new(
+                "Jet",
+                DT::particle_list(vec![Field::new("pt", DT::f32())]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn preds(sql: &str) -> Vec<PrunePredicate> {
+        let script = parse_script(sql).unwrap();
+        let s = schema();
+        let mut schemas = HashMap::new();
+        schemas.insert("events".to_string(), &s);
+        prunable_predicates(&script, &schemas)
+    }
+
+    #[test]
+    fn extracts_scalar_conjuncts() {
+        let p = preds("SELECT COUNT(*) FROM events WHERE MET.pt > 100.0 AND event >= 5");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].leaf, "MET.pt");
+        assert_eq!(p[0].cmp, PruneCmp::Gt);
+        assert_eq!(p[1].leaf, "event");
+        assert_eq!(p[1].cmp, PruneCmp::Ge);
+    }
+
+    #[test]
+    fn flipped_literal_side() {
+        let p = preds("SELECT 1 FROM events WHERE 100.0 < MET.pt");
+        assert_eq!(p[0].cmp, PruneCmp::Gt);
+        assert_eq!(p[0].value, 100.0);
+        let p = preds("SELECT 1 FROM events e WHERE -3.5 >= e.MET.pt");
+        assert_eq!(p[0].cmp, PruneCmp::Le);
+        assert_eq!(p[0].value, -3.5);
+    }
+
+    #[test]
+    fn repeated_leaves_are_not_prunable() {
+        // Jet.pt is per-element; the conjunct shape is not sound for
+        // group-level skipping in general queries.
+        let p = preds(
+            "SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE j.pt > 40.0",
+        );
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn or_disjunction_not_prunable() {
+        let p = preds("SELECT 1 FROM events WHERE MET.pt > 100.0 OR event = 1");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn multiply_scanned_tables_not_pruned() {
+        let p = preds(
+            "WITH a AS (SELECT event FROM events) \
+             SELECT COUNT(*) FROM events WHERE MET.pt > 10.0",
+        );
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn may_match_logic() {
+        let gt = PrunePredicate {
+            table: "t".into(),
+            leaf: "x".into(),
+            cmp: PruneCmp::Gt,
+            value: 40.0,
+        };
+        assert!(!gt.may_match(0.0, 39.0));
+        assert!(!gt.may_match(0.0, 40.0));
+        assert!(gt.may_match(0.0, 41.0));
+        let eq = PrunePredicate { cmp: PruneCmp::Eq, ..gt.clone() };
+        assert!(eq.may_match(39.0, 41.0));
+        assert!(!eq.may_match(41.0, 99.0));
+    }
+}

@@ -1,0 +1,204 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Quoted identifier (`"name"` or `` `name` ``).
+    QuotedIdent(String),
+    /// Numeric literal.
+    Number(String),
+    /// String literal (single quotes).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// True if this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True if this is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "<>", "!=", "->", "||", "(", ")", "[", "]", "{", "}", ",", ".", ";", "+", "-",
+    "*", "/", "%", "<", ">", "=", ":",
+];
+
+/// Tokenizes SQL text. Comments (`-- …` and `/* … */`) are skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut j = i + 2;
+            while j + 1 < bytes.len() {
+                if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                    i = j + 2;
+                    continue 'outer;
+                }
+                j += 1;
+            }
+            return Err(SqlError::Lex(i, "unterminated block comment".into()));
+        }
+        // String literal.
+        if c == '\'' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex(i, "unterminated string".into()));
+                }
+                if bytes[j] == b'\'' {
+                    if bytes.get(j + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        j += 2;
+                        continue;
+                    }
+                    break;
+                }
+                s.push(bytes[j] as char);
+                j += 1;
+            }
+            out.push(Token::Str(s));
+            i = j + 1;
+            continue;
+        }
+        // Quoted identifiers.
+        if c == '"' || c == '`' {
+            let quote = bytes[i];
+            let mut j = i + 1;
+            let mut s = String::new();
+            while j < bytes.len() && bytes[j] != quote {
+                s.push(bytes[j] as char);
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(SqlError::Lex(i, "unterminated quoted identifier".into()));
+            }
+            out.push(Token::QuotedIdent(s));
+            i = j + 1;
+            continue;
+        }
+        // Numbers (including decimals and exponents).
+        if c.is_ascii_digit()
+            || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token::Number(sql[start..i].to_string()));
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            out.push(Token::Ident(sql[start..i].to_string()));
+            continue;
+        }
+        // Punctuation (longest match first).
+        for p in PUNCTS {
+            if sql[i..].starts_with(p) {
+                out.push(Token::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(SqlError::Lex(i, format!("unexpected character {c:?}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a.b, 1.5e3 FROM t WHERE x <= 'it''s'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert!(toks[2].is_punct("."));
+        assert_eq!(toks[4], Token::Punct(","));
+        assert_eq!(toks[5], Token::Number("1.5e3".into()));
+        assert!(toks.iter().any(|t| t.is_punct("<=")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "it's")));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT /* hi */ 1 -- trailing\n+ 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Punct("+"),
+                Token::Number("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lambda_arrow_and_neq() {
+        let toks = tokenize("x -> x.pt != 1 <> 2").unwrap();
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert!(toks.iter().any(|t| t.is_punct("!=")));
+        assert!(toks.iter().any(|t| t.is_punct("<>")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"weird name\", `bq`").unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("weird name".into()));
+        assert_eq!(toks[3], Token::QuotedIdent("bq".into()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-Rust event structs — the "logical rows" of the data set.
+//!
+//! These are the types the reference query implementations (ground truth)
+//! operate on. The columnar substrate stores the same information
+//! column-decomposed; [`crate::to_value`] bridges the two representations.
+
+/// Missing transverse energy and related event-level measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Met {
+    /// Magnitude of the missing transverse momentum (GeV).
+    pub pt: f64,
+    /// Azimuthal direction of the missing momentum.
+    pub phi: f64,
+    /// Scalar sum of transverse energy in the event (GeV).
+    pub sumet: f64,
+    /// MET significance.
+    pub significance: f64,
+    /// xx component of the MET covariance matrix.
+    pub cov_xx: f64,
+    /// xy component of the MET covariance matrix.
+    pub cov_xy: f64,
+    /// yy component of the MET covariance matrix.
+    pub cov_yy: f64,
+}
+
+/// A hadronic jet.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Jet {
+    /// Transverse momentum (GeV).
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle.
+    pub phi: f64,
+    /// Jet mass (GeV).
+    pub mass: f64,
+    /// b-tagging discriminant in `[0, 1]` (plotted by Q6b).
+    pub btag: f64,
+    /// Pile-up jet identification flag.
+    pub pu_id: bool,
+}
+
+/// A muon.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Muon {
+    /// Transverse momentum (GeV).
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle.
+    pub phi: f64,
+    /// Rest mass (GeV); ≈0.10566 for muons.
+    pub mass: f64,
+    /// Electric charge (±1).
+    pub charge: i32,
+    /// Relative isolation in a ΔR = 0.3 cone.
+    pub pf_rel_iso03_all: f64,
+    /// Relative isolation in a ΔR = 0.4 cone.
+    pub pf_rel_iso04_all: f64,
+    /// Tight identification flag.
+    pub tight_id: bool,
+    /// Soft identification flag.
+    pub soft_id: bool,
+    /// Transverse impact parameter (cm).
+    pub dxy: f64,
+    /// Uncertainty on `dxy`.
+    pub dxy_err: f64,
+    /// Longitudinal impact parameter (cm).
+    pub dz: f64,
+    /// Uncertainty on `dz`.
+    pub dz_err: f64,
+    /// Index of the associated jet, −1 if none.
+    pub jet_idx: i32,
+    /// Index of the generator-level particle, −1 if none.
+    pub gen_part_idx: i32,
+}
+
+/// An electron.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Electron {
+    /// Transverse momentum (GeV).
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle.
+    pub phi: f64,
+    /// Rest mass (GeV); ≈0.000511 for electrons.
+    pub mass: f64,
+    /// Electric charge (±1).
+    pub charge: i32,
+    /// Relative isolation in a ΔR = 0.3 cone.
+    pub pf_rel_iso03_all: f64,
+    /// Transverse impact parameter (cm).
+    pub dxy: f64,
+    /// Uncertainty on `dxy`.
+    pub dxy_err: f64,
+    /// Longitudinal impact parameter (cm).
+    pub dz: f64,
+    /// Uncertainty on `dz`.
+    pub dz_err: f64,
+    /// Cut-based identification working point (0–4).
+    pub cut_based: i32,
+    /// Particle-flow identification flag.
+    pub pf_id: bool,
+    /// Index of the associated jet, −1 if none.
+    pub jet_idx: i32,
+    /// Index of the generator-level particle, −1 if none.
+    pub gen_part_idx: i32,
+}
+
+/// A photon.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Photon {
+    /// Transverse momentum (GeV).
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle.
+    pub phi: f64,
+    /// Mass (0 for photons, kept for schema uniformity).
+    pub mass: f64,
+    /// Charge (0 for photons, kept for schema uniformity).
+    pub charge: i32,
+    /// Relative isolation in a ΔR = 0.3 cone.
+    pub pf_rel_iso03_all: f64,
+    /// Index of the associated jet, −1 if none.
+    pub jet_idx: i32,
+    /// Index of the generator-level particle, −1 if none.
+    pub gen_part_idx: i32,
+}
+
+/// A hadronically decaying tau lepton.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Tau {
+    /// Transverse momentum (GeV).
+    pub pt: f64,
+    /// Pseudorapidity.
+    pub eta: f64,
+    /// Azimuthal angle.
+    pub phi: f64,
+    /// Visible mass (GeV).
+    pub mass: f64,
+    /// Electric charge (±1).
+    pub charge: i32,
+    /// Decay mode identifier.
+    pub decay_mode: i32,
+    /// Combined isolation discriminant.
+    pub rel_iso_all: f64,
+    /// Raw isolation discriminant value.
+    pub id_iso_raw: f64,
+    /// Index of the associated jet, −1 if none.
+    pub jet_idx: i32,
+    /// Index of the generator-level particle, −1 if none.
+    pub gen_part_idx: i32,
+}
+
+/// One collision event in NF² form: scalars plus variable-length particle
+/// arrays, mirroring the paper's Listing 1.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Event {
+    /// Run number.
+    pub run: u32,
+    /// Luminosity block within the run.
+    pub luminosity_block: u32,
+    /// Event number.
+    pub event: u64,
+    /// Missing-energy measurements.
+    pub met: Met,
+    /// Jets, ordered by decreasing `pt`.
+    pub jets: Vec<Jet>,
+    /// Muons, ordered by decreasing `pt`.
+    pub muons: Vec<Muon>,
+    /// Electrons, ordered by decreasing `pt`.
+    pub electrons: Vec<Electron>,
+    /// Photons, ordered by decreasing `pt`.
+    pub photons: Vec<Photon>,
+    /// Taus, ordered by decreasing `pt`.
+    pub taus: Vec<Tau>,
+}
+
+impl Event {
+    /// Number of leaf attributes of this schema (the paper's data set has
+    /// 65; ours has the same order of magnitude — see [`crate::schema`]).
+    pub fn n_light_leptons(&self) -> usize {
+        self.muons.len() + self.electrons.len()
+    }
+}

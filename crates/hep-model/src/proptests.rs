@@ -1,0 +1,48 @@
+//! Property tests: any generated event survives the schema/columnar path.
+
+use proptest::prelude::*;
+
+use crate::generator::{Generator, GeneratorConfig};
+use crate::to_value::{event_to_value, events_to_table};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seed produces events that validate against the schema, columnar-
+    /// round-trip exactly, and respect basic physical sanity bounds.
+    #[test]
+    fn any_seed_roundtrips(seed in any::<u64>(), n in 1usize..60, rg in 1usize..16) {
+        let events = Generator::new(GeneratorConfig::default(), seed).generate(n);
+        for e in &events {
+            prop_assert!(e.met.pt >= 0.0);
+            prop_assert!(e.met.sumet > 0.0);
+            for j in &e.jets {
+                prop_assert!(j.pt >= 15.0 - 1e-6);
+                prop_assert!(j.eta.abs() <= 4.0);
+                prop_assert!(j.phi.abs() <= std::f64::consts::PI + 1e-6);
+            }
+        }
+        let t = events_to_table(&events, rg).unwrap();
+        prop_assert_eq!(t.n_rows(), n);
+        let leaves: Vec<_> = t.schema().leaves().iter().collect();
+        let got: Vec<_> = t.row_groups().iter()
+            .flat_map(|g| g.read_rows(t.schema(), &leaves).unwrap())
+            .collect();
+        let expect: Vec<_> = events.iter().map(event_to_value).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Zero-resonance configs still produce valid events (no empty-range
+    /// panics in degenerate parameterizations).
+    #[test]
+    fn degenerate_configs(seed in any::<u64>()) {
+        let cfg = GeneratorConfig {
+            z_prob: 0.0,
+            top_prob: 0.0,
+            jet_tail_prob: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let events = Generator::new(cfg, seed).generate(20);
+        prop_assert_eq!(events.len(), 20);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for value operations.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Errors raised by dynamic value operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueError {
+    /// Expected one type, found another.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it got (type name).
+        found: &'static str,
+    },
+    /// Struct field does not exist.
+    NoSuchField(String),
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Two values cannot be compared (e.g. struct vs. int).
+    NotComparable(&'static str, &'static str),
+    /// Arithmetic on non-numeric operands.
+    InvalidArithmetic {
+        /// Operator symbol.
+        op: &'static str,
+        /// Left operand type.
+        left: &'static str,
+        /// Right operand type.
+        right: &'static str,
+    },
+    /// Division (or modulo) by zero on integers.
+    DivisionByZero,
+    /// Free-form message for engine-specific failures routed through values.
+    Custom(String),
+}
+
+impl ValueError {
+    /// Convenience constructor for [`ValueError::TypeMismatch`].
+    pub fn type_mismatch(expected: &'static str, found: &Value) -> Self {
+        ValueError::TypeMismatch {
+            expected,
+            found: found.type_name(),
+        }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::NoSuchField(name) => write!(f, "no such field: {name}"),
+            ValueError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds (len {len})")
+            }
+            ValueError::NotComparable(a, b) => write!(f, "cannot compare {a} with {b}"),
+            ValueError::InvalidArithmetic { op, left, right } => {
+                write!(f, "invalid arithmetic: {left} {op} {right}")
+            }
+            ValueError::DivisionByZero => write!(f, "division by zero"),
+            ValueError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}

@@ -1,0 +1,106 @@
+//! Minimal JSON serialization for harness output.
+//!
+//! The benchmark harnesses emit machine-readable result rows; rather than
+//! pulling in `serde_json` for a one-way writer, we serialize [`Value`]
+//! directly. Only serialization is provided — engines never parse JSON (the
+//! data lives in the columnar substrate).
+
+use crate::value::Value;
+
+/// Serializes a value as compact JSON.
+pub fn to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Shortest roundtrip representation; integral floats keep a
+                // trailing ".0" so readers preserve the type.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                // JSON has no Inf/NaN; emit null like most JSON writers.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Value::Struct(s) => {
+            out.push('{');
+            for (i, (name, val)) in s.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(name, out);
+                out.push(':');
+                write_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&Value::Null), "null");
+        assert_eq!(to_json(&Value::Bool(true)), "true");
+        assert_eq!(to_json(&Value::Int(-7)), "-7");
+        assert_eq!(to_json(&Value::Float(2.5)), "2.5");
+        assert_eq!(to_json(&Value::Float(3.0)), "3.0");
+        assert_eq!(to_json(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(to_json(&Value::str("a\"b\\c\nd")), r#""a\"b\\c\nd""#);
+        assert_eq!(to_json(&Value::str("\u{1}")), r#""\u0001""#);
+    }
+
+    #[test]
+    fn nested() {
+        let v = Value::struct_from(vec![
+            ("bin", Value::Int(3)),
+            ("edges", Value::array(vec![Value::Float(0.0), Value::Float(2.0)])),
+        ]);
+        assert_eq!(to_json(&v), r#"{"bin":3,"edges":[0.0,2.0]}"#);
+    }
+}

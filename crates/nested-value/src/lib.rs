@@ -1,0 +1,34 @@
+//! # nested-value
+//!
+//! The dynamic value model shared by every query engine in the `hepquery`
+//! workspace.
+//!
+//! High-energy-physics events are stored in non-first normal form (NF²): an
+//! event is a struct whose fields are scalars, structs, or variable-length
+//! arrays of structs. All three engines in this workspace (the SQL engine,
+//! the JSONiq/FLWOR engine, and the RDataFrame-style engine) exchange data
+//! with the columnar substrate through the [`Value`] type defined here.
+//!
+//! Design notes:
+//!
+//! * Arrays and structs are reference counted ([`std::sync::Arc`]) so that a
+//!   `Value::clone` is O(1). Query executors clone values freely when rows
+//!   flow through operators; deep copies would dominate runtime.
+//! * There is no `NULL` in HEP data (the paper, §2.1, makes this explicit),
+//!   but SQL semantics need a null (e.g. `MIN` over an empty group), so
+//!   [`Value::Null`] exists and propagates through arithmetic like SQL nulls.
+//! * Comparison and arithmetic semantics live in [`ops`]; they implement the
+//!   numeric tower `Int ⊂ Float` with the coercions all three engines share.
+
+pub mod error;
+pub mod json;
+pub mod ops;
+pub mod path;
+pub mod value;
+
+pub use error::ValueError;
+pub use path::Path;
+pub use value::{StructValue, Value};
+
+#[cfg(test)]
+mod proptests;

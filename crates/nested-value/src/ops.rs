@@ -1,0 +1,271 @@
+//! Shared comparison and arithmetic semantics.
+//!
+//! All three engines route scalar operations through these functions so
+//! that cross-engine result validation (core's ground-truth checks) never
+//! fails on coercion differences.
+
+use std::cmp::Ordering;
+
+use crate::error::ValueError;
+use crate::value::Value;
+
+/// Three-way comparison of two scalar values.
+///
+/// * `Null` compares less than everything (SQL `NULLS FIRST` ordering, used
+///   only for sorting — predicate comparison with null yields null and is
+///   handled by the engines).
+/// * Int/Float compare numerically; NaN sorts greater than all numbers
+///   (total order, so sorting is well defined).
+/// * Arrays compare lexicographically, structs field-wise in declaration
+///   order; mixed types are an error.
+pub fn compare(a: &Value, b: &Value) -> Result<Ordering, ValueError> {
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Ok(Ordering::Equal),
+        (Null, _) => Ok(Ordering::Less),
+        (_, Null) => Ok(Ordering::Greater),
+        (Bool(x), Bool(y)) => Ok(x.cmp(y)),
+        (Int(x), Int(y)) => Ok(x.cmp(y)),
+        (Str(x), Str(y)) => Ok(x.cmp(y)),
+        (Int(_) | Float(_), Int(_) | Float(_)) => {
+            let x = a.as_f64().expect("numeric");
+            let y = b.as_f64().expect("numeric");
+            Ok(total_cmp(x, y))
+        }
+        (Array(xs), Array(ys)) => {
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                match compare(x, y)? {
+                    Ordering::Equal => continue,
+                    other => return Ok(other),
+                }
+            }
+            Ok(xs.len().cmp(&ys.len()))
+        }
+        (Struct(xs), Struct(ys)) => {
+            for ((_, x), (_, y)) in xs.iter().map(|p| ((), p.1)).zip(ys.iter().map(|p| ((), p.1)))
+            {
+                match compare(x, y)? {
+                    Ordering::Equal => continue,
+                    other => return Ok(other),
+                }
+            }
+            Ok(xs.len().cmp(&ys.len()))
+        }
+        _ => Err(ValueError::NotComparable(a.type_name(), b.type_name())),
+    }
+}
+
+/// IEEE total order with `NaN` greatest, matching `f64::total_cmp` for the
+/// values that occur in practice (we never produce negative NaN payloads).
+fn total_cmp(x: f64, y: f64) -> Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => x.partial_cmp(&y).expect("non-NaN"),
+    }
+}
+
+/// Equality test used by predicates. Unlike [`compare`], returns `None`
+/// when either side is null (SQL three-valued logic).
+pub fn sql_eq(a: &Value, b: &Value) -> Result<Option<bool>, ValueError> {
+    if a.is_null() || b.is_null() {
+        return Ok(None);
+    }
+    Ok(Some(compare(a, b)? == Ordering::Equal))
+}
+
+/// Binary arithmetic operator identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` — integer division when both operands are integers (SQL
+    /// semantics), float division otherwise.
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// Operator symbol for messages and plan printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+}
+
+/// Applies arithmetic with the shared coercion rules.
+///
+/// * `Int op Int → Int` (with `/` truncating, matching Presto/BigQuery's
+///   `DIV`-free integer division only when the dialect asks for it — the SQL
+///   engine maps `/` on integers to float division like BigQuery; this
+///   function provides the raw building block and the engines choose).
+/// * Anything involving a `Float` promotes to `Float`.
+/// * `Null op x → Null`.
+pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, ValueError> {
+    use Value::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => int_arith(op, *x, *y),
+        (Int(_) | Float(_), Int(_) | Float(_)) => {
+            let x = a.as_f64().expect("numeric");
+            let y = b.as_f64().expect("numeric");
+            Ok(Float(float_arith(op, x, y)))
+        }
+        _ => Err(ValueError::InvalidArithmetic {
+            op: op.symbol(),
+            left: a.type_name(),
+            right: b.type_name(),
+        }),
+    }
+}
+
+fn int_arith(op: ArithOp, x: i64, y: i64) -> Result<Value, ValueError> {
+    let v = match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(ValueError::DivisionByZero);
+            }
+            x / y
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Err(ValueError::DivisionByZero);
+            }
+            x % y
+        }
+    };
+    Ok(Value::Int(v))
+}
+
+fn float_arith(op: ArithOp, x: f64, y: f64) -> f64 {
+    match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y,
+        ArithOp::Mod => x % y,
+    }
+}
+
+/// Unary negation.
+pub fn neg(a: &Value) -> Result<Value, ValueError> {
+    match a {
+        Value::Null => Ok(Value::Null),
+        Value::Int(x) => Ok(Value::Int(-x)),
+        Value::Float(x) => Ok(Value::Float(-x)),
+        other => Err(ValueError::InvalidArithmetic {
+            op: "-",
+            left: "()",
+            right: other.type_name(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_numeric_compare() {
+        assert_eq!(
+            compare(&Value::Int(2), &Value::Float(2.0)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            compare(&Value::Float(1.5), &Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn nan_sorts_greatest() {
+        assert_eq!(
+            compare(&Value::Float(f64::NAN), &Value::Float(1e308)).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(
+            compare(&Value::Float(f64::NAN), &Value::Float(f64::NAN)).unwrap(),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn null_ordering_and_eq() {
+        assert_eq!(
+            compare(&Value::Null, &Value::Int(0)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(sql_eq(&Value::Null, &Value::Int(0)).unwrap(), None);
+        assert_eq!(
+            sql_eq(&Value::Int(1), &Value::Int(1)).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn array_lexicographic() {
+        let a = Value::array(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::array(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::array(vec![Value::Int(1)]);
+        assert_eq!(compare(&a, &b).unwrap(), Ordering::Less);
+        assert_eq!(compare(&c, &a).unwrap(), Ordering::Less);
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(compare(&Value::Bool(true), &Value::Int(1)).is_err());
+        assert!(compare(&Value::str("a"), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Int(1), &Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            arith(ArithOp::Mul, &Value::Null, &Value::Int(2)).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)),
+            Err(ValueError::DivisionByZero)
+        );
+        // Float division by zero is IEEE infinity, not an error.
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Float(1.0), &Value::Float(0.0)).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(neg(&Value::Int(3)).unwrap(), Value::Int(-3));
+        assert_eq!(neg(&Value::Float(-2.5)).unwrap(), Value::Float(2.5));
+        assert!(neg(&Value::str("x")).is_err());
+    }
+}

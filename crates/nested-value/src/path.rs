@@ -1,0 +1,93 @@
+//! Dotted column paths (`Jet.pt`, `MET.sumet`, `event`).
+//!
+//! Paths name leaf columns in the columnar substrate and are also used by
+//! engines for projection-pushdown bookkeeping.
+
+use std::fmt;
+
+/// A dotted path into the nested schema.
+///
+/// The path does not distinguish list nesting — `Jet.pt` names the `pt`
+/// field of the `Jet` struct whether `Jet` is a struct or an array of
+/// structs (exactly like Parquet column paths).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(Vec<String>);
+
+impl Path {
+    /// Parses a dotted path.
+    pub fn parse(s: &str) -> Path {
+        Path(s.split('.').map(|p| p.to_string()).collect())
+    }
+
+    /// Creates a single-segment path.
+    pub fn root(name: &str) -> Path {
+        Path(vec![name.to_string()])
+    }
+
+    /// Appends a segment, returning a new path.
+    pub fn child(&self, name: &str) -> Path {
+        let mut segs = self.0.clone();
+        segs.push(name.to_string());
+        Path(segs)
+    }
+
+    /// Path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.0
+    }
+
+    /// First segment.
+    pub fn head(&self) -> &str {
+        &self.0[0]
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Paths always have at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `self` is `other` or a descendant of `other`.
+    pub fn starts_with(&self, other: &Path) -> bool {
+        self.0.len() >= other.0.len() && self.0[..other.0.len()] == other.0[..]
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("."))
+    }
+}
+
+impl From<&str> for Path {
+    fn from(s: &str) -> Self {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = Path::parse("Jet.pt");
+        assert_eq!(p.segments(), &["Jet".to_string(), "pt".to_string()]);
+        assert_eq!(p.to_string(), "Jet.pt");
+        assert_eq!(p.head(), "Jet");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let jet = Path::root("Jet");
+        let pt = jet.child("pt");
+        assert!(pt.starts_with(&jet));
+        assert!(jet.starts_with(&jet));
+        assert!(!jet.starts_with(&pt));
+        assert!(!Path::parse("Jets.pt").starts_with(&jet));
+    }
+}

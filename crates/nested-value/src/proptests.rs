@@ -1,0 +1,88 @@
+//! Property-based tests for value semantics.
+
+use proptest::prelude::*;
+
+use crate::ops::{arith, compare, ArithOp};
+use crate::value::Value;
+
+/// Strategy for scalar (comparable, numeric) values.
+fn numeric() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e6..1.0e6f64).prop_map(Value::Float),
+    ]
+}
+
+/// Strategy for shallow nested values.
+fn nested() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e6..1.0e6f64).prop_map(Value::Float),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::array),
+            proptest::collection::vec(inner, 0..4).prop_map(|vs| {
+                Value::struct_from(
+                    vs.iter()
+                        .enumerate()
+                        .map(|(i, v)| (["a", "b", "c", "d"][i], v.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Comparison of numerics is antisymmetric and reflexive.
+    #[test]
+    fn compare_antisymmetric(a in numeric(), b in numeric()) {
+        let ab = compare(&a, &b).unwrap();
+        let ba = compare(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(compare(&a, &a).unwrap(), std::cmp::Ordering::Equal);
+    }
+
+    /// Comparison of numerics is transitive.
+    #[test]
+    fn compare_transitive(a in numeric(), b in numeric(), c in numeric()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| compare(x, y).unwrap());
+        prop_assert_ne!(compare(&v[0], &v[1]).unwrap(), Greater);
+        prop_assert_ne!(compare(&v[1], &v[2]).unwrap(), Greater);
+        prop_assert_ne!(compare(&v[0], &v[2]).unwrap(), Greater);
+    }
+
+    /// Addition commutes for numeric values (modulo int wrapping).
+    #[test]
+    fn add_commutes(a in numeric(), b in numeric()) {
+        let x = arith(ArithOp::Add, &a, &b).unwrap();
+        let y = arith(ArithOp::Add, &b, &a).unwrap();
+        prop_assert_eq!(x, y);
+    }
+
+    /// `a - a == 0` for finite numerics.
+    #[test]
+    fn sub_self_is_zero(a in numeric()) {
+        let z = arith(ArithOp::Sub, &a, &a).unwrap();
+        prop_assert_eq!(z.as_f64().unwrap(), 0.0);
+    }
+
+    /// JSON serialization never panics and produces non-empty output.
+    #[test]
+    fn json_total(v in nested()) {
+        let s = crate::json::to_json(&v);
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Clone equality for arbitrary nested values.
+    #[test]
+    fn clone_eq(v in nested()) {
+        let c = v.clone();
+        prop_assert_eq!(v, c);
+    }
+}

@@ -1,0 +1,405 @@
+//! The [`Value`] enum and its constructors/accessors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::ValueError;
+
+/// A dynamically typed, nested value.
+///
+/// Clones are cheap: arrays, structs, and strings are behind [`Arc`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL `NULL` / JSONiq empty-sequence-as-item placeholder.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float. HEP quantities are physically measured, so
+    /// most leaf values are floats.
+    Float(f64),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Variable-length array (the NF² nesting construct).
+    Array(Arc<Vec<Value>>),
+    /// Struct ("row"/"object") with ordered named fields.
+    Struct(Arc<StructValue>),
+}
+
+/// A struct value: ordered `(name, value)` pairs.
+///
+/// Field order is preserved (it matters for anonymous-row coercion in the
+/// SQL engine: Presto/BigQuery match struct arguments positionally), lookups
+/// by name are linear — structs in HEP schemas have at most a few dozen
+/// fields, where a linear scan beats hashing.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StructValue {
+    fields: Vec<(Arc<str>, Value)>,
+}
+
+impl StructValue {
+    /// Creates a struct from `(name, value)` pairs. Duplicate names are a
+    /// programming error and panic in debug builds.
+    pub fn new(fields: Vec<(Arc<str>, Value)>) -> Self {
+        debug_assert!(
+            {
+                let mut names: Vec<&str> = fields.iter().map(|(n, _)| n.as_ref()).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate struct field names"
+        );
+        StructValue { fields }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the struct has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks a field up by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Field by positional index (for anonymous-row access in Presto).
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.fields.get(idx).map(|(_, v)| v)
+    }
+
+    /// Name of the field at `idx`.
+    pub fn name_at(&self, idx: usize) -> Option<&str> {
+        self.fields.get(idx).map(|(n, _)| n.as_ref())
+    }
+
+    /// Iterates `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (n.as_ref(), v))
+    }
+
+    /// Consumes the struct into its field vector.
+    pub fn into_fields(self) -> Vec<(Arc<str>, Value)> {
+        self.fields
+    }
+
+    /// Returns a new struct with `name` set to `value` (replacing an
+    /// existing field of the same name, else appending).
+    pub fn with_field(&self, name: &str, value: Value) -> StructValue {
+        let mut fields = self.fields.clone();
+        if let Some(slot) = fields.iter_mut().find(|(n, _)| n.as_ref() == name) {
+            slot.1 = value;
+        } else {
+            fields.push((Arc::from(name), value));
+        }
+        StructValue { fields }
+    }
+}
+
+/// Builder used by engines to assemble struct values ergonomically.
+#[derive(Default)]
+pub struct StructBuilder {
+    fields: Vec<(Arc<str>, Value)>,
+}
+
+impl StructBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` fields.
+    pub fn with_capacity(n: usize) -> Self {
+        StructBuilder {
+            fields: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, name: impl Into<Arc<str>>, value: Value) -> Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// Appends a field by mutable reference.
+    pub fn push(&mut self, name: impl Into<Arc<str>>, value: Value) {
+        self.fields.push((name.into(), value));
+    }
+
+    /// Finalizes into a [`Value::Struct`].
+    pub fn build(self) -> Value {
+        Value::Struct(Arc::new(StructValue::new(self.fields)))
+    }
+}
+
+impl Value {
+    /// Constructs a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Constructs an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Arc::new(items))
+    }
+
+    /// Constructs an empty array.
+    pub fn empty_array() -> Value {
+        Value::Array(Arc::new(Vec::new()))
+    }
+
+    /// Constructs a struct value from `(name, value)` pairs.
+    pub fn struct_from(fields: Vec<(&str, Value)>) -> Value {
+        Value::Struct(Arc::new(StructValue::new(
+            fields.into_iter().map(|(n, v)| (Arc::from(n), v)).collect(),
+        )))
+    }
+
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Struct(_) => "struct",
+        }
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Result<bool, ValueError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ValueError::type_mismatch("boolean", other)),
+        }
+    }
+
+    /// Integer accessor (floats with integral value are not coerced; use
+    /// [`Value::as_f64`] for numeric contexts).
+    pub fn as_i64(&self) -> Result<i64, ValueError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ValueError::type_mismatch("integer", other)),
+        }
+    }
+
+    /// Numeric accessor with Int→Float coercion.
+    pub fn as_f64(&self) -> Result<f64, ValueError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(ValueError::type_mismatch("number", other)),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Result<&str, ValueError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ValueError::type_mismatch("string", other)),
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Result<&[Value], ValueError> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(ValueError::type_mismatch("array", other)),
+        }
+    }
+
+    /// Struct accessor.
+    pub fn as_struct(&self) -> Result<&StructValue, ValueError> {
+        match self {
+            Value::Struct(s) => Ok(s),
+            other => Err(ValueError::type_mismatch("struct", other)),
+        }
+    }
+
+    /// Field access `value.name`, erroring on non-structs or missing fields.
+    pub fn field(&self, name: &str) -> Result<&Value, ValueError> {
+        let s = self.as_struct()?;
+        s.get(name)
+            .ok_or_else(|| ValueError::NoSuchField(name.to_string()))
+    }
+
+    /// True if the value is numeric (Int or Float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Float(f as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Struct(s) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "\"{n}\": {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_lookup_by_name_and_index() {
+        let v = Value::struct_from(vec![("pt", Value::Float(31.5)), ("eta", Value::Float(-0.4))]);
+        let s = v.as_struct().unwrap();
+        assert_eq!(s.get("pt"), Some(&Value::Float(31.5)));
+        assert_eq!(s.get_index(1), Some(&Value::Float(-0.4)));
+        assert_eq!(s.name_at(0), Some("pt"));
+        assert!(s.get("phi").is_none());
+    }
+
+    #[test]
+    fn field_access_errors() {
+        let v = Value::struct_from(vec![("pt", Value::Float(1.0))]);
+        assert!(v.field("pt").is_ok());
+        assert!(matches!(v.field("nope"), Err(ValueError::NoSuchField(_))));
+        assert!(Value::Int(3).field("pt").is_err());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64().unwrap(), 2.5);
+        assert!(Value::Bool(true).as_f64().is_err());
+        assert!(Value::Float(3.0).as_i64().is_err());
+    }
+
+    #[test]
+    fn with_field_replaces_and_appends() {
+        let s = StructValue::new(vec![(Arc::from("a"), Value::Int(1))]);
+        let s2 = s.with_field("a", Value::Int(2));
+        let s3 = s2.with_field("b", Value::Int(3));
+        assert_eq!(s3.get("a"), Some(&Value::Int(2)));
+        assert_eq!(s3.get("b"), Some(&Value::Int(3)));
+        assert_eq!(s3.len(), 2);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let big = Value::array((0..1000).map(Value::Int).collect());
+        let c = big.clone();
+        // Same allocation: Arc pointer equality.
+        match (&big, &c) {
+            (Value::Array(a), Value::Array(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let v = Value::struct_from(vec![
+            ("met", Value::Float(42.0)),
+            ("jets", Value::array(vec![Value::Int(1), Value::Int(2)])),
+            ("tag", Value::str("mu")),
+        ]);
+        let s = format!("{v}");
+        assert!(s.contains("\"met\": 42.0"));
+        assert!(s.contains("[1, 2]"));
+        assert!(s.contains("\"mu\""));
+    }
+
+    #[test]
+    fn builder_constructs_in_order() {
+        let v = StructBuilder::new()
+            .field("x", Value::Int(1))
+            .field("y", Value::Int(2))
+            .build();
+        let s = v.as_struct().unwrap();
+        assert_eq!(s.name_at(0), Some("x"));
+        assert_eq!(s.name_at(1), Some("y"));
+    }
+}

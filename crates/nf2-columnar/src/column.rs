@@ -1,0 +1,236 @@
+//! Physical column chunks.
+
+use crate::compress;
+use crate::schema::PhysicalType;
+
+/// The physical buffer of one leaf column within one row group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 32-bit integers.
+    I32(Vec<i32>),
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    /// Creates an empty buffer of the given physical type.
+    pub fn empty(pt: PhysicalType) -> ColumnData {
+        match pt {
+            PhysicalType::Bool => ColumnData::Bool(Vec::new()),
+            PhysicalType::Int32 => ColumnData::I32(Vec::new()),
+            PhysicalType::Int64 => ColumnData::I64(Vec::new()),
+            PhysicalType::Float32 => ColumnData::F32(Vec::new()),
+            PhysicalType::Float64 => ColumnData::F64(Vec::new()),
+        }
+    }
+
+    /// The buffer's physical type.
+    pub fn physical_type(&self) -> PhysicalType {
+        match self {
+            ColumnData::Bool(_) => PhysicalType::Bool,
+            ColumnData::I32(_) => PhysicalType::Int32,
+            ColumnData::I64(_) => PhysicalType::Int64,
+            ColumnData::F32(_) => PhysicalType::Float32,
+            ColumnData::F64(_) => PhysicalType::Float64,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F32(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry at `i` widened to `f64` (numeric columns only; booleans map to
+    /// 0.0/1.0 so histogram engines can treat everything uniformly).
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            ColumnData::Bool(v) => v[i] as u8 as f64,
+            ColumnData::I32(v) => v[i] as f64,
+            ColumnData::I64(v) => v[i] as f64,
+            ColumnData::F32(v) => v[i] as f64,
+            ColumnData::F64(v) => v[i],
+        }
+    }
+
+    /// Entry at `i` as the dynamic value type.
+    pub fn get_value(&self, i: usize) -> nested_value::Value {
+        use nested_value::Value;
+        match self {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::I32(v) => Value::Int(v[i] as i64),
+            ColumnData::I64(v) => Value::Int(v[i]),
+            ColumnData::F32(v) => Value::Float(v[i] as f64),
+            ColumnData::F64(v) => Value::Float(v[i]),
+        }
+    }
+
+    /// Uncompressed byte size of the buffer.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.len() * self.physical_type().width()
+    }
+}
+
+/// A leaf column within one row group: data, optional offsets, and
+/// physically accurate size accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnChunk {
+    /// Value buffer (flattened across list elements if `offsets` is set).
+    pub data: ColumnData,
+    /// For repeated leaves: `n_rows + 1` offsets into `data`; row `i` owns
+    /// entries `offsets[i]..offsets[i+1]`. `None` for non-repeated leaves.
+    pub offsets: Option<Vec<u32>>,
+    /// Byte size after the honest lightweight compression of [`compress`].
+    pub compressed_bytes: usize,
+    /// Minimum value (numeric view), if any entries exist.
+    pub min: Option<f64>,
+    /// Maximum value (numeric view), if any entries exist.
+    pub max: Option<f64>,
+}
+
+impl ColumnChunk {
+    /// Seals a buffer into a chunk: computes compressed size and statistics.
+    pub fn seal(data: ColumnData, offsets: Option<Vec<u32>>) -> ColumnChunk {
+        let compressed_bytes =
+            compress::compressed_size(&data) + offsets.as_ref().map_or(0, |o| compress::offsets_size(o));
+        let (mut min, mut max) = (None::<f64>, None::<f64>);
+        for i in 0..data.len() {
+            let x = data.get_f64(i);
+            min = Some(min.map_or(x, |m: f64| m.min(x)));
+            max = Some(max.map_or(x, |m: f64| m.max(x)));
+        }
+        ColumnChunk {
+            data,
+            offsets,
+            compressed_bytes,
+            min,
+            max,
+        }
+    }
+
+    /// Number of leaf entries (not rows).
+    pub fn n_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Uncompressed physical byte size (values + offsets).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.data.uncompressed_bytes() + self.offsets.as_ref().map_or(0, |o| o.len() * 4)
+    }
+
+    /// The entry range belonging to row `row` for repeated leaves, or
+    /// `row..row + 1` for flat leaves.
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        match &self.offsets {
+            Some(off) => off[row] as usize..off[row + 1] as usize,
+            None => row..row + 1,
+        }
+    }
+
+    /// Typed view for hot loops: f64 slice (only for `Float64` buffers).
+    pub fn f64s(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view for hot loops: f32 slice.
+    pub fn f32s(&self) -> Option<&[f32]> {
+        match &self.data {
+            ColumnData::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: i32 slice.
+    pub fn i32s(&self) -> Option<&[i32]> {
+        match &self.data {
+            ColumnData::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: i64 slice.
+    pub fn i64s(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed view: bool slice.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_computes_stats() {
+        let c = ColumnChunk::seal(ColumnData::F64(vec![3.0, -1.0, 2.0]), None);
+        assert_eq!(c.min, Some(-1.0));
+        assert_eq!(c.max, Some(3.0));
+        assert_eq!(c.n_entries(), 3);
+        assert_eq!(c.uncompressed_bytes(), 24);
+        assert!(c.compressed_bytes > 0);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let c = ColumnChunk::seal(ColumnData::F32(vec![]), None);
+        assert_eq!(c.min, None);
+        assert_eq!(c.max, None);
+        assert_eq!(c.uncompressed_bytes(), 0);
+    }
+
+    #[test]
+    fn row_range_with_offsets() {
+        let c = ColumnChunk::seal(
+            ColumnData::I32(vec![1, 2, 3, 4, 5]),
+            Some(vec![0, 2, 2, 5]),
+        );
+        assert_eq!(c.row_range(0), 0..2);
+        assert_eq!(c.row_range(1), 2..2);
+        assert_eq!(c.row_range(2), 2..5);
+    }
+
+    #[test]
+    fn typed_views() {
+        let c = ColumnChunk::seal(ColumnData::F64(vec![1.0]), None);
+        assert!(c.f64s().is_some());
+        assert!(c.f32s().is_none());
+        assert_eq!(c.data.get_f64(0), 1.0);
+        assert_eq!(c.data.get_value(0), nested_value::Value::Float(1.0));
+    }
+
+    #[test]
+    fn bool_numeric_view() {
+        let d = ColumnData::Bool(vec![true, false]);
+        assert_eq!(d.get_f64(0), 1.0);
+        assert_eq!(d.get_f64(1), 0.0);
+        assert_eq!(d.uncompressed_bytes(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Honest lightweight compression-size estimation.
+//!
+//! The substrate never stores compressed bytes (queries read the typed
+//! buffers directly), but the *compressed size* of each chunk must be real:
+//! it is the basis of Athena-style scan pricing and of the paper's Figure 4b
+//! "ideal bytes" line. We therefore run actual encodings over the data and
+//! count output bytes:
+//!
+//! * **Bool** — bit-packing followed by byte-level RLE (flag columns are
+//!   mostly constant and compress extremely well).
+//! * **Int32/Int64** — zig-zag delta encoding with LEB128 varints, the same
+//!   family Parquet's `DELTA_BINARY_PACKED` belongs to.
+//! * **Float32/Float64** — byte-plane split (as in Parquet's
+//!   `BYTE_STREAM_SPLIT`) with RLE per plane. Sign/exponent planes compress
+//!   somewhat; mantissa planes of physics measurements are close to random,
+//!   so overall ratios stay near 1 — exactly the behaviour the paper relies
+//!   on when discussing Athena's pricing ("most columns … have only
+//!   negligible compression ratios").
+
+use crate::column::ColumnData;
+
+/// Computes the compressed byte size of a buffer using the encodings above.
+pub fn compressed_size(data: &ColumnData) -> usize {
+    match data {
+        ColumnData::Bool(v) => bool_size(v),
+        ColumnData::I32(v) => varint_delta_size(v.iter().map(|&x| x as i64)),
+        ColumnData::I64(v) => varint_delta_size(v.iter().copied()),
+        ColumnData::F32(v) => byte_plane_size(v.iter().flat_map(|x| x.to_le_bytes()), 4, v.len()),
+        ColumnData::F64(v) => byte_plane_size(v.iter().flat_map(|x| x.to_le_bytes()), 8, v.len()),
+    }
+}
+
+/// Compressed size of an offsets array (delta + varint: offsets are sorted,
+/// so deltas are the per-row list lengths, which are tiny).
+pub fn offsets_size(offsets: &[u32]) -> usize {
+    varint_delta_size(offsets.iter().map(|&x| x as i64))
+}
+
+fn bool_size(v: &[bool]) -> usize {
+    // Bit-pack, then RLE the packed bytes.
+    let mut bytes = Vec::with_capacity(v.len() / 8 + 1);
+    for chunk in v.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            b |= (bit as u8) << i;
+        }
+        bytes.push(b);
+    }
+    rle_size(&bytes)
+}
+
+/// Byte length of a PackBits-style RLE encoding of a byte stream: repeated
+/// runs of ≥3 cost a control byte plus the value; literal stretches cost
+/// their own length plus one control byte per 127 literals. Incompressible
+/// data therefore costs ~100.8% of its raw size, never 2×.
+fn rle_size(bytes: &[u8]) -> usize {
+    let mut size = 0usize;
+    let mut literals = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let mut run = 1usize;
+        while i + run < bytes.len() && bytes[i + run] == b && run < 130 {
+            run += 1;
+        }
+        if run >= 3 {
+            size += literal_cost(literals) + 2;
+            literals = 0;
+        } else {
+            literals += run;
+        }
+        i += run;
+    }
+    size + literal_cost(literals)
+}
+
+fn literal_cost(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n + n.div_ceil(127)
+    }
+}
+
+/// Byte length of the LEB128 varint encoding of `x`.
+fn varint_len(x: u64) -> usize {
+    (64 - x.leading_zeros()).div_ceil(7).max(1) as usize
+}
+
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+fn varint_delta_size<I: IntoIterator<Item = i64>>(xs: I) -> usize {
+    let mut prev = 0i64;
+    let mut size = 0usize;
+    for x in xs {
+        size += varint_len(zigzag(x.wrapping_sub(prev)));
+        prev = x;
+    }
+    size
+}
+
+/// Splits a little-endian byte stream into `width` planes and RLE-encodes
+/// each plane separately.
+fn byte_plane_size<I: IntoIterator<Item = u8>>(bytes: I, width: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut planes: Vec<Vec<u8>> = vec![Vec::with_capacity(n); width];
+    for (i, b) in bytes.into_iter().enumerate() {
+        planes[i % width].push(b);
+    }
+    planes.iter().map(|p| rle_size(p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_bools_compress_heavily() {
+        let v = vec![true; 8000];
+        let size = compressed_size(&ColumnData::Bool(v));
+        assert!(size < 20, "constant flags should RLE to almost nothing, got {size}");
+    }
+
+    #[test]
+    fn sequential_ints_compress_heavily() {
+        let v: Vec<i64> = (0..10_000).collect();
+        let size = compressed_size(&ColumnData::I64(v));
+        // Delta of 1 → 1 byte per entry.
+        assert!(size <= 10_001, "got {size}");
+        assert!(size > 5_000);
+    }
+
+    #[test]
+    fn random_floats_barely_compress() {
+        // Deterministic pseudo-random floats via a simple LCG.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let v: Vec<f32> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                20.0 + (x >> 40) as f32 / 1000.0
+            })
+            .collect();
+        let raw = v.len() * 4;
+        let size = compressed_size(&ColumnData::F32(v));
+        let ratio = size as f64 / raw as f64;
+        assert!(
+            ratio > 0.6 && ratio <= 1.3,
+            "physics-like floats should have a negligible compression ratio, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn offsets_compress_like_small_deltas() {
+        let offsets: Vec<u32> = (0..=1000u32).map(|i| i * 3).collect();
+        let size = offsets_size(&offsets);
+        assert!(size <= 1001, "got {size}");
+    }
+
+    #[test]
+    fn varint_lengths() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn empty_buffers_are_zero() {
+        assert_eq!(compressed_size(&ColumnData::F64(vec![])), 0);
+        assert_eq!(compressed_size(&ColumnData::Bool(vec![])), 0);
+        assert_eq!(compressed_size(&ColumnData::I32(vec![])), 0);
+    }
+}

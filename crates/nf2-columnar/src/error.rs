@@ -1,0 +1,46 @@
+//! Error type for the columnar substrate.
+
+use std::fmt;
+
+/// Errors raised while building, reading, or persisting columnar data.
+#[derive(Debug)]
+pub enum ColumnarError {
+    /// A value did not match the declared schema.
+    SchemaMismatch(String),
+    /// A requested column path does not exist in the schema.
+    UnknownColumn(String),
+    /// Schema construction rejected an unsupported shape
+    /// (e.g. lists nested inside lists).
+    UnsupportedSchema(String),
+    /// File-format corruption or version mismatch.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ColumnarError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            ColumnarError::UnsupportedSchema(m) => write!(f, "unsupported schema: {m}"),
+            ColumnarError::Format(m) => write!(f, "file format error: {m}"),
+            ColumnarError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColumnarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ColumnarError {
+    fn from(e: std::io::Error) -> Self {
+        ColumnarError::Io(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! # nf2-columnar
+//!
+//! A nested (NF²) columnar storage substrate playing the role that Parquet
+//! plays in the paper.
+//!
+//! The paper's performance and cost analysis depends on a handful of storage
+//! properties, all of which this crate models explicitly and honestly:
+//!
+//! * **Column decomposition of nested data** — every scalar leaf of the
+//!   schema tree (e.g. `Jet.pt` inside `array<struct<…>>`) is stored as its
+//!   own contiguous buffer, with a shared offsets array per repeated parent
+//!   (HEP data has no NULLs and at most one repetition level, so full
+//!   Dremel-style definition/repetition levels are not needed — offsets are
+//!   exactly equivalent here and cheaper).
+//! * **Row groups** — horizontal partitions that are the unit of parallelism
+//!   for every engine, reproducing the paper's Figure 2 plateau (systems
+//!   "only parallelize across row groups, not within them").
+//! * **Projection pushdown** — a reader declares which leaf columns it
+//!   needs. The [`project::PushdownCapability`] flag reproduces the
+//!   Presto/Athena limitation of *not* pushing projections into structs
+//!   (paper §4.1, Figure 4b): with `WholeStructs`, touching any field of a
+//!   struct charges and reads every leaf beneath it.
+//! * **I/O accounting** — every scan yields [`scan::ScanStats`] with
+//!   compressed bytes read, uncompressed sizes, and the BigQuery-style
+//!   *logical* bytes (every number priced as 8 B regardless of physical
+//!   precision), feeding the cost models of the `cloud-sim` crate.
+//! * **Compression** — physical leaf buffers are assigned an honest
+//!   compressed size by actually running lightweight encodings
+//!   (bit-packing, delta+varint, byte-plane RLE) over the data; see
+//!   [`compress`]. Floating-point columns barely compress — the very
+//!   property the paper uses to explain Athena's pricing.
+//!
+//! The crate also provides a simple on-disk container format ([`file`]) so
+//! data sets can be materialized and re-read, with real file sizes.
+
+pub mod column;
+pub mod compress;
+pub mod error;
+pub mod file;
+pub mod project;
+pub mod rowgroup;
+pub mod scan;
+pub mod schema;
+pub mod table;
+
+pub use column::{ColumnChunk, ColumnData};
+pub use error::ColumnarError;
+pub use project::{Projection, PushdownCapability};
+pub use rowgroup::RowGroup;
+pub use scan::{ExecStats, ScanStats};
+pub use schema::{DataType, Field, PhysicalType, Schema};
+pub use table::{Table, TableBuilder};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,215 @@
+//! Projection resolution and pushdown capabilities.
+
+use nested_value::Path;
+
+use crate::error::ColumnarError;
+use crate::schema::{LeafInfo, Schema};
+
+/// How far a reader can push projections into the storage layer.
+///
+/// Models the paper's §4.1/Figure 4b findings:
+///
+/// * BigQuery and the C++ Parquet reader push projections down to individual
+///   leaf columns ([`PushdownCapability::IndividualLeaves`]).
+/// * Presto and Athena (Java Parquet) cannot project *into* structs: access
+///   to `Jet.pt` reads every leaf of `Jet`
+///   ([`PushdownCapability::WholeStructs`]).
+/// * Rumble pushes no projection at all and reads the whole file
+///   ([`PushdownCapability::None`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushdownCapability {
+    /// Read exactly the leaf columns the query needs.
+    IndividualLeaves,
+    /// Reading any field of a top-level struct reads all of its leaves.
+    WholeStructs,
+    /// Read every leaf column of the table.
+    None,
+}
+
+/// A set of requested column paths (leaf or interior).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Projection {
+    paths: Vec<Path>,
+    /// If true, the projection means "everything".
+    all: bool,
+}
+
+impl Projection {
+    /// Projects every column.
+    pub fn all() -> Projection {
+        Projection {
+            paths: Vec::new(),
+            all: true,
+        }
+    }
+
+    /// Projects the given paths. Interior paths select all leaves below.
+    pub fn of<I, S>(paths: I) -> Projection
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Projection {
+            paths: paths.into_iter().map(|s| Path::parse(s.as_ref())).collect(),
+            all: false,
+        }
+    }
+
+    /// The raw requested paths (empty when `all`).
+    pub fn requested(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// True if this projection selects everything.
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// Resolves to the concrete set of leaf columns that will be **read**
+    /// under the given pushdown capability, in schema order.
+    ///
+    /// Errors if a requested path does not exist in the schema.
+    pub fn resolve<'s>(
+        &self,
+        schema: &'s Schema,
+        cap: PushdownCapability,
+    ) -> Result<Vec<&'s LeafInfo>, ColumnarError> {
+        if self.all || cap == PushdownCapability::None {
+            // Validate requested paths even when reading everything, so a
+            // typo'd query column is still an error rather than silence.
+            self.validate(schema)?;
+            return Ok(schema.leaves().iter().collect());
+        }
+        self.validate(schema)?;
+        let mut selected: Vec<&LeafInfo> = Vec::new();
+        for leaf in schema.leaves() {
+            let hit = match cap {
+                PushdownCapability::IndividualLeaves => {
+                    self.paths.iter().any(|p| leaf.path.starts_with(p))
+                }
+                PushdownCapability::WholeStructs => self
+                    .paths
+                    .iter()
+                    .any(|p| leaf.path.head() == p.head()),
+                PushdownCapability::None => unreachable!(),
+            };
+            if hit {
+                selected.push(leaf);
+            }
+        }
+        Ok(selected)
+    }
+
+    /// The leaves the query *logically needs* (independent of capability) —
+    /// the basis for ideal-bytes accounting and BigQuery pricing.
+    pub fn logical_leaves<'s>(
+        &self,
+        schema: &'s Schema,
+    ) -> Result<Vec<&'s LeafInfo>, ColumnarError> {
+        self.resolve(schema, PushdownCapability::IndividualLeaves)
+            .map(|v| {
+                if self.all {
+                    schema.leaves().iter().collect()
+                } else {
+                    v
+                }
+            })
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<(), ColumnarError> {
+        for p in &self.paths {
+            if schema.type_at(p).is_none() {
+                return Err(ColumnarError::UnknownColumn(p.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("event", DataType::i64()),
+            Field::new(
+                "MET",
+                DataType::Struct(vec![
+                    Field::new("pt", DataType::f32()),
+                    Field::new("phi", DataType::f32()),
+                    Field::new("sumet", DataType::f32()),
+                ]),
+            ),
+            Field::new(
+                "Jet",
+                DataType::particle_list(vec![
+                    Field::new("pt", DataType::f32()),
+                    Field::new("eta", DataType::f32()),
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn names(leaves: &[&LeafInfo]) -> Vec<String> {
+        leaves.iter().map(|l| l.path.to_string()).collect()
+    }
+
+    #[test]
+    fn individual_leaf_pushdown() {
+        let s = schema();
+        let p = Projection::of(["MET.pt", "Jet.pt"]);
+        let leaves = p.resolve(&s, PushdownCapability::IndividualLeaves).unwrap();
+        assert_eq!(names(&leaves), vec!["MET.pt", "Jet.pt"]);
+    }
+
+    #[test]
+    fn whole_struct_pushdown_expands() {
+        let s = schema();
+        let p = Projection::of(["MET.pt", "Jet.pt"]);
+        let leaves = p.resolve(&s, PushdownCapability::WholeStructs).unwrap();
+        assert_eq!(
+            names(&leaves),
+            vec!["MET.pt", "MET.phi", "MET.sumet", "Jet.pt", "Jet.eta"]
+        );
+    }
+
+    #[test]
+    fn no_pushdown_reads_everything() {
+        let s = schema();
+        let p = Projection::of(["event"]);
+        let leaves = p.resolve(&s, PushdownCapability::None).unwrap();
+        assert_eq!(leaves.len(), s.n_leaves());
+    }
+
+    #[test]
+    fn interior_path_selects_subtree() {
+        let s = schema();
+        let p = Projection::of(["Jet"]);
+        let leaves = p.resolve(&s, PushdownCapability::IndividualLeaves).unwrap();
+        assert_eq!(names(&leaves), vec!["Jet.pt", "Jet.eta"]);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let s = schema();
+        let p = Projection::of(["Jets.pt"]);
+        assert!(matches!(
+            p.resolve(&s, PushdownCapability::IndividualLeaves),
+            Err(ColumnarError::UnknownColumn(_))
+        ));
+        // Even with no pushdown the error must surface.
+        assert!(p.resolve(&s, PushdownCapability::None).is_err());
+    }
+
+    #[test]
+    fn all_projection() {
+        let s = schema();
+        let leaves = Projection::all()
+            .resolve(&s, PushdownCapability::IndividualLeaves)
+            .unwrap();
+        assert_eq!(leaves.len(), s.n_leaves());
+    }
+}

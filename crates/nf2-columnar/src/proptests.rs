@@ -1,0 +1,129 @@
+//! Property tests: arbitrary NF² rows round-trip through the columnar
+//! representation and the file format, and pushdown accounting is monotone.
+
+use proptest::prelude::*;
+
+use nested_value::Value;
+
+use crate::project::{Projection, PushdownCapability};
+use crate::scan::scan_stats;
+use crate::schema::{DataType, Field, Schema};
+use crate::table::TableBuilder;
+
+fn test_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("event", DataType::i64()),
+        Field::new(
+            "MET",
+            DataType::Struct(vec![
+                Field::new("pt", DataType::f64()),
+                Field::new("phi", DataType::f64()),
+            ]),
+        ),
+        Field::new(
+            "Jet",
+            DataType::particle_list(vec![
+                Field::new("pt", DataType::f64()),
+                Field::new("tag", DataType::bool()),
+                Field::new("q", DataType::i32()),
+            ]),
+        ),
+    ])
+    .unwrap()
+}
+
+prop_compose! {
+    fn arb_jet()(pt in 0.0..500.0f64, tag in any::<bool>(), q in -1i32..=1) -> Value {
+        Value::struct_from(vec![
+            ("pt", Value::Float(pt)),
+            ("tag", Value::Bool(tag)),
+            ("q", Value::Int(q as i64)),
+        ])
+    }
+}
+
+prop_compose! {
+    fn arb_row()(
+        event in 0i64..1_000_000,
+        met_pt in 0.0..300.0f64,
+        met_phi in -3.14..3.14f64,
+        jets in proptest::collection::vec(arb_jet(), 0..12),
+    ) -> Value {
+        Value::struct_from(vec![
+            ("event", Value::Int(event)),
+            ("MET", Value::struct_from(vec![
+                ("pt", Value::Float(met_pt)),
+                ("phi", Value::Float(met_phi)),
+            ])),
+            ("Jet", Value::array(jets)),
+        ])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rows → columnar → rows is the identity, across row-group boundaries.
+    #[test]
+    fn columnar_roundtrip(rows in proptest::collection::vec(arb_row(), 0..40), rg in 1usize..7) {
+        let mut b = TableBuilder::new("t", test_schema(), rg);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        prop_assert_eq!(t.n_rows(), rows.len());
+        let leaves: Vec<_> = t.schema().leaves().iter().collect();
+        let got: Vec<Value> = t.row_groups().iter()
+            .flat_map(|g| g.read_rows(t.schema(), &leaves).unwrap())
+            .collect();
+        prop_assert_eq!(got, rows);
+    }
+
+    /// rows → columnar → file bytes → columnar → rows is the identity.
+    #[test]
+    fn file_roundtrip(rows in proptest::collection::vec(arb_row(), 0..20), rg in 1usize..5) {
+        let mut b = TableBuilder::new("t", test_schema(), rg);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let mut buf = Vec::new();
+        crate::file::write_table(&t, &mut buf).unwrap();
+        let t2 = crate::file::read_table(&mut &buf[..]).unwrap();
+        let leaves: Vec<_> = t2.schema().leaves().iter().collect();
+        let got: Vec<Value> = t2.row_groups().iter()
+            .flat_map(|g| g.read_rows(t2.schema(), &leaves).unwrap())
+            .collect();
+        prop_assert_eq!(got, rows);
+    }
+
+    /// Scan-byte accounting is monotone in pushdown capability.
+    #[test]
+    fn pushdown_monotone(rows in proptest::collection::vec(arb_row(), 1..30)) {
+        let mut b = TableBuilder::new("t", test_schema(), 8);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let p = Projection::of(["Jet.pt", "MET.pt"]);
+        let fine = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let coarse = scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap();
+        let none = scan_stats(&t, &p, PushdownCapability::None).unwrap();
+        prop_assert!(fine.bytes_scanned <= coarse.bytes_scanned);
+        prop_assert!(coarse.bytes_scanned <= none.bytes_scanned);
+        prop_assert!(fine.columns_read <= coarse.columns_read);
+        // Ideal accounting does not depend on capability.
+        prop_assert_eq!(fine.ideal_compressed_bytes, none.ideal_compressed_bytes);
+        prop_assert_eq!(fine.rows, rows.len() as u64);
+    }
+
+    /// `head(n)` preserves row prefix and never exceeds n rows.
+    #[test]
+    fn head_is_prefix(rows in proptest::collection::vec(arb_row(), 0..25), n in 0usize..30, rg in 1usize..6) {
+        let mut b = TableBuilder::new("t", test_schema(), rg);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let h = t.head(n);
+        let expect = n.min(rows.len());
+        prop_assert_eq!(h.n_rows(), expect);
+        let leaves: Vec<_> = h.schema().leaves().iter().collect();
+        let got: Vec<Value> = h.row_groups().iter()
+            .flat_map(|g| g.read_rows(h.schema(), &leaves).unwrap())
+            .collect();
+        prop_assert_eq!(&got[..], &rows[..expect]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Row groups: the horizontal partition and unit of parallelism.
+
+use std::collections::BTreeMap;
+
+use nested_value::{Path, StructValue, Value};
+
+use crate::column::ColumnChunk;
+use crate::error::ColumnarError;
+use crate::schema::{DataType, LeafInfo, Schema};
+
+/// A horizontal slice of the table with one [`ColumnChunk`] per leaf.
+#[derive(Clone, Debug)]
+pub struct RowGroup {
+    n_rows: usize,
+    columns: BTreeMap<Path, ColumnChunk>,
+}
+
+impl RowGroup {
+    /// Assembles a row group; the caller guarantees chunk/row consistency
+    /// (the [`crate::table::TableBuilder`] does).
+    pub(crate) fn new(n_rows: usize, columns: BTreeMap<Path, ColumnChunk>) -> RowGroup {
+        RowGroup { n_rows, columns }
+    }
+
+    /// Number of rows (events).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Chunk for a leaf path.
+    pub fn column(&self, path: &Path) -> Result<&ColumnChunk, ColumnarError> {
+        self.columns
+            .get(path)
+            .ok_or_else(|| ColumnarError::UnknownColumn(path.to_string()))
+    }
+
+    /// All `(path, chunk)` pairs in path order.
+    pub fn columns(&self) -> impl Iterator<Item = (&Path, &ColumnChunk)> {
+        self.columns.iter()
+    }
+
+    /// Total compressed bytes across the given leaves.
+    pub fn compressed_bytes(&self, leaves: &[&LeafInfo]) -> usize {
+        leaves
+            .iter()
+            .filter_map(|l| self.columns.get(&l.path))
+            .map(|c| c.compressed_bytes)
+            .sum()
+    }
+
+    /// Total uncompressed bytes across the given leaves.
+    pub fn uncompressed_bytes(&self, leaves: &[&LeafInfo]) -> usize {
+        leaves
+            .iter()
+            .filter_map(|l| self.columns.get(&l.path))
+            .map(|c| c.uncompressed_bytes())
+            .sum()
+    }
+
+    /// BigQuery-style logical bytes: entry count × logical type width.
+    pub fn logical_bytes(&self, leaves: &[&LeafInfo]) -> usize {
+        leaves
+            .iter()
+            .filter_map(|l| self.columns.get(&l.path).map(|c| (l, c)))
+            .map(|(l, c)| c.n_entries() * l.ptype.logical_width())
+            .sum()
+    }
+
+    /// Reconstructs row `row` as a nested [`Value`] containing exactly the
+    /// top-level fields that have at least one projected leaf.
+    ///
+    /// `leaves` must be schema-ordered (as produced by
+    /// [`crate::project::Projection::resolve`]).
+    pub fn read_row(
+        &self,
+        schema: &Schema,
+        leaves: &[&LeafInfo],
+        row: usize,
+    ) -> Result<Value, ColumnarError> {
+        debug_assert!(row < self.n_rows);
+        let mut builder = nested_value::value::StructBuilder::new();
+        for field in schema.fields() {
+            let prefix = Path::root(&field.name);
+            let sub: Vec<&LeafInfo> = leaves
+                .iter()
+                .copied()
+                .filter(|l| l.path.starts_with(&prefix))
+                .collect();
+            if sub.is_empty() {
+                continue;
+            }
+            let v = self.build_value(&field.dtype, &prefix, &sub, Index::Row(row))?;
+            builder.push(field.name.as_str(), v);
+        }
+        Ok(builder.build())
+    }
+
+    /// Reads all rows of the group (convenience for engines that want a
+    /// materialized batch).
+    pub fn read_rows(
+        &self,
+        schema: &Schema,
+        leaves: &[&LeafInfo],
+    ) -> Result<Vec<Value>, ColumnarError> {
+        (0..self.n_rows)
+            .map(|r| self.read_row(schema, leaves, r))
+            .collect()
+    }
+
+    fn build_value(
+        &self,
+        dtype: &DataType,
+        path: &Path,
+        leaves: &[&LeafInfo],
+        idx: Index,
+    ) -> Result<Value, ColumnarError> {
+        match dtype {
+            DataType::Scalar(_) => {
+                let chunk = self.column(path)?;
+                let entry = match idx {
+                    Index::Row(r) => chunk.row_range(r).start,
+                    Index::Entry(e) => e,
+                };
+                Ok(chunk.data.get_value(entry))
+            }
+            DataType::Struct(fields) => {
+                let mut out = Vec::new();
+                for f in fields {
+                    let child = path.child(&f.name);
+                    let sub: Vec<&LeafInfo> = leaves
+                        .iter()
+                        .copied()
+                        .filter(|l| l.path.starts_with(&child))
+                        .collect();
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    let v = self.build_value(&f.dtype, &child, &sub, idx)?;
+                    out.push((std::sync::Arc::from(f.name.as_str()), v));
+                }
+                Ok(Value::Struct(std::sync::Arc::new(StructValue::new(out))))
+            }
+            DataType::List(inner) => {
+                let row = match idx {
+                    Index::Row(r) => r,
+                    Index::Entry(_) => {
+                        return Err(ColumnarError::SchemaMismatch(format!(
+                            "nested list at {path}"
+                        )))
+                    }
+                };
+                // Any projected leaf below this list carries the offsets.
+                let first = leaves.first().expect("non-empty leaf set");
+                let chunk = self.column(&first.path)?;
+                let range = chunk.row_range(row);
+                let mut items = Vec::with_capacity(range.len());
+                for e in range {
+                    items.push(self.build_value(inner, path, leaves, Index::Entry(e))?);
+                }
+                Ok(Value::array(items))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Index {
+    /// Indexing a non-repeated context by row number.
+    Row(usize),
+    /// Indexing inside a repeated context by flat entry number.
+    Entry(usize),
+}

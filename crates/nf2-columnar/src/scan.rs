@@ -1,0 +1,188 @@
+//! Scan statistics: the I/O accounting behind Figure 4b and the QaaS
+//! pricing models.
+
+use crate::error::ColumnarError;
+use crate::project::{Projection, PushdownCapability};
+use crate::table::Table;
+
+/// Byte- and row-level accounting for one table scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanStats {
+    /// Rows (events) visited.
+    pub rows: u64,
+    /// Leaf columns physically read.
+    pub columns_read: u64,
+    /// Compressed bytes physically read — Athena's pricing basis and the
+    /// natural "bytes scanned" metric for self-managed engines.
+    pub bytes_scanned: u64,
+    /// Uncompressed bytes of the physically read columns.
+    pub uncompressed_bytes: u64,
+    /// BigQuery-style logical bytes of the *logically referenced* columns
+    /// (every number priced at its 8-byte logical width, regardless of
+    /// physical precision or compression) — paper §4.1.
+    pub logical_bytes: u64,
+    /// Ideal compressed bytes: what a perfect reader (individual-leaf
+    /// pushdown) would have read. Figure 4b's first ideal line.
+    pub ideal_compressed_bytes: u64,
+    /// Ideal uncompressed bytes: entries × physical width of the logically
+    /// needed leaves. Figure 4b's second ideal line.
+    pub ideal_uncompressed_bytes: u64,
+}
+
+impl ScanStats {
+    /// Accumulates another scan's stats (e.g. across row groups or
+    /// sub-queries).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.rows += other.rows;
+        self.columns_read += other.columns_read;
+        self.bytes_scanned += other.bytes_scanned;
+        self.uncompressed_bytes += other.uncompressed_bytes;
+        self.logical_bytes += other.logical_bytes;
+        self.ideal_compressed_bytes += other.ideal_compressed_bytes;
+        self.ideal_uncompressed_bytes += other.ideal_uncompressed_bytes;
+    }
+
+    /// Bytes scanned per row — the y-axis of Figure 4b.
+    pub fn bytes_per_row(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.bytes_scanned as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Computes the scan statistics a reader with capability `cap` incurs for
+/// `projection` over `table`.
+pub fn scan_stats(
+    table: &Table,
+    projection: &Projection,
+    cap: PushdownCapability,
+) -> Result<ScanStats, ColumnarError> {
+    let read_leaves = projection.resolve(table.schema(), cap)?;
+    let logical_leaves = projection.logical_leaves(table.schema())?;
+    let mut stats = ScanStats {
+        columns_read: read_leaves.len() as u64,
+        ..ScanStats::default()
+    };
+    for g in table.row_groups() {
+        stats.rows += g.n_rows() as u64;
+        stats.bytes_scanned += g.compressed_bytes(&read_leaves) as u64;
+        stats.uncompressed_bytes += g.uncompressed_bytes(&read_leaves) as u64;
+        stats.logical_bytes += g.logical_bytes(&logical_leaves) as u64;
+        stats.ideal_compressed_bytes += g.compressed_bytes(&logical_leaves) as u64;
+        stats.ideal_uncompressed_bytes += g.uncompressed_bytes(&logical_leaves) as u64;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::table::TableBuilder;
+    use nested_value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new(
+                "MET",
+                DataType::Struct(vec![
+                    Field::new("pt", DataType::f32()),
+                    Field::new("phi", DataType::f32()),
+                ]),
+            ),
+            Field::new(
+                "Jet",
+                DataType::particle_list(vec![
+                    Field::new("pt", DataType::f32()),
+                    Field::new("eta", DataType::f32()),
+                ]),
+            ),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema, 100);
+        for i in 0..100 {
+            let jets = Value::array(
+                (0..(i % 4))
+                    .map(|j| {
+                        Value::struct_from(vec![
+                            ("pt", Value::Float(30.0 + j as f64)),
+                            ("eta", Value::Float(0.1 * j as f64)),
+                        ])
+                    })
+                    .collect(),
+            );
+            b.append(&Value::struct_from(vec![
+                (
+                    "MET",
+                    Value::struct_from(vec![
+                        ("pt", Value::Float(i as f64)),
+                        ("phi", Value::Float(0.5)),
+                    ]),
+                ),
+                ("Jet", jets),
+            ]))
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn pushdown_reduces_bytes() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let ideal = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let coarse = scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap();
+        let none = scan_stats(&t, &p, PushdownCapability::None).unwrap();
+        assert!(ideal.bytes_scanned < coarse.bytes_scanned);
+        assert!(coarse.bytes_scanned < none.bytes_scanned);
+        assert_eq!(ideal.columns_read, 1);
+        assert_eq!(coarse.columns_read, 2); // MET.pt + MET.phi
+        assert_eq!(none.columns_read, 4);
+        // Ideal bytes are capability-independent.
+        assert_eq!(ideal.ideal_compressed_bytes, none.ideal_compressed_bytes);
+    }
+
+    #[test]
+    fn logical_bytes_use_8_byte_floats() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let s = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        // 100 entries × 8 B logical vs 4 B physical.
+        assert_eq!(s.logical_bytes, 800);
+        assert_eq!(s.ideal_uncompressed_bytes, 400);
+        assert_eq!(s.rows, 100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let s = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let mut twice = s;
+        twice.merge(&s);
+        assert_eq!(twice.rows, 200);
+        assert_eq!(twice.bytes_scanned, 2 * s.bytes_scanned);
+        assert!((s.bytes_per_row() - s.bytes_scanned as f64 / 100.0).abs() < 1e-12);
+    }
+}
+
+/// Engine-level execution accounting shared by all engines in the
+/// workspace (placed here because every engine executes over this
+/// substrate and `core` compares them uniformly).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// End-to-end wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Total busy CPU seconds summed over workers (the paper's Figure 4a
+    /// metric: "seconds any logical core spends doing work").
+    pub cpu_seconds: f64,
+    /// I/O accounting of the scan.
+    pub scan: ScanStats,
+    /// Number of worker threads that participated.
+    pub threads_used: usize,
+    /// Row groups skipped by zone-map (min/max) pruning before any byte
+    /// was read.
+    pub row_groups_skipped: u64,
+}

@@ -1,0 +1,482 @@
+//! Tables and the row-group-producing builder.
+
+use std::collections::BTreeMap;
+
+use nested_value::{Path, Value};
+
+use crate::column::{ColumnChunk, ColumnData};
+use crate::error::ColumnarError;
+use crate::rowgroup::RowGroup;
+use crate::schema::{DataType, PhysicalType, Schema};
+
+/// Default events per row group.
+///
+/// The paper's Parquet files average ≈400 k events per row group (§4.2);
+/// data-set builders scale this down proportionally for small test sets.
+pub const DEFAULT_ROW_GROUP_SIZE: usize = 400_000;
+
+/// A named, immutable columnar table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    row_groups: Vec<RowGroup>,
+}
+
+impl Table {
+    pub(crate) fn new(name: String, schema: Schema, row_groups: Vec<RowGroup>) -> Table {
+        Table {
+            name,
+            schema,
+            row_groups,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row groups.
+    pub fn row_groups(&self) -> &[RowGroup] {
+        &self.row_groups
+    }
+
+    /// Total row count.
+    pub fn n_rows(&self) -> usize {
+        self.row_groups.iter().map(|g| g.n_rows()).sum()
+    }
+
+    /// Total compressed size of the table (all leaves).
+    pub fn compressed_bytes(&self) -> usize {
+        let leaves: Vec<_> = self.schema.leaves().iter().collect();
+        self.row_groups
+            .iter()
+            .map(|g| g.compressed_bytes(&leaves))
+            .sum()
+    }
+
+    /// Total uncompressed size of the table (all leaves).
+    pub fn uncompressed_bytes(&self) -> usize {
+        let leaves: Vec<_> = self.schema.leaves().iter().collect();
+        self.row_groups
+            .iter()
+            .map(|g| g.uncompressed_bytes(&leaves))
+            .sum()
+    }
+
+    /// A new table containing only the first `n` rows (row-group aligned
+    /// slicing plus a partial group if needed) — used by the Figure 2
+    /// data-size sweep.
+    pub fn head(&self, n: usize) -> Table {
+        let mut remaining = n;
+        let mut groups = Vec::new();
+        for g in &self.row_groups {
+            if remaining == 0 {
+                break;
+            }
+            if g.n_rows() <= remaining {
+                remaining -= g.n_rows();
+                groups.push(g.clone());
+            } else {
+                groups.push(slice_group(&self.schema, g, remaining));
+                remaining = 0;
+            }
+        }
+        Table::new(self.name.clone(), self.schema.clone(), groups)
+    }
+}
+
+fn slice_group(schema: &Schema, g: &RowGroup, n: usize) -> RowGroup {
+    let mut columns = BTreeMap::new();
+    for leaf in schema.leaves() {
+        let chunk = g.column(&leaf.path).expect("leaf exists");
+        let sliced = match &chunk.offsets {
+            None => {
+                let data = slice_data(&chunk.data, 0, n);
+                ColumnChunk::seal(data, None)
+            }
+            Some(off) => {
+                let end = off[n] as usize;
+                let data = slice_data(&chunk.data, 0, end);
+                ColumnChunk::seal(data, Some(off[..=n].to_vec()))
+            }
+        };
+        columns.insert(leaf.path.clone(), sliced);
+    }
+    RowGroup::new(n, columns)
+}
+
+fn slice_data(data: &ColumnData, start: usize, end: usize) -> ColumnData {
+    match data {
+        ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+        ColumnData::I32(v) => ColumnData::I32(v[start..end].to_vec()),
+        ColumnData::I64(v) => ColumnData::I64(v[start..end].to_vec()),
+        ColumnData::F32(v) => ColumnData::F32(v[start..end].to_vec()),
+        ColumnData::F64(v) => ColumnData::F64(v[start..end].to_vec()),
+    }
+}
+
+/// Incremental table builder that type-checks every appended row against the
+/// schema and seals a row group every `row_group_size` rows.
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    row_group_size: usize,
+    buffers: BTreeMap<Path, (ColumnData, Option<Vec<u32>>)>,
+    rows_in_group: usize,
+    groups: Vec<RowGroup>,
+}
+
+impl TableBuilder {
+    /// Creates a builder.
+    pub fn new(name: &str, schema: Schema, row_group_size: usize) -> TableBuilder {
+        assert!(row_group_size > 0, "row groups must be non-empty");
+        let buffers = fresh_buffers(&schema);
+        TableBuilder {
+            name: name.to_string(),
+            schema,
+            row_group_size,
+            buffers,
+            rows_in_group: 0,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends one row (a struct value matching the schema).
+    pub fn append(&mut self, row: &Value) -> Result<(), ColumnarError> {
+        let s = row
+            .as_struct()
+            .map_err(|e| ColumnarError::SchemaMismatch(e.to_string()))?;
+        // Two-phase append so a mismatch mid-row cannot corrupt buffers:
+        // validate first, then write.
+        for field in self.schema.fields() {
+            let v = s.get(&field.name).ok_or_else(|| {
+                ColumnarError::SchemaMismatch(format!("missing field {}", field.name))
+            })?;
+            validate_value(&field.dtype, &Path::root(&field.name), v)?;
+        }
+        for field in self.schema.fields() {
+            let v = s.get(&field.name).expect("validated");
+            append_value(
+                &field.dtype,
+                &Path::root(&field.name),
+                v,
+                &mut self.buffers,
+            );
+        }
+        self.rows_in_group += 1;
+        if self.rows_in_group == self.row_group_size {
+            self.seal_group();
+        }
+        Ok(())
+    }
+
+    /// Appends many rows.
+    pub fn append_all<'a, I: IntoIterator<Item = &'a Value>>(
+        &mut self,
+        rows: I,
+    ) -> Result<(), ColumnarError> {
+        for r in rows {
+            self.append(r)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes into an immutable table.
+    pub fn finish(mut self) -> Table {
+        if self.rows_in_group > 0 {
+            self.seal_group();
+        }
+        Table::new(self.name, self.schema, self.groups)
+    }
+
+    fn seal_group(&mut self) {
+        let buffers = std::mem::replace(&mut self.buffers, fresh_buffers(&self.schema));
+        let mut columns = BTreeMap::new();
+        for (path, (data, offsets)) in buffers {
+            columns.insert(path, ColumnChunk::seal(data, offsets));
+        }
+        self.groups.push(RowGroup::new(self.rows_in_group, columns));
+        self.rows_in_group = 0;
+    }
+}
+
+fn fresh_buffers(schema: &Schema) -> BTreeMap<Path, (ColumnData, Option<Vec<u32>>)> {
+    schema
+        .leaves()
+        .iter()
+        .map(|l| {
+            let offsets = l.repeated.then(|| vec![0u32]);
+            (l.path.clone(), (ColumnData::empty(l.ptype), offsets))
+        })
+        .collect()
+}
+
+fn validate_value(dtype: &DataType, path: &Path, v: &Value) -> Result<(), ColumnarError> {
+    match dtype {
+        DataType::Scalar(pt) => {
+            let ok = match pt {
+                PhysicalType::Bool => matches!(v, Value::Bool(_)),
+                PhysicalType::Int32 | PhysicalType::Int64 => matches!(v, Value::Int(_)),
+                PhysicalType::Float32 | PhysicalType::Float64 => v.is_numeric(),
+            };
+            if ok {
+                Ok(())
+            } else {
+                Err(ColumnarError::SchemaMismatch(format!(
+                    "at {path}: expected {pt:?}, found {}",
+                    v.type_name()
+                )))
+            }
+        }
+        DataType::Struct(fields) => {
+            let s = v.as_struct().map_err(|_| {
+                ColumnarError::SchemaMismatch(format!(
+                    "at {path}: expected struct, found {}",
+                    v.type_name()
+                ))
+            })?;
+            for f in fields {
+                let fv = s.get(&f.name).ok_or_else(|| {
+                    ColumnarError::SchemaMismatch(format!("missing field {path}.{}", f.name))
+                })?;
+                validate_value(&f.dtype, &path.child(&f.name), fv)?;
+            }
+            Ok(())
+        }
+        DataType::List(inner) => {
+            let items = v.as_array().map_err(|_| {
+                ColumnarError::SchemaMismatch(format!(
+                    "at {path}: expected array, found {}",
+                    v.type_name()
+                ))
+            })?;
+            for item in items {
+                validate_value(inner, path, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn append_value(
+    dtype: &DataType,
+    path: &Path,
+    v: &Value,
+    buffers: &mut BTreeMap<Path, (ColumnData, Option<Vec<u32>>)>,
+) {
+    match dtype {
+        DataType::Scalar(_) => {
+            let (data, _) = buffers.get_mut(path).expect("leaf buffer");
+            push_scalar(data, v);
+        }
+        DataType::Struct(fields) => {
+            let s = v.as_struct().expect("validated");
+            for f in fields {
+                append_value(
+                    &f.dtype,
+                    &path.child(&f.name),
+                    s.get(&f.name).expect("validated"),
+                    buffers,
+                );
+            }
+        }
+        DataType::List(inner) => {
+            let items = v.as_array().expect("validated");
+            for item in items {
+                append_list_element(inner, path, item, buffers);
+            }
+            bump_offsets(inner, path, items.len() as u32, buffers);
+        }
+    }
+}
+
+/// Appends one list element's leaves (without touching offsets).
+fn append_list_element(
+    dtype: &DataType,
+    path: &Path,
+    v: &Value,
+    buffers: &mut BTreeMap<Path, (ColumnData, Option<Vec<u32>>)>,
+) {
+    match dtype {
+        DataType::Scalar(_) => {
+            let (data, _) = buffers.get_mut(path).expect("leaf buffer");
+            push_scalar(data, v);
+        }
+        DataType::Struct(fields) => {
+            let s = v.as_struct().expect("validated");
+            for f in fields {
+                append_list_element(
+                    &f.dtype,
+                    &path.child(&f.name),
+                    s.get(&f.name).expect("validated"),
+                    buffers,
+                );
+            }
+        }
+        DataType::List(_) => unreachable!("nested lists rejected by schema"),
+    }
+}
+
+/// After appending `n` elements to the list at `path`, closes the row by
+/// appending the new end offset to every leaf under the list.
+fn bump_offsets(
+    inner: &DataType,
+    path: &Path,
+    _n: u32,
+    buffers: &mut BTreeMap<Path, (ColumnData, Option<Vec<u32>>)>,
+) {
+    match inner {
+        DataType::Scalar(_) => {
+            let (data, offsets) = buffers.get_mut(path).expect("leaf buffer");
+            let end = data.len() as u32;
+            offsets.as_mut().expect("repeated leaf").push(end);
+        }
+        DataType::Struct(fields) => {
+            for f in fields {
+                bump_offsets(&f.dtype, &path.child(&f.name), _n, buffers);
+            }
+        }
+        DataType::List(_) => unreachable!(),
+    }
+}
+
+fn push_scalar(data: &mut ColumnData, v: &Value) {
+    match data {
+        ColumnData::Bool(buf) => buf.push(v.as_bool().expect("validated")),
+        ColumnData::I32(buf) => buf.push(v.as_i64().expect("validated") as i32),
+        ColumnData::I64(buf) => buf.push(v.as_i64().expect("validated")),
+        ColumnData::F32(buf) => buf.push(v.as_f64().expect("validated") as f32),
+        ColumnData::F64(buf) => buf.push(v.as_f64().expect("validated")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("event", DataType::i64()),
+            Field::new(
+                "MET",
+                DataType::Struct(vec![Field::new("pt", DataType::f64())]),
+            ),
+            Field::new(
+                "Jet",
+                DataType::particle_list(vec![
+                    Field::new("pt", DataType::f64()),
+                    Field::new("eta", DataType::f64()),
+                ]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn row(event: i64, met: f64, jets: &[(f64, f64)]) -> Value {
+        Value::struct_from(vec![
+            ("event", Value::Int(event)),
+            ("MET", Value::struct_from(vec![("pt", Value::Float(met))])),
+            (
+                "Jet",
+                Value::array(
+                    jets.iter()
+                        .map(|(pt, eta)| {
+                            Value::struct_from(vec![
+                                ("pt", Value::Float(*pt)),
+                                ("eta", Value::Float(*eta)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_rows() {
+        let mut b = TableBuilder::new("events", schema(), 2);
+        let rows = vec![
+            row(1, 12.5, &[(40.0, 1.0), (25.0, -0.5)]),
+            row(2, 7.0, &[]),
+            row(3, 99.0, &[(60.0, 2.2)]),
+        ];
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.row_groups().len(), 2);
+        let leaves: Vec<_> = t.schema().leaves().iter().collect();
+        let mut got = Vec::new();
+        for g in t.row_groups() {
+            got.extend(g.read_rows(t.schema(), &leaves).unwrap());
+        }
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn projection_reconstructs_subset() {
+        let mut b = TableBuilder::new("events", schema(), 10);
+        b.append(&row(1, 12.5, &[(40.0, 1.0)])).unwrap();
+        let t = b.finish();
+        let proj = crate::project::Projection::of(["Jet.pt"]);
+        let leaves = proj
+            .resolve(t.schema(), crate::project::PushdownCapability::IndividualLeaves)
+            .unwrap();
+        let v = t.row_groups()[0].read_row(t.schema(), &leaves, 0).unwrap();
+        let jets = v.field("Jet").unwrap().as_array().unwrap();
+        let j0 = jets[0].as_struct().unwrap();
+        assert_eq!(j0.get("pt"), Some(&Value::Float(40.0)));
+        assert_eq!(j0.get("eta"), None);
+        assert!(v.field("MET").is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected_without_corruption() {
+        let mut b = TableBuilder::new("events", schema(), 10);
+        let bad = Value::struct_from(vec![("event", Value::str("oops"))]);
+        assert!(b.append(&bad).is_err());
+        // The builder is still usable and consistent.
+        b.append(&row(5, 1.0, &[(2.0, 3.0)])).unwrap();
+        let t = b.finish();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn head_slices_mid_group() {
+        let mut b = TableBuilder::new("events", schema(), 4);
+        let rows: Vec<Value> = (0..10)
+            .map(|i| row(i, i as f64, &[(i as f64, 0.0); 2]))
+            .collect();
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let h = t.head(5);
+        assert_eq!(h.n_rows(), 5);
+        let leaves: Vec<_> = h.schema().leaves().iter().collect();
+        let mut got = Vec::new();
+        for g in h.row_groups() {
+            got.extend(g.read_rows(h.schema(), &leaves).unwrap());
+        }
+        assert_eq!(got, rows[..5].to_vec());
+    }
+
+    #[test]
+    fn sizes_accounted() {
+        let mut b = TableBuilder::new("events", schema(), 100);
+        for i in 0..50 {
+            b.append(&row(i, i as f64 * 0.5, &[(30.0, 0.1), (20.0, -0.2)]))
+                .unwrap();
+        }
+        let t = b.finish();
+        assert!(t.uncompressed_bytes() > 0);
+        assert!(t.compressed_bytes() > 0);
+        // event ids are sequential ints: table must compress below raw size.
+        assert!(t.compressed_bytes() < t.uncompressed_bytes());
+    }
+}

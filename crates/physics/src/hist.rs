@@ -1,0 +1,299 @@
+//! Equi-width 1-D histograms with under-/overflow bins.
+//!
+//! Every ADL query "plots" a quantity, which the benchmark defines as
+//! filling an equi-width histogram (typically 100 bins with statically known
+//! bounds) where values below/above the range land in dedicated under- and
+//! overflow bins (paper §2.2). The histogram is therefore the result type
+//! against which all engines are validated.
+
+/// Static specification of a histogram: bin count and range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSpec {
+    /// Number of regular bins (excluding under-/overflow).
+    pub bins: usize,
+    /// Lower edge of the first regular bin.
+    pub lo: f64,
+    /// Upper edge of the last regular bin.
+    pub hi: f64,
+}
+
+impl HistSpec {
+    /// Creates a spec; panics if `bins == 0` or `lo >= hi`.
+    pub fn new(bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        HistSpec { bins, lo, hi }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins as f64
+    }
+
+    /// Maps a value to a bin index: `-1` for underflow, `bins` for overflow,
+    /// otherwise `0..bins`. NaN counts as overflow (matching ROOT).
+    pub fn bin_of(&self, x: f64) -> i64 {
+        if x.is_nan() || x >= self.hi {
+            self.bins as i64
+        } else if x < self.lo {
+            -1
+        } else {
+            let b = ((x - self.lo) / self.width()).floor() as i64;
+            // Guard against floating-point edge effects at x == hi - ulp.
+            b.min(self.bins as i64 - 1)
+        }
+    }
+
+    /// Lower edge of regular bin `i`.
+    pub fn edge(&self, i: usize) -> f64 {
+        self.lo + self.width() * i as f64
+    }
+}
+
+/// An equi-width histogram with under- and overflow bins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    spec: HistSpec,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    /// Running sum of filled values (for mean), excluding under-/overflow.
+    sum: f64,
+    /// Running sum of squares (for stddev), excluding under-/overflow.
+    sum2: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(spec: HistSpec) -> Self {
+        Histogram {
+            spec,
+            counts: vec![0; spec.bins],
+            underflow: 0,
+            overflow: 0,
+            sum: 0.0,
+            sum2: 0.0,
+        }
+    }
+
+    /// The histogram's spec.
+    pub fn spec(&self) -> HistSpec {
+        self.spec
+    }
+
+    /// Fills one value.
+    pub fn fill(&mut self, x: f64) {
+        match self.spec.bin_of(x) {
+            -1 => self.underflow += 1,
+            b if b == self.spec.bins as i64 => self.overflow += 1,
+            b => {
+                self.counts[b as usize] += 1;
+                self.sum += x;
+                self.sum2 += x * x;
+            }
+        }
+    }
+
+    /// Fills many values.
+    pub fn fill_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.fill(x);
+        }
+    }
+
+    /// Directly adds `n` entries to regular bin `bin` (used by engines whose
+    /// query text computes bin indices itself, e.g. SQL `GROUP BY FLOOR(…)`).
+    ///
+    /// Bin `-1` is underflow, `spec.bins` is overflow. Mean/stddev are
+    /// approximated with the bin center for these entries.
+    pub fn add_bin_count(&mut self, bin: i64, n: u64) {
+        if bin < 0 {
+            self.underflow += n;
+        } else if bin >= self.spec.bins as i64 {
+            self.overflow += n;
+        } else {
+            self.counts[bin as usize] += n;
+            let center = self.spec.edge(bin as usize) + 0.5 * self.spec.width();
+            self.sum += center * n as f64;
+            self.sum2 += center * center * n as f64;
+        }
+    }
+
+    /// Per-bin counts (regular bins only).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Underflow count.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Overflow count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total entries including under-/overflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// Entries in regular bins.
+    pub fn in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of in-range entries; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.in_range();
+        (n > 0).then(|| self.sum / n as f64)
+    }
+
+    /// Population standard deviation of in-range entries; `None` when empty.
+    pub fn stddev(&self) -> Option<f64> {
+        let n = self.in_range();
+        (n > 0).then(|| {
+            let mean = self.sum / n as f64;
+            (self.sum2 / n as f64 - mean * mean).max(0.0).sqrt()
+        })
+    }
+
+    /// Merges another histogram with the same spec into this one.
+    ///
+    /// Panics if the specs differ — merging incompatible binnings is a
+    /// programming error, not a data error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.spec, other.spec, "merging incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.sum2 += other.sum2;
+    }
+
+    /// Bin-count equality ignoring the running moments — the comparison used
+    /// by cross-engine validation (engines that receive pre-binned results
+    /// cannot reconstruct exact moments).
+    pub fn counts_equal(&self, other: &Histogram) -> bool {
+        self.spec == other.spec
+            && self.counts == other.counts
+            && self.underflow == other.underflow
+            && self.overflow == other.overflow
+    }
+
+    /// Renders a compact ASCII summary (used by example binaries).
+    pub fn ascii(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "entries={} (under={}, over={}) mean={:.3} std={:.3}\n",
+            self.total(),
+            self.underflow,
+            self.overflow,
+            self.mean().unwrap_or(0.0),
+            self.stddev().unwrap_or(0.0),
+        ));
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(((c as f64 / peak as f64) * max_width as f64).round() as usize);
+            out.push_str(&format!(
+                "[{:>10.3}, {:>10.3}) {:>9} {}\n",
+                self.spec.edge(i),
+                self.spec.edge(i + 1),
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> HistSpec {
+        HistSpec::new(10, 0.0, 100.0)
+    }
+
+    #[test]
+    fn bin_mapping() {
+        let s = spec();
+        assert_eq!(s.bin_of(-0.001), -1);
+        assert_eq!(s.bin_of(0.0), 0);
+        assert_eq!(s.bin_of(9.999), 0);
+        assert_eq!(s.bin_of(10.0), 1);
+        assert_eq!(s.bin_of(99.999), 9);
+        assert_eq!(s.bin_of(100.0), 10);
+        assert_eq!(s.bin_of(f64::NAN), 10);
+        assert_eq!(s.bin_of(f64::INFINITY), 10);
+        assert_eq!(s.bin_of(f64::NEG_INFINITY), -1);
+    }
+
+    #[test]
+    fn fill_and_total_conservation() {
+        let mut h = Histogram::new(spec());
+        h.fill_all([-5.0, 0.0, 15.0, 15.5, 99.0, 150.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.in_range(), 4);
+    }
+
+    #[test]
+    fn moments() {
+        let mut h = Histogram::new(spec());
+        h.fill_all([10.0, 20.0, 30.0]);
+        assert!((h.mean().unwrap() - 20.0).abs() < 1e-12);
+        let expected_std = (200.0f64 / 3.0).sqrt();
+        assert!((h.stddev().unwrap() - expected_std).abs() < 1e-12);
+        assert_eq!(Histogram::new(spec()).mean(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(spec());
+        let mut b = Histogram::new(spec());
+        a.fill_all([5.0, 15.0]);
+        b.fill_all([15.0, 200.0]);
+        a.merge(&b);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_different_specs() {
+        let mut a = Histogram::new(HistSpec::new(10, 0.0, 1.0));
+        let b = Histogram::new(HistSpec::new(20, 0.0, 1.0));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn add_bin_count_matches_fill_for_counts() {
+        let mut a = Histogram::new(spec());
+        a.fill_all([5.0, 15.0, -1.0, 101.0]);
+        let mut b = Histogram::new(spec());
+        b.add_bin_count(0, 1);
+        b.add_bin_count(1, 1);
+        b.add_bin_count(-1, 1);
+        b.add_bin_count(10, 1);
+        assert!(a.counts_equal(&b));
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let mut h = Histogram::new(HistSpec::new(3, 0.0, 3.0));
+        h.fill_all([0.5, 1.5, 1.6]);
+        let s = h.ascii(20);
+        assert!(s.contains("entries=3"));
+        assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for kinematics and histograms.
+
+use proptest::prelude::*;
+
+use crate::fourvec::FourMomentum;
+use crate::hist::{HistSpec, Histogram};
+use crate::kinematics::{delta_phi, delta_r, transverse_mass};
+
+fn pt() -> impl Strategy<Value = f64> {
+    0.1..500.0f64
+}
+fn eta() -> impl Strategy<Value = f64> {
+    -4.0..4.0f64
+}
+fn phi() -> impl Strategy<Value = f64> {
+    -std::f64::consts::PI..std::f64::consts::PI
+}
+fn mass() -> impl Strategy<Value = f64> {
+    0.0..50.0f64
+}
+
+proptest! {
+    /// (pt, η, φ, m) → Cartesian → (pt, η, φ, m) round-trips.
+    #[test]
+    fn fourvec_roundtrip(pt in pt(), eta in eta(), phi in phi(), m in mass()) {
+        let p = FourMomentum::from_pt_eta_phi_m(pt, eta, phi, m);
+        prop_assert!((p.pt() - pt).abs() / pt < 1e-9);
+        prop_assert!((p.eta() - eta).abs() < 1e-9);
+        prop_assert!(delta_phi(p.phi(), phi).abs() < 1e-9);
+        // Mass reconstruction loses precision for ultra-relativistic
+        // particles (E ≫ m); tolerance is scaled to the energy.
+        prop_assert!((p.mass() - m).abs() < 1e-6 * p.e.max(1.0));
+    }
+
+    /// Invariant mass of a two-particle system is ≥ sum of masses − ε and
+    /// invariant under exchanging the particles.
+    #[test]
+    fn pair_mass_symmetric(
+        pt1 in pt(), eta1 in eta(), phi1 in phi(), m1 in mass(),
+        pt2 in pt(), eta2 in eta(), phi2 in phi(), m2 in mass(),
+    ) {
+        let a = FourMomentum::from_pt_eta_phi_m(pt1, eta1, phi1, m1);
+        let b = FourMomentum::from_pt_eta_phi_m(pt2, eta2, phi2, m2);
+        let mab = (a + b).mass();
+        let mba = (b + a).mass();
+        prop_assert!((mab - mba).abs() < 1e-9);
+        prop_assert!(mab + 1e-6 * (a.e + b.e) >= m1 + m2);
+    }
+
+    /// Boosting by β and then −β is the identity (up to round-off).
+    #[test]
+    fn boost_inverse(
+        pt in pt(), eta in eta(), phi in phi(), m in 0.1..50.0f64,
+        bx in -0.9..0.9f64, by in -0.4..0.4f64, bz in -0.4..0.4f64,
+    ) {
+        prop_assume!(bx * bx + by * by + bz * bz < 0.95);
+        let p = FourMomentum::from_pt_eta_phi_m(pt, eta, phi, m);
+        let q = p.boost(bx, by, bz).boost(-bx, -by, -bz);
+        let scale = p.e.max(1.0);
+        prop_assert!((q.px - p.px).abs() / scale < 1e-6);
+        prop_assert!((q.py - p.py).abs() / scale < 1e-6);
+        prop_assert!((q.pz - p.pz).abs() / scale < 1e-6);
+        prop_assert!((q.e - p.e).abs() / scale < 1e-6);
+    }
+
+    /// Δφ is always in (-π, π] and antisymmetric.
+    #[test]
+    fn delta_phi_range(a in -10.0..10.0f64, b in -10.0..10.0f64) {
+        let d = delta_phi(a, b);
+        prop_assert!(d > -std::f64::consts::PI - 1e-12);
+        prop_assert!(d <= std::f64::consts::PI + 1e-12);
+        prop_assert!((delta_phi(b, a) + d).abs() < 1e-9
+            || (delta_phi(b, a) + d - 2.0 * std::f64::consts::PI).abs() < 1e-9
+            || (delta_phi(b, a) + d + 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    /// ΔR satisfies the triangle-ish lower bounds: ≥ |Δη| and ≥ |Δφ|.
+    #[test]
+    fn delta_r_bounds(e1 in eta(), p1 in phi(), e2 in eta(), p2 in phi()) {
+        let dr = delta_r(e1, p1, e2, p2);
+        prop_assert!(dr + 1e-12 >= (e1 - e2).abs());
+        prop_assert!(dr + 1e-12 >= delta_phi(p1, p2).abs());
+    }
+
+    /// Transverse mass is bounded by 2·sqrt(pt·met).
+    #[test]
+    fn mt_bounds(ptl in pt(), phil in phi(), met in 0.0..300.0f64, metphi in phi()) {
+        let mt = transverse_mass(ptl, phil, met, metphi);
+        prop_assert!(mt >= 0.0);
+        prop_assert!(mt <= 2.0 * (ptl * met).sqrt() + 1e-9);
+    }
+
+    /// Histogram filling conserves the total count and merge is equivalent
+    /// to filling everything into one histogram.
+    #[test]
+    fn hist_merge_equals_sequential(
+        xs in proptest::collection::vec(-50.0..150.0f64, 0..200),
+        split in 0usize..200,
+    ) {
+        let spec = HistSpec::new(20, 0.0, 100.0);
+        let split = split.min(xs.len());
+        let mut whole = Histogram::new(spec);
+        whole.fill_all(xs.iter().copied());
+        let mut left = Histogram::new(spec);
+        left.fill_all(xs[..split].iter().copied());
+        let mut right = Histogram::new(spec);
+        right.fill_all(xs[split..].iter().copied());
+        left.merge(&right);
+        prop_assert!(whole.counts_equal(&left));
+        prop_assert_eq!(whole.total() as usize, xs.len());
+    }
+
+    /// Every filled value lands in exactly one bin.
+    #[test]
+    fn hist_bin_of_partition(x in -1e6..1e6f64) {
+        let spec = HistSpec::new(100, -100.0, 100.0);
+        let b = spec.bin_of(x);
+        prop_assert!((-1..=100).contains(&b));
+        if (0..100).contains(&b) {
+            prop_assert!(spec.edge(b as usize) <= x);
+            prop_assert!(x < spec.edge(b as usize + 1) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a data set, run one ADL query on every engine,
+//! and print the histogram.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use hepquery::bench::{adapters, reference, QueryId};
+use hepquery::prelude::*;
+
+fn main() {
+    // 1. A synthetic CMS-like data set (see hep-model's calibration docs).
+    let (events, table) = hepquery::model::generator::build_dataset(DatasetSpec {
+        n_events: 50_000,
+        row_group_size: 4_096,
+        seed: 2012,
+    });
+    let table = Arc::new(table);
+    println!(
+        "generated {} events / {} row groups / {:.1} MB compressed",
+        table.n_rows(),
+        table.row_groups().len(),
+        table.compressed_bytes() as f64 / 1e6
+    );
+
+    // 2. Q4: MET of events with at least two jets above 40 GeV.
+    let q = QueryId::Q4;
+    println!("\n{} — {}\n", q.name(), q.description());
+
+    let expect = reference::run(q, &events);
+    println!("reference    entries: {:>7}", expect.hist.total());
+
+    for dialect in [Dialect::bigquery(), Dialect::presto(), Dialect::athena()] {
+        let run = adapters::run_sql(dialect, &table, q, SqlOptions::default()).unwrap();
+        report(dialect.name.as_str(), &run, &expect.hist);
+    }
+    let run = adapters::run_jsoniq(&table, q, Default::default()).unwrap();
+    report("JSONiq", &run, &expect.hist);
+    let run = adapters::run_rdf(&table, q, Default::default()).unwrap();
+    report("RDataFrame", &run, &expect.hist);
+
+    // 3. The plot itself.
+    println!("\n{}", expect.hist.ascii(60));
+}
+
+fn report(name: &str, run: &adapters::EngineRun, expect: &Histogram) {
+    println!(
+        "{name:<12} entries: {:>7}  scanned: {:>10} B  cpu: {:>8.1} ms  exact: {}",
+        run.histogram.total(),
+        run.stats.scan.bytes_scanned,
+        run.stats.cpu_seconds * 1e3,
+        run.histogram.counts_equal(expect),
+    );
+}

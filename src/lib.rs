@@ -1,0 +1,67 @@
+//! # hepquery
+//!
+//! A from-scratch Rust reproduction of *"Evaluating Query Languages and
+//! Systems for High-Energy Physics Data"* (Graur, Müller, Proffitt, Watts,
+//! Fourny, Alonso — VLDB 2021): the ADL benchmark, every system it
+//! evaluates, the storage substrate they run on, and the measurement
+//! harness behind every table and figure.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`model`] — the HEP event model and the calibrated synthetic data
+//!   generator (the CMS-open-data substitute);
+//! * [`columnar`] — the NF² nested columnar store (the Parquet analog:
+//!   row groups, projection pushdown, honest compression and scan
+//!   accounting);
+//! * [`physics`] — four-momentum kinematics and histograms;
+//! * [`sql`] — the SQL engine with BigQuery/Presto/Athena dialect
+//!   profiles;
+//! * [`jsoniq`] — the JSONiq/FLWOR engine (the Rumble analog);
+//! * [`rdataframe`] — the RDataFrame-style dataframe engine (the ROOT
+//!   analog);
+//! * [`cloud`] — the instance/pricing/scaling simulator;
+//! * [`bench`] — the ADL benchmark: queries, reference implementations,
+//!   validation, metrics, and the run orchestrator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hepquery::prelude::*;
+//!
+//! // 1. Generate a small synthetic data set and store it columnar.
+//! let (events, table) = hepquery::model::generator::build_dataset(DatasetSpec {
+//!     n_events: 1_000,
+//!     row_group_size: 256,
+//!     seed: 42,
+//! });
+//! let table = Arc::new(table);
+//!
+//! // 2. Run ADL query Q4 on the SQL engine under the BigQuery dialect…
+//! let sql = hepquery::bench::adapters::run_sql(
+//!     Dialect::bigquery(), &table, QueryId::Q4, Default::default()).unwrap();
+//!
+//! // 3. …and compare with the ground truth.
+//! let reference = hepquery::bench::reference::run(QueryId::Q4, &events);
+//! assert!(sql.histogram.counts_equal(&reference.hist));
+//! ```
+
+pub use cloud_sim as cloud;
+pub use engine_flwor as jsoniq;
+pub use engine_rdf as rdataframe;
+pub use engine_sql as sql;
+pub use hep_model as model;
+pub use hepbench_core as bench;
+pub use nested_value as value;
+pub use nf2_columnar as columnar;
+pub use physics;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::bench::{QueryId, ALL_QUERIES};
+    pub use crate::columnar::{Projection, PushdownCapability, Table};
+    pub use crate::model::{DatasetSpec, Event, Generator, GeneratorConfig};
+    pub use crate::physics::{FourMomentum, HistSpec, Histogram};
+    pub use crate::sql::{Dialect, SqlEngine, SqlOptions};
+    pub use crate::value::Value;
+}
