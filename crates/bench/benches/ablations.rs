@@ -93,9 +93,7 @@ fn ablation_combinations(c: &mut Criterion) {
                             // Recompute all three four-vectors per combo —
                             // the work pattern of the flattened SQL plan.
                             let v = |j: &hep_model::Jet| {
-                                physics::FourMomentum::from_pt_eta_phi_m(
-                                    j.pt, j.eta, j.phi, j.mass,
-                                )
+                                physics::FourMomentum::from_pt_eta_phi_m(j.pt, j.eta, j.phi, j.mass)
                             };
                             let sum = v(&e.jets[i]) + v(&e.jets[j]) + v(&e.jets[k]);
                             let dist = (sum.mass() - 172.5).abs();
@@ -122,8 +120,14 @@ fn ablation_contention(c: &mut Criterion) {
     group.sample_size(10);
     for (label, contention) in [
         ("fixed", ContentionModel::Fixed),
-        ("rootv622_merge64", ContentionModel::RootV622 { merge_every: 64 }),
-        ("rootv622_merge8", ContentionModel::RootV622 { merge_every: 8 }),
+        (
+            "rootv622_merge64",
+            ContentionModel::RootV622 { merge_every: 64 },
+        ),
+        (
+            "rootv622_merge8",
+            ContentionModel::RootV622 { merge_every: 8 },
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -132,6 +136,7 @@ fn ablation_contention(c: &mut Criterion) {
                     Options {
                         n_threads: 0,
                         contention,
+                        ..Options::default()
                     },
                 )
                 .histo1d(HistSpec::new(100, 0.0, 200.0), "MET_pt");

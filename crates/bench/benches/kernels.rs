@@ -86,7 +86,10 @@ fn bench_columnar(c: &mut Criterion) {
     let table = hep_model::to_value::events_to_table(&evs, 1024).unwrap();
     let proj = nf2_columnar::Projection::of(["MET.pt", "Jet.pt"]);
     let leaves = proj
-        .resolve(table.schema(), nf2_columnar::PushdownCapability::IndividualLeaves)
+        .resolve(
+            table.schema(),
+            nf2_columnar::PushdownCapability::IndividualLeaves,
+        )
         .unwrap();
     g.bench_function("read_rows_projected_5k", |b| {
         b.iter(|| {
@@ -113,9 +116,7 @@ fn bench_columnar(c: &mut Criterion) {
 fn bench_generator(c: &mut Criterion) {
     let mut g = c.benchmark_group("generator");
     g.sample_size(10);
-    g.bench_function("1k_events", |b| {
-        b.iter(|| black_box(events(1_000).len()))
-    });
+    g.bench_function("1k_events", |b| b.iter(|| black_box(events(1_000).len())));
     g.finish();
 }
 

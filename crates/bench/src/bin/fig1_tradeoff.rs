@@ -32,7 +32,12 @@ fn main() {
             }
             if system.is_qaas() {
                 let m = run_one(*system, None, &table, *q).expect("qaas run");
-                assert_eq!(m.hist_entries, expect.total(), "{} result mismatch", m.system);
+                assert_eq!(
+                    m.hist_entries,
+                    expect.total(),
+                    "{} result mismatch",
+                    m.system
+                );
                 println!(
                     "{:24} {:>14} {:>12} {:>12} {:>10}",
                     m.system,
@@ -42,10 +47,15 @@ fn main() {
                     m.hist_entries
                 );
             } else {
-                for m in hepbench_core::runner::run_sweep(*system, &table, *q)
-                    .expect("self-managed run")
+                for m in
+                    hepbench_core::runner::run_sweep(*system, &table, *q).expect("self-managed run")
                 {
-                    assert_eq!(m.hist_entries, expect.total(), "{} result mismatch", m.system);
+                    assert_eq!(
+                        m.hist_entries,
+                        expect.total(),
+                        "{} result mismatch",
+                        m.system
+                    );
                     println!(
                         "{:24} {:>14} {:>12} {:>12} {:>10}",
                         m.system,

@@ -29,7 +29,13 @@ fn systems() -> Vec<(System, Option<&'static cloud_sim::InstanceType>)> {
 
 fn main() {
     let (_, table) = dataset();
-    let queries = [QueryId::Q1, QueryId::Q4, QueryId::Q5, QueryId::Q6a, QueryId::Q8];
+    let queries = [
+        QueryId::Q1,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6a,
+        QueryId::Q8,
+    ];
     println!("Figure 2 — running time vs data-set size");
     for q in queries {
         println!();

@@ -12,7 +12,10 @@ fn main() {
     let electrons = multiplicity_distribution(&events, |e| e.electrons.len(), max);
     println!("Figure 3 — fraction of events with exactly n particles");
     println!();
-    println!("{:>4} {:>12} {:>12} {:>12}", "n", "electrons", "muons", "jets");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "n", "electrons", "muons", "jets"
+    );
     for n in 0..=max {
         if electrons[n] == 0.0 && muons[n] == 0.0 && jets[n] == 0.0 {
             continue;

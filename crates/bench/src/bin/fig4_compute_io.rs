@@ -53,7 +53,9 @@ fn main() {
     println!();
 
     println!("Figure 4c — scan throughput per core (MB per CPU-second)");
-    print_per_query(&rows, |m| format!("{:.2}", m.throughput_mb_per_core_second()));
+    print_per_query(&rows, |m| {
+        format!("{:.2}", m.throughput_mb_per_core_second())
+    });
     println!();
     println!(
         "total table size: {} compressed / {} uncompressed",
@@ -67,7 +69,10 @@ fn main() {
     println!("reads, Rumble reads the entire file; throughput collapses on Q6.");
 }
 
-fn print_per_query(rows: &[hepbench_core::runner::Measurement], f: impl Fn(&hepbench_core::runner::Measurement) -> String) {
+fn print_per_query(
+    rows: &[hepbench_core::runner::Measurement],
+    f: impl Fn(&hepbench_core::runner::Measurement) -> String,
+) {
     let queries: Vec<&str> = {
         let mut qs: Vec<&str> = Vec::new();
         for m in rows {

@@ -1,0 +1,139 @@
+//! Perf-trajectory smoke harness: runs Q1/Q5/Q6 on each engine at a fixed
+//! seed/scale and writes machine-readable `BENCH_smoke.json` so successive
+//! PRs have a comparable throughput baseline.
+//!
+//! Scale defaults to 32 768 events (seed `0xAD1B70`, 128 row groups) and can
+//! be overridden through the usual `HEPQUERY_*` environment variables. Each
+//! (engine, query) pair runs `RUNS` times; the JSON records the median wall
+//! time to damp scheduler noise.
+
+use std::sync::Arc;
+
+use engine_sql::{Dialect, SqlOptions};
+use hep_model::generator::build_dataset;
+use hep_model::DatasetSpec;
+use hepbench_core::adapters;
+use hepbench_core::QueryId;
+use nf2_columnar::{ExecStats, Table};
+
+const RUNS: usize = 3;
+
+struct Row {
+    engine: &'static str,
+    query: &'static str,
+    wall_seconds: f64,
+    cpu_seconds: f64,
+    events_per_sec: f64,
+}
+
+fn spec() -> DatasetSpec {
+    let n_events = std::env::var("HEPQUERY_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32_768);
+    let row_group_size = std::env::var("HEPQUERY_ROW_GROUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| (n_events / 128).max(1));
+    let seed = std::env::var("HEPQUERY_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xAD1B70);
+    DatasetSpec {
+        n_events,
+        row_group_size,
+        seed,
+    }
+}
+
+fn median_stats(mut runs: Vec<ExecStats>) -> ExecStats {
+    runs.sort_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds));
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn measure(
+    engine: &'static str,
+    query: &'static str,
+    n_events: usize,
+    run: impl Fn() -> ExecStats,
+) -> Row {
+    let stats = median_stats((0..RUNS).map(|_| run()).collect());
+    eprintln!(
+        "  {engine:12} {query}: {:8.2} ms wall, {:8.2} ms cpu",
+        stats.wall_seconds * 1e3,
+        stats.cpu_seconds * 1e3
+    );
+    Row {
+        engine,
+        query,
+        wall_seconds: stats.wall_seconds,
+        cpu_seconds: stats.cpu_seconds,
+        events_per_sec: n_events as f64 / stats.wall_seconds,
+    }
+}
+
+fn main() {
+    let spec = spec();
+    eprintln!(
+        "# perf_smoke: {} events, {} per row group, seed {:#x}",
+        spec.n_events, spec.row_group_size, spec.seed
+    );
+    let (_, table) = build_dataset(spec);
+    let table: Arc<Table> = Arc::new(table);
+    let n = spec.n_events;
+
+    let queries = [
+        (QueryId::Q1, "Q1"),
+        (QueryId::Q5, "Q5"),
+        (QueryId::Q6a, "Q6"),
+    ];
+
+    let mut rows = Vec::new();
+    for (q, name) in queries {
+        rows.push(measure("sql-presto", name, n, || {
+            adapters::run_sql(Dialect::presto(), &table, q, SqlOptions::default())
+                .expect("sql run")
+                .stats
+        }));
+    }
+    for (q, name) in queries {
+        rows.push(measure("jsoniq", name, n, || {
+            adapters::run_jsoniq(&table, q, engine_flwor::FlworOptions::default())
+                .expect("jsoniq run")
+                .stats
+        }));
+    }
+    for (q, name) in queries {
+        rows.push(measure("rdataframe", name, n, || {
+            adapters::run_rdf(&table, q, engine_rdf::Options::default())
+                .expect("rdf run")
+                .stats
+        }));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"dataset\": {{ \"events\": {}, \"row_group_size\": {}, \"seed\": {} }},\n",
+        spec.n_events, spec.row_group_size, spec.seed
+    ));
+    json.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6}, \"events_per_sec\": {:.1} }}{}\n",
+            r.engine,
+            r.query,
+            r.wall_seconds,
+            r.cpu_seconds,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    std::fs::write(&out, &json).expect("write BENCH_smoke.json");
+    eprintln!("# wrote {out}");
+    print!("{json}");
+}

@@ -26,7 +26,10 @@ fn main() {
         println!();
     }
     println!();
-    println!("Conciseness metrics over all {} query outputs:", hepbench_core::ALL_QUERIES.len());
+    println!(
+        "Conciseness metrics over all {} query outputs:",
+        hepbench_core::ALL_QUERIES.len()
+    );
     println!();
     let metrics = all_language_metrics();
     print!("{:32}", "");
@@ -41,10 +44,14 @@ fn main() {
         }
         println!();
     };
-    row("#characters", &|m| format!("{:.1}k", m.characters as f64 / 1000.0));
+    row("#characters", &|m| {
+        format!("{:.1}k", m.characters as f64 / 1000.0)
+    });
     row("#lines", &|m| m.lines.to_string());
     row("#clauses", &|m| m.clauses.to_string());
-    row("#avg clauses/query", &|m| format!("{:.1}", m.avg_clauses_per_query));
+    row("#avg clauses/query", &|m| {
+        format!("{:.1}", m.avg_clauses_per_query)
+    });
     row("#unique clauses", &|m| m.unique_clauses.to_string());
     row("#avg unique clauses/query", &|m| {
         format!("{:.1}", m.avg_unique_clauses_per_query)

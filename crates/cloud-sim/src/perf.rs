@@ -225,7 +225,8 @@ impl SelfManagedProfile {
     ) -> f64 {
         let p = instance.vcpus.min(row_groups.max(1)) as f64;
         let work = cpu_seconds * self.cpu_factor;
-        self.overhead_seconds + work * (1.0 + self.sigma * (p - 1.0) + self.kappa * p * (p - 1.0)) / p
+        self.overhead_seconds
+            + work * (1.0 + self.sigma * (p - 1.0) + self.kappa * p * (p - 1.0)) / p
     }
 
     /// The core count at which this profile's wall time is minimal for a

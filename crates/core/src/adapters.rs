@@ -70,7 +70,10 @@ fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
             let c = n.as_i64().map_err(|e| format!("count column: {e}"))?;
             Ok((b, c as u64))
         }
-        other => Err(format!("expected (bin, n) rows, got {} columns", other.len())),
+        other => Err(format!(
+            "expected (bin, n) rows, got {} columns",
+            other.len()
+        )),
     }
 }
 
@@ -130,7 +133,13 @@ mod tests {
         });
         let table = Arc::new(table);
         let n = events.len() as u64;
-        let sql = run_sql(Dialect::presto(), &table, QueryId::Q1, SqlOptions::default()).unwrap();
+        let sql = run_sql(
+            Dialect::presto(),
+            &table,
+            QueryId::Q1,
+            SqlOptions::default(),
+        )
+        .unwrap();
         assert_eq!(sql.histogram.total(), n);
         let jq = run_jsoniq(&table, QueryId::Q1, FlworOptions::default()).unwrap();
         assert_eq!(jq.histogram.total(), n);

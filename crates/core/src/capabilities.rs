@@ -128,7 +128,8 @@ pub fn stars(lang: Language, req: Requirement) -> Option<u8> {
         (RDataFrame, GroupByVariable) => 3,
         (_, GroupByVariable) => return None,
 
-        (Athena, StructParamsInUdfs) | (BigQuery, StructParamsInUdfs)
+        (Athena, StructParamsInUdfs)
+        | (BigQuery, StructParamsInUdfs)
         | (Presto, StructParamsInUdfs) => 1,
         (Jsoniq, StructParamsInUdfs) => 3,
         (RDataFrame, StructParamsInUdfs) => 3,

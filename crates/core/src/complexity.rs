@@ -128,7 +128,14 @@ mod tests {
     #[test]
     fn measured_matches_analytic_for_exact_queries() {
         let evs = events();
-        for q in [QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4, QueryId::Q5, QueryId::Q6a] {
+        for q in [
+            QueryId::Q1,
+            QueryId::Q2,
+            QueryId::Q3,
+            QueryId::Q4,
+            QueryId::Q5,
+            QueryId::Q6a,
+        ] {
             let r = row(q, &evs);
             assert!(
                 (r.analytic_ops_per_event - r.measured_ops_per_event).abs() < 1e-9,

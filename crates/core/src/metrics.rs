@@ -32,15 +32,50 @@ pub struct LanguageMetrics {
 
 /// SQL keywords counted as clauses.
 const SQL_CLAUSES: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "with", "join", "unnest",
-    "case", "cast", "exists", "between", "distinct", "create", "struct", "row", "array",
-    "offset", "ordinality", "in", "not",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "with",
+    "join",
+    "unnest",
+    "case",
+    "cast",
+    "exists",
+    "between",
+    "distinct",
+    "create",
+    "struct",
+    "row",
+    "array",
+    "offset",
+    "ordinality",
+    "in",
+    "not",
 ];
 
 /// JSONiq keywords counted as clauses.
 const JSONIQ_CLAUSES: &[&str] = &[
-    "for", "let", "where", "group", "order", "count", "return", "declare", "if", "then",
-    "else", "some", "every", "satisfies", "at", "in", "to",
+    "for",
+    "let",
+    "where",
+    "group",
+    "order",
+    "count",
+    "return",
+    "declare",
+    "if",
+    "then",
+    "else",
+    "some",
+    "every",
+    "satisfies",
+    "at",
+    "in",
+    "to",
 ];
 
 /// C++/RDataFrame constructs counted as clauses.
@@ -120,7 +155,8 @@ fn clause_list(lang: Language, text: &str) -> Vec<String> {
             let _ = word_start;
             if !word.is_empty() {
                 let lower = word.to_ascii_lowercase();
-                let is_call = c == '(' || (c == ' ' && chars.peek().is_some_and(|(_, n)| *n == '('));
+                let is_call =
+                    c == '(' || (c == ' ' && chars.peek().is_some_and(|(_, n)| *n == '('));
                 // A name directly followed by `(` is a call even when it
                 // collides with a clause keyword (`count(...)` vs the
                 // FLWOR `count` clause).

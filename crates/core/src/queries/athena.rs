@@ -13,12 +13,9 @@ use crate::spec::QueryId;
 /// Inline ΔR < 0.4 predicate (no UDFs in Athena!): the closed-form Δφ
 /// wrap appears twice per comparison.
 fn dr_lt(eta1: &str, phi1: &str, eta2: &str, phi2: &str, cut: &str) -> String {
-    let dphi = format!(
-        "(MOD(MOD({phi1} - {phi2} + PI(), 2.0 * PI()) + 2.0 * PI(), 2.0 * PI()) - PI())"
-    );
-    format!(
-        "SQRT(({eta1} - {eta2}) * ({eta1} - {eta2}) + {dphi} * {dphi}) < {cut}"
-    )
+    let dphi =
+        format!("(MOD(MOD({phi1} - {phi2} + PI(), 2.0 * PI()) + 2.0 * PI(), 2.0 * PI()) - PI())");
+    format!("SQRT(({eta1} - {eta2}) * ({eta1} - {eta2}) + {dphi} * {dphi}) < {cut}")
 }
 
 /// Returns the Athena text for a query output.

@@ -17,7 +17,13 @@ use crate::spec::QueryId;
 /// Jet dependency columns.
 const JET_COLS: &[&str] = &["Jet_pt", "Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag"];
 /// Muon dependency columns.
-const MUON_COLS: &[&str] = &["Muon_pt", "Muon_eta", "Muon_phi", "Muon_mass", "Muon_charge"];
+const MUON_COLS: &[&str] = &[
+    "Muon_pt",
+    "Muon_eta",
+    "Muon_phi",
+    "Muon_mass",
+    "Muon_charge",
+];
 /// Electron dependency columns.
 const ELECTRON_COLS: &[&str] = &[
     "Electron_pt",
@@ -123,7 +129,11 @@ pub fn build(q: QueryId, table: Arc<Table>, options: Options) -> RDataFrame {
             .also_histo1d(spec, "MET_pt"),
         QueryId::Q6a | QueryId::Q6b => {
             let idx = if q == QueryId::Q6a { 0 } else { 1 };
-            let col = if q == QueryId::Q6a { "tri_pt" } else { "tri_btag" };
+            let col = if q == QueryId::Q6a {
+                "tri_pt"
+            } else {
+                "tri_btag"
+            };
             df.filter(&["Jet_pt"], |v| v.arr("Jet_pt").len() >= 3)
                 .define("tri", JET_COLS, |v| {
                     let jets = jets_of(v);

@@ -266,8 +266,7 @@ pub fn run(q: QueryId, events: &[Event]) -> RefOutput {
                         if a.charge == b.charge {
                             continue;
                         }
-                        let m =
-                            pair_mass(a.pt, a.eta, a.phi, a.mass, b.pt, b.eta, b.phi, b.mass);
+                        let m = pair_mass(a.pt, a.eta, a.phi, a.mass, b.pt, b.eta, b.phi, b.mass);
                         if (60.0..=120.0).contains(&m) {
                             pass = true;
                         }

@@ -210,6 +210,37 @@ pub fn scale_to_paper(m: &Measurement, factor: f64) -> Measurement {
     scaled
 }
 
+/// Runs a self-managed system once and maps the measured work across the
+/// whole `m5d` instance sweep (the measured CPU work and scan do not
+/// depend on the simulated instance, so one execution suffices for the
+/// Figure 1 sweep).
+pub fn run_sweep(
+    system: System,
+    table: &Arc<Table>,
+    q: QueryId,
+) -> Result<Vec<Measurement>, AdapterError> {
+    assert!(!system.is_qaas(), "QaaS systems have no instance sweep");
+    let run = execute(system, table, q)?;
+    let row_groups = table.row_groups().len();
+    let profile = self_managed_profile(system);
+    Ok(cloud_sim::M5D_CATALOG
+        .iter()
+        .map(|inst| {
+            let wall = profile.wall_seconds(run.stats.cpu_seconds, inst, row_groups);
+            Measurement {
+                system: system.name(),
+                query: q.name(),
+                instance: Some(inst.name),
+                wall_seconds: wall,
+                cost_usd: cloud_sim::self_managed_cost_usd(wall, inst),
+                cpu_seconds: run.stats.cpu_seconds,
+                scan: run.stats.scan,
+                hist_entries: run.histogram.total(),
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,35 +315,4 @@ mod tests {
         assert!((s.cpu_seconds / m.cpu_seconds - 10.0).abs() < 1e-9);
         assert!(s.scan.bytes_scanned >= 9 * m.scan.bytes_scanned);
     }
-}
-
-/// Runs a self-managed system once and maps the measured work across the
-/// whole `m5d` instance sweep (the measured CPU work and scan do not
-/// depend on the simulated instance, so one execution suffices for the
-/// Figure 1 sweep).
-pub fn run_sweep(
-    system: System,
-    table: &Arc<Table>,
-    q: QueryId,
-) -> Result<Vec<Measurement>, AdapterError> {
-    assert!(!system.is_qaas(), "QaaS systems have no instance sweep");
-    let run = execute(system, table, q)?;
-    let row_groups = table.row_groups().len();
-    let profile = self_managed_profile(system);
-    Ok(cloud_sim::M5D_CATALOG
-        .iter()
-        .map(|inst| {
-            let wall = profile.wall_seconds(run.stats.cpu_seconds, inst, row_groups);
-            Measurement {
-                system: system.name(),
-                query: q.name(),
-                instance: Some(inst.name),
-                wall_seconds: wall,
-                cost_usd: cloud_sim::self_managed_cost_usd(wall, inst),
-                cpu_seconds: run.stats.cpu_seconds,
-                scan: run.stats.scan,
-                hist_entries: run.histogram.total(),
-            }
-        })
-        .collect())
 }

@@ -25,10 +25,7 @@ pub fn eval_builtin(name: &str, args: &[Seq]) -> Option<Result<Seq, FlworError>>
                         all_int = false;
                     }
                     other => {
-                        return Err(FlworError::Type(format!(
-                            "sum over {}",
-                            other.type_name()
-                        )))
+                        return Err(FlworError::Type(format!("sum over {}", other.type_name())))
                     }
                 }
             }
@@ -44,9 +41,7 @@ pub fn eval_builtin(name: &str, args: &[Seq]) -> Option<Result<Seq, FlworError>>
             }
             let mut acc = 0.0;
             for v in s {
-                acc += v
-                    .as_f64()
-                    .map_err(|e| FlworError::Type(e.to_string()))?;
+                acc += v.as_f64().map_err(|e| FlworError::Type(e.to_string()))?;
             }
             Ok(vec![Value::Float(acc / s.len() as f64)])
         }),
@@ -173,24 +168,20 @@ pub fn eval_builtin(name: &str, args: &[Seq]) -> Option<Result<Seq, FlworError>>
             match single(s)? {
                 Value::Int(i) => Ok(vec![Value::Float(*i as f64)]),
                 Value::Float(f) => Ok(vec![Value::Float(*f)]),
-                Value::Str(x) => Ok(vec![Value::Float(
-                    x.parse::<f64>().unwrap_or(f64::NAN),
-                )]),
+                Value::Str(x) => Ok(vec![Value::Float(x.parse::<f64>().unwrap_or(f64::NAN))]),
                 other => Err(FlworError::Type(format!(
                     "number() on {}",
                     other.type_name()
                 ))),
             }
         }),
-        "integer" => arg1(name, args).and_then(|s| {
-            match single(s)? {
-                Value::Int(i) => Ok(vec![Value::Int(*i)]),
-                Value::Float(f) => Ok(vec![Value::Int(*f as i64)]),
-                other => Err(FlworError::Type(format!(
-                    "integer() on {}",
-                    other.type_name()
-                ))),
-            }
+        "integer" => arg1(name, args).and_then(|s| match single(s)? {
+            Value::Int(i) => Ok(vec![Value::Int(*i)]),
+            Value::Float(f) => Ok(vec![Value::Int(*f as i64)]),
+            other => Err(FlworError::Type(format!(
+                "integer() on {}",
+                other.type_name()
+            ))),
         }),
         _ => return None,
     })

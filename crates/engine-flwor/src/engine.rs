@@ -5,10 +5,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nested_value::Value;
-use nf2_columnar::{ExecStats, Projection, PushdownCapability, Table};
+use nf2_columnar::{
+    ExecStats, Projection, PushdownCapability, ScalarPredicate, Schema, SelCmp, SelValue, Table,
+};
 use parking_lot::Mutex;
 
-use crate::ast::{Clause, Expr, Module};
+use crate::ast::{Clause, CmpOp, Expr, Module};
 use crate::error::FlworError;
 use crate::interp::{Env, Interp, Seq, Source};
 use crate::parser;
@@ -24,6 +26,11 @@ pub struct FlworOptions {
     /// overhead beyond what a tree-walking interpreter already costs.
     /// 0 disables (default).
     pub overhead_ns_per_item: u64,
+    /// Vectorized pre-filtering of scalar `where` conjuncts at scan time
+    /// (late materialization). Purely an execution-speed knob: scan stats
+    /// are defined by the projected columns (all of them, for Rumble), not
+    /// by surviving rows, and the `where` clause still runs on survivors.
+    pub vectorized_filter: bool,
 }
 
 impl Default for FlworOptions {
@@ -31,6 +38,7 @@ impl Default for FlworOptions {
         FlworOptions {
             n_threads: 0,
             overhead_ns_per_item: 0,
+            vectorized_filter: true,
         }
     }
 }
@@ -112,12 +120,17 @@ impl FlworEngine {
             .clone();
 
         // Rumble pushes no projections: the scan reads every leaf column.
-        let scan = nf2_columnar::scan::scan_stats(
-            &table,
-            &Projection::all(),
-            PushdownCapability::None,
-        )?;
+        let scan =
+            nf2_columnar::scan::scan_stats(&table, &Projection::all(), PushdownCapability::None)?;
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
+
+        // Computed after `scan` so vectorized filtering cannot perturb the
+        // accounting above.
+        let preds = if self.options.vectorized_filter {
+            prefilter_predicates(&module, table.schema())
+        } else {
+            Vec::new()
+        };
 
         let partitionable = is_partitionable(&module);
         let n_groups = table.row_groups().len();
@@ -138,9 +151,12 @@ impl FlworEngine {
             let t0 = Instant::now();
             let mut rows = Vec::with_capacity(table.n_rows());
             for g in table.row_groups() {
-                rows.extend(g.read_rows(table.schema(), &leaves)?);
+                rows.extend(materialize_group(g, table.schema(), &leaves, &preds)?);
             }
-            self.busy_overhead(rows.len());
+            // Overhead models per-record cost of everything the simulated
+            // engine *scans*, so it is charged for all rows regardless of
+            // how many the pre-filter admits.
+            self.busy_overhead(table.n_rows());
             let source = TableSource {
                 rows: &rows,
                 name: table.name(),
@@ -163,9 +179,9 @@ impl FlworEngine {
                         break;
                     }
                     let r = (|| -> Result<Seq, FlworError> {
-                        let rows =
-                            table.row_groups()[g].read_rows(table.schema(), &leaves)?;
-                        self.busy_overhead(rows.len());
+                        let group = &table.row_groups()[g];
+                        let rows = materialize_group(group, table.schema(), &leaves, &preds)?;
+                        self.busy_overhead(group.n_rows());
                         let source = TableSource {
                             rows: &rows,
                             name: table.name(),
@@ -215,13 +231,156 @@ impl FlworEngine {
         if self.options.overhead_ns_per_item == 0 {
             return;
         }
-        let total = std::time::Duration::from_nanos(
-            self.options.overhead_ns_per_item * n_items as u64,
-        );
+        let total =
+            std::time::Duration::from_nanos(self.options.overhead_ns_per_item * n_items as u64);
         let t0 = Instant::now();
         while t0.elapsed() < total {
             std::hint::spin_loop();
         }
+    }
+}
+
+/// Reads a row group, applying the vectorized pre-filter when one exists
+/// (late materialization: only surviving rows are assembled into `Value`s).
+fn materialize_group(
+    group: &nf2_columnar::RowGroup,
+    schema: &Schema,
+    leaves: &[&nf2_columnar::LeafInfo],
+    preds: &[ScalarPredicate],
+) -> Result<Vec<Value>, FlworError> {
+    if preds.is_empty() {
+        return Ok(group.read_rows(schema, leaves)?);
+    }
+    let sel = nf2_columnar::apply_predicates(group, preds)?;
+    if sel.is_full() {
+        return Ok(group.read_rows(schema, leaves)?);
+    }
+    Ok(group.read_rows_selected(schema, leaves, &sel)?)
+}
+
+/// Extracts scalar `where` conjuncts of the shape `$e.path cmp literal`
+/// (or flipped) from the top-level FLWOR's leading clauses, where `$e` is
+/// the variable bound by `for $e in parquet-file(…)`. Only `where`
+/// clauses that directly follow the `for` are inspected (later clauses may
+/// rebind variables or change tuple cardinality), and only non-repeated,
+/// non-boolean leaves qualify — those are exactly the cases where the
+/// interpreter's existential comparison degenerates to the same scalar
+/// compare the kernels implement. Anything that does not fit is simply
+/// left to the interpreter: the `where` clause still runs on survivors, so
+/// a skipped conjunct costs speed, never correctness.
+fn prefilter_predicates(module: &Module, schema: &Schema) -> Vec<ScalarPredicate> {
+    let Expr::Flwor { clauses, .. } = &module.body else {
+        return Vec::new();
+    };
+    let Some(Clause::For { var, at, source }) = clauses.first() else {
+        return Vec::new();
+    };
+    if at.is_some() || !matches!(source, Expr::Call(n, _) if n == "parquet-file") {
+        return Vec::new();
+    }
+    // The table rows are shared by every `parquet-file(…)` call in the
+    // module; filtering is only sound when this `for` is the sole reader.
+    let mut reads = 0usize;
+    for f in &module.functions {
+        walk(&f.body, &mut |e| {
+            if matches!(e, Expr::Call(n, _) if n == "parquet-file") {
+                reads += 1;
+            }
+        });
+    }
+    walk(&module.body, &mut |e| {
+        if matches!(e, Expr::Call(n, _) if n == "parquet-file") {
+            reads += 1;
+        }
+    });
+    if reads != 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in clauses.iter().skip(1) {
+        match c {
+            Clause::Where(p) => collect_scalar_conjuncts(p, var, schema, &mut out),
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Splits `and`-chains and converts each qualifying conjunct.
+fn collect_scalar_conjuncts(p: &Expr, var: &str, schema: &Schema, out: &mut Vec<ScalarPredicate>) {
+    match p {
+        Expr::And(a, b) => {
+            collect_scalar_conjuncts(a, var, schema, out);
+            collect_scalar_conjuncts(b, var, schema, out);
+        }
+        Expr::Cmp(a, op, b) => {
+            let sides = [(a, b, false), (b, a, true)];
+            for (path_side, lit_side, flipped) in sides {
+                let Some(path) = member_path(path_side, var) else {
+                    continue;
+                };
+                let Some(value) = literal_sel(lit_side) else {
+                    continue;
+                };
+                let Some(leaf) = schema.leaf(&path) else {
+                    continue;
+                };
+                if leaf.repeated || leaf.ptype == nf2_columnar::PhysicalType::Bool {
+                    continue;
+                }
+                let cmp = match (op, flipped) {
+                    (CmpOp::Lt, false) | (CmpOp::Gt, true) => SelCmp::Lt,
+                    (CmpOp::Le, false) | (CmpOp::Ge, true) => SelCmp::Le,
+                    (CmpOp::Gt, false) | (CmpOp::Lt, true) => SelCmp::Gt,
+                    (CmpOp::Ge, false) | (CmpOp::Le, true) => SelCmp::Ge,
+                    (CmpOp::Eq, _) => SelCmp::Eq,
+                    (CmpOp::Ne, _) => SelCmp::Ne,
+                };
+                out.push(ScalarPredicate {
+                    leaf: leaf.path.clone(),
+                    cmp,
+                    value,
+                });
+                break;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `$var.a.b.…` as a schema path (member access is case-sensitive in
+/// JSONiq, so no canonicalization is needed).
+fn member_path(e: &Expr, var: &str) -> Option<nested_value::Path> {
+    let mut segs = Vec::new();
+    let mut cur = e;
+    loop {
+        match cur {
+            Expr::Member(inner, name) => {
+                segs.push(name.as_str());
+                cur = inner;
+            }
+            Expr::Var(v) if v == var => break,
+            _ => return None,
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    segs.reverse();
+    Some(nested_value::Path::parse(&segs.join(".")))
+}
+
+/// Numeric literals (including unary minus) as predicate values.
+fn literal_sel(e: &Expr) -> Option<SelValue> {
+    match e {
+        Expr::Int(i) => Some(SelValue::Int(*i)),
+        Expr::Float(f) => Some(SelValue::Float(*f)),
+        Expr::Neg(inner) => match &**inner {
+            Expr::Int(i) => i.checked_neg().map(SelValue::Int),
+            Expr::Float(f) => Some(SelValue::Float(-f)),
+            _ => None,
+        },
+        _ => None,
     }
 }
 
@@ -364,5 +523,68 @@ fn walk(e: &Expr, f: &mut dyn FnMut(&Expr)) {
             }
         }
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod prefilter_tests {
+    use super::*;
+
+    fn preds(q: &str) -> Vec<ScalarPredicate> {
+        let module = crate::parser::parse_module(q).unwrap();
+        let (_, table) = hep_model::generator::build_dataset(hep_model::DatasetSpec {
+            n_events: 8,
+            row_group_size: 8,
+            seed: 1,
+        });
+        prefilter_predicates(&module, table.schema())
+    }
+
+    #[test]
+    fn extracts_leading_scalar_conjuncts() {
+        let p = preds(
+            "for $e in parquet-file(\"events\") \
+             where $e.MET.pt > 25.0 and $e.MET.phi < 1 \
+             return $e.MET.pt",
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].cmp, SelCmp::Gt);
+        assert_eq!(p[0].value, SelValue::Float(25.0));
+        assert_eq!(p[0].leaf.to_string(), "MET.pt");
+        assert_eq!(p[1].cmp, SelCmp::Lt);
+        assert_eq!(p[1].value, SelValue::Int(1));
+    }
+
+    #[test]
+    fn flips_literal_on_left() {
+        let p = preds(
+            "for $e in parquet-file(\"events\") \
+             where 25.0 le $e.MET.pt \
+             return $e",
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].cmp, SelCmp::Ge);
+    }
+
+    #[test]
+    fn skips_repeated_leaves_and_stops_at_non_where() {
+        // Jet.pt is repeated: existential comparison, not a scalar one.
+        assert!(preds(
+            "for $e in parquet-file(\"events\") \
+             where $e.Jet.pt > 5 return $e"
+        )
+        .is_empty());
+        // A `let` may rebind; conjuncts after it are not hoisted.
+        assert!(preds(
+            "for $e in parquet-file(\"events\") \
+             let $x := 1 where $e.MET.pt > 5 return $e"
+        )
+        .is_empty());
+        // Positional variable: row identity matters downstream.
+        assert!(preds(
+            "for $e at $i in parquet-file(\"events\") \
+             where $e.MET.pt > 5 return $i"
+        )
+        .is_empty());
     }
 }

@@ -220,10 +220,7 @@ impl<'m, S: Source> Interp<'m, S> {
                         Value::Array(a) => out.extend(a.iter().cloned()),
                         Value::Null => {}
                         other => {
-                            return Err(FlworError::Type(format!(
-                                "[] on {}",
-                                other.type_name()
-                            )))
+                            return Err(FlworError::Type(format!("[] on {}", other.type_name())))
                         }
                     }
                 }
@@ -243,10 +240,7 @@ impl<'m, S: Source> Interp<'m, S> {
                             }
                         }
                         other => {
-                            return Err(FlworError::Type(format!(
-                                "[[…]] on {}",
-                                other.type_name()
-                            )))
+                            return Err(FlworError::Type(format!("[[…]] on {}", other.type_name())))
                         }
                     }
                 }
@@ -331,12 +325,7 @@ impl<'m, S: Source> Interp<'m, S> {
         self.eval(&f.body, &inner)
     }
 
-    fn eval_flwor(
-        &self,
-        clauses: &[Clause],
-        ret: &Expr,
-        env: &Env,
-    ) -> Result<Seq, FlworError> {
+    fn eval_flwor(&self, clauses: &[Clause], ret: &Expr, env: &Env) -> Result<Seq, FlworError> {
         // The tuple stream: local bindings layered over `env`.
         let mut tuples: Vec<Env> = vec![env.clone()];
         // Names introduced by this FLWOR (the only ones group-by re-binds).
@@ -410,9 +399,7 @@ impl<'m, S: Source> Interp<'m, S> {
                         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
                             match nested_value::ops::compare(x, y) {
                                 Ok(std::cmp::Ordering::Equal) => continue,
-                                Ok(ord) => {
-                                    return if keys[i].1 { ord.reverse() } else { ord }
-                                }
+                                Ok(ord) => return if keys[i].1 { ord.reverse() } else { ord },
                                 Err(e) => {
                                     err = Some(e);
                                     return std::cmp::Ordering::Equal;
@@ -428,7 +415,8 @@ impl<'m, S: Source> Interp<'m, S> {
                 }
                 Clause::GroupBy(keys) => {
                     // Evaluate grouping keys per tuple.
-                    let mut groups: Vec<(Vec<(String, Value)>, Vec<Env>)> = Vec::new();
+                    type Group = (Vec<(String, Value)>, Vec<Env>);
+                    let mut groups: Vec<Group> = Vec::new();
                     let mut index: HashMap<String, usize> = HashMap::new();
                     for t in tuples {
                         let mut kvs = Vec::with_capacity(keys.len());
@@ -438,9 +426,7 @@ impl<'m, S: Source> Interp<'m, S> {
                                 None => t
                                     .lookup(kvar)
                                     .map(|s| s.as_ref().clone())
-                                    .ok_or_else(|| {
-                                        FlworError::Unresolved(format!("${kvar}"))
-                                    })?,
+                                    .ok_or_else(|| FlworError::Unresolved(format!("${kvar}")))?,
                             };
                             let atom = match v.len() {
                                 0 => Value::Null,
@@ -588,8 +574,7 @@ fn atomic_compare(a: &Value, op: CmpOp, b: &Value) -> Result<bool, FlworError> {
             CmpOp::Ge => b.is_null(),
         });
     }
-    let ord = nested_value::ops::compare(a, b)
-        .map_err(|e| FlworError::Type(e.to_string()))?;
+    let ord = nested_value::ops::compare(a, b).map_err(|e| FlworError::Type(e.to_string()))?;
     Ok(match op {
         CmpOp::Eq => ord == std::cmp::Ordering::Equal,
         CmpOp::Ne => ord != std::cmp::Ordering::Equal,

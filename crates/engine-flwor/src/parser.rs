@@ -464,7 +464,9 @@ impl Parser {
                                 self.pos += 1;
                                 ObjectKey::Name(s)
                             }
-                            Some(Token::Name(n)) if self.peek_at(1).is_some_and(|t| t.is_punct(":")) => {
+                            Some(Token::Name(n))
+                                if self.peek_at(1).is_some_and(|t| t.is_punct(":")) =>
+                            {
                                 self.pos += 1;
                                 ObjectKey::Name(n)
                             }
@@ -554,10 +556,8 @@ mod tests {
 
     #[test]
     fn for_at_and_multiple_bindings() {
-        let e = parse_expr(
-            "for $j1 at $i in $jets, $j2 at $k in $jets where $i < $k return $j1",
-        )
-        .unwrap();
+        let e = parse_expr("for $j1 at $i in $jets, $j2 at $k in $jets where $i < $k return $j1")
+            .unwrap();
         match e {
             Expr::Flwor { clauses, .. } => {
                 assert!(matches!(

@@ -56,10 +56,7 @@ fn flwor_for_let_where_return() {
         eval("for $x in (1 to 5) where $x mod 2 = 0 return $x * 10").unwrap(),
         vec![Value::Int(20), Value::Int(40)]
     );
-    assert_eq!(
-        eval1("let $y := 4 return $y * $y"),
-        Value::Int(16)
-    );
+    assert_eq!(eval1("let $y := 4 return $y * $y"), Value::Int(16));
 }
 
 #[test]
@@ -224,7 +221,10 @@ fn if_and_logic() {
 #[test]
 fn errors_are_reported() {
     assert!(matches!(eval("$missing"), Err(FlworError::Unresolved(_))));
-    assert!(matches!(eval("nosuchfn(1)"), Err(FlworError::Unresolved(_))));
+    assert!(matches!(
+        eval("nosuchfn(1)"),
+        Err(FlworError::Unresolved(_))
+    ));
     assert!(matches!(eval("(1).pt"), Err(FlworError::Type(_))));
     assert!(matches!(eval("{ \"a\": 1 }[]"), Err(FlworError::Type(_))));
     assert!(matches!(eval("1 idiv 0"), Err(FlworError::Dynamic(_))));
@@ -232,18 +232,22 @@ fn errors_are_reported() {
 
 // ------------------------------------------------------------ end-to-end
 
-fn hep_engine(n_threads: usize) -> (Vec<hep_model::Event>, FlworEngine) {
+fn hep_engine_opts(options: FlworOptions) -> (Vec<hep_model::Event>, FlworEngine) {
     let (events, table) = hep_model::generator::build_dataset(hep_model::DatasetSpec {
         n_events: 500,
         row_group_size: 128,
         seed: 33,
     });
-    let mut e = FlworEngine::new(FlworOptions {
-        n_threads,
-        overhead_ns_per_item: 0,
-    });
+    let mut e = FlworEngine::new(options);
     e.register(Arc::new(table));
     (events, e)
+}
+
+fn hep_engine(n_threads: usize) -> (Vec<hep_model::Event>, FlworEngine) {
+    hep_engine_opts(FlworOptions {
+        n_threads,
+        ..FlworOptions::default()
+    })
 }
 
 #[test]
@@ -255,10 +259,7 @@ fn table_scan_met() {
     assert_eq!(out.items.len(), events.len());
     assert_eq!(out.items[0], Value::Float(events[0].met.pt));
     // Rumble reads everything: bytes scanned equals the whole table.
-    assert_eq!(
-        out.stats.scan.columns_read as usize,
-        63
-    );
+    assert_eq!(out.stats.scan.columns_read as usize, 63);
 }
 
 #[test]
@@ -293,6 +294,66 @@ fn parallel_matches_serial() {
 }
 
 #[test]
+fn vectorized_prefilter_matches_interpreter() {
+    // Identical result sequence and identical scan accounting with the
+    // pre-filter on and off, in both serial and parallel execution.
+    let q = "for $e in parquet-file(\"events\") \
+             where $e.MET.pt > 25.0 and $e.MET.phi < 1.0 \
+             return $e.MET.pt";
+    let mut outputs = Vec::new();
+    for vectorized_filter in [true, false] {
+        for n_threads in [1, 4] {
+            let (events, engine) = hep_engine_opts(FlworOptions {
+                n_threads,
+                vectorized_filter,
+                ..FlworOptions::default()
+            });
+            let out = engine.execute(q).unwrap();
+            let expect: Vec<Value> = events
+                .iter()
+                .filter(|e| e.met.pt > 25.0 && e.met.phi < 1.0)
+                .map(|e| Value::Float(e.met.pt))
+                .collect();
+            assert!(!expect.is_empty() && expect.len() < events.len());
+            assert_eq!(out.items, expect, "vf={vectorized_filter} t={n_threads}");
+            outputs.push(out);
+        }
+    }
+    // Filtering is an execution knob, never a pricing knob.
+    for o in &outputs[1..] {
+        assert_eq!(
+            o.stats.scan.bytes_scanned,
+            outputs[0].stats.scan.bytes_scanned
+        );
+        assert_eq!(
+            o.stats.scan.columns_read,
+            outputs[0].stats.scan.columns_read
+        );
+    }
+}
+
+#[test]
+fn prefilter_skips_nonscalar_conjuncts_soundly() {
+    // Mixed where: the scalar MET conjunct (with an *integer* literal
+    // against a float column) is vectorizable, the jet-count conjunct is
+    // not and must still be applied by the interpreter.
+    let (events, engine) = hep_engine(1);
+    let out = engine
+        .execute(
+            "for $e in parquet-file(\"events\") \
+             where $e.MET.pt > 20 and count($e.Jet[]) >= 2 \
+             return $e.event",
+        )
+        .unwrap();
+    let expect: Vec<Value> = events
+        .iter()
+        .filter(|e| e.met.pt > 20.0 && e.jets.len() >= 2)
+        .map(|e| Value::Int(e.event as i64))
+        .collect();
+    assert_eq!(out.items, expect);
+}
+
+#[test]
 fn group_by_forces_serial() {
     let (_, engine) = hep_engine(8);
     let out = engine
@@ -308,7 +369,14 @@ fn group_by_forces_serial() {
     let total: i64 = out
         .items
         .iter()
-        .map(|o| o.as_struct().unwrap().get("events").unwrap().as_i64().unwrap())
+        .map(|o| {
+            o.as_struct()
+                .unwrap()
+                .get("events")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        })
         .sum();
     assert_eq!(total, 500);
 }

@@ -88,9 +88,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, FlworError> {
                 match b[j] {
                     b'"' => break,
                     b'\\' => {
-                        let esc = b.get(j + 1).ok_or_else(|| {
-                            FlworError::Lex(j, "dangling escape".into())
-                        })?;
+                        let esc = b
+                            .get(j + 1)
+                            .ok_or_else(|| FlworError::Lex(j, "dangling escape".into()))?;
                         s.push(match esc {
                             b'n' => '\n',
                             b't' => '\t',
@@ -163,10 +163,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, FlworError> {
                 i += 1;
             }
             // QName: `prefix:name` — only when ':' is not part of ':='.
-            if i < b.len()
-                && b[i] == b':'
-                && b.get(i + 1).is_some_and(|n| is_name_start(*n))
-            {
+            if i < b.len() && b[i] == b':' && b.get(i + 1).is_some_and(|n| is_name_start(*n)) {
                 i += 1;
                 while i < b.len() && is_name_part(b[i]) {
                     i += 1;
@@ -182,7 +179,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, FlworError> {
                 continue 'outer;
             }
         }
-        return Err(FlworError::Lex(i, format!("unexpected character {:?}", c as char)));
+        return Err(FlworError::Lex(
+            i,
+            format!("unexpected character {:?}", c as char),
+        ));
     }
     Ok(out)
 }
@@ -198,7 +198,7 @@ mod tests {
         assert_eq!(t[1], Token::Var("event".into()));
         assert_eq!(t[2], Token::Name("in".into()));
         assert_eq!(t[3], Token::Var("events".into()));
-        assert!(t.iter().any(|x| *x == Token::ContextItem));
+        assert!(t.contains(&Token::ContextItem));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use nf2_columnar::Table;
+use nf2_columnar::{SelCmp, SelValue, Table};
 use physics::HistSpec;
 
 use crate::exec::{self, ContentionModel, RunOutput};
@@ -14,6 +14,9 @@ use crate::view::{ColValue, ColumnRegistry, EventView};
 pub enum RdfError {
     /// A column name could not be mapped to a leaf of the table schema.
     UnknownColumn(String),
+    /// A `filter_scalar` column is repeated or boolean — only per-event
+    /// numeric scalars can be compared against a literal.
+    NotScalar(String),
     /// Substrate error (projection, I/O).
     Columnar(nf2_columnar::ColumnarError),
 }
@@ -22,6 +25,9 @@ impl fmt::Display for RdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RdfError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RdfError::NotScalar(c) => {
+                write!(f, "filter_scalar on non-scalar column: {c}")
+            }
             RdfError::Columnar(e) => write!(f, "columnar error: {e}"),
         }
     }
@@ -42,6 +48,13 @@ pub struct Options {
     pub n_threads: usize,
     /// Result-merging behaviour; see [`ContentionModel`].
     pub contention: ContentionModel,
+    /// Evaluate [`RDataFrame::filter_scalar`] cuts with vectorized kernels
+    /// before the event loop (late materialization). Purely an
+    /// execution-speed knob: scan accounting is defined by the declared
+    /// columns, and results are bit-identical either way. Ignored (falls
+    /// back to per-event evaluation) under [`ContentionModel::RootV622`],
+    /// whose simulated lock cadence is defined per *processed* event.
+    pub vectorized_filter: bool,
 }
 
 impl Default for Options {
@@ -49,6 +62,7 @@ impl Default for Options {
         Options {
             n_threads: 0,
             contention: ContentionModel::Fixed,
+            vectorized_filter: true,
         }
     }
 }
@@ -58,8 +72,18 @@ type FilterFn = Arc<dyn Fn(&EventView) -> bool + Send + Sync>;
 
 #[derive(Clone)]
 pub(crate) enum Node {
-    Define { slot: usize, func: DefineFn },
-    Filter { func: FilterFn },
+    Define {
+        slot: usize,
+        func: DefineFn,
+    },
+    Filter {
+        func: FilterFn,
+    },
+    /// A declarative `column cmp literal` cut, indexing into the run's
+    /// resolved scalar-predicate list.
+    ScalarFilter {
+        index: usize,
+    },
 }
 
 /// A booking: one histogram to fill at the end of the chain.
@@ -81,6 +105,8 @@ pub struct RDataFrame {
     pub(crate) options: Options,
     pub(crate) registry: ColumnRegistry,
     pub(crate) nodes: Vec<Node>,
+    /// `(column, cmp, literal)` per [`Node::ScalarFilter`], in index order.
+    pub(crate) scalar_filters: Vec<(String, SelCmp, SelValue)>,
     pub(crate) bookings: Vec<Booking>,
 }
 
@@ -92,6 +118,7 @@ impl RDataFrame {
             options,
             registry: ColumnRegistry::default(),
             nodes: Vec::new(),
+            scalar_filters: Vec::new(),
             bookings: Vec::new(),
         }
     }
@@ -133,6 +160,21 @@ impl RDataFrame {
         self.nodes.push(Node::Filter {
             func: Arc::new(func),
         });
+        self
+    }
+
+    /// Adds a declarative scalar cut `column cmp literal` on a non-repeated
+    /// numeric base column (e.g. `MET_pt`). Unlike [`RDataFrame::filter`],
+    /// the engine sees the comparison's structure, so with
+    /// [`Options::vectorized_filter`] it evaluates the cut with typed
+    /// kernels over the raw column chunks *before* any event is
+    /// materialized. Semantics are identical to the closure form either
+    /// way.
+    pub fn filter_scalar(mut self, column: &str, cmp: SelCmp, value: SelValue) -> RDataFrame {
+        self.declare_deps(&[column]);
+        let index = self.scalar_filters.len();
+        self.scalar_filters.push((column.to_string(), cmp, value));
+        self.nodes.push(Node::ScalarFilter { index });
         self
     }
 

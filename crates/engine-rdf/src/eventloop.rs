@@ -83,9 +83,13 @@ impl EventLoop {
 
         let n_groups = table.row_groups().len();
         let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
-        let n_threads = if self.n_threads == 0 { hw } else { self.n_threads }
-            .max(1)
-            .min(n_groups.max(1));
+        let n_threads = if self.n_threads == 0 {
+            hw
+        } else {
+            self.n_threads
+        }
+        .max(1)
+        .min(n_groups.max(1));
 
         let next = AtomicUsize::new(0);
         let states: Mutex<Vec<S>> = Mutex::new(Vec::new());

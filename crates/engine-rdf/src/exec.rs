@@ -5,7 +5,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nested_value::Path;
-use nf2_columnar::{ColumnChunk, ExecStats, Projection, PushdownCapability, RowGroup, Table};
+use nf2_columnar::{
+    ColumnChunk, ExecStats, Projection, PushdownCapability, RowGroup, ScalarPredicate,
+    SelectionVector, Table,
+};
 use parking_lot::Mutex;
 use physics::Histogram;
 
@@ -62,7 +65,9 @@ pub(crate) fn resolve_column(table: &Table, name: &str) -> Result<Path, RdfError
 }
 
 fn widen(chunk: &ColumnChunk) -> Vec<f64> {
-    (0..chunk.n_entries()).map(|i| chunk.data.get_f64(i)).collect()
+    (0..chunk.n_entries())
+        .map(|i| chunk.data.get_f64(i))
+        .collect()
 }
 
 /// Materializes the base columns of one row group (shared with the
@@ -97,7 +102,8 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         .map(|n| resolve_column(table, n))
         .collect::<Result<_, _>>()?;
     let projection = Projection::of(base_paths.iter().map(|p| p.to_string()));
-    let scan = nf2_columnar::scan::scan_stats(table, &projection, PushdownCapability::IndividualLeaves)?;
+    let scan =
+        nf2_columnar::scan::scan_stats(table, &projection, PushdownCapability::IndividualLeaves)?;
 
     // Resolve booking targets.
     let booking_cols: Vec<ColumnId> = df
@@ -105,6 +111,34 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         .iter()
         .map(|b| *df.registry.by_name.get(&b.column).expect("declared"))
         .collect();
+
+    // Resolve declarative scalar cuts. A cut on a repeated or boolean
+    // column has no per-event scalar to compare and is rejected outright.
+    let scalar_preds: Vec<ScalarPredicate> = df
+        .scalar_filters
+        .iter()
+        .map(|(name, cmp, value)| {
+            let leaf_path = resolve_column(table, name)?;
+            match table.schema().leaf(&leaf_path) {
+                Some(l) if !l.repeated && l.ptype != nf2_columnar::PhysicalType::Bool => {
+                    Ok(ScalarPredicate {
+                        leaf: leaf_path,
+                        cmp: *cmp,
+                        value: *value,
+                    })
+                }
+                _ => Err(RdfError::NotScalar(name.clone())),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    // Hoisting every scalar cut to scan time is sound because cuts are
+    // pure conjuncts: the surviving event set is order-independent, and
+    // moving a cut *earlier* only strengthens the protection it gives
+    // later defines. Under the contended model the simulated lock cadence
+    // is defined per processed event, so cuts stay in the event loop.
+    let hoist = df.options.vectorized_filter
+        && df.options.contention == ContentionModel::Fixed
+        && !scalar_preds.is_empty();
 
     let n_groups = table.row_groups().len();
     let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -116,21 +150,44 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     .max(1)
     .min(n_groups.max(1));
 
-    let fresh = || -> Vec<Histogram> {
-        df.bookings
-            .iter()
-            .map(|b| Histogram::new(b.spec))
-            .collect()
-    };
+    let fresh =
+        || -> Vec<Histogram> { df.bookings.iter().map(|b| Histogram::new(b.spec)).collect() };
 
     let global: Mutex<Vec<Histogram>> = Mutex::new(fresh());
     let next_group = AtomicUsize::new(0);
     let cpu_seconds = Mutex::new(0.0f64);
 
-    let process_group = |group: &RowGroup, partial: &mut Vec<Histogram>, events_since_merge: &mut usize| -> Result<(), RdfError> {
+    let process_group = |group: &RowGroup,
+                         partial: &mut Vec<Histogram>,
+                         events_since_merge: &mut usize|
+     -> Result<(), RdfError> {
+        // Vectorized pre-pass: surviving rows are computed from the raw
+        // typed chunks before the event loop sees anything.
+        let sel: Option<SelectionVector> = if hoist {
+            let s = nf2_columnar::apply_predicates(group, &scalar_preds)?;
+            if s.is_empty() {
+                return Ok(());
+            }
+            Some(s)
+        } else {
+            None
+        };
         let base = materialize_base(group, &base_paths)?;
+        // Raw chunks for per-event scalar-cut evaluation when not hoisted.
+        let sf_chunks: Vec<&ColumnChunk> = if hoist {
+            Vec::new()
+        } else {
+            scalar_preds
+                .iter()
+                .map(|p| Ok(group.column(&p.leaf)?))
+                .collect::<Result<_, RdfError>>()?
+        };
+        let rows: Box<dyn Iterator<Item = usize>> = match &sel {
+            Some(s) => Box::new(s.rows().iter().map(|&r| r as usize)),
+            None => Box::new(0..group.n_rows()),
+        };
         let mut defined: Vec<Option<ColValue>> = vec![None; df.registry.n_defined];
-        for row in 0..group.n_rows() {
+        for row in rows {
             for d in defined.iter_mut() {
                 *d = None;
             }
@@ -161,6 +218,15 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
                             break;
                         }
                     }
+                    Node::ScalarFilter { index } => {
+                        if hoist {
+                            continue; // applied at scan time
+                        }
+                        if !scalar_preds[*index].matches_row(&sf_chunks[*index].data, row) {
+                            passed = false;
+                            break;
+                        }
+                    }
                 }
             }
             if passed {
@@ -170,9 +236,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
                     row,
                     defined: &defined,
                 };
-                for ((b, col), booking) in
-                    partial.iter_mut().zip(&booking_cols).zip(&df.bookings)
-                {
+                for ((b, col), booking) in partial.iter_mut().zip(&booking_cols).zip(&df.bookings) {
                     match col {
                         ColumnId::Base(i) => match &base[*i] {
                             BaseColumn::Scalar(v) => b.fill(v[row]),
@@ -263,7 +327,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
 mod tests {
     use super::*;
     use crate::dataframe::Options;
-    use hep_model::{DatasetSpec, generator::build_dataset};
+    use hep_model::{generator::build_dataset, DatasetSpec};
     use physics::HistSpec;
 
     fn test_table() -> (Vec<hep_model::Event>, Arc<Table>) {
@@ -281,7 +345,9 @@ mod tests {
         assert_eq!(resolve_column(&t, "event").unwrap().to_string(), "event");
         assert_eq!(resolve_column(&t, "MET_pt").unwrap().to_string(), "MET.pt");
         assert_eq!(
-            resolve_column(&t, "Muon_pfRelIso03_all").unwrap().to_string(),
+            resolve_column(&t, "Muon_pfRelIso03_all")
+                .unwrap()
+                .to_string(),
             "Muon.pfRelIso03_all"
         );
         assert!(resolve_column(&t, "Jets_pt").is_err());
@@ -333,6 +399,83 @@ mod tests {
     }
 
     #[test]
+    fn scalar_filter_matches_closure_filter() {
+        use nf2_columnar::{SelCmp, SelValue};
+        let (events, t) = test_table();
+        let spec = HistSpec::new(100, 0.0, 200.0);
+        let expect = {
+            let mut h = Histogram::new(spec);
+            for e in events
+                .iter()
+                .filter(|e| e.met.pt > 25.0 && e.met.sumet >= 300.0)
+            {
+                h.fill(e.met.pt);
+            }
+            h
+        };
+        // Vectorized on and off, serial and parallel — all bit-identical
+        // to the opaque-closure formulation.
+        let mut stats = Vec::new();
+        for vectorized_filter in [true, false] {
+            for n_threads in [1, 4] {
+                let df = RDataFrame::new(
+                    t.clone(),
+                    Options {
+                        n_threads,
+                        vectorized_filter,
+                        ..Options::default()
+                    },
+                )
+                .filter_scalar("MET_pt", SelCmp::Gt, SelValue::Float(25.0))
+                .filter_scalar("MET_sumet", SelCmp::Ge, SelValue::Int(300));
+                let out = df.histo1d(spec, "MET_pt").run().unwrap();
+                assert!(
+                    out.histogram.counts_equal(&expect),
+                    "vf={vectorized_filter} t={n_threads}"
+                );
+                stats.push(out.stats.scan);
+            }
+        }
+        // Filtering must not perturb scan accounting.
+        for s in &stats[1..] {
+            assert_eq!(s.bytes_scanned, stats[0].bytes_scanned);
+            assert_eq!(s.logical_bytes, stats[0].logical_bytes);
+        }
+    }
+
+    #[test]
+    fn scalar_filter_composes_with_defines_and_closures() {
+        use nf2_columnar::{SelCmp, SelValue};
+        let (events, t) = test_table();
+        let df = RDataFrame::new(t, Options::default())
+            .filter(&["Muon_pt"], |v| !v.arr("Muon_pt").is_empty())
+            .filter_scalar("MET_pt", SelCmp::Lt, SelValue::Float(60.0))
+            .define("lead_mu_pt", &["Muon_pt"], |v| {
+                crate::view::ColValue::F64(v.arr("Muon_pt")[0])
+            });
+        let out = df
+            .histo1d(HistSpec::new(50, 0.0, 100.0), "lead_mu_pt")
+            .run()
+            .unwrap();
+        let expect = events
+            .iter()
+            .filter(|e| !e.muons.is_empty() && e.met.pt < 60.0)
+            .count() as u64;
+        assert_eq!(out.histogram.total(), expect);
+    }
+
+    #[test]
+    fn scalar_filter_rejects_non_scalar_columns() {
+        use nf2_columnar::{SelCmp, SelValue};
+        let (_, t) = test_table();
+        let out = RDataFrame::new(t, Options::default())
+            .filter_scalar("Jet_pt", SelCmp::Gt, SelValue::Float(10.0))
+            .histo1d(HistSpec::new(10, 0.0, 1.0), "MET_pt")
+            .run();
+        assert!(matches!(out, Err(RdfError::NotScalar(_))));
+    }
+
+    #[test]
     fn contention_model_produces_same_results() {
         let (_, t) = test_table();
         let mk = |contention| {
@@ -341,6 +484,7 @@ mod tests {
                 Options {
                     n_threads: 4,
                     contention,
+                    ..Options::default()
                 },
             )
             .histo1d(HistSpec::new(100, 0.0, 200.0), "MET_pt")
@@ -373,6 +517,7 @@ mod tests {
                 Options {
                     n_threads: n,
                     contention: ContentionModel::Fixed,
+                    ..Options::default()
                 },
             )
             .histo1d(HistSpec::new(100, 15.0, 60.0), "Jet_pt")

@@ -53,4 +53,5 @@ pub mod view;
 pub use dataframe::{BookedHisto, Options, RDataFrame, RdfError};
 pub use eventloop::EventLoop;
 pub use exec::{ContentionModel, RunOutput};
+pub use nf2_columnar::{SelCmp, SelValue};
 pub use view::{ColValue, EventView};

@@ -102,10 +102,7 @@ impl<'a> EventView<'a> {
                 BaseColumn::Scalar(v) => v[self.row],
                 BaseColumn::Array(..) => panic!("column {name} is an array; use arr()"),
             },
-            ColumnId::Defined(i) => self.defined[i]
-                .as_ref()
-                .expect("defined upstream")
-                .f64(),
+            ColumnId::Defined(i) => self.defined[i].as_ref().expect("defined upstream").f64(),
         }
     }
 
@@ -114,15 +111,10 @@ impl<'a> EventView<'a> {
     pub fn arr(&self, name: &str) -> &[f64] {
         match self.id(name) {
             ColumnId::Base(i) => match &self.base[i] {
-                BaseColumn::Array(v, off) => {
-                    &v[off[self.row] as usize..off[self.row + 1] as usize]
-                }
+                BaseColumn::Array(v, off) => &v[off[self.row] as usize..off[self.row + 1] as usize],
                 BaseColumn::Scalar(_) => panic!("column {name} is a scalar; use f64()"),
             },
-            ColumnId::Defined(i) => self.defined[i]
-                .as_ref()
-                .expect("defined upstream")
-                .arr(),
+            ColumnId::Defined(i) => self.defined[i].as_ref().expect("defined upstream").arr(),
         }
     }
 
@@ -131,9 +123,9 @@ impl<'a> EventView<'a> {
         match self.id(name) {
             ColumnId::Base(i) => match &self.base[i] {
                 BaseColumn::Scalar(v) => ColValue::F64(v[self.row]),
-                BaseColumn::Array(v, off) => ColValue::Arr(
-                    v[off[self.row] as usize..off[self.row + 1] as usize].to_vec(),
-                ),
+                BaseColumn::Array(v, off) => {
+                    ColValue::Arr(v[off[self.row] as usize..off[self.row + 1] as usize].to_vec())
+                }
             },
             ColumnId::Defined(i) => self.defined[i].as_ref().expect("defined upstream").clone(),
         }
@@ -154,7 +146,10 @@ mod tests {
         assert_ne!(a, c);
         let d = r.define("mass");
         assert_eq!(d, ColumnId::Defined(0));
-        assert_eq!(r.base_names, vec!["Jet_pt".to_string(), "MET_pt".to_string()]);
+        assert_eq!(
+            r.base_names,
+            vec!["Jet_pt".to_string(), "MET_pt".to_string()]
+        );
     }
 
     #[test]

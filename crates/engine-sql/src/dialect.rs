@@ -218,7 +218,9 @@ impl Dialect {
         match f {
             FromItem::Table { .. } => Ok(()),
             FromItem::Subquery { query, .. } => self.validate_query(query),
-            FromItem::Join { left, right, on, .. } => {
+            FromItem::Join {
+                left, right, on, ..
+            } => {
                 self.validate_from(left)?;
                 self.validate_from(right)?;
                 if let Some(e) = on {
@@ -274,10 +276,10 @@ impl Dialect {
                 Expr::Lambda(..) if !self.lambda_array_functions => {
                     err = Some(self.err("lambda expressions / array functions"));
                 }
-                Expr::Call { name, .. } => {
-                    if name.eq_ignore_ascii_case("combinations") && !self.combinations_function {
-                        err = Some(self.err("the COMBINATIONS array function"));
-                    }
+                Expr::Call { name, .. }
+                    if name.eq_ignore_ascii_case("combinations") && !self.combinations_function =>
+                {
+                    err = Some(self.err("the COMBINATIONS array function"));
                 }
                 _ => {}
             }
@@ -300,7 +302,10 @@ mod tests {
         assert!(Dialect::bigquery().validate(&s).is_ok());
         assert!(matches!(
             Dialect::athena().validate(&s),
-            Err(SqlError::Capability { dialect: "Athena", .. })
+            Err(SqlError::Capability {
+                dialect: "Athena",
+                ..
+            })
         ));
     }
 
@@ -314,15 +319,19 @@ mod tests {
         .unwrap();
         assert!(Dialect::bigquery().validate(&s).is_ok());
         let err = Dialect::presto().validate(&s).unwrap_err();
-        assert!(matches!(err, SqlError::Capability { dialect: "Presto", .. }));
+        assert!(matches!(
+            err,
+            SqlError::Capability {
+                dialect: "Presto",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn presto_rejects_correlated_subqueries() {
-        let s = parse_script(
-            "SELECT 1 FROM events WHERE (SELECT COUNT(*) FROM UNNEST(Jet) j) > 1",
-        )
-        .unwrap();
+        let s = parse_script("SELECT 1 FROM events WHERE (SELECT COUNT(*) FROM UNNEST(Jet) j) > 1")
+            .unwrap();
         assert!(Dialect::bigquery().validate(&s).is_ok());
         assert!(Dialect::presto().validate(&s).is_err());
         assert!(Dialect::athena().validate(&s).is_err());
@@ -330,8 +339,8 @@ mod tests {
 
     #[test]
     fn bigquery_rejects_lambdas_prestos_accept() {
-        let s = parse_script("SELECT CARDINALITY(FILTER(Jet, j -> j.pt > 40)) FROM events")
-            .unwrap();
+        let s =
+            parse_script("SELECT CARDINALITY(FILTER(Jet, j -> j.pt > 40)) FROM events").unwrap();
         assert!(Dialect::presto().validate(&s).is_ok());
         assert!(Dialect::athena().validate(&s).is_ok());
         assert!(Dialect::bigquery().validate(&s).is_err());
@@ -359,10 +368,9 @@ mod tests {
         let bq = parse_script("SELECT 1 FROM t, UNNEST(Jet) j WITH OFFSET i").unwrap();
         assert!(Dialect::bigquery().validate(&bq).is_ok());
         assert!(Dialect::presto().validate(&bq).is_err());
-        let presto = parse_script(
-            "SELECT 1 FROM t CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS u (pt, i)",
-        )
-        .unwrap();
+        let presto =
+            parse_script("SELECT 1 FROM t CROSS JOIN UNNEST(Jet) WITH ORDINALITY AS u (pt, i)")
+                .unwrap();
         assert!(Dialect::presto().validate(&presto).is_ok());
         assert!(Dialect::bigquery().validate(&presto).is_err());
         // Whole-struct alias: fine in Athena, not in Presto (R3.5).

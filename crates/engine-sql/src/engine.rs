@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nested_value::Value;
-use nf2_columnar::{ExecStats, Projection, RowGroup, ScanStats, Table};
+use nf2_columnar::{ExecStats, Projection, RowGroup, ScalarPredicate, ScanStats, Table};
 use parking_lot::Mutex;
 
 use crate::ast::Script;
@@ -32,6 +32,13 @@ pub struct SqlOptions {
     /// WHERE conjuncts on scalar columns (zone maps). Sound — extraction
     /// in [`crate::plan::prunable_predicates`] is conservative.
     pub zone_map_pruning: bool,
+    /// Evaluate top-level WHERE conjuncts on non-repeated numeric columns
+    /// vectorized over the decoded chunk buffers and materialize only the
+    /// surviving rows (late materialization; see [`nf2_columnar::select`]).
+    /// Purely an execution-speed knob: scan/pricing accounting is defined
+    /// by the projected columns, not by surviving rows, and results are
+    /// identical because the WHERE clause still runs on the survivors.
+    pub vectorized_filter: bool,
 }
 
 impl Default for SqlOptions {
@@ -40,6 +47,7 @@ impl Default for SqlOptions {
             n_threads: 0,
             partition_parallel: true,
             zone_map_pruning: true,
+            vectorized_filter: true,
         }
     }
 }
@@ -72,8 +80,7 @@ impl SqlEngine {
 
     /// Registers a base table under its own name.
     pub fn register(&mut self, table: Arc<Table>) {
-        self.tables
-            .insert(table.name().to_ascii_lowercase(), table);
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
     }
 
     /// The engine's dialect.
@@ -111,20 +118,31 @@ impl SqlEngine {
                 .row_groups()
                 .iter()
                 .map(|g| {
-                    preds.iter().all(|p| {
-                        match g.column(&nested_value::Path::parse(&p.leaf)) {
+                    preds
+                        .iter()
+                        .all(|p| match g.column(&nested_value::Path::parse(&p.leaf)) {
                             Ok(chunk) => match (chunk.min, chunk.max) {
                                 (Some(min), Some(max)) => p.may_match(min, max),
                                 _ => chunk.n_entries() > 0,
                             },
                             Err(_) => true,
-                        }
-                    })
+                        })
                 })
                 .collect();
             skipped_groups += mask.iter().filter(|k| !**k).count() as u64;
             masks.insert(name.clone(), mask);
         }
+
+        // Vectorized pre-filter (late materialization): per-table WHERE
+        // conjuncts evaluated over decoded chunks before any row is built.
+        // Deliberately computed independently of the zone-map mask — masks
+        // drop whole groups and feed the scan accounting above; the filter
+        // only decides which rows of a surviving group get materialized.
+        let filter_preds = if self.options.vectorized_filter {
+            plan::filterable_predicates(&script, &schemas)
+        } else {
+            HashMap::new()
+        };
 
         let mut scan = ScanStats::default();
         let mut table_projs: HashMap<String, Projection> = HashMap::new();
@@ -178,11 +196,12 @@ impl SqlEngine {
                 let (name, proj) = table_projs.iter().next().expect("one table");
                 let table = self.tables.get(name).expect("registered");
                 let mask = masks.get(name).expect("mask built above");
-                self.run_parallel(&script, &udfs, name, table, proj, mask, spec, &cpu)?
+                let preds = filter_preds.get(name).map_or(&[][..], |v| v.as_slice());
+                self.run_parallel(&script, &udfs, name, table, proj, mask, preds, spec, &cpu)?
             }
             _ => {
                 let t0 = Instant::now();
-                let rel = self.run_serial(&script, &udfs, &table_projs, &masks)?;
+                let rel = self.run_serial(&script, &udfs, &table_projs, &masks, &filter_preds)?;
                 *cpu.lock() += t0.elapsed().as_secs_f64();
                 (rel, 1)
             }
@@ -205,12 +224,20 @@ impl SqlEngine {
         table: &Table,
         group: &RowGroup,
         proj: &Projection,
+        preds: &[ScalarPredicate],
     ) -> Result<Vec<Value>, SqlError> {
         // Rows are reconstructed from the *logical* leaves; the dialect's
         // pushdown limitation affects bytes scanned (accounted above), not
         // the values the executor sees.
         let leaves = proj.logical_leaves(table.schema())?;
-        Ok(group.read_rows(table.schema(), &leaves)?)
+        if preds.is_empty() {
+            return Ok(group.read_rows(table.schema(), &leaves)?);
+        }
+        let sel = nf2_columnar::apply_predicates(group, preds)?;
+        if sel.is_full() {
+            return Ok(group.read_rows(table.schema(), &leaves)?);
+        }
+        Ok(group.read_rows_selected(table.schema(), &leaves, &sel)?)
     }
 
     fn run_serial(
@@ -219,17 +246,19 @@ impl SqlEngine {
         udfs: &HashMap<String, Udf>,
         projs: &HashMap<String, Projection>,
         masks: &HashMap<String, Vec<bool>>,
+        filters: &HashMap<String, Vec<ScalarPredicate>>,
     ) -> Result<Relation, SqlError> {
         let mut relations = HashMap::new();
         for (name, proj) in projs {
             let table = self.tables.get(name).expect("registered");
             let mask = masks.get(name).expect("mask built");
+            let preds = filters.get(name).map_or(&[][..], |v| v.as_slice());
             let mut rows = Vec::with_capacity(table.n_rows());
             for (g, keep) in table.row_groups().iter().zip(mask) {
                 if !keep {
                     continue;
                 }
-                rows.extend(self.materialize_group(table, g, proj)?);
+                rows.extend(self.materialize_group(table, g, proj, preds)?);
             }
             relations.insert(name.clone(), Rc::new(rows));
         }
@@ -251,6 +280,7 @@ impl SqlEngine {
         table: &Arc<Table>,
         proj: &Projection,
         mask: &[bool],
+        preds: &[ScalarPredicate],
         spec: &[ColMerge],
         cpu: &Mutex<f64>,
     ) -> Result<(Relation, usize), SqlError> {
@@ -265,7 +295,11 @@ impl SqlEngine {
         .min(n_groups.max(1));
 
         let next = AtomicUsize::new(0);
-        let partials: Mutex<Vec<Relation>> = Mutex::new(Vec::new());
+        // Partials are tagged with their group index and merged in group
+        // order below: completion order depends on thread scheduling, and
+        // first-encounter order decides output row order for grouped
+        // results with no ORDER BY.
+        let partials: Mutex<Vec<(usize, Relation)>> = Mutex::new(Vec::new());
         let first_err: Mutex<Option<SqlError>> = Mutex::new(None);
 
         let worker = || {
@@ -280,7 +314,7 @@ impl SqlEngine {
                 }
                 let result = (|| -> Result<Relation, SqlError> {
                     let rows =
-                        self.materialize_group(table, &table.row_groups()[g], proj)?;
+                        self.materialize_group(table, &table.row_groups()[g], proj, preds)?;
                     let mut relations = HashMap::new();
                     relations.insert(table_name.to_string(), Rc::new(rows));
                     let ctx = ExecContext {
@@ -292,7 +326,7 @@ impl SqlEngine {
                     exec::eval_query(&script.query, &ctx, &root)
                 })();
                 match result {
-                    Ok(rel) => partials.lock().push(rel),
+                    Ok(rel) => partials.lock().push((g, rel)),
                     Err(e) => {
                         first_err.lock().get_or_insert(e);
                         break;
@@ -315,7 +349,9 @@ impl SqlEngine {
         if let Some(e) = first_err.into_inner() {
             return Err(e);
         }
-        let merged = merge_partials(partials.into_inner(), spec)?;
+        let mut partials = partials.into_inner();
+        partials.sort_by_key(|(g, _)| *g);
+        let merged = merge_partials(partials.into_iter().map(|(_, r)| r).collect(), spec)?;
         // Re-apply root ORDER BY on the merged result.
         let mut merged = merged;
         if !script.query.order_by.is_empty() {

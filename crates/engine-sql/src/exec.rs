@@ -29,14 +29,16 @@ pub struct Relation {
 impl Relation {
     /// Rows as struct values (for binding as a FROM relation).
     pub fn to_structs(&self) -> Vec<Value> {
+        // Field names are shared across rows: intern them once.
+        let names: Vec<Arc<str>> = self.cols.iter().map(|c| Arc::from(c.as_str())).collect();
         self.rows
             .iter()
             .map(|r| {
                 Value::Struct(Arc::new(StructValue::new(
-                    self.cols
+                    names
                         .iter()
                         .zip(r.iter())
-                        .map(|(c, v)| (Arc::from(c.as_str()), v.clone()))
+                        .map(|(c, v)| (c.clone(), v.clone()))
                         .collect(),
                 )))
             })
@@ -65,13 +67,33 @@ pub struct ExecContext {
     pub dialect: Dialect,
 }
 
-/// One name binding in a scope.
+/// One name binding in a scope. The name is an `Rc<str>` so per-row scope
+/// construction clones a pointer rather than reallocating the string.
 #[derive(Clone, Debug)]
 struct Binding {
-    name: String,
+    name: Rc<str>,
     value: Value,
     /// Struct fields addressable without qualification?
     open: bool,
+}
+
+/// Binding storage of a scope: owned for scopes that accumulate bindings
+/// (root, lambda frames), borrowed for the per-row scopes the executor
+/// builds in its hot loops — those wrap a `&[Binding]` that already lives
+/// in the FROM product, and cloning it per row would dominate execution.
+#[derive(Clone)]
+enum Bindings<'a> {
+    Owned(Vec<Binding>),
+    Borrowed(&'a [Binding]),
+}
+
+impl Bindings<'_> {
+    fn as_slice(&self) -> &[Binding] {
+        match self {
+            Bindings::Owned(v) => v,
+            Bindings::Borrowed(s) => s,
+        }
+    }
 }
 
 /// A lexical scope: local bindings plus a parent chain (outer query scopes,
@@ -79,7 +101,7 @@ struct Binding {
 #[derive(Clone)]
 pub struct Scope<'a> {
     parent: Option<&'a Scope<'a>>,
-    bindings: Vec<Binding>,
+    bindings: Bindings<'a>,
 }
 
 impl<'a> Scope<'a> {
@@ -87,33 +109,42 @@ impl<'a> Scope<'a> {
     pub fn root() -> Scope<'static> {
         Scope {
             parent: None,
-            bindings: Vec::new(),
+            bindings: Bindings::Owned(Vec::new()),
         }
     }
 
     fn child(&'a self) -> Scope<'a> {
         Scope {
             parent: Some(self),
-            bindings: Vec::new(),
+            bindings: Bindings::Owned(Vec::new()),
         }
     }
 
     fn bind(&mut self, name: &str, value: Value, open: bool) {
-        self.bindings.push(Binding {
-            name: name.to_string(),
+        let b = Binding {
+            name: Rc::from(name),
             value,
             open,
-        });
+        };
+        match &mut self.bindings {
+            Bindings::Owned(v) => v.push(b),
+            Bindings::Borrowed(s) => {
+                let mut v = s.to_vec();
+                v.push(b);
+                self.bindings = Bindings::Owned(v);
+            }
+        }
     }
 
     fn resolve(&self, parts: &[String]) -> Option<Value> {
+        let bindings = self.bindings.as_slice();
         // Later bindings shadow earlier ones.
-        for b in self.bindings.iter().rev() {
+        for b in bindings.iter().rev() {
             if b.name.eq_ignore_ascii_case(&parts[0]) {
                 return descend(&b.value, &parts[1..]);
             }
         }
-        for b in self.bindings.iter().rev() {
+        for b in bindings.iter().rev() {
             if b.open {
                 if let Value::Struct(s) = &b.value {
                     if let Some(v) = struct_get_ci(s, &parts[0]) {
@@ -148,11 +179,7 @@ fn descend(v: &Value, rest: &[String]) -> Option<Value> {
 
 /// Evaluates a query to a relation. `outer` is the enclosing row scope for
 /// correlated subqueries (use [`Scope::root`] at top level).
-pub fn eval_query(
-    q: &Query,
-    ctx: &ExecContext,
-    outer: &Scope<'_>,
-) -> Result<Relation, SqlError> {
+pub fn eval_query(q: &Query, ctx: &ExecContext, outer: &Scope<'_>) -> Result<Relation, SqlError> {
     // Materialize CTEs in order; later CTEs and the body see earlier ones.
     if q.ctes.is_empty() {
         return eval_query_body(q, ctx, outer);
@@ -171,11 +198,7 @@ pub fn eval_query(
     eval_query_body(q, &scoped, outer)
 }
 
-fn eval_query_body(
-    q: &Query,
-    ctx: &ExecContext,
-    outer: &Scope<'_>,
-) -> Result<Relation, SqlError> {
+fn eval_query_body(q: &Query, ctx: &ExecContext, outer: &Scope<'_>) -> Result<Relation, SqlError> {
     // ORDER BY keys are evaluated inside eval_select, where the FROM scope
     // is still visible (SQL permits sorting by non-projected columns).
     let mut rel = eval_select(&q.select, ctx, outer, &q.order_by)?;
@@ -269,22 +292,25 @@ fn eval_select(
         eval_aggregate(s, scopes, ctx, outer, order_by)?
     } else {
         let mut cols: Option<Vec<String>> = None;
+        let mut names: Option<Vec<Arc<str>>> = None;
         let mut rows = Vec::with_capacity(scopes.len());
         let mut keys = Vec::new();
         for b in &scopes {
             let scope = scope_of(outer, b);
-            let (c, r) = project(s, ctx, &scope, b, None)?;
+            let (c, r) = project(s, ctx, &scope, b, None, cols.is_none())?;
+            if cols.is_none() {
+                cols = Some(c);
+            }
             if !order_by.is_empty() {
+                let names =
+                    names.get_or_insert_with(|| intern_names(cols.as_ref().expect("set above")));
                 let mut aug = scope.child();
-                aug.bind("$row", row_struct(&c, &r), true);
+                aug.bind("$row", row_struct(names, &r), true);
                 let mut k = Vec::with_capacity(order_by.len());
                 for o in order_by {
                     k.push(eval_expr(&o.expr, ctx, &aug)?);
                 }
                 keys.push(k);
-            }
-            if cols.is_none() {
-                cols = Some(c);
             }
             rows.push(r);
         }
@@ -321,13 +347,15 @@ fn eval_select(
     Ok(rel)
 }
 
+/// Interns output-column names once so per-row structs share them.
+fn intern_names(cols: &[String]) -> Vec<Arc<str>> {
+    cols.iter().map(|c| Arc::from(c.as_str())).collect()
+}
+
 /// Builds an output-row struct for alias resolution in ORDER BY.
-fn row_struct(cols: &[String], row: &[Value]) -> Value {
+fn row_struct(cols: &[Arc<str>], row: &[Value]) -> Value {
     Value::Struct(Arc::new(StructValue::new(
-        cols.iter()
-            .zip(row.iter())
-            .map(|(c, v)| (Arc::from(c.as_str()), v.clone()))
-            .collect(),
+        cols.iter().cloned().zip(row.iter().cloned()).collect(),
     )))
 }
 
@@ -360,10 +388,10 @@ fn sort_rows_by_keys(
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }
 
-fn scope_of<'a>(outer: &'a Scope<'a>, bindings: &[Binding]) -> Scope<'a> {
+fn scope_of<'a>(outer: &'a Scope<'a>, bindings: &'a [Binding]) -> Scope<'a> {
     Scope {
         parent: Some(outer),
-        bindings: bindings.to_vec(),
+        bindings: Bindings::Borrowed(bindings),
     }
 }
 
@@ -380,13 +408,13 @@ fn join_from(
                 .get(&name.to_ascii_lowercase())
                 .ok_or_else(|| SqlError::Unresolved(format!("table {name}")))?
                 .clone();
-            let bind_name = alias.as_deref().unwrap_or(name);
+            let bind_name: Rc<str> = Rc::from(alias.as_deref().unwrap_or(name));
             let mut out = Vec::with_capacity(scopes.len() * rel.len());
             for b in &scopes {
                 for row in rel.iter() {
                     let mut nb = b.clone();
                     nb.push(Binding {
-                        name: bind_name.to_string(),
+                        name: bind_name.clone(),
                         value: row.clone(),
                         open: true,
                     });
@@ -398,12 +426,13 @@ fn join_from(
         FromItem::Subquery { query, alias } => {
             let rel = eval_query(query, ctx, outer)?;
             let rows = rel.to_structs();
+            let bind_name: Rc<str> = Rc::from(alias.as_str());
             let mut out = Vec::with_capacity(scopes.len() * rows.len());
             for b in &scopes {
                 for row in &rows {
                     let mut nb = b.clone();
                     nb.push(Binding {
-                        name: alias.clone(),
+                        name: bind_name.clone(),
                         value: row.clone(),
                         open: true,
                     });
@@ -413,23 +442,26 @@ fn join_from(
             Ok(out)
         }
         FromItem::Unnest(u) => {
+            let names = UnnestNames::of(u);
             let mut out = Vec::new();
             for b in scopes {
-                let scope = scope_of(outer, &b);
-                let arr = eval_expr(&u.expr, ctx, &scope)?;
-                let items: &[Value] = match &arr {
-                    Value::Array(a) => a,
-                    Value::Null => &[],
-                    other => {
-                        return Err(SqlError::Eval(format!(
-                            "UNNEST expects an array, found {}",
-                            other.type_name()
-                        )))
+                let items = {
+                    let scope = scope_of(outer, &b);
+                    let arr = eval_expr(&u.expr, ctx, &scope)?;
+                    match arr {
+                        Value::Array(a) => a,
+                        Value::Null => Arc::new(Vec::new()),
+                        other => {
+                            return Err(SqlError::Eval(format!(
+                                "UNNEST expects an array, found {}",
+                                other.type_name()
+                            )))
+                        }
                     }
                 };
                 for (i, element) in items.iter().enumerate() {
                     let mut nb = b.clone();
-                    bind_unnest_element(u, element, i, &mut nb)?;
+                    bind_unnest_element(u, &names, element, i, &mut nb)?;
                     out.push(nb);
                 }
             }
@@ -446,9 +478,9 @@ fn join_from(
             match kind {
                 JoinKind::Cross => Ok(joined),
                 JoinKind::Inner => {
-                    let pred = on.as_ref().ok_or_else(|| {
-                        SqlError::Plan("INNER JOIN requires ON".into())
-                    })?;
+                    let pred = on
+                        .as_ref()
+                        .ok_or_else(|| SqlError::Plan("INNER JOIN requires ON".into()))?;
                     let mut kept = Vec::new();
                     for b in joined {
                         let scope = scope_of(outer, &b);
@@ -463,8 +495,31 @@ fn join_from(
     }
 }
 
+/// Binding names of an UNNEST clause, interned once per FROM evaluation so
+/// the per-element loop clones pointers instead of strings.
+struct UnnestNames {
+    column_aliases: Vec<Rc<str>>,
+    alias: Option<Rc<str>>,
+    with_offset: Option<Rc<str>>,
+}
+
+impl UnnestNames {
+    fn of(u: &Unnest) -> UnnestNames {
+        UnnestNames {
+            column_aliases: u
+                .column_aliases
+                .iter()
+                .map(|a| Rc::from(a.as_str()))
+                .collect(),
+            alias: u.alias.as_deref().map(Rc::from),
+            with_offset: u.with_offset.as_deref().map(Rc::from),
+        }
+    }
+}
+
 fn bind_unnest_element(
     u: &Unnest,
+    names: &UnnestNames,
     element: &Value,
     index: usize,
     bindings: &mut Vec<Binding>,
@@ -489,7 +544,7 @@ fn bind_unnest_element(
                         s.len()
                     )));
                 }
-                for (i, alias) in u.column_aliases.iter().take(n_data).enumerate() {
+                for (i, alias) in names.column_aliases.iter().take(n_data).enumerate() {
                     bindings.push(Binding {
                         name: alias.clone(),
                         value: s.get_index(i).expect("checked").clone(),
@@ -504,7 +559,7 @@ fn bind_unnest_element(
                     ));
                 }
                 bindings.push(Binding {
-                    name: u.column_aliases[0].clone(),
+                    name: names.column_aliases[0].clone(),
                     value: scalar.clone(),
                     open: false,
                 });
@@ -512,12 +567,12 @@ fn bind_unnest_element(
         }
         if u.with_ordinality {
             bindings.push(Binding {
-                name: u.column_aliases[n_data].clone(),
+                name: names.column_aliases[n_data].clone(),
                 value: Value::Int(index as i64 + 1),
                 open: false,
             });
         }
-    } else if let Some(alias) = &u.alias {
+    } else if let Some(alias) = &names.alias {
         if u.with_ordinality {
             return Err(SqlError::Plan(
                 "WITH ORDINALITY requires a column alias list".into(),
@@ -531,7 +586,7 @@ fn bind_unnest_element(
     } else {
         return Err(SqlError::Plan("UNNEST requires an alias".into()));
     }
-    if let Some(off) = &u.with_offset {
+    if let Some(off) = &names.with_offset {
         bindings.push(Binding {
             name: off.clone(),
             value: Value::Int(index as i64),
@@ -568,13 +623,16 @@ fn implied_col_name(e: &Expr) -> Option<String> {
 }
 
 /// Projects one scope into an output row. `agg` carries the group rows when
-/// aggregating.
+/// aggregating. Column names are identical for every row, so only the first
+/// call per SELECT asks for them (`need_cols`); the per-row calls skip the
+/// name building entirely.
 fn project(
     s: &Select,
     ctx: &ExecContext,
     scope: &Scope<'_>,
     local_bindings: &[Binding],
     agg: Option<&AggGroup<'_>>,
+    need_cols: bool,
 ) -> Result<(Vec<String>, Vec<Value>), SqlError> {
     let mut cols = Vec::new();
     let mut row = Vec::new();
@@ -582,7 +640,7 @@ fn project(
         match item {
             SelectItem::Wildcard => {
                 for b in local_bindings {
-                    expand_binding(b, &mut cols, &mut row);
+                    expand_binding(b, &mut cols, &mut row, need_cols);
                 }
             }
             SelectItem::QualifiedWildcard(q) => {
@@ -591,19 +649,21 @@ fn project(
                     .rev()
                     .find(|b| b.name.eq_ignore_ascii_case(q))
                     .ok_or_else(|| SqlError::Unresolved(format!("relation {q}")))?;
-                expand_binding(b, &mut cols, &mut row);
+                expand_binding(b, &mut cols, &mut row, need_cols);
             }
             SelectItem::Expr { expr, alias } => {
                 let v = match agg {
                     Some(group) => eval_agg_expr(expr, ctx, group)?,
                     None => eval_expr(expr, ctx, scope)?,
                 };
-                cols.push(
-                    alias
-                        .clone()
-                        .or_else(|| implied_col_name(expr))
-                        .unwrap_or_else(|| format!("_col{i}")),
-                );
+                if need_cols {
+                    cols.push(
+                        alias
+                            .clone()
+                            .or_else(|| implied_col_name(expr))
+                            .unwrap_or_else(|| format!("_col{i}")),
+                    );
+                }
                 row.push(v);
             }
         }
@@ -611,16 +671,20 @@ fn project(
     Ok((cols, row))
 }
 
-fn expand_binding(b: &Binding, cols: &mut Vec<String>, row: &mut Vec<Value>) {
+fn expand_binding(b: &Binding, cols: &mut Vec<String>, row: &mut Vec<Value>, need_cols: bool) {
     match &b.value {
         Value::Struct(s) if b.open => {
             for (n, v) in s.iter() {
-                cols.push(n.to_string());
+                if need_cols {
+                    cols.push(n.to_string());
+                }
                 row.push(v.clone());
             }
         }
         other => {
-            cols.push(b.name.clone());
+            if need_cols {
+                cols.push(b.name.to_string());
+            }
             row.push(other.clone());
         }
     }
@@ -663,7 +727,9 @@ fn eval_aggregate(
                     && ctx.dialect.group_by_alias
                     && aliases.contains_key(&parts[0].to_ascii_lowercase()) =>
             {
-                *aliases.get(&parts[0].to_ascii_lowercase()).expect("checked")
+                *aliases
+                    .get(&parts[0].to_ascii_lowercase())
+                    .expect("checked")
             }
             other => other,
         })
@@ -691,11 +757,11 @@ fn eval_aggregate(
     }
 
     let mut cols: Option<Vec<String>> = None;
+    let mut names: Option<Vec<Arc<str>>> = None;
     let mut rows = Vec::with_capacity(groups.len());
     let mut keys = Vec::new();
     for (_, members) in &groups {
-        let member_scopes: Vec<Scope<'_>> =
-            members.iter().map(|b| scope_of(outer, b)).collect();
+        let member_scopes: Vec<Scope<'_>> = members.iter().map(|b| scope_of(outer, b)).collect();
         let empty = outer.child();
         let first: &Scope<'_> = member_scopes.first().unwrap_or(&empty);
         let group = AggGroup {
@@ -708,11 +774,16 @@ fn eval_aggregate(
             }
         }
         let local = members.first().map(|b| b.as_slice()).unwrap_or(&[]);
-        let (c, r) = project(s, ctx, first, local, Some(&group))?;
+        let (c, r) = project(s, ctx, first, local, Some(&group), cols.is_none())?;
+        if cols.is_none() {
+            cols = Some(c);
+        }
         if !order_by.is_empty() {
             // Sort keys may reference output aliases or group aggregates.
+            let names =
+                names.get_or_insert_with(|| intern_names(cols.as_ref().expect("set above")));
             let mut aug = first.child();
-            aug.bind("$row", row_struct(&c, &r), true);
+            aug.bind("$row", row_struct(names, &r), true);
             let aug_group = AggGroup {
                 scopes: member_scopes.clone(),
                 first: &aug,
@@ -722,9 +793,6 @@ fn eval_aggregate(
                 k.push(eval_agg_expr(&o.expr, ctx, &aug_group)?);
             }
             keys.push(k);
-        }
-        if cols.is_none() {
-            cols = Some(c);
         }
         rows.push(r);
     }
@@ -739,11 +807,7 @@ fn eval_aggregate(
 
 /// Evaluates an expression in aggregate context: aggregate calls compute
 /// over the group; everything else evaluates against the group's first row.
-fn eval_agg_expr(
-    e: &Expr,
-    ctx: &ExecContext,
-    group: &AggGroup<'_>,
-) -> Result<Value, SqlError> {
+fn eval_agg_expr(e: &Expr, ctx: &ExecContext, group: &AggGroup<'_>) -> Result<Value, SqlError> {
     match e {
         Expr::CountStar => Ok(Value::Int(group.scopes.len() as i64)),
         Expr::Call {
@@ -806,10 +870,20 @@ fn eval_agg_expr(
 }
 
 fn is_aggregate_name(name: &str) -> bool {
-    matches!(
-        name.to_ascii_lowercase().as_str(),
-        "count" | "sum" | "avg" | "min" | "max" | "min_by" | "max_by" | "array_agg" | "any_value"
-    )
+    functions::with_lower(name, |lower| {
+        matches!(
+            lower,
+            "count"
+                | "sum"
+                | "avg"
+                | "min"
+                | "max"
+                | "min_by"
+                | "max_by"
+                | "array_agg"
+                | "any_value"
+        )
+    })
 }
 
 pub(crate) fn contains_aggregate(e: &Expr) -> bool {
@@ -862,7 +936,10 @@ fn eval_aggregate_call(
             let total: f64 = nums.iter().sum();
             if lower == "avg" {
                 Ok(Value::Float(total / nums.len() as f64))
-            } else if vals.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+            } else if vals
+                .iter()
+                .all(|v| matches!(v, Value::Int(_) | Value::Null))
+            {
                 Ok(Value::Int(total as i64))
             } else {
                 Ok(Value::Float(total))
@@ -898,7 +975,7 @@ fn eval_aggregate_call(
             let vals = eval_per_row(&args[0])?;
             let keys = eval_per_row(&args[1])?;
             let mut best: Option<(Value, Value)> = None;
-            for (v, k) in vals.into_iter().zip(keys.into_iter()) {
+            for (v, k) in vals.into_iter().zip(keys) {
                 if k.is_null() {
                     continue;
                 }
@@ -937,9 +1014,7 @@ fn eval_aggregate_call(
                     for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
                         match compare(a, b) {
                             Ok(std::cmp::Ordering::Equal) => continue,
-                            Ok(ord) => {
-                                return if order_by[i].desc { ord.reverse() } else { ord }
-                            }
+                            Ok(ord) => return if order_by[i].desc { ord.reverse() } else { ord },
                             Err(e) => {
                                 err = Some(e);
                                 return std::cmp::Ordering::Equal;
@@ -964,7 +1039,10 @@ fn eval_aggregate_call(
         }
         "any_value" => {
             let vals = eval_per_row(&args[0])?;
-            Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
+            Ok(vals
+                .into_iter()
+                .find(|v| !v.is_null())
+                .unwrap_or(Value::Null))
         }
         other => Err(SqlError::Eval(format!("unknown aggregate {other}"))),
     }
@@ -1223,10 +1301,7 @@ pub fn eval_expr(e: &Expr, ctx: &ExecContext, scope: &Scope<'_>) -> Result<Value
                         let (dname, dtype) = &decls[i];
                         (dname.clone(), cast_value(&v, dtype)?)
                     }
-                    None => (
-                        name.clone().unwrap_or_else(|| format!("${}", i + 1)),
-                        v,
-                    ),
+                    None => (name.clone().unwrap_or_else(|| format!("${}", i + 1)), v),
                 };
                 out.push((Arc::from(fname.as_str()), fv));
             }
@@ -1244,9 +1319,7 @@ pub fn eval_expr(e: &Expr, ctx: &ExecContext, scope: &Scope<'_>) -> Result<Value
             match rel.rows.len() {
                 0 => Ok(Value::Null),
                 1 => row_scalar(&rel, 0),
-                n => Err(SqlError::Eval(format!(
-                    "scalar subquery returned {n} rows"
-                ))),
+                n => Err(SqlError::Eval(format!("scalar subquery returned {n} rows"))),
             }
         }
         Expr::Exists(q) => {
@@ -1285,9 +1358,18 @@ fn eval_call(
     ctx: &ExecContext,
     scope: &Scope<'_>,
 ) -> Result<Value, SqlError> {
-    let lower = name.to_ascii_lowercase();
+    functions::with_lower(name, |lower| eval_call_lower(name, lower, args, ctx, scope))
+}
+
+fn eval_call_lower(
+    name: &str,
+    lower: &str,
+    args: &[Expr],
+    ctx: &ExecContext,
+    scope: &Scope<'_>,
+) -> Result<Value, SqlError> {
     // Lambda-taking array functions.
-    match lower.as_str() {
+    match lower {
         "filter" | "transform" | "any_match" | "none_match" | "all_match" => {
             if args.len() != 2 {
                 return Err(SqlError::Eval(format!("{lower} expects (array, lambda)")));
@@ -1309,7 +1391,7 @@ fn eval_call(
                 let mut inner = scope.child();
                 inner.bind(&params[0], item.clone(), false);
                 let r = eval_expr(body, ctx, &inner)?;
-                match lower.as_str() {
+                match lower {
                     "filter" => {
                         if truthy(&r) {
                             out.push(item.clone());
@@ -1334,7 +1416,7 @@ fn eval_call(
                     _ => unreachable!(),
                 }
             }
-            match lower.as_str() {
+            match lower {
                 "filter" | "transform" => Ok(Value::array(out)),
                 "any_match" => Ok(Value::Bool(false)),
                 "none_match" | "all_match" => Ok(Value::Bool(true)),
@@ -1391,9 +1473,7 @@ fn call_udf(
     ctx: &ExecContext,
     scope: &Scope<'_>,
 ) -> Result<Value, SqlError> {
-    let udf = ctx
-        .udfs
-        .get(&name.to_ascii_lowercase())
+    let udf = functions::with_lower(name, |lower| ctx.udfs.get(lower))
         .ok_or_else(|| SqlError::Unresolved(format!("function {name}")))?;
     if vals.len() != udf.params.len() {
         return Err(SqlError::Eval(format!(

@@ -8,43 +8,63 @@ use nested_value::Value;
 
 use crate::error::SqlError;
 
+/// Calls `f` with `name` ASCII-lowercased, using a stack buffer for the
+/// common short-name case: function dispatch happens per row in hot query
+/// loops, and `to_ascii_lowercase` would heap-allocate on every call.
+pub(crate) fn with_lower<R>(name: &str, f: impl FnOnce(&str) -> R) -> R {
+    let bytes = name.as_bytes();
+    if bytes.len() <= 24 {
+        let mut buf = [0u8; 24];
+        let b = &mut buf[..bytes.len()];
+        b.copy_from_slice(bytes);
+        b.make_ascii_lowercase();
+        // ASCII-lowercasing bytes cannot break UTF-8 validity.
+        f(std::str::from_utf8(b).expect("still valid UTF-8"))
+    } else {
+        f(&name.to_ascii_lowercase())
+    }
+}
+
 /// Evaluates a built-in scalar function. Returns `None` when the name is
 /// not a known builtin (the caller then tries UDFs).
 pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError>> {
-    let lower = name.to_ascii_lowercase();
-    Some(match lower.as_str() {
-        "abs" => unary_numeric(&lower, args, f64::abs, Some(|i: i64| i.abs())),
-        "sqrt" => unary_numeric(&lower, args, f64::sqrt, None),
-        "exp" => unary_numeric(&lower, args, f64::exp, None),
-        "ln" => unary_numeric(&lower, args, f64::ln, None),
-        "log" | "log10" => unary_numeric(&lower, args, f64::log10, None),
-        "log2" => unary_numeric(&lower, args, f64::log2, None),
-        "floor" => unary_numeric(&lower, args, f64::floor, Some(|i| i)),
-        "ceil" | "ceiling" => unary_numeric(&lower, args, f64::ceil, Some(|i| i)),
-        "round" => unary_numeric(&lower, args, f64::round, Some(|i| i)),
-        "sign" => unary_numeric(&lower, args, f64::signum, Some(|i: i64| i.signum())),
-        "cos" => unary_numeric(&lower, args, f64::cos, None),
-        "sin" => unary_numeric(&lower, args, f64::sin, None),
-        "tan" => unary_numeric(&lower, args, f64::tan, None),
-        "acos" => unary_numeric(&lower, args, f64::acos, None),
-        "asin" => unary_numeric(&lower, args, f64::asin, None),
-        "atan" => unary_numeric(&lower, args, f64::atan, None),
-        "cosh" => unary_numeric(&lower, args, f64::cosh, None),
-        "sinh" => unary_numeric(&lower, args, f64::sinh, None),
-        "tanh" => unary_numeric(&lower, args, f64::tanh, None),
+    with_lower(name, |lower| eval_builtin_lower(lower, args))
+}
+
+fn eval_builtin_lower(lower: &str, args: &[Value]) -> Option<Result<Value, SqlError>> {
+    Some(match lower {
+        "abs" => unary_numeric(lower, args, f64::abs, Some(|i: i64| i.abs())),
+        "sqrt" => unary_numeric(lower, args, f64::sqrt, None),
+        "exp" => unary_numeric(lower, args, f64::exp, None),
+        "ln" => unary_numeric(lower, args, f64::ln, None),
+        "log" | "log10" => unary_numeric(lower, args, f64::log10, None),
+        "log2" => unary_numeric(lower, args, f64::log2, None),
+        "floor" => unary_numeric(lower, args, f64::floor, Some(|i| i)),
+        "ceil" | "ceiling" => unary_numeric(lower, args, f64::ceil, Some(|i| i)),
+        "round" => unary_numeric(lower, args, f64::round, Some(|i| i)),
+        "sign" => unary_numeric(lower, args, f64::signum, Some(|i: i64| i.signum())),
+        "cos" => unary_numeric(lower, args, f64::cos, None),
+        "sin" => unary_numeric(lower, args, f64::sin, None),
+        "tan" => unary_numeric(lower, args, f64::tan, None),
+        "acos" => unary_numeric(lower, args, f64::acos, None),
+        "asin" => unary_numeric(lower, args, f64::asin, None),
+        "atan" => unary_numeric(lower, args, f64::atan, None),
+        "cosh" => unary_numeric(lower, args, f64::cosh, None),
+        "sinh" => unary_numeric(lower, args, f64::sinh, None),
+        "tanh" => unary_numeric(lower, args, f64::tanh, None),
         "pi" => {
             if args.is_empty() {
                 Ok(Value::Float(std::f64::consts::PI))
             } else {
-                Err(arity(&lower, 0, args.len()))
+                Err(arity(lower, 0, args.len()))
             }
         }
-        "power" | "pow" => binary_numeric(&lower, args, f64::powf),
-        "atan2" => binary_numeric(&lower, args, f64::atan2),
-        "mod" => binary_numeric(&lower, args, |a, b| a % b),
-        "truncate" => unary_numeric(&lower, args, f64::trunc, Some(|i| i)),
-        "greatest" => fold_numeric(&lower, args, f64::max),
-        "least" => fold_numeric(&lower, args, f64::min),
+        "power" | "pow" => binary_numeric(lower, args, f64::powf),
+        "atan2" => binary_numeric(lower, args, f64::atan2),
+        "mod" => binary_numeric(lower, args, |a, b| a % b),
+        "truncate" => unary_numeric(lower, args, f64::trunc, Some(|i| i)),
+        "greatest" => fold_numeric(lower, args, f64::max),
+        "least" => fold_numeric(lower, args, f64::min),
         "coalesce" => Ok(args
             .iter()
             .find(|v| !v.is_null())
@@ -52,7 +72,7 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError
             .unwrap_or(Value::Null)),
         "nullif" => {
             if args.len() != 2 {
-                return Some(Err(arity(&lower, 2, args.len())));
+                return Some(Err(arity(lower, 2, args.len())));
             }
             match nested_value::ops::sql_eq(&args[0], &args[1]) {
                 Ok(Some(true)) => Ok(Value::Null),
@@ -62,7 +82,7 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError
         }
         "if" => {
             if args.len() != 3 {
-                return Some(Err(arity(&lower, 3, args.len())));
+                return Some(Err(arity(lower, 3, args.len())));
             }
             match &args[0] {
                 Value::Bool(true) => Ok(args[1].clone()),
@@ -123,7 +143,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError
                 let e = (s + (*len).max(0) as usize).min(a.len());
                 Ok(Value::array(a.get(s..e).unwrap_or(&[]).to_vec()))
             }
-            _ => Err(SqlError::Eval("slice expects (array, start, length)".into())),
+            _ => Err(SqlError::Eval(
+                "slice expects (array, start, length)".into(),
+            )),
         },
         _ => return None,
     })
@@ -139,7 +161,9 @@ pub fn combinations(items: &[Value], k: usize) -> Value {
     }
     let mut idx: Vec<usize> = (0..k).collect();
     loop {
-        out.push(Value::array(idx.iter().map(|&i| items[i].clone()).collect()));
+        out.push(Value::array(
+            idx.iter().map(|&i| items[i].clone()).collect(),
+        ));
         // Advance the last index that can still move.
         let mut i = k;
         loop {
@@ -260,10 +284,7 @@ mod tests {
             eval_builtin("POWER", &[f(2.0), f(10.0)]).unwrap().unwrap(),
             f(1024.0)
         );
-        assert_eq!(
-            eval_builtin("floor", &[f(2.7)]).unwrap().unwrap(),
-            f(2.0)
-        );
+        assert_eq!(eval_builtin("floor", &[f(2.7)]).unwrap().unwrap(), f(2.0));
         assert!(eval_builtin("nosuchfn", &[]).is_none());
     }
 
@@ -274,11 +295,15 @@ mod tests {
             Value::Null
         );
         assert_eq!(
-            eval_builtin("atan2", &[Value::Null, f(1.0)]).unwrap().unwrap(),
+            eval_builtin("atan2", &[Value::Null, f(1.0)])
+                .unwrap()
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            eval_builtin("coalesce", &[Value::Null, f(2.0)]).unwrap().unwrap(),
+            eval_builtin("coalesce", &[Value::Null, f(2.0)])
+                .unwrap()
+                .unwrap(),
             f(2.0)
         );
     }
@@ -287,19 +312,27 @@ mod tests {
     fn cardinality_and_element_at() {
         let arr = Value::array(vec![f(1.0), f(2.0), f(3.0)]);
         assert_eq!(
-            eval_builtin("CARDINALITY", &[arr.clone()]).unwrap().unwrap(),
+            eval_builtin("CARDINALITY", std::slice::from_ref(&arr))
+                .unwrap()
+                .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
-            eval_builtin("element_at", &[arr.clone(), Value::Int(1)]).unwrap().unwrap(),
+            eval_builtin("element_at", &[arr.clone(), Value::Int(1)])
+                .unwrap()
+                .unwrap(),
             f(1.0)
         );
         assert_eq!(
-            eval_builtin("element_at", &[arr.clone(), Value::Int(-1)]).unwrap().unwrap(),
+            eval_builtin("element_at", &[arr.clone(), Value::Int(-1)])
+                .unwrap()
+                .unwrap(),
             f(3.0)
         );
         assert_eq!(
-            eval_builtin("element_at", &[arr, Value::Int(7)]).unwrap().unwrap(),
+            eval_builtin("element_at", &[arr, Value::Int(7)])
+                .unwrap()
+                .unwrap(),
             Value::Null
         );
     }
@@ -312,9 +345,9 @@ mod tests {
         // Each combination is ordered and strictly increasing here.
         for combo in c3.as_array().unwrap() {
             let xs = combo.as_array().unwrap();
-            assert!(xs.windows(2).all(|w| {
-                w[0].as_i64().unwrap() < w[1].as_i64().unwrap()
-            }));
+            assert!(xs
+                .windows(2)
+                .all(|w| { w[0].as_i64().unwrap() < w[1].as_i64().unwrap() }));
         }
         assert_eq!(combinations(&arr, 0).as_array().unwrap().len(), 0);
         assert_eq!(combinations(&arr, 6).as_array().unwrap().len(), 0);

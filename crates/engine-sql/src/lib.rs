@@ -48,6 +48,6 @@ pub use engine::{QueryOutput, SqlEngine, SqlOptions};
 pub use error::SqlError;
 
 #[cfg(test)]
-mod tests_queries;
-#[cfg(test)]
 mod proptests;
+#[cfg(test)]
+mod tests_queries;

@@ -140,7 +140,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -260,7 +262,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(v)
             }
-            other => Err(SqlError::Parse(format!("expected integer, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected integer, found {other:?}"
+            ))),
         }
     }
 
@@ -307,7 +311,7 @@ impl Parser {
         let mut from = Vec::new();
         if self.accept_kw("FROM") {
             loop {
-                from.push(self.from_item()?);
+                from.push(self.parse_from_item()?);
                 if !self.accept_punct(",") {
                     break;
                 }
@@ -358,9 +362,9 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.accept_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+        let alias = if self.accept_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -368,13 +372,13 @@ impl Parser {
         Ok(SelectItem::Expr { expr, alias })
     }
 
-    fn from_item(&mut self) -> Result<FromItem, SqlError> {
-        let mut item = self.from_primary()?;
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlError> {
+        let mut item = self.parse_from_primary()?;
         loop {
             if self.peek_kw("CROSS") {
                 self.bump();
                 self.eat_kw("JOIN")?;
-                let right = self.from_primary()?;
+                let right = self.parse_from_primary()?;
                 item = FromItem::Join {
                     left: Box::new(item),
                     right: Box::new(right),
@@ -384,7 +388,7 @@ impl Parser {
             } else if self.peek_kw("INNER") || self.peek_kw("JOIN") {
                 self.accept_kw("INNER");
                 self.eat_kw("JOIN")?;
-                let right = self.from_primary()?;
+                let right = self.parse_from_primary()?;
                 self.eat_kw("ON")?;
                 let on = self.expr()?;
                 item = FromItem::Join {
@@ -400,7 +404,7 @@ impl Parser {
         Ok(item)
     }
 
-    fn from_primary(&mut self) -> Result<FromItem, SqlError> {
+    fn parse_from_primary(&mut self) -> Result<FromItem, SqlError> {
         if self.peek_kw("UNNEST") {
             return Ok(FromItem::Unnest(self.unnest()?));
         }
@@ -415,9 +419,9 @@ impl Parser {
             });
         }
         let name = self.ident()?;
-        let alias = if self.accept_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+        let alias = if self.accept_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -618,14 +622,13 @@ impl Parser {
             return Ok(Expr::IsNull(Box::new(e), negated));
         }
         // [NOT] BETWEEN / [NOT] IN
-        let negated = if self.peek_kw("NOT")
-            && (self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "IN"))
-        {
-            self.bump();
-            true
-        } else {
-            false
-        };
+        let negated =
+            if self.peek_kw("NOT") && (self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "IN")) {
+                self.bump();
+                true
+            } else {
+                false
+            };
         if self.accept_kw("BETWEEN") {
             let lo = self.additive()?;
             self.eat_kw("AND")?;
@@ -988,11 +991,54 @@ fn implied_name(e: &Expr) -> Option<String> {
 /// Keywords that terminate an implicit alias position.
 fn is_reserved(s: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND",
-        "OR", "NOT", "JOIN", "CROSS", "INNER", "UNNEST", "WITH", "CASE", "WHEN", "THEN", "ELSE",
-        "END", "BETWEEN", "IN", "IS", "NULL", "TRUE", "FALSE", "CAST", "EXISTS", "DISTINCT",
-        "CREATE", "TEMP", "TEMPORARY", "FUNCTION", "RETURNS", "RETURN", "REPLACE", "OFFSET",
-        "ORDINALITY", "DESC", "ASC", "STRUCT", "ARRAY", "ROW", "UNION", "ALL",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "AS",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "JOIN",
+        "CROSS",
+        "INNER",
+        "UNNEST",
+        "WITH",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "BETWEEN",
+        "IN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "CAST",
+        "EXISTS",
+        "DISTINCT",
+        "CREATE",
+        "TEMP",
+        "TEMPORARY",
+        "FUNCTION",
+        "RETURNS",
+        "RETURN",
+        "REPLACE",
+        "OFFSET",
+        "ORDINALITY",
+        "DESC",
+        "ASC",
+        "STRUCT",
+        "ARRAY",
+        "ROW",
+        "UNION",
+        "ALL",
     ];
     RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r))
 }
@@ -1148,10 +1194,8 @@ mod tests {
 
     #[test]
     fn case_between_in() {
-        let e = parse_expr(
-            "CASE WHEN x < 0 THEN -1 WHEN x BETWEEN 60 AND 120 THEN 1 ELSE 0 END",
-        )
-        .unwrap();
+        let e = parse_expr("CASE WHEN x < 0 THEN -1 WHEN x BETWEEN 60 AND 120 THEN 1 ELSE 0 END")
+            .unwrap();
         assert!(matches!(e, Expr::Case { .. }));
         let e = parse_expr("x NOT IN (1, 2, 3)").unwrap();
         assert!(matches!(e, Expr::InList { negated: true, .. }));
@@ -1162,10 +1206,7 @@ mod tests {
     #[test]
     fn name_chains_fold() {
         let e = parse_expr("a.b.c").unwrap();
-        assert_eq!(
-            e,
-            Expr::Name(vec!["a".into(), "b".into(), "c".into()])
-        );
+        assert_eq!(e, Expr::Name(vec!["a".into(), "b".into(), "c".into()]));
         let e = parse_expr("f(x).y").unwrap();
         assert!(matches!(e, Expr::Field(_, _)));
     }

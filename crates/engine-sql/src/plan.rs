@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use nf2_columnar::{DataType, Schema};
+use nf2_columnar::{DataType, LeafInfo, PhysicalType, ScalarPredicate, Schema, SelCmp, SelValue};
 
 use crate::ast::*;
 
@@ -63,7 +63,7 @@ impl<'s> Analyzer<'s> {
     fn select(&mut self, s: &Select, outer: &[Frame], order_by: &[OrderItem]) {
         let mut frame: Frame = Vec::new();
         for item in &s.from {
-            self.from_item(item, &mut frame, outer);
+            self.visit_from_item(item, &mut frame, outer);
         }
         let mut frames: Vec<Frame> = outer.to_vec();
         frames.push(frame);
@@ -92,7 +92,7 @@ impl<'s> Analyzer<'s> {
         }
     }
 
-    fn from_item(&mut self, item: &FromItem, frame: &mut Frame, outer: &[Frame]) {
+    fn visit_from_item(&mut self, item: &FromItem, frame: &mut Frame, outer: &[Frame]) {
         match item {
             FromItem::Table { name, alias } => {
                 let origin = if self.schemas.contains_key(&name.to_ascii_lowercase()) {
@@ -175,8 +175,8 @@ impl<'s> Analyzer<'s> {
             FromItem::Join {
                 left, right, on, ..
             } => {
-                self.from_item(left, frame, outer);
-                self.from_item(right, frame, outer);
+                self.visit_from_item(left, frame, outer);
+                self.visit_from_item(right, frame, outer);
                 if let Some(e) = on {
                     let mut frames: Vec<Frame> = outer.to_vec();
                     frames.push(frame.clone());
@@ -212,7 +212,7 @@ impl<'s> Analyzer<'s> {
             match cur {
                 DataType::List(inner) => cur = inner,
                 DataType::Struct(inner) => {
-                    return Some(inner.iter().map(|f| f.name.clone()).collect())
+                    return Some(inner.iter().map(|f| f.name.to_string()).collect())
                 }
                 DataType::Scalar(_) => return None,
             }
@@ -273,7 +273,7 @@ impl<'s> Analyzer<'s> {
                 self.out
                     .entry(table.to_string())
                     .or_default()
-                    .insert(f.name.clone());
+                    .insert(f.name.to_string());
             }
             return;
         }
@@ -587,17 +587,14 @@ mod tests {
 
     #[test]
     fn cte_references_counted_in_cte() {
-        let p = projections(
-            "WITH base AS (SELECT MET.pt AS met FROM events) SELECT met FROM base",
-        );
+        let p = projections("WITH base AS (SELECT MET.pt AS met FROM events) SELECT met FROM base");
         assert_eq!(p, vec!["MET.pt"]);
     }
 
     #[test]
     fn subquery_over_unnest() {
-        let p = projections(
-            "SELECT (SELECT COUNT(*) FROM UNNEST(Jet) j WHERE j.pt > 40) FROM events",
-        );
+        let p =
+            projections("SELECT (SELECT COUNT(*) FROM UNNEST(Jet) j WHERE j.pt > 40) FROM events");
         assert_eq!(p, vec!["Jet.pt"]);
     }
 
@@ -622,8 +619,7 @@ mod tests {
 
     #[test]
     fn merge_spec_rejects_non_decomposable() {
-        let s =
-            parse_script("SELECT AVG(MET.pt) FROM events").unwrap();
+        let s = parse_script("SELECT AVG(MET.pt) FROM events").unwrap();
         assert_eq!(root_merge_spec(&s), None);
         let s = parse_script("SELECT x, COUNT(*) FROM t GROUP BY x LIMIT 3").unwrap();
         assert_eq!(root_merge_spec(&s), None);
@@ -638,7 +634,12 @@ mod tests {
         let s = parse_script("SELECT x, MIN(y), MAX(z), SUM(w) FROM t GROUP BY x").unwrap();
         assert_eq!(
             root_merge_spec(&s),
-            Some(vec![ColMerge::Key, ColMerge::Min, ColMerge::Max, ColMerge::Sum])
+            Some(vec![
+                ColMerge::Key,
+                ColMerge::Min,
+                ColMerge::Max,
+                ColMerge::Sum
+            ])
         );
     }
 }
@@ -711,7 +712,7 @@ pub fn prunable_predicates(
         out: HashMap::new(),
     };
     for item in &select.from {
-        a.from_item(item, &mut frame, &[]);
+        a.visit_from_item(item, &mut frame, &[]);
     }
     let frames = vec![frame];
 
@@ -732,9 +733,13 @@ pub fn prunable_predicates(
         let Some((table, path)) = a.trace(name_side, &frames) else {
             continue;
         };
-        let Some(schema) = schemas.get(&table) else { continue };
+        let Some(schema) = schemas.get(&table) else {
+            continue;
+        };
         let leaf_path = nested_value::Path::parse(&path.join("."));
-        let Some(leaf) = schema.leaf(&leaf_path) else { continue };
+        let Some(leaf) = schema.leaf(&leaf_path) else {
+            continue;
+        };
         if leaf.repeated {
             continue; // array elements: min/max of the flat buffer is per
                       // group, but the predicate semantics are per element
@@ -759,6 +764,135 @@ pub fn prunable_predicates(
         });
     }
     out
+}
+
+/// Extracts WHERE conjuncts usable as a **vectorized pre-filter** (late
+/// materialization; see [`nf2_columnar::select`]), keyed by table.
+///
+/// Shares the soundness conditions of [`prunable_predicates`] — top-level
+/// AND-conjunct of the root `WHERE`, non-repeated scalar leaf of a base
+/// table scanned exactly once — but differs in what it keeps:
+///
+/// * the literal's source type is preserved ([`SelValue::Int`] vs
+///   [`SelValue::Float`]), because integer and float literals compare
+///   differently against integer columns;
+/// * `<>` is admitted (zone maps cannot use it, row filters can);
+/// * boolean leaves are excluded — the selection kernels are numeric-only;
+/// * the leaf path is canonicalized to the schema's casing, since the
+///   kernel looks chunks up by exact path (zone maps tolerate a miss by
+///   keeping the group; a filter must not guess).
+///
+/// The engine still evaluates the full WHERE on surviving rows, so a
+/// conjunct this analysis *skips* costs nothing but speed; a conjunct it
+/// *emits* must match the evaluator's comparison semantics exactly, which
+/// [`nf2_columnar::apply_predicates`] guarantees.
+pub fn filterable_predicates(
+    script: &Script,
+    schemas: &HashMap<String, &Schema>,
+) -> HashMap<String, Vec<ScalarPredicate>> {
+    let select = &script.query.select;
+    let mut scan_counts: HashMap<String, usize> = HashMap::new();
+    count_table_scans_query(&script.query, &mut scan_counts);
+
+    let mut frame: Frame = Vec::new();
+    let mut a = Analyzer {
+        schemas,
+        out: HashMap::new(),
+    };
+    for item in &select.from {
+        a.visit_from_item(item, &mut frame, &[]);
+    }
+    let frames = vec![frame];
+
+    let Some(pred) = &select.where_clause else {
+        return HashMap::new();
+    };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+
+    let mut out: HashMap<String, Vec<ScalarPredicate>> = HashMap::new();
+    for c in conjuncts {
+        let Expr::Binary(l, op, r) = c else { continue };
+        let (name_side, lit, flip) = match (literal_sel(l), literal_sel(r)) {
+            (None, Some(v)) => (l.as_ref(), v, false),
+            (Some(v), None) => (r.as_ref(), v, true),
+            _ => continue,
+        };
+        let Some((table, path)) = a.trace(name_side, &frames) else {
+            continue;
+        };
+        let Some(schema) = schemas.get(&table) else {
+            continue;
+        };
+        let Some((leaf_path, leaf)) = resolve_leaf(schema, &path) else {
+            continue;
+        };
+        if leaf.repeated || leaf.ptype == PhysicalType::Bool {
+            continue;
+        }
+        if scan_counts.get(&table).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let cmp = match (op, flip) {
+            (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => SelCmp::Lt,
+            (BinaryOp::Lte, false) | (BinaryOp::Gte, true) => SelCmp::Le,
+            (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => SelCmp::Gt,
+            (BinaryOp::Gte, false) | (BinaryOp::Lte, true) => SelCmp::Ge,
+            (BinaryOp::Eq, _) => SelCmp::Eq,
+            (BinaryOp::Neq, _) => SelCmp::Ne,
+            _ => continue,
+        };
+        out.entry(table).or_default().push(ScalarPredicate {
+            leaf: leaf_path,
+            cmp,
+            value: lit,
+        });
+    }
+    out
+}
+
+/// Canonicalizes a (possibly differently-cased) path against the schema and
+/// returns it with its leaf description, or `None` when it does not resolve
+/// all the way down to a scalar leaf.
+fn resolve_leaf<'s>(
+    schema: &'s Schema,
+    path: &[String],
+) -> Option<(nested_value::Path, &'s LeafInfo)> {
+    let mut canon: Vec<String> = Vec::with_capacity(path.len());
+    let mut fields = schema.fields();
+    for seg in path {
+        let f = fields.iter().find(|f| f.name.eq_ignore_ascii_case(seg))?;
+        canon.push(f.name.to_string());
+        let mut cur = &f.dtype;
+        loop {
+            match cur {
+                DataType::List(inner) => cur = inner,
+                DataType::Struct(inner) => {
+                    fields = inner;
+                    break;
+                }
+                DataType::Scalar(_) => {
+                    fields = &[];
+                    break;
+                }
+            }
+        }
+    }
+    let p = nested_value::Path::parse(&canon.join("."));
+    schema.leaf(&p).map(|l| (p, l))
+}
+
+/// A numeric literal with its source type kept (see [`SelValue`]).
+fn literal_sel(e: &Expr) -> Option<SelValue> {
+    match e {
+        Expr::Int(i) => Some(SelValue::Int(*i)),
+        Expr::Float(f) => Some(SelValue::Float(*f)),
+        Expr::Unary(crate::ast::UnaryOp::Neg, inner) => match literal_sel(inner)? {
+            SelValue::Int(i) => i.checked_neg().map(SelValue::Int),
+            SelValue::Float(f) => Some(SelValue::Float(-f)),
+        },
+        _ => None,
+    }
 }
 
 fn collect_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
@@ -832,14 +966,8 @@ mod prune_tests {
     fn schema() -> Schema {
         Schema::new(vec![
             Field::new("event", DT::i64()),
-            Field::new(
-                "MET",
-                DT::Struct(vec![Field::new("pt", DT::f32())]),
-            ),
-            Field::new(
-                "Jet",
-                DT::particle_list(vec![Field::new("pt", DT::f32())]),
-            ),
+            Field::new("MET", DT::Struct(vec![Field::new("pt", DT::f32())])),
+            Field::new("Jet", DT::particle_list(vec![Field::new("pt", DT::f32())])),
         ])
         .unwrap()
     }
@@ -876,9 +1004,7 @@ mod prune_tests {
     fn repeated_leaves_are_not_prunable() {
         // Jet.pt is per-element; the conjunct shape is not sound for
         // group-level skipping in general queries.
-        let p = preds(
-            "SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE j.pt > 40.0",
-        );
+        let p = preds("SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE j.pt > 40.0");
         assert!(p.is_empty());
     }
 
@@ -897,6 +1023,52 @@ mod prune_tests {
         assert!(p.is_empty());
     }
 
+    fn filt(sql: &str) -> Vec<ScalarPredicate> {
+        let script = parse_script(sql).unwrap();
+        let s = schema();
+        let mut schemas = HashMap::new();
+        schemas.insert("events".to_string(), &s);
+        filterable_predicates(&script, &schemas)
+            .remove("events")
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn filterable_keeps_literal_type_and_casing() {
+        let p = filt("SELECT COUNT(*) FROM events WHERE met.pt > 100 AND event <> 5");
+        assert_eq!(p.len(), 2);
+        // Path canonicalized to schema casing despite lowercase SQL.
+        assert_eq!(p[0].leaf.to_string(), "MET.pt");
+        assert_eq!(p[0].cmp, SelCmp::Gt);
+        // Integer literal stays integral (compares exactly on int columns).
+        assert_eq!(p[0].value, SelValue::Int(100));
+        assert_eq!(p[1].cmp, SelCmp::Ne);
+        assert_eq!(p[1].value, SelValue::Int(5));
+    }
+
+    #[test]
+    fn filterable_negated_and_flipped_literals() {
+        let p = filt("SELECT 1 FROM events WHERE -2.5 <= MET.pt");
+        assert_eq!(p[0].cmp, SelCmp::Ge);
+        assert_eq!(p[0].value, SelValue::Float(-2.5));
+        let p = filt("SELECT 1 FROM events WHERE event >= -3");
+        assert_eq!(p[0].value, SelValue::Int(-3));
+    }
+
+    #[test]
+    fn filterable_skips_repeated_and_multiscan() {
+        assert!(
+            filt("SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE j.pt > 40.0")
+                .is_empty()
+        );
+        assert!(filt(
+            "WITH a AS (SELECT event FROM events) \
+             SELECT COUNT(*) FROM events WHERE MET.pt > 10.0"
+        )
+        .is_empty());
+        assert!(filt("SELECT 1 FROM events WHERE MET.pt > 1.0 OR event = 1").is_empty());
+    }
+
     #[test]
     fn may_match_logic() {
         let gt = PrunePredicate {
@@ -908,7 +1080,10 @@ mod prune_tests {
         assert!(!gt.may_match(0.0, 39.0));
         assert!(!gt.may_match(0.0, 40.0));
         assert!(gt.may_match(0.0, 41.0));
-        let eq = PrunePredicate { cmp: PruneCmp::Eq, ..gt.clone() };
+        let eq = PrunePredicate {
+            cmp: PruneCmp::Eq,
+            ..gt.clone()
+        };
         assert!(eq.may_match(39.0, 41.0));
         assert!(!eq.may_match(41.0, 99.0));
     }

@@ -41,7 +41,7 @@ proptest! {
             let mut e = SqlEngine::new(d, SqlOptions {
                 n_threads: if parallel { 0 } else { 1 },
                 partition_parallel: parallel,
-                zone_map_pruning: true,
+                ..SqlOptions::default()
             });
             e.register(t.clone());
             let out = e
@@ -80,7 +80,7 @@ proptest! {
         let mut athena = SqlEngine::new(Dialect::athena(), SqlOptions {
             n_threads: 1,
             partition_parallel: false,
-            zone_map_pruning: true,
+            ..SqlOptions::default()
         });
         athena.register(t.clone());
         let out = athena.execute(&format!(
@@ -91,6 +91,46 @@ proptest! {
              SELECT COUNT(*) FROM matched"
         )).unwrap();
         prop_assert_eq!(out.relation.rows[0][0].as_i64().unwrap(), expect);
+    }
+
+    /// The vectorized pre-filter is invisible: identical relations and
+    /// identical scan accounting with the knob on and off, across all
+    /// dialects and both execution modes.
+    #[test]
+    fn vectorized_filter_invisible(threshold in 0.0..80.0f64, parallel in any::<bool>()) {
+        let (_, t) = small_table();
+        let sql = format!(
+            "SELECT CAST(FLOOR(MET.pt / 7.0) AS BIGINT) AS bin, COUNT(*) AS n \
+             FROM events WHERE MET.pt > {threshold} AND MET.phi < 2 \
+             GROUP BY CAST(FLOOR(MET.pt / 7.0) AS BIGINT) ORDER BY bin"
+        );
+        for d in [
+            Dialect::bigquery as fn() -> Dialect,
+            Dialect::presto,
+            Dialect::athena,
+        ] {
+            let mut runs = Vec::new();
+            for vectorized_filter in [true, false] {
+                let mut e = SqlEngine::new(d(), SqlOptions {
+                    n_threads: if parallel { 0 } else { 1 },
+                    partition_parallel: parallel,
+                    vectorized_filter,
+                    ..SqlOptions::default()
+                });
+                e.register(t.clone());
+                runs.push(e.execute(&sql).unwrap());
+            }
+            prop_assert_eq!(&runs[0].relation.cols, &runs[1].relation.cols);
+            prop_assert_eq!(&runs[0].relation.rows, &runs[1].relation.rows);
+            prop_assert_eq!(
+                runs[0].stats.scan.bytes_scanned,
+                runs[1].stats.scan.bytes_scanned
+            );
+            prop_assert_eq!(
+                runs[0].stats.scan.logical_bytes,
+                runs[1].stats.scan.logical_bytes
+            );
+        }
     }
 
     /// Histogram-style GROUP BY conserves total event counts for any bin

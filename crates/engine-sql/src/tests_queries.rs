@@ -31,7 +31,7 @@ fn serial_engine(dialect: Dialect, table: Arc<nf2_columnar::Table>) -> SqlEngine
         SqlOptions {
             n_threads: 1,
             partition_parallel: false,
-            zone_map_pruning: true,
+            ..SqlOptions::default()
         },
     );
     e.register(table);
@@ -43,7 +43,10 @@ fn count_all_events() {
     let (events, t) = dataset();
     let e = engine(Dialect::presto(), t);
     let out = e.execute("SELECT COUNT(*) FROM events").unwrap();
-    assert_eq!(out.relation.rows, vec![vec![Value::Int(events.len() as i64)]]);
+    assert_eq!(
+        out.relation.rows,
+        vec![vec![Value::Int(events.len() as i64)]]
+    );
     assert!(out.stats.scan.rows > 0);
 }
 
@@ -97,9 +100,7 @@ fn unnest_athena_struct_alias() {
     let (events, t) = dataset();
     let e = engine(Dialect::athena(), t);
     let out = e
-        .execute(
-            "SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE ABS(j.eta) < 1.0",
-        )
+        .execute("SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE ABS(j.eta) < 1.0")
         .unwrap();
     let expect = events
         .iter()
@@ -158,9 +159,10 @@ fn exists_pair_query() {
     let expect = events
         .iter()
         .filter(|e| {
-            e.muons.iter().enumerate().any(|(i, a)| {
-                e.muons[i + 1..].iter().any(|b| a.charge != b.charge)
-            })
+            e.muons
+                .iter()
+                .enumerate()
+                .any(|(i, a)| e.muons[i + 1..].iter().any(|b| a.charge != b.charge))
         })
         .count() as i64;
     assert_eq!(out.relation.rows[0][0], Value::Int(expect));
@@ -289,9 +291,7 @@ fn combinations_function_counts() {
     let (events, t) = dataset();
     let e = engine(Dialect::presto(), t);
     let out = e
-        .execute(
-            "SELECT CAST(SUM(CARDINALITY(COMBINATIONS(Jet, 3))) AS BIGINT) FROM events",
-        )
+        .execute("SELECT CAST(SUM(CARDINALITY(COMBINATIONS(Jet, 3))) AS BIGINT) FROM events")
         .unwrap();
     let c3 = |k: usize| (k * k.saturating_sub(1) * k.saturating_sub(2) / 6) as i64;
     let expect: i64 = events.iter().map(|e| c3(e.jets.len())).sum();

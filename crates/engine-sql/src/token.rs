@@ -31,8 +31,8 @@ impl Token {
 }
 
 const PUNCTS: &[&str] = &[
-    "<=", ">=", "<>", "!=", "->", "||", "(", ")", "[", "]", "{", "}", ",", ".", ";", "+", "-",
-    "*", "/", "%", "<", ">", "=", ":",
+    "<=", ">=", "<>", "!=", "->", "||", "(", ")", "[", "]", "{", "}", ",", ".", ";", "+", "-", "*",
+    "/", "%", "<", ">", "=", ":",
 ];
 
 /// Tokenizes SQL text. Comments (`-- …` and `/* … */`) are skipped.
@@ -104,8 +104,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
             continue;
         }
         // Numbers (including decimals and exponents).
-        if c.is_ascii_digit()
-            || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
         {
             let start = i;
             while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
@@ -130,7 +129,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
         if c.is_ascii_alphabetic() || c == '_' || c == '$' {
             let start = i;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
             {
                 i += 1;
             }
@@ -163,7 +164,9 @@ mod tests {
         assert_eq!(toks[4], Token::Punct(","));
         assert_eq!(toks[5], Token::Number("1.5e3".into()));
         assert!(toks.iter().any(|t| t.is_punct("<=")));
-        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "it's")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Str(s) if s == "it's")));
     }
 
     #[test]

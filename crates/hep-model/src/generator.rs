@@ -203,7 +203,8 @@ impl Generator {
         // Prompt (uncorrelated) particles.
         let n_soft = self.d_jet_soft.sample(&mut self.rng) as usize;
         let n_jets = if self.rng.gen_bool(self.cfg.jet_tail_prob) {
-            n_soft + self.cfg.jet_tail_base as usize
+            n_soft
+                + self.cfg.jet_tail_base as usize
                 + self.d_jet_tail.sample(&mut self.rng) as usize
         } else {
             n_soft
@@ -283,7 +284,9 @@ impl Generator {
     fn decay_resonance(&mut self, m: f64, m1: f64, m2: f64) -> (FourMomentum, FourMomentum) {
         let pt = self.d_boost_pt.sample(&mut self.rng);
         let eta: f64 = self.d_eta_lep.sample(&mut self.rng).clamp(-2.4, 2.4);
-        let phi = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let phi = self
+            .rng
+            .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
         let parent = FourMomentum::from_pt_eta_phi_m(pt, eta, phi, m);
         self.decay_in_flight(&parent, m1, m2)
     }
@@ -321,7 +324,8 @@ impl Generator {
             None => (
                 15.0 + Exp::new(1.0 / 18.0).expect("λ > 0").sample(&mut self.rng),
                 self.d_eta_jet.sample(&mut self.rng).clamp(-4.0, 4.0),
-                self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                self.rng
+                    .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
                 self.d_jet_mass.sample(&mut self.rng).max(0.1),
             ),
         };
@@ -349,7 +353,8 @@ impl Generator {
                 (
                     3.0 + Exp::new(1.0 / 12.0).expect("λ > 0").sample(&mut self.rng),
                     self.d_eta_lep.sample(&mut self.rng).clamp(-2.4, 2.4),
-                    self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                    self.rng
+                        .gen_range(-std::f64::consts::PI..std::f64::consts::PI),
                 )
             }
         }
@@ -444,7 +449,9 @@ impl Generator {
             muons.iter().map(|m| m.pt).sum::<f64>() + electrons.iter().map(|e| e.pt).sum::<f64>();
         let sumet = sum_jet_pt + sum_lep_pt + self.rng.gen_range(50.0..250.0);
         let pt = rayleigh * (1.0 + 0.004 * sum_jet_pt);
-        let phi = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let phi = self
+            .rng
+            .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
         let sigma = 0.6 * sumet.sqrt();
         Met {
             pt: q(pt),

@@ -125,8 +125,14 @@ mod tests {
     fn measured_quantities_are_f32() {
         use nf2_columnar::PhysicalType;
         let s = event_schema().unwrap();
-        assert_eq!(s.leaf(&"Jet.pt".into()).unwrap().ptype, PhysicalType::Float32);
-        assert_eq!(s.leaf(&"Muon.charge".into()).unwrap().ptype, PhysicalType::Int32);
+        assert_eq!(
+            s.leaf(&"Jet.pt".into()).unwrap().ptype,
+            PhysicalType::Float32
+        );
+        assert_eq!(
+            s.leaf(&"Muon.charge".into()).unwrap().ptype,
+            PhysicalType::Int32
+        );
         assert_eq!(s.leaf(&"event".into()).unwrap().ptype, PhysicalType::Int64);
     }
 }

@@ -14,8 +14,14 @@ pub fn event_to_value(e: &Event) -> Value {
         ("luminosityBlock", Value::Int(e.luminosity_block as i64)),
         ("event", Value::Int(e.event as i64)),
         ("MET", met_to_value(&e.met)),
-        ("Jet", Value::array(e.jets.iter().map(jet_to_value).collect())),
-        ("Muon", Value::array(e.muons.iter().map(muon_to_value).collect())),
+        (
+            "Jet",
+            Value::array(e.jets.iter().map(jet_to_value).collect()),
+        ),
+        (
+            "Muon",
+            Value::array(e.muons.iter().map(muon_to_value).collect()),
+        ),
         (
             "Electron",
             Value::array(e.electrons.iter().map(electron_to_value).collect()),
@@ -24,7 +30,10 @@ pub fn event_to_value(e: &Event) -> Value {
             "Photon",
             Value::array(e.photons.iter().map(photon_to_value).collect()),
         ),
-        ("Tau", Value::array(e.taus.iter().map(tau_to_value).collect())),
+        (
+            "Tau",
+            Value::array(e.taus.iter().map(tau_to_value).collect()),
+        ),
     ])
 }
 
@@ -119,10 +128,7 @@ fn tau_to_value(t: &Tau) -> Value {
 }
 
 /// Materializes events into a columnar [`Table`].
-pub fn events_to_table(
-    events: &[Event],
-    row_group_size: usize,
-) -> Result<Table, ColumnarError> {
+pub fn events_to_table(events: &[Event], row_group_size: usize) -> Result<Table, ColumnarError> {
     let mut b = TableBuilder::new(crate::schema::TABLE_NAME, event_schema()?, row_group_size);
     for e in events {
         b.append(&event_to_value(e))?;

@@ -99,7 +99,10 @@ mod tests {
     fn nested() {
         let v = Value::struct_from(vec![
             ("bin", Value::Int(3)),
-            ("edges", Value::array(vec![Value::Float(0.0), Value::Float(2.0)])),
+            (
+                "edges",
+                Value::array(vec![Value::Float(0.0), Value::Float(2.0)]),
+            ),
         ]);
         assert_eq!(to_json(&v), r#"{"bin":3,"edges":[0.0,2.0]}"#);
     }

@@ -42,7 +42,10 @@ pub fn compare(a: &Value, b: &Value) -> Result<Ordering, ValueError> {
             Ok(xs.len().cmp(&ys.len()))
         }
         (Struct(xs), Struct(ys)) => {
-            for ((_, x), (_, y)) in xs.iter().map(|p| ((), p.1)).zip(ys.iter().map(|p| ((), p.1)))
+            for ((_, x), (_, y)) in xs
+                .iter()
+                .map(|p| ((), p.1))
+                .zip(ys.iter().map(|p| ((), p.1)))
             {
                 match compare(x, y)? {
                     Ordering::Equal => continue,
@@ -212,10 +215,7 @@ mod tests {
             Ordering::Less
         );
         assert_eq!(sql_eq(&Value::Null, &Value::Int(0)).unwrap(), None);
-        assert_eq!(
-            sql_eq(&Value::Int(1), &Value::Int(1)).unwrap(),
-            Some(true)
-        );
+        assert_eq!(sql_eq(&Value::Int(1), &Value::Int(1)).unwrap(), Some(true));
     }
 
     #[test]

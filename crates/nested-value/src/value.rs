@@ -334,7 +334,10 @@ mod tests {
 
     #[test]
     fn struct_lookup_by_name_and_index() {
-        let v = Value::struct_from(vec![("pt", Value::Float(31.5)), ("eta", Value::Float(-0.4))]);
+        let v = Value::struct_from(vec![
+            ("pt", Value::Float(31.5)),
+            ("eta", Value::Float(-0.4)),
+        ]);
         let s = v.as_struct().unwrap();
         assert_eq!(s.get("pt"), Some(&Value::Float(31.5)));
         assert_eq!(s.get_index(1), Some(&Value::Float(-0.4)));

@@ -107,8 +107,8 @@ pub struct ColumnChunk {
 impl ColumnChunk {
     /// Seals a buffer into a chunk: computes compressed size and statistics.
     pub fn seal(data: ColumnData, offsets: Option<Vec<u32>>) -> ColumnChunk {
-        let compressed_bytes =
-            compress::compressed_size(&data) + offsets.as_ref().map_or(0, |o| compress::offsets_size(o));
+        let compressed_bytes = compress::compressed_size(&data)
+            + offsets.as_ref().map_or(0, |o| compress::offsets_size(o));
         let (mut min, mut max) = (None::<f64>, None::<f64>);
         for i in 0..data.len() {
             let x = data.get_f64(i);
@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn row_range_with_offsets() {
-        let c = ColumnChunk::seal(
-            ColumnData::I32(vec![1, 2, 3, 4, 5]),
-            Some(vec![0, 2, 2, 5]),
-        );
+        let c = ColumnChunk::seal(ColumnData::I32(vec![1, 2, 3, 4, 5]), Some(vec![0, 2, 2, 5]));
         assert_eq!(c.row_range(0), 0..2);
         assert_eq!(c.row_range(1), 2..2);
         assert_eq!(c.row_range(2), 2..5);

@@ -122,7 +122,10 @@ mod tests {
     fn constant_bools_compress_heavily() {
         let v = vec![true; 8000];
         let size = compressed_size(&ColumnData::Bool(v));
-        assert!(size < 20, "constant flags should RLE to almost nothing, got {size}");
+        assert!(
+            size < 20,
+            "constant flags should RLE to almost nothing, got {size}"
+        );
     }
 
     #[test]
@@ -140,7 +143,9 @@ mod tests {
         let mut x = 0x2545F4914F6CDD1Du64;
         let v: Vec<f32> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 20.0 + (x >> 40) as f32 / 1000.0
             })
             .collect();

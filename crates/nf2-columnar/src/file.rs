@@ -176,7 +176,10 @@ fn read_fields<R: Read>(r: &mut R) -> Result<Vec<Field>, ColumnarError> {
     for _ in 0..n {
         let name = read_str(r)?;
         let dtype = read_dtype(r)?;
-        fields.push(Field { name, dtype });
+        fields.push(Field {
+            name: name.into(),
+            dtype,
+        });
     }
     Ok(fields)
 }

@@ -41,14 +41,16 @@ pub mod project;
 pub mod rowgroup;
 pub mod scan;
 pub mod schema;
+pub mod select;
 pub mod table;
 
 pub use column::{ColumnChunk, ColumnData};
 pub use error::ColumnarError;
 pub use project::{Projection, PushdownCapability};
-pub use rowgroup::RowGroup;
+pub use rowgroup::{GroupReader, RowGroup};
 pub use scan::{ExecStats, ScanStats};
-pub use schema::{DataType, Field, PhysicalType, Schema};
+pub use schema::{DataType, Field, LeafInfo, PhysicalType, Schema};
+pub use select::{apply_predicates, ScalarPredicate, SelCmp, SelValue, SelectionVector};
 pub use table::{Table, TableBuilder};
 
 #[cfg(test)]

@@ -87,10 +87,9 @@ impl Projection {
                 PushdownCapability::IndividualLeaves => {
                     self.paths.iter().any(|p| leaf.path.starts_with(p))
                 }
-                PushdownCapability::WholeStructs => self
-                    .paths
-                    .iter()
-                    .any(|p| leaf.path.head() == p.head()),
+                PushdownCapability::WholeStructs => {
+                    self.paths.iter().any(|p| leaf.path.head() == p.head())
+                }
                 PushdownCapability::None => unreachable!(),
             };
             if hit {

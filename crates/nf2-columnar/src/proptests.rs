@@ -8,6 +8,7 @@ use nested_value::Value;
 use crate::project::{Projection, PushdownCapability};
 use crate::scan::scan_stats;
 use crate::schema::{DataType, Field, Schema};
+use crate::select::{apply_predicates, ScalarPredicate, SelCmp, SelValue};
 use crate::table::TableBuilder;
 
 fn test_schema() -> Schema {
@@ -46,7 +47,7 @@ prop_compose! {
     fn arb_row()(
         event in 0i64..1_000_000,
         met_pt in 0.0..300.0f64,
-        met_phi in -3.14..3.14f64,
+        met_phi in -std::f64::consts::PI..std::f64::consts::PI,
         jets in proptest::collection::vec(arb_jet(), 0..12),
     ) -> Value {
         Value::struct_from(vec![
@@ -60,8 +61,80 @@ prop_compose! {
     }
 }
 
+prop_compose! {
+    fn arb_pred()(
+        leaf_i in 0usize..3,
+        cmp_i in 0usize..6,
+        use_int in any::<bool>(),
+        int_lit in -5i64..1_000_005,
+        float_lit in -10.0..310.0f64,
+    ) -> ScalarPredicate {
+        const LEAVES: [&str; 3] = ["event", "MET.pt", "MET.phi"];
+        const CMPS: [SelCmp; 6] = [
+            SelCmp::Lt, SelCmp::Le, SelCmp::Gt, SelCmp::Ge, SelCmp::Eq, SelCmp::Ne,
+        ];
+        ScalarPredicate {
+            leaf: nested_value::Path::parse(LEAVES[leaf_i]),
+            cmp: CMPS[cmp_i],
+            value: if use_int {
+                SelValue::Int(int_lit)
+            } else {
+                SelValue::Float(float_lit)
+            },
+        }
+    }
+}
+
+/// The semantics the kernels claim to replicate: materialize the row as a
+/// `Value`, walk to the leaf, compare with `nested_value::ops::compare`.
+fn naive_matches(row: &Value, pred: &ScalarPredicate) -> bool {
+    let mut cur = row;
+    for seg in pred.leaf.segments() {
+        cur = cur.as_struct().unwrap().get(seg).unwrap();
+    }
+    let lit = match pred.value {
+        SelValue::Int(i) => Value::Int(i),
+        SelValue::Float(f) => Value::Float(f),
+    };
+    pred.cmp
+        .accepts(nested_value::ops::compare(cur, &lit).unwrap())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vectorized selection over typed chunk buffers is row-for-row
+    /// identical to materializing every row and filtering `Value`s, and
+    /// late materialization returns exactly the surviving rows in order.
+    #[test]
+    fn vectorized_selection_matches_naive(
+        rows in proptest::collection::vec(arb_row(), 0..40),
+        preds in proptest::collection::vec(arb_pred(), 0..4),
+        rg in 1usize..9,
+    ) {
+        let mut b = TableBuilder::new("t", test_schema(), rg);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let leaves: Vec<_> = t.schema().leaves().iter().collect();
+        let mut got = Vec::new();
+        for g in t.row_groups() {
+            let sel = apply_predicates(g, &preds).unwrap();
+            prop_assert_eq!(sel.n_rows(), g.n_rows());
+            let all = g.read_rows(t.schema(), &leaves).unwrap();
+            let surviving: Vec<u32> = (0..all.len())
+                .filter(|&r| preds.iter().all(|p| naive_matches(&all[r], p)))
+                .map(|r| r as u32)
+                .collect();
+            prop_assert_eq!(sel.rows(), &surviving[..]);
+            got.extend(g.read_rows_selected(t.schema(), &leaves, &sel).unwrap());
+        }
+        let expect: Vec<Value> = rows
+            .iter()
+            .filter(|r| preds.iter().all(|p| naive_matches(r, p)))
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
 
     /// rows → columnar → rows is the identity, across row-group boundaries.
     #[test]

@@ -1,12 +1,14 @@
 //! Row groups: the horizontal partition and unit of parallelism.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use nested_value::{Path, StructValue, Value};
 
 use crate::column::ColumnChunk;
 use crate::error::ColumnarError;
-use crate::schema::{DataType, LeafInfo, Schema};
+use crate::schema::{DataType, Field, LeafInfo, Schema};
+use crate::select::SelectionVector;
 
 /// A horizontal slice of the table with one [`ColumnChunk`] per leaf.
 #[derive(Clone, Debug)]
@@ -66,19 +68,18 @@ impl RowGroup {
             .sum()
     }
 
-    /// Reconstructs row `row` as a nested [`Value`] containing exactly the
-    /// top-level fields that have at least one projected leaf.
+    /// Builds a materialization plan for the projected leaves: chunk
+    /// references and interned field names are resolved once, so per-row
+    /// reads do no path matching or name allocation.
     ///
     /// `leaves` must be schema-ordered (as produced by
     /// [`crate::project::Projection::resolve`]).
-    pub fn read_row(
-        &self,
+    pub fn reader<'g>(
+        &'g self,
         schema: &Schema,
         leaves: &[&LeafInfo],
-        row: usize,
-    ) -> Result<Value, ColumnarError> {
-        debug_assert!(row < self.n_rows);
-        let mut builder = nested_value::value::StructBuilder::new();
+    ) -> Result<GroupReader<'g>, ColumnarError> {
+        let mut fields = Vec::new();
         for field in schema.fields() {
             let prefix = Path::root(&field.name);
             let sub: Vec<&LeafInfo> = leaves
@@ -89,10 +90,24 @@ impl RowGroup {
             if sub.is_empty() {
                 continue;
             }
-            let v = self.build_value(&field.dtype, &prefix, &sub, Index::Row(row))?;
-            builder.push(field.name.as_str(), v);
+            fields.push((field.name.clone(), self.plan_node(field, &prefix, &sub)?));
         }
-        Ok(builder.build())
+        Ok(GroupReader {
+            n_rows: self.n_rows,
+            fields,
+        })
+    }
+
+    /// Reconstructs row `row` as a nested [`Value`] containing exactly the
+    /// top-level fields that have at least one projected leaf.
+    pub fn read_row(
+        &self,
+        schema: &Schema,
+        leaves: &[&LeafInfo],
+        row: usize,
+    ) -> Result<Value, ColumnarError> {
+        debug_assert!(row < self.n_rows);
+        Ok(self.reader(schema, leaves)?.read_row(row))
     }
 
     /// Reads all rows of the group (convenience for engines that want a
@@ -102,62 +117,153 @@ impl RowGroup {
         schema: &Schema,
         leaves: &[&LeafInfo],
     ) -> Result<Vec<Value>, ColumnarError> {
-        (0..self.n_rows)
-            .map(|r| self.read_row(schema, leaves, r))
-            .collect()
+        let reader = self.reader(schema, leaves)?;
+        Ok((0..self.n_rows).map(|r| reader.read_row(r)).collect())
     }
 
-    fn build_value(
+    /// Reads only the rows named by `selection` (late materialization after
+    /// a vectorized filter; see [`crate::select`]).
+    pub fn read_rows_selected(
         &self,
-        dtype: &DataType,
+        schema: &Schema,
+        leaves: &[&LeafInfo],
+        selection: &SelectionVector,
+    ) -> Result<Vec<Value>, ColumnarError> {
+        debug_assert_eq!(selection.n_rows(), self.n_rows);
+        let reader = self.reader(schema, leaves)?;
+        Ok(selection
+            .rows()
+            .iter()
+            .map(|&r| reader.read_row(r as usize))
+            .collect())
+    }
+
+    fn plan_node<'g>(
+        &'g self,
+        field: &Field,
         path: &Path,
         leaves: &[&LeafInfo],
-        idx: Index,
-    ) -> Result<Value, ColumnarError> {
-        match dtype {
-            DataType::Scalar(_) => {
-                let chunk = self.column(path)?;
-                let entry = match idx {
-                    Index::Row(r) => chunk.row_range(r).start,
-                    Index::Entry(e) => e,
-                };
-                Ok(chunk.data.get_value(entry))
-            }
+    ) -> Result<NodePlan<'g>, ColumnarError> {
+        match &field.dtype {
+            DataType::Scalar(_) => Ok(NodePlan::Scalar(self.column(path)?)),
             DataType::Struct(fields) => {
-                let mut out = Vec::new();
-                for f in fields {
-                    let child = path.child(&f.name);
-                    let sub: Vec<&LeafInfo> = leaves
-                        .iter()
-                        .copied()
-                        .filter(|l| l.path.starts_with(&child))
-                        .collect();
-                    if sub.is_empty() {
-                        continue;
-                    }
-                    let v = self.build_value(&f.dtype, &child, &sub, idx)?;
-                    out.push((std::sync::Arc::from(f.name.as_str()), v));
-                }
-                Ok(Value::Struct(std::sync::Arc::new(StructValue::new(out))))
+                Ok(NodePlan::Struct(self.plan_struct(fields, path, leaves)?))
             }
             DataType::List(inner) => {
-                let row = match idx {
-                    Index::Row(r) => r,
-                    Index::Entry(_) => {
+                // Any projected leaf below this list carries the offsets.
+                let first = leaves.first().expect("non-empty leaf set");
+                let offsets = self.column(&first.path)?;
+                let item = match inner.as_ref() {
+                    DataType::Scalar(_) => NodePlan::Scalar(self.column(path)?),
+                    DataType::Struct(fields) => {
+                        NodePlan::Struct(self.plan_struct(fields, path, leaves)?)
+                    }
+                    DataType::List(_) => {
                         return Err(ColumnarError::SchemaMismatch(format!(
                             "nested list at {path}"
                         )))
                     }
                 };
-                // Any projected leaf below this list carries the offsets.
-                let first = leaves.first().expect("non-empty leaf set");
-                let chunk = self.column(&first.path)?;
-                let range = chunk.row_range(row);
+                Ok(NodePlan::List {
+                    offsets,
+                    item: Box::new(item),
+                })
+            }
+        }
+    }
+
+    fn plan_struct<'g>(
+        &'g self,
+        fields: &[Field],
+        path: &Path,
+        leaves: &[&LeafInfo],
+    ) -> Result<Vec<(Arc<str>, NodePlan<'g>)>, ColumnarError> {
+        let mut out = Vec::new();
+        for f in fields {
+            let child = path.child(&f.name);
+            let sub: Vec<&LeafInfo> = leaves
+                .iter()
+                .copied()
+                .filter(|l| l.path.starts_with(&child))
+                .collect();
+            if sub.is_empty() {
+                continue;
+            }
+            // Lists cannot nest, so inner nodes never re-enter the List arm
+            // of plan_node with stale leaves; delegating is safe.
+            out.push((f.name.clone(), self.plan_node(f, &child, &sub)?));
+        }
+        Ok(out)
+    }
+}
+
+/// A resolved per-group materialization plan: one node per projected schema
+/// node, holding the chunk reference and the interned field name. Building
+/// the plan costs one schema walk; each row read is then a direct traversal
+/// with `Arc<str>` clones for field names.
+pub struct GroupReader<'g> {
+    n_rows: usize,
+    fields: Vec<(Arc<str>, NodePlan<'g>)>,
+}
+
+enum NodePlan<'g> {
+    /// Scalar leaf: its chunk (offsets used when directly under a list).
+    Scalar(&'g ColumnChunk),
+    /// Struct: planned children in schema order.
+    Struct(Vec<(Arc<str>, NodePlan<'g>)>),
+    /// List: the chunk carrying the offsets plus the item plan.
+    List {
+        offsets: &'g ColumnChunk,
+        item: Box<NodePlan<'g>>,
+    },
+}
+
+impl GroupReader<'_> {
+    /// Number of rows in the underlying group.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Materializes row `row` as a nested [`Value`].
+    pub fn read_row(&self, row: usize) -> Value {
+        debug_assert!(row < self.n_rows);
+        let fields = self
+            .fields
+            .iter()
+            .map(|(name, node)| (name.clone(), node.value_at(Index::Row(row))))
+            .collect();
+        Value::Struct(Arc::new(StructValue::new(fields)))
+    }
+}
+
+impl NodePlan<'_> {
+    fn value_at(&self, idx: Index) -> Value {
+        match self {
+            NodePlan::Scalar(chunk) => {
+                let entry = match idx {
+                    Index::Row(r) => chunk.row_range(r).start,
+                    Index::Entry(e) => e,
+                };
+                chunk.data.get_value(entry)
+            }
+            NodePlan::Struct(fields) => {
+                let out = fields
+                    .iter()
+                    .map(|(name, node)| (name.clone(), node.value_at(idx)))
+                    .collect();
+                Value::Struct(Arc::new(StructValue::new(out)))
+            }
+            NodePlan::List { offsets, item } => {
+                let row = match idx {
+                    Index::Row(r) => r,
+                    Index::Entry(_) => unreachable!("nested lists are rejected by Schema::new"),
+                };
+                let range = offsets.row_range(row);
                 let mut items = Vec::with_capacity(range.len());
                 for e in range {
-                    items.push(self.build_value(inner, path, leaves, Index::Entry(e))?);
+                    items.push(item.value_at(Index::Entry(e)));
                 }
-                Ok(Value::array(items))
+                Value::array(items)
             }
         }
     }

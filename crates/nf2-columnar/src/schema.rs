@@ -85,10 +85,14 @@ impl DataType {
 }
 
 /// A named schema node.
+///
+/// The name is an interned `Arc<str>` so that row materialization can tag
+/// struct fields with a pointer clone instead of allocating a fresh string
+/// per row (see [`crate::rowgroup::GroupReader`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Field {
-    /// Field name.
-    pub name: String,
+    /// Field name, shared by every row materialized from this schema.
+    pub name: std::sync::Arc<str>,
     /// Field type.
     pub dtype: DataType,
 }
@@ -97,7 +101,7 @@ impl Field {
     /// Creates a field.
     pub fn new(name: &str, dtype: DataType) -> Field {
         Field {
-            name: name.to_string(),
+            name: std::sync::Arc::from(name),
             dtype,
         }
     }
@@ -146,7 +150,7 @@ impl Schema {
 
     /// Looks up a top-level field by name.
     pub fn field(&self, name: &str) -> Option<&Field> {
-        self.fields.iter().find(|f| f.name == name)
+        self.fields.iter().find(|f| f.name.as_ref() == name)
     }
 
     /// All leaf columns in depth-first schema order.
@@ -164,7 +168,7 @@ impl Schema {
         let mut fields = &self.fields;
         let mut current: Option<&DataType> = None;
         for seg in path.segments() {
-            let f = fields.iter().find(|f| &f.name == seg)?;
+            let f = fields.iter().find(|f| f.name.as_ref() == seg.as_str())?;
             current = Some(&f.dtype);
             // Descend through lists transparently (Parquet-style paths).
             let mut dt = &f.dtype;
@@ -300,10 +304,7 @@ mod tests {
     #[test]
     fn type_at_descends_lists() {
         let s = toy_schema();
-        assert_eq!(
-            s.type_at(&Path::parse("Jet.pt")),
-            Some(&DataType::f32())
-        );
+        assert_eq!(s.type_at(&Path::parse("Jet.pt")), Some(&DataType::f32()));
         assert!(matches!(
             s.type_at(&Path::root("Jet")),
             Some(DataType::List(_))

@@ -163,12 +163,7 @@ impl TableBuilder {
         }
         for field in self.schema.fields() {
             let v = s.get(&field.name).expect("validated");
-            append_value(
-                &field.dtype,
-                &Path::root(&field.name),
-                v,
-                &mut self.buffers,
-            );
+            append_value(&field.dtype, &Path::root(&field.name), v, &mut self.buffers);
         }
         self.rows_in_group += 1;
         if self.rows_in_group == self.row_group_size {
@@ -427,7 +422,10 @@ mod tests {
         let t = b.finish();
         let proj = crate::project::Projection::of(["Jet.pt"]);
         let leaves = proj
-            .resolve(t.schema(), crate::project::PushdownCapability::IndividualLeaves)
+            .resolve(
+                t.schema(),
+                crate::project::PushdownCapability::IndividualLeaves,
+            )
             .unwrap();
         let v = t.row_groups()[0].read_row(t.schema(), &leaves, 0).unwrap();
         let jets = v.field("Jet").unwrap().as_array().unwrap();

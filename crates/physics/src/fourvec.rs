@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let parts = vec![
+        let parts = [
             FourMomentum::from_pt_eta_phi_m(10.0, 0.0, 0.0, 1.0),
             FourMomentum::from_pt_eta_phi_m(20.0, 0.5, 1.0, 2.0),
             FourMomentum::from_pt_eta_phi_m(30.0, -0.5, -1.0, 3.0),

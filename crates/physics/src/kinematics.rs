@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn z_peak_invariant_mass() {
         // Back-to-back muons with pt = mZ/2 give m = mZ.
-        let m = invariant_mass_2(
-            45.6, 0.0, 0.0, 0.105658,
-            45.6, 0.0, PI, 0.105658,
-        );
+        let m = invariant_mass_2(45.6, 0.0, 0.0, 0.105658, 45.6, 0.0, PI, 0.105658);
         assert!((m - 91.2).abs() < 0.1, "m = {m}");
     }
 

@@ -1,0 +1,76 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 `std::thread::scope` provides the same guarantees, so the shim is a
+//! thin adapter reproducing crossbeam's closure and result signatures.
+
+/// Scoped threads (`crossbeam::thread` subset).
+pub mod thread {
+    /// A scope handle whose `spawn` closures receive the scope again (the
+    /// crossbeam signature — std's scoped closures take no argument).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (unused
+        /// by this workspace, kept for crossbeam compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before `scope` returns. Unlike crossbeam, a panic
+    /// in an unjoined child propagates instead of surfacing as `Err` — the
+    /// workspace treats both as fatal, so the distinction does not matter.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline shim for the `rand_distr` crate.
+//!
+//! Provides the five distributions the synthetic event generator draws from
+//! (Normal, Exp, Poisson, Beta, Cauchy) using textbook sampling algorithms
+//! over the shimmed `rand` uniform source. Statistical shape matches the
+//! real crate; exact bit streams are not reproduced (and are not relied on).
+
+use rand::Rng;
+
+/// Sampling interface (subset of `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the randomness source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid-parameter error shared by all constructors here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform f64 in `(0, 1)` — both endpoints excluded, safe for `ln`/`tan`.
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let v = rng.gen_range(0.0..1.0);
+        if v > 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Standard normal via the Marsaglia polar method.
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0..1.0);
+        let v = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F = f64> {
+    _float: std::marker::PhantomData<F>,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal<f64> {
+    /// `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal: std_dev must be finite and >= 0"));
+        }
+        Ok(Normal {
+            _float: std::marker::PhantomData,
+            mean,
+            std_dev,
+        })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * std_normal(rng)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp<F = f64> {
+    _float: std::marker::PhantomData<F>,
+    lambda: f64,
+}
+
+impl Exp<f64> {
+    /// `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Exp<f64>, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("Exp: lambda must be finite and > 0"));
+        }
+        Ok(Exp {
+            _float: std::marker::PhantomData,
+            lambda,
+        })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution; samples are returned as `f64` counts, matching
+/// `rand_distr::Poisson<f64>`.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson<F = f64> {
+    _float: std::marker::PhantomData<F>,
+    lambda: f64,
+}
+
+impl Poisson<f64> {
+    /// `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Poisson<f64>, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error("Poisson: lambda must be finite and > 0"));
+        }
+        Ok(Poisson {
+            _float: std::marker::PhantomData,
+            lambda,
+        })
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Knuth's multiplicative method, chunked so exp(-λ) never
+        // underflows: a Poisson(λ₁+λ₂) draw is the sum of independent
+        // Poisson(λ₁) and Poisson(λ₂) draws.
+        const CHUNK: f64 = 500.0;
+        let mut remaining = self.lambda;
+        let mut count = 0.0f64;
+        while remaining > 0.0 {
+            let step = remaining.min(CHUNK);
+            remaining -= step;
+            let threshold = (-step).exp();
+            let mut product = unit_open(rng);
+            while product > threshold {
+                count += 1.0;
+                product *= unit_open(rng);
+            }
+        }
+        count
+    }
+}
+
+/// Gamma(shape, scale=1) via Marsaglia–Tsang, with the boost transform for
+/// shape < 1.
+fn std_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a)
+        return std_gamma(rng, shape + 1.0) * unit_open(rng).powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = unit_open(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Beta distribution on `(0, 1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Beta<F = f64> {
+    _float: std::marker::PhantomData<F>,
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta<f64> {
+    /// Both shape parameters must be finite and positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Beta<f64>, Error> {
+        if !alpha.is_finite() || alpha <= 0.0 || !beta.is_finite() || beta <= 0.0 {
+            return Err(Error("Beta: shape parameters must be finite and > 0"));
+        }
+        Ok(Beta {
+            _float: std::marker::PhantomData,
+            alpha,
+            beta,
+        })
+    }
+}
+
+impl Distribution<f64> for Beta<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = std_gamma(rng, self.alpha);
+        let y = std_gamma(rng, self.beta);
+        if x + y == 0.0 {
+            return 0.5;
+        }
+        x / (x + y)
+    }
+}
+
+/// Cauchy (Lorentz) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Cauchy<F = f64> {
+    _float: std::marker::PhantomData<F>,
+    median: f64,
+    scale: f64,
+}
+
+impl Cauchy<f64> {
+    /// `scale` must be finite and positive.
+    pub fn new(median: f64, scale: f64) -> Result<Cauchy<f64>, Error> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(Error("Cauchy: scale must be finite and > 0"));
+        }
+        Ok(Cauchy {
+            _float: std::marker::PhantomData,
+            median,
+            scale,
+        })
+    }
+}
+
+impl Distribution<f64> for Cauchy<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit_open(rng);
+        self.median + self.scale * (std::f64::consts::PI * (u - 0.5)).tan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(dist: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(1234);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let m = mean_of(&d, 50_000);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.5).unwrap();
+        let m = mean_of(&d, 50_000);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        for lambda in [0.7, 4.0, 40.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let m = mean_of(&d, 20_000);
+            assert!(
+                (m - lambda).abs() < 0.05 * lambda.max(1.0) + 0.05,
+                "lambda {lambda} mean {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mean_and_support() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&v));
+            sum += v;
+        }
+        let m = sum / 20_000.0;
+        assert!((m - 2.0 / 7.0).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn cauchy_median() {
+        let d = Cauchy::new(3.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        assert!((median - 3.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Cauchy::new(0.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand_distr/target/release/deps/rand-16a122f3aae9dfb1.d: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand_distr/target/release/deps/librand-16a122f3aae9dfb1.rlib: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand_distr/target/release/deps/librand-16a122f3aae9dfb1.rmeta: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand/src/lib.rs:

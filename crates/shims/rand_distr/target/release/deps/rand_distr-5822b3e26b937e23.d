@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand_distr/target/release/deps/rand_distr-5822b3e26b937e23.d: src/lib.rs
+
+/root/repo/crates/shims/rand_distr/target/release/deps/librand_distr-5822b3e26b937e23.rlib: src/lib.rs
+
+/root/repo/crates/shims/rand_distr/target/release/deps/librand_distr-5822b3e26b937e23.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,1 @@
+/root/repo/crates/shims/rand_distr/target/release/librand_distr.rlib: /root/repo/crates/shims/rand/src/lib.rs /root/repo/crates/shims/rand_distr/src/lib.rs

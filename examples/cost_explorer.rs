@@ -43,8 +43,14 @@ fn main() {
         if *q == QueryId::Q6b {
             continue;
         }
-        let bq = scale_to_paper(&run_one(System::BigQuery, None, &table, *q).unwrap(), paper_factor);
-        let at = scale_to_paper(&run_one(System::AthenaV2, None, &table, *q).unwrap(), paper_factor);
+        let bq = scale_to_paper(
+            &run_one(System::BigQuery, None, &table, *q).unwrap(),
+            paper_factor,
+        );
+        let at = scale_to_paper(
+            &run_one(System::AthenaV2, None, &table, *q).unwrap(),
+            paper_factor,
+        );
         let pr = scale_to_paper(
             &run_one(System::Presto, Some(big), &table, *q).unwrap(),
             paper_factor,

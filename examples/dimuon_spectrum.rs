@@ -45,7 +45,13 @@ fn main() {
     let df = RDataFrame::new(table.clone(), Options::default())
         .define(
             "dimuon_mass",
-            &["Muon_pt", "Muon_eta", "Muon_phi", "Muon_mass", "Muon_charge"],
+            &[
+                "Muon_pt",
+                "Muon_eta",
+                "Muon_phi",
+                "Muon_mass",
+                "Muon_charge",
+            ],
             |v| {
                 let pt = v.arr("Muon_pt");
                 let eta = v.arr("Muon_eta");
@@ -93,7 +99,10 @@ fn main() {
         h_jq.fill(item.as_f64().unwrap());
     }
 
-    assert!(h_loop.counts_equal(&h_rdf), "event loop vs RDataFrame differ");
+    assert!(
+        h_loop.counts_equal(&h_rdf),
+        "event loop vs RDataFrame differ"
+    );
     assert!(h_loop.counts_equal(&h_jq), "event loop vs JSONiq differ");
 
     println!("opposite-charge dimuon mass spectrum, 60–120 GeV:");

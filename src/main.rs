@@ -69,9 +69,7 @@ impl<'a> Args<'a> {
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value for {name}: {v}")),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
         }
     }
 
@@ -121,8 +119,7 @@ fn cmd_generate(raw: &[String]) -> Result<(), String> {
         row_group_size: rg,
         seed,
     });
-    hepquery::columnar::file::save(&table, std::path::Path::new(out))
-        .map_err(|e| e.to_string())?;
+    hepquery::columnar::file::save(&table, std::path::Path::new(out)).map_err(|e| e.to_string())?;
     println!(
         "wrote {} events ({} row groups, {:.1} MB uncompressed) to {out}",
         table.n_rows(),

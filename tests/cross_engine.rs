@@ -43,13 +43,7 @@ fn agreement_is_layout_independent() {
     assert_eq!(events, events2);
     let expect = reference::run(q, &events).hist;
     for table in [t1, t2] {
-        let run = adapters::run_sql(
-            Dialect::bigquery(),
-            &table,
-            q,
-            SqlOptions::default(),
-        )
-        .unwrap();
+        let run = adapters::run_sql(Dialect::bigquery(), &table, q, SqlOptions::default()).unwrap();
         assert!(run.histogram.counts_equal(&expect));
         let run = adapters::run_rdf(&table, q, Default::default()).unwrap();
         assert!(run.histogram.counts_equal(&expect));
@@ -68,7 +62,7 @@ fn serial_and_parallel_sql_agree() {
             SqlOptions {
                 n_threads: 1,
                 partition_parallel: false,
-                zone_map_pruning: true,
+                ..SqlOptions::default()
             },
         )
         .unwrap();

@@ -1,0 +1,55 @@
+//! The pricing invariant behind the vectorized scan path: filtering rows
+//! at scan time is an *execution* optimization, never a pricing one. Scan
+//! accounting is defined by the projected columns, so toggling
+//! `vectorized_filter` must not change a single accounting byte — nor a
+//! single histogram bin — on any benchmark query under any SQL dialect.
+
+use std::sync::Arc;
+
+use hepquery::bench::{adapters, ALL_QUERIES};
+use hepquery::prelude::*;
+
+#[test]
+fn vectorized_filter_never_changes_scan_stats_or_results() {
+    let (_, table) = hepquery::model::generator::build_dataset(DatasetSpec {
+        n_events: 1_500,
+        row_group_size: 256,
+        seed: 0xC057,
+    });
+    let table = Arc::new(table);
+    for make in [
+        Dialect::bigquery as fn() -> Dialect,
+        Dialect::presto,
+        Dialect::athena,
+    ] {
+        for q in ALL_QUERIES {
+            let run = |vectorized_filter: bool| {
+                adapters::run_sql(
+                    make(),
+                    &table,
+                    *q,
+                    SqlOptions {
+                        vectorized_filter,
+                        ..SqlOptions::default()
+                    },
+                )
+                .unwrap()
+            };
+            let on = run(true);
+            let off = run(false);
+            assert!(
+                on.histogram.counts_equal(&off.histogram),
+                "{:?} {}: results differ with vectorized filtering",
+                make().name,
+                q.name(),
+            );
+            assert_eq!(
+                on.stats.scan,
+                off.stats.scan,
+                "{:?} {}: scan accounting perturbed by vectorized filtering",
+                make().name,
+                q.name(),
+            );
+        }
+    }
+}
