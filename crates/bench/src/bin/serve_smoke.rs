@@ -1,0 +1,291 @@
+//! Concurrent-serving smoke harness: drives a [`query_service::QueryService`]
+//! with a mixed multi-tenant workload and reports QPS, latency percentiles
+//! and cache hit rates.
+//!
+//! Two modes:
+//!
+//! * default — 32 client threads, each issuing a stream of requests drawn
+//!   from (system × ADL query) round-robin under tenants `t0..t3`; merges
+//!   a `"serving"` section into `BENCH_smoke.json` next to the per-engine
+//!   numbers `perf_smoke` writes.
+//! * `--check` — small data set, watchdog-guarded (a stuck admission queue
+//!   fails the run instead of hanging CI), asserts that repeated queries
+//!   hit the result cache and that every submitted request is accounted
+//!   for. Non-zero exit on any violation.
+//!
+//! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`, `HEPQUERY_SEED`,
+//! `HEPQUERY_SERVE_CLIENTS`, `HEPQUERY_SERVE_REQS`.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hep_model::generator::build_dataset;
+use hep_model::DatasetSpec;
+use hepbench_core::runner::System;
+use hepbench_core::ALL_QUERIES;
+use query_service::{QueryRequest, QueryService, ServiceConfig, ServiceError};
+
+/// Systems the mixed workload draws from (one per language/dialect).
+const SYSTEMS: &[System] = &[
+    System::BigQuery,
+    System::AthenaV2,
+    System::Presto,
+    System::Rumble,
+    System::RDataFrame,
+];
+
+const TENANTS: usize = 4;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn spec(default_events: usize) -> DatasetSpec {
+    let n_events = env_usize("HEPQUERY_EVENTS", default_events);
+    DatasetSpec {
+        n_events,
+        row_group_size: env_usize("HEPQUERY_ROW_GROUP", 256),
+        seed: std::env::var("HEPQUERY_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xAD1B70),
+    }
+}
+
+struct WorkloadReport {
+    requests: usize,
+    served: usize,
+    rejected: usize,
+    timed_out: usize,
+    failed: usize,
+    result_hits: usize,
+}
+
+/// Drives `clients` threads, each submitting `reqs_per_client` requests
+/// drawn round-robin from the (system × query) grid, and waits for every
+/// response.
+fn drive(service: &QueryService, clients: usize, reqs_per_client: usize) -> WorkloadReport {
+    let mix: Vec<(System, hepbench_core::QueryId)> = SYSTEMS
+        .iter()
+        .flat_map(|&s| ALL_QUERIES.iter().map(move |&q| (s, q)))
+        .collect();
+    let outcomes: Vec<Result<bool, ServiceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let mix = &mix;
+                scope.spawn(move || {
+                    let tenant = format!("t{}", c % TENANTS);
+                    (0..reqs_per_client)
+                        .map(|r| {
+                            let (system, query) = mix[(c * reqs_per_client + r) % mix.len()];
+                            service
+                                .execute(QueryRequest::new(tenant.clone(), system, query))
+                                .map(|resp| resp.from_result_cache)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let mut report = WorkloadReport {
+        requests: outcomes.len(),
+        served: 0,
+        rejected: 0,
+        timed_out: 0,
+        failed: 0,
+        result_hits: 0,
+    };
+    for outcome in outcomes {
+        match outcome {
+            Ok(from_cache) => {
+                report.served += 1;
+                if from_cache {
+                    report.result_hits += 1;
+                }
+            }
+            Err(ServiceError::QueryRejected { .. }) => report.rejected += 1,
+            Err(ServiceError::QueryTimedOut { .. }) => report.timed_out += 1,
+            Err(_) => report.failed += 1,
+        }
+    }
+    report
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Merges a `"serving"` object into the (possibly existing) smoke JSON,
+/// replacing any previous `"serving"` section.
+fn merge_serving_section(path: &str, serving: &str) {
+    let content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let base = if let Some(pos) = content.find(",\n  \"serving\":") {
+        content[..pos].to_string()
+    } else {
+        let mut c = content.trim_end().to_string();
+        if c.ends_with('}') {
+            c.pop();
+        }
+        c.trim_end().to_string()
+    };
+    let sep = if base.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    let json = format!("{base}{sep}\n  \"serving\": {serving}\n}}\n");
+    std::fs::write(path, &json).expect("write smoke json");
+    eprintln!("# merged serving section into {path}");
+}
+
+fn run_default() {
+    let spec = spec(4_096);
+    let clients = env_usize("HEPQUERY_SERVE_CLIENTS", 32);
+    let reqs = env_usize("HEPQUERY_SERVE_REQS", 4);
+    eprintln!(
+        "# serve_smoke: {} events, {clients} clients x {reqs} requests, tenants t0..t{}",
+        spec.n_events,
+        TENANTS - 1
+    );
+    let (_, table) = build_dataset(spec);
+    let service = QueryService::start(Arc::new(table), ServiceConfig::default());
+    let report = drive(&service, clients, reqs);
+    let snap = service.stats();
+    let (rc_hits, rc_misses) = service.result_cache_counters().unwrap_or((0, 0));
+    let cc = service.chunk_cache_counters().unwrap_or_default();
+    eprintln!(
+        "  {} served / {} requests in {:.2}s: {:.1} qps, p50 {:.1} ms, p95 {:.1} ms",
+        report.served,
+        report.requests,
+        snap.elapsed_seconds,
+        snap.qps,
+        snap.p50_seconds * 1e3,
+        snap.p95_seconds * 1e3
+    );
+    eprintln!(
+        "  result cache {:.0}% hit ({rc_hits}/{}), chunk cache {:.0}% hit ({}/{}), {} evictions",
+        100.0 * rate(rc_hits, rc_misses),
+        rc_hits + rc_misses,
+        100.0 * rate(cc.hits, cc.misses),
+        cc.hits,
+        cc.hits + cc.misses,
+        cc.evictions
+    );
+    let serving = format!(
+        "{{\n    \"events\": {},\n    \"clients\": {clients},\n    \"requests\": {},\n    \"completed\": {},\n    \"rejected\": {},\n    \"timed_out\": {},\n    \"failed\": {},\n    \"qps\": {:.2},\n    \"p50_seconds\": {:.6},\n    \"p95_seconds\": {:.6},\n    \"mean_queue_seconds\": {:.6},\n    \"result_cache\": {{ \"hits\": {rc_hits}, \"misses\": {rc_misses}, \"hit_rate\": {:.4} }},\n    \"chunk_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }}\n  }}",
+        spec.n_events,
+        report.requests,
+        snap.completed,
+        snap.rejected,
+        snap.timed_out,
+        snap.failed,
+        snap.qps,
+        snap.p50_seconds,
+        snap.p95_seconds,
+        snap.mean_queue_seconds,
+        rate(rc_hits, rc_misses),
+        cc.hits,
+        cc.misses,
+        cc.evictions,
+        rate(cc.hits, cc.misses),
+    );
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    merge_serving_section(&out, &serving);
+}
+
+/// CI gate: finishes under a watchdog (admission control must not
+/// deadlock), every request is accounted for, and a repeated workload
+/// produces result-cache hits.
+fn run_check() -> i32 {
+    let spec = spec(1_500);
+    let clients = env_usize("HEPQUERY_SERVE_CLIENTS", 8);
+    let reqs = env_usize("HEPQUERY_SERVE_REQS", 3);
+    eprintln!(
+        "# serve_smoke --check: {} events, {clients} clients x {reqs} requests",
+        spec.n_events
+    );
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let (_, table) = build_dataset(spec);
+        let service = QueryService::start(Arc::new(table), ServiceConfig::default());
+        let first = drive(&service, clients, reqs);
+        // Re-issue the same workload: every request that executed the
+        // first time must now be a result-cache hit.
+        let second = drive(&service, clients, reqs);
+        let snap = service.stats();
+        let counters = service.result_cache_counters().unwrap_or((0, 0));
+        let _ = done_tx.send((first, second, snap, counters));
+    });
+    let watchdog = Duration::from_secs(env_usize("HEPQUERY_SERVE_WATCHDOG", 600) as u64);
+    let (first, second, snap, (rc_hits, rc_misses)) = match done_rx.recv_timeout(watchdog) {
+        Ok(r) => r,
+        Err(_) => {
+            eprintln!(
+                "FAIL: workload did not finish within {}s — admission deadlock?",
+                watchdog.as_secs()
+            );
+            return 1;
+        }
+    };
+    worker.join().expect("workload thread");
+    let mut failures = 0;
+    let accounted = snap.completed + snap.rejected + snap.timed_out + snap.failed;
+    if accounted != snap.submitted {
+        eprintln!(
+            "FAIL: {} submitted but only {accounted} accounted for",
+            snap.submitted
+        );
+        failures += 1;
+    }
+    if first.served + second.served == 0 {
+        eprintln!("FAIL: no request was served");
+        failures += 1;
+    }
+    if second.result_hits == 0 {
+        eprintln!("FAIL: repeated workload produced no result-cache hit");
+        failures += 1;
+    }
+    if first.failed + second.failed > 0 {
+        eprintln!("FAIL: {} engine failures", first.failed + second.failed);
+        failures += 1;
+    }
+    eprintln!(
+        "  round 1: {}/{} served ({} cache hits); round 2: {}/{} served ({} cache hits)",
+        first.served,
+        first.requests,
+        first.result_hits,
+        second.served,
+        second.requests,
+        second.result_hits
+    );
+    eprintln!(
+        "  result cache: {rc_hits} hits / {rc_misses} misses; {} completed, {} rejected, {} timed out",
+        snap.completed, snap.rejected, snap.timed_out
+    );
+    if failures == 0 {
+        eprintln!("# serve_smoke --check OK");
+        0
+    } else {
+        failures
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    if check {
+        std::process::exit(run_check());
+    }
+    run_default();
+}

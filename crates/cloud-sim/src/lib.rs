@@ -32,4 +32,7 @@ pub mod pricing;
 
 pub use instances::{InstanceType, M5D_CATALOG};
 pub use perf::{QaasProfile, SelfManagedProfile};
-pub use pricing::{athena_cost_usd, bigquery_cost_usd, self_managed_cost_usd, spot_cost_usd};
+pub use pricing::{
+    athena_cost_usd, athena_cost_usd_cached, bigquery_cost_usd, bigquery_cost_usd_cached,
+    self_managed_cost_usd, spot_cost_usd,
+};

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use engine_flwor::{FlworEngine, FlworOptions};
 use engine_sql::{Dialect, SqlEngine, SqlOptions};
 use nested_value::Value;
-use nf2_columnar::{ExecStats, Table};
+use nf2_columnar::{ChunkCache, ExecStats, Table};
 use physics::Histogram;
 
 use crate::queries::{self, Language};
@@ -31,6 +31,29 @@ pub struct EngineRun {
     pub stats: ExecStats,
 }
 
+/// Cross-engine execution environment: everything the serving layer
+/// injects into a run that is not part of the query itself.
+#[derive(Clone, Default)]
+pub struct ExecEnv {
+    /// Shared buffer pool fronting physical chunk reads (accounting-only;
+    /// results and billing bytes are unchanged — see
+    /// [`nf2_columnar::ScanStats`]). `None` reproduces the seed path
+    /// byte-for-byte.
+    pub chunk_cache: Option<Arc<ChunkCache>>,
+    /// Worker threads *inside* one query (`None` ⇒ engine default, i.e.
+    /// all cores). A multi-tenant server sets this to 1 and parallelizes
+    /// across queries instead.
+    pub intra_query_threads: Option<usize>,
+}
+
+impl ExecEnv {
+    /// The environment the single-query benchmarks run in (no caches,
+    /// engine-default parallelism) — the paper's configuration.
+    pub fn seed() -> ExecEnv {
+        ExecEnv::default()
+    }
+}
+
 /// Runs a query on the SQL engine under a dialect profile.
 pub fn run_sql(
     dialect: Dialect,
@@ -38,14 +61,29 @@ pub fn run_sql(
     q: QueryId,
     options: SqlOptions,
 ) -> Result<EngineRun, AdapterError> {
+    run_sql_env(dialect, table, q, options, &ExecEnv::seed())
+}
+
+/// [`run_sql`] under an explicit [`ExecEnv`].
+pub fn run_sql_env(
+    dialect: Dialect,
+    table: &Arc<Table>,
+    q: QueryId,
+    mut options: SqlOptions,
+    env: &ExecEnv,
+) -> Result<EngineRun, AdapterError> {
     let lang = match dialect.name {
         engine_sql::DialectName::BigQuery => Language::BigQuery,
         engine_sql::DialectName::Presto => Language::Presto,
         engine_sql::DialectName::Athena => Language::Athena,
     };
+    if let Some(n) = env.intra_query_threads {
+        options.n_threads = n;
+    }
     let sql = queries::text(lang, q);
     let mut engine = SqlEngine::new(dialect, options);
     engine.register(table.clone());
+    engine.set_chunk_cache(env.chunk_cache.clone());
     let out = engine
         .execute(&sql)
         .map_err(|e| AdapterError(format!("{} {}: {e}", lang.name(), q.name())))?;
@@ -83,9 +121,23 @@ pub fn run_jsoniq(
     q: QueryId,
     options: FlworOptions,
 ) -> Result<EngineRun, AdapterError> {
+    run_jsoniq_env(table, q, options, &ExecEnv::seed())
+}
+
+/// [`run_jsoniq`] under an explicit [`ExecEnv`].
+pub fn run_jsoniq_env(
+    table: &Arc<Table>,
+    q: QueryId,
+    mut options: FlworOptions,
+    env: &ExecEnv,
+) -> Result<EngineRun, AdapterError> {
+    if let Some(n) = env.intra_query_threads {
+        options.n_threads = n;
+    }
     let text = queries::text(Language::Jsoniq, q);
     let mut engine = FlworEngine::new(options);
     engine.register(table.clone());
+    engine.set_chunk_cache(env.chunk_cache.clone());
     let out = engine
         .execute(&text)
         .map_err(|e| AdapterError(format!("JSONiq {}: {e}", q.name())))?;
@@ -108,7 +160,21 @@ pub fn run_rdf(
     q: QueryId,
     options: engine_rdf::Options,
 ) -> Result<EngineRun, AdapterError> {
-    let df = crate::rdf_programs::build(q, table.clone(), options);
+    run_rdf_env(table, q, options, &ExecEnv::seed())
+}
+
+/// [`run_rdf`] under an explicit [`ExecEnv`].
+pub fn run_rdf_env(
+    table: &Arc<Table>,
+    q: QueryId,
+    mut options: engine_rdf::Options,
+    env: &ExecEnv,
+) -> Result<EngineRun, AdapterError> {
+    if let Some(n) = env.intra_query_threads {
+        options.n_threads = n;
+    }
+    let mut df = crate::rdf_programs::build(q, table.clone(), options);
+    df.set_chunk_cache(env.chunk_cache.clone());
     let out = df
         .run_all()
         .map_err(|e| AdapterError(format!("RDataFrame {}: {e}", q.name())))?;

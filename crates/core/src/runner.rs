@@ -16,7 +16,7 @@ use cloud_sim::{InstanceType, QaasProfile, SelfManagedProfile};
 use engine_sql::Dialect;
 use nf2_columnar::{ScanStats, Table};
 
-use crate::adapters::{self, AdapterError, EngineRun};
+use crate::adapters::{self, AdapterError, EngineRun, ExecEnv};
 use crate::spec::QueryId;
 
 /// The systems under test (Figure 1's legend).
@@ -108,33 +108,47 @@ impl Measurement {
     }
 }
 
-/// Executes the engine behind a system and returns the run plus the
-/// measured CPU seconds.
-fn execute(system: System, table: &Arc<Table>, q: QueryId) -> Result<EngineRun, AdapterError> {
-    match system {
-        System::BigQuery | System::BigQueryExternal => adapters::run_sql(
+/// Executes the engine behind a system under an execution environment —
+/// the primitive the query service serves requests through, and the one
+/// every `run_*` orchestration below delegates to. Failures carry the
+/// system name and query id, so a concurrent server's error log
+/// identifies the failing request without extra context.
+pub fn execute_engine(
+    system: System,
+    table: &Arc<Table>,
+    q: QueryId,
+    env: &ExecEnv,
+) -> Result<EngineRun, AdapterError> {
+    let run = match system {
+        System::BigQuery | System::BigQueryExternal => adapters::run_sql_env(
             Dialect::bigquery(),
             table,
             q,
             engine_sql::SqlOptions::default(),
+            env,
         ),
-        System::AthenaV2 | System::AthenaV1 => adapters::run_sql(
+        System::AthenaV2 | System::AthenaV1 => adapters::run_sql_env(
             Dialect::athena(),
             table,
             q,
             engine_sql::SqlOptions::default(),
+            env,
         ),
-        System::Presto => adapters::run_sql(
+        System::Presto => adapters::run_sql_env(
             Dialect::presto(),
             table,
             q,
             engine_sql::SqlOptions::default(),
+            env,
         ),
-        System::Rumble => adapters::run_jsoniq(table, q, engine_flwor::FlworOptions::default()),
-        System::RDataFrame | System::RDataFrameDev => {
-            adapters::run_rdf(table, q, engine_rdf::Options::default())
+        System::Rumble => {
+            adapters::run_jsoniq_env(table, q, engine_flwor::FlworOptions::default(), env)
         }
-    }
+        System::RDataFrame | System::RDataFrameDev => {
+            adapters::run_rdf_env(table, q, engine_rdf::Options::default(), env)
+        }
+    };
+    run.map_err(|e| AdapterError(format!("{} on {}: {e}", q.name(), system.name())))
 }
 
 fn qaas_profile(system: System) -> QaasProfile {
@@ -165,7 +179,7 @@ pub fn run_one(
     table: &Arc<Table>,
     q: QueryId,
 ) -> Result<Measurement, AdapterError> {
-    let run = execute(system, table, q)?;
+    let run = execute_engine(system, table, q, &ExecEnv::seed())?;
     let row_groups = table.row_groups().len();
     let cpu = run.stats.cpu_seconds;
     let (wall, cost, iname) = if system.is_qaas() {
@@ -220,7 +234,7 @@ pub fn run_sweep(
     q: QueryId,
 ) -> Result<Vec<Measurement>, AdapterError> {
     assert!(!system.is_qaas(), "QaaS systems have no instance sweep");
-    let run = execute(system, table, q)?;
+    let run = execute_engine(system, table, q, &ExecEnv::seed())?;
     let row_groups = table.row_groups().len();
     let profile = self_managed_profile(system);
     Ok(cloud_sim::M5D_CATALOG

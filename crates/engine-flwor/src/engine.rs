@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use nested_value::Value;
 use nf2_columnar::{
-    ExecStats, Projection, PushdownCapability, ScalarPredicate, Schema, SelCmp, SelValue, Table,
+    ChunkCache, ExecStats, Projection, PushdownCapability, ScalarPredicate, ScanCache, Schema,
+    SelCmp, SelValue, Table,
 };
 use parking_lot::Mutex;
 
@@ -56,6 +57,7 @@ pub struct FlworOutput {
 pub struct FlworEngine {
     options: FlworOptions,
     tables: Vec<Arc<Table>>,
+    chunk_cache: Option<Arc<ChunkCache>>,
 }
 
 struct TableSource<'a> {
@@ -79,12 +81,19 @@ impl FlworEngine {
         FlworEngine {
             options,
             tables: Vec::new(),
+            chunk_cache: None,
         }
     }
 
     /// Registers a table; `parquet-file("<name>")` resolves to it.
     pub fn register(&mut self, table: Arc<Table>) {
         self.tables.push(table);
+    }
+
+    /// Attaches a shared buffer pool in front of physical chunk reads
+    /// (accounting-only; results and billing bytes are unchanged).
+    pub fn set_chunk_cache(&mut self, cache: Option<Arc<ChunkCache>>) {
+        self.chunk_cache = cache;
     }
 
     fn table(&self, name: &str) -> Option<&Arc<Table>> {
@@ -120,8 +129,16 @@ impl FlworEngine {
             .clone();
 
         // Rumble pushes no projections: the scan reads every leaf column.
-        let scan =
-            nf2_columnar::scan::scan_stats(&table, &Projection::all(), PushdownCapability::None)?;
+        let scan_cache = self.chunk_cache.as_deref().map(|cache| ScanCache {
+            cache,
+            table_fingerprint: table.fingerprint(),
+        });
+        let scan = nf2_columnar::scan::scan_stats_cached(
+            &table,
+            &Projection::all(),
+            PushdownCapability::None,
+            scan_cache,
+        )?;
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
         // Computed after `scan` so vectorized filtering cannot perturb the

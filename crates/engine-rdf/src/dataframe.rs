@@ -108,6 +108,9 @@ pub struct RDataFrame {
     /// `(column, cmp, literal)` per [`Node::ScalarFilter`], in index order.
     pub(crate) scalar_filters: Vec<(String, SelCmp, SelValue)>,
     pub(crate) bookings: Vec<Booking>,
+    /// Optional buffer pool fronting physical chunk reads (accounting
+    /// only; results and billing bytes are unchanged).
+    pub(crate) chunk_cache: Option<Arc<nf2_columnar::ChunkCache>>,
 }
 
 impl RDataFrame {
@@ -120,7 +123,13 @@ impl RDataFrame {
             nodes: Vec::new(),
             scalar_filters: Vec::new(),
             bookings: Vec::new(),
+            chunk_cache: None,
         }
+    }
+
+    /// Attaches a shared buffer pool in front of physical chunk reads.
+    pub fn set_chunk_cache(&mut self, cache: Option<Arc<nf2_columnar::ChunkCache>>) {
+        self.chunk_cache = cache;
     }
 
     fn declare_deps(&mut self, deps: &[&str]) {

@@ -102,8 +102,19 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         .map(|n| resolve_column(table, n))
         .collect::<Result<_, _>>()?;
     let projection = Projection::of(base_paths.iter().map(|p| p.to_string()));
-    let scan =
-        nf2_columnar::scan::scan_stats(table, &projection, PushdownCapability::IndividualLeaves)?;
+    let scan_cache = df
+        .chunk_cache
+        .as_deref()
+        .map(|cache| nf2_columnar::ScanCache {
+            cache,
+            table_fingerprint: table.fingerprint(),
+        });
+    let scan = nf2_columnar::scan::scan_stats_cached(
+        table,
+        &projection,
+        PushdownCapability::IndividualLeaves,
+        scan_cache,
+    )?;
 
     // Resolve booking targets.
     let booking_cols: Vec<ColumnId> = df

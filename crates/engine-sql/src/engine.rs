@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nested_value::Value;
-use nf2_columnar::{ExecStats, Projection, RowGroup, ScalarPredicate, ScanStats, Table};
+use nf2_columnar::{
+    ChunkCache, ExecStats, Projection, RowGroup, ScalarPredicate, ScanCache, ScanStats, Table,
+};
 use parking_lot::Mutex;
 
 use crate::ast::Script;
@@ -66,6 +68,7 @@ pub struct SqlEngine {
     dialect: Dialect,
     options: SqlOptions,
     tables: HashMap<String, Arc<Table>>,
+    chunk_cache: Option<Arc<ChunkCache>>,
 }
 
 impl SqlEngine {
@@ -75,12 +78,20 @@ impl SqlEngine {
             dialect,
             options,
             tables: HashMap::new(),
+            chunk_cache: None,
         }
     }
 
     /// Registers a base table under its own name.
     pub fn register(&mut self, table: Arc<Table>) {
         self.tables.insert(table.name().to_ascii_lowercase(), table);
+    }
+
+    /// Attaches a shared buffer pool in front of physical chunk reads.
+    /// Purely an I/O-accounting/serving knob: billing bytes and results
+    /// are identical with or without it (see [`nf2_columnar::ScanStats`]).
+    pub fn set_chunk_cache(&mut self, cache: Option<Arc<ChunkCache>>) {
+        self.chunk_cache = cache;
     }
 
     /// The engine's dialect.
@@ -170,16 +181,22 @@ impl SqlEngine {
                 columns_read: read_leaves.len() as u64,
                 ..ScanStats::default()
             };
-            for (g, keep) in table.row_groups().iter().zip(mask) {
+            let scan_cache = self.chunk_cache.as_deref().map(|cache| ScanCache {
+                cache,
+                table_fingerprint: table.fingerprint(),
+            });
+            for (idx, (g, keep)) in table.row_groups().iter().zip(mask).enumerate() {
                 if !keep {
                     continue;
                 }
-                s.rows += g.n_rows() as u64;
-                s.bytes_scanned += g.compressed_bytes(&read_leaves) as u64;
-                s.uncompressed_bytes += g.uncompressed_bytes(&read_leaves) as u64;
-                s.logical_bytes += g.logical_bytes(&logical_leaves) as u64;
-                s.ideal_compressed_bytes += g.compressed_bytes(&logical_leaves) as u64;
-                s.ideal_uncompressed_bytes += g.uncompressed_bytes(&logical_leaves) as u64;
+                nf2_columnar::scan::account_group_scan(
+                    &mut s,
+                    g,
+                    idx,
+                    &read_leaves,
+                    &logical_leaves,
+                    scan_cache,
+                );
             }
             scan.merge(&s);
             table_projs.insert(name.clone(), proj);

@@ -1,0 +1,297 @@
+//! Byte-budgeted LRU chunk cache — the buffer pool fronting row-group
+//! column reads in the serving layer.
+//!
+//! The cache holds sealed [`ColumnChunk`]s keyed by
+//! `(table fingerprint, row group, leaf path)` and is budgeted on the
+//! chunks' **compressed** byte size: that is the unit a storage read
+//! fetches, so "resident bytes" corresponds one-to-one with physical I/O
+//! avoided. Because tables are immutable (and the fingerprint covers the
+//! data), entries never need invalidation — a fingerprint change is a new
+//! key space.
+//!
+//! Semantics (pinned by the proptests in [`crate::proptests`]):
+//!
+//! * resident bytes never exceed the budget, after every operation;
+//! * a hit only touches recency — it never evicts;
+//! * `get` after `put` returns the identical chunk (same bytes) as long
+//!   as the entry has not been evicted;
+//! * a chunk larger than the whole budget is not admitted at all (rather
+//!   than flushing the entire pool for a single unreusable entry).
+//!
+//! Scan accounting treats the cache as transparent: `bytes_scanned` (the
+//! QaaS billing basis) is unchanged by hits, while
+//! [`crate::ScanStats::bytes_from_cache`] records how much of it was
+//! served from the pool instead of storage. See [`crate::scan`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use nested_value::Path;
+use parking_lot::Mutex;
+
+use crate::column::ColumnChunk;
+
+/// Cache key: one leaf column chunk of one row group of one table version.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// [`crate::Table::fingerprint`] of the owning table.
+    pub table: u64,
+    /// Row-group index within the table.
+    pub group: u32,
+    /// Leaf path of the column.
+    pub leaf: Path,
+}
+
+/// Monotonic cache counters (since construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the pool.
+    pub hits: u64,
+    /// Lookups that went to storage.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+}
+
+/// Result of one [`ChunkCache::admit`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct Admission {
+    /// Whether the chunk was already resident.
+    pub hit: bool,
+    /// Evictions this admission caused (always 0 on a hit).
+    pub evicted: u64,
+}
+
+struct Slot {
+    chunk: Arc<ColumnChunk>,
+    cost: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<ChunkKey, Slot>,
+    /// Recency index: tick → key, oldest first. Ticks are unique.
+    order: BTreeMap<u64, ChunkKey>,
+    resident: usize,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &ChunkKey) {
+        self.tick += 1;
+        let slot = self.map.get_mut(key).expect("touched key is resident");
+        self.order.remove(&slot.tick);
+        slot.tick = self.tick;
+        self.order.insert(self.tick, key.clone());
+    }
+
+    fn evict_lru(&mut self) {
+        let (&tick, _) = self.order.iter().next().expect("non-empty on evict");
+        let key = self.order.remove(&tick).expect("indexed");
+        let slot = self.map.remove(&key).expect("in sync");
+        self.resident -= slot.cost;
+        self.counters.evictions += 1;
+    }
+
+    fn insert(
+        &mut self,
+        key: ChunkKey,
+        chunk: Arc<ColumnChunk>,
+        cost: usize,
+        budget: usize,
+    ) -> u64 {
+        if cost > budget {
+            return 0; // never admitted: would flush the whole pool
+        }
+        let mut evicted = 0;
+        while self.resident + cost > budget {
+            self.evict_lru();
+            evicted += 1;
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, key.clone());
+        self.map.insert(
+            key,
+            Slot {
+                chunk,
+                cost,
+                tick: self.tick,
+            },
+        );
+        self.resident += cost;
+        self.counters.insertions += 1;
+        evicted
+    }
+}
+
+/// A shared, thread-safe, byte-budgeted LRU over column chunks.
+pub struct ChunkCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ChunkCache {
+    /// Creates a cache with the given budget in (compressed) bytes.
+    pub fn new(budget_bytes: usize) -> ChunkCache {
+        ChunkCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Looks up a chunk, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: &ChunkKey) -> Option<Arc<ColumnChunk>> {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(key) {
+            inner.touch(key);
+            inner.counters.hits += 1;
+            Some(inner.map[key].chunk.clone())
+        } else {
+            inner.counters.misses += 1;
+            None
+        }
+    }
+
+    /// Admits a chunk after a storage read, evicting LRU entries as needed.
+    /// Re-putting a resident key refreshes its value and recency.
+    pub fn put(&self, key: ChunkKey, chunk: Arc<ColumnChunk>) -> u64 {
+        let cost = chunk.compressed_bytes;
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            inner.touch(&key);
+            let slot = inner.map.get_mut(&key).expect("resident");
+            slot.chunk = chunk;
+            debug_assert_eq!(slot.cost, cost, "immutable chunks cannot change size");
+            return 0;
+        }
+        inner.insert(key, chunk, cost, self.budget)
+    }
+
+    /// One read through the buffer pool: on a miss, `load` is charged (the
+    /// storage read) and the chunk is admitted. Returns whether the read
+    /// was a hit and how many evictions it caused.
+    pub fn admit(&self, key: &ChunkKey, load: impl FnOnce() -> Arc<ColumnChunk>) -> Admission {
+        if self.get(key).is_some() {
+            return Admission {
+                hit: true,
+                evicted: 0,
+            };
+        }
+        let evicted = self.put(key.clone(), load());
+        Admission {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Resident bytes (≤ budget at all times).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.inner.lock().counters
+    }
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ChunkCache")
+            .field("budget", &self.budget)
+            .field("resident", &inner.resident)
+            .field("entries", &inner.map.len())
+            .field("counters", &inner.counters)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+
+    fn chunk(n: usize) -> Arc<ColumnChunk> {
+        Arc::new(ColumnChunk::seal(
+            ColumnData::F64((0..n).map(|i| i as f64 * 0.7).collect()),
+            None,
+        ))
+    }
+
+    fn key(i: u32) -> ChunkKey {
+        ChunkKey {
+            table: 42,
+            group: i,
+            leaf: Path::parse("MET.pt"),
+        }
+    }
+
+    #[test]
+    fn get_after_put_returns_same_chunk() {
+        let cache = ChunkCache::new(1 << 20);
+        let c = chunk(100);
+        cache.put(key(0), c.clone());
+        let got = cache.get(&key(0)).expect("resident");
+        assert!(Arc::ptr_eq(&got, &c));
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_budget() {
+        let one = chunk(64).compressed_bytes;
+        let cache = ChunkCache::new(one * 2 + 1);
+        cache.put(key(0), chunk(64));
+        cache.put(key(1), chunk(64));
+        // Touch 0 so 1 becomes LRU.
+        assert!(cache.get(&key(0)).is_some());
+        cache.put(key(2), chunk(64));
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+        assert!(cache.get(&key(0)).is_some(), "recently used survived");
+        assert!(cache.get(&key(1)).is_none(), "LRU evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_chunk_never_admitted() {
+        let small = chunk(8);
+        let cache = ChunkCache::new(small.compressed_bytes);
+        cache.put(key(0), small);
+        let big = chunk(10_000);
+        assert!(big.compressed_bytes > cache.budget_bytes());
+        cache.put(key(1), big);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(0)).is_some(), "pool not flushed");
+    }
+
+    #[test]
+    fn admit_counts_hits_and_misses() {
+        let cache = ChunkCache::new(1 << 20);
+        let a = cache.admit(&key(0), || chunk(16));
+        assert!(!a.hit);
+        let b = cache.admit(&key(0), || unreachable!("resident"));
+        assert!(b.hit);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+    }
+}

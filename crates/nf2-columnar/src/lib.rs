@@ -33,6 +33,7 @@
 //! The crate also provides a simple on-disk container format ([`file`]) so
 //! data sets can be materialized and re-read, with real file sizes.
 
+pub mod cache;
 pub mod column;
 pub mod compress;
 pub mod error;
@@ -44,11 +45,12 @@ pub mod schema;
 pub mod select;
 pub mod table;
 
+pub use cache::{CacheCounters, ChunkCache, ChunkKey};
 pub use column::{ColumnChunk, ColumnData};
 pub use error::ColumnarError;
 pub use project::{Projection, PushdownCapability};
 pub use rowgroup::{GroupReader, RowGroup};
-pub use scan::{ExecStats, ScanStats};
+pub use scan::{ExecStats, ScanCache, ScanStats};
 pub use schema::{DataType, Field, LeafInfo, PhysicalType, Schema};
 pub use select::{apply_predicates, ScalarPredicate, SelCmp, SelValue, SelectionVector};
 pub use table::{Table, TableBuilder};

@@ -1,8 +1,11 @@
 //! Scan statistics: the I/O accounting behind Figure 4b and the QaaS
 //! pricing models.
 
+use crate::cache::{ChunkCache, ChunkKey};
 use crate::error::ColumnarError;
 use crate::project::{Projection, PushdownCapability};
+use crate::rowgroup::RowGroup;
+use crate::schema::LeafInfo;
 use crate::table::Table;
 
 /// Byte- and row-level accounting for one table scan.
@@ -27,6 +30,20 @@ pub struct ScanStats {
     /// Ideal uncompressed bytes: entries × physical width of the logically
     /// needed leaves. Figure 4b's second ideal line.
     pub ideal_uncompressed_bytes: u64,
+    /// Of `bytes_scanned`, how many were served by the buffer pool
+    /// ([`crate::cache::ChunkCache`]) instead of storage. Billing metrics
+    /// (`bytes_scanned`, `logical_bytes`) are *not* reduced by pool hits —
+    /// QaaS providers bill the logical scan regardless of where the bytes
+    /// came from — so `bytes_from_cache` is a separate, subtractive view:
+    /// physical reads = `bytes_scanned - bytes_from_cache`. Zero when no
+    /// cache is attached, keeping the cache-off path byte-identical.
+    pub bytes_from_cache: u64,
+    /// Buffer-pool chunk hits during this scan.
+    pub cache_hits: u64,
+    /// Buffer-pool chunk misses (storage reads) during this scan.
+    pub cache_misses: u64,
+    /// Buffer-pool evictions this scan's admissions caused.
+    pub cache_evictions: u64,
 }
 
 impl ScanStats {
@@ -40,6 +57,16 @@ impl ScanStats {
         self.logical_bytes += other.logical_bytes;
         self.ideal_compressed_bytes += other.ideal_compressed_bytes;
         self.ideal_uncompressed_bytes += other.ideal_uncompressed_bytes;
+        self.bytes_from_cache += other.bytes_from_cache;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Bytes physically read from storage: `bytes_scanned` minus the part
+    /// the buffer pool served.
+    pub fn bytes_from_storage(&self) -> u64 {
+        self.bytes_scanned - self.bytes_from_cache
     }
 
     /// Bytes scanned per row — the y-axis of Figure 4b.
@@ -52,6 +79,60 @@ impl ScanStats {
     }
 }
 
+/// A buffer pool attached to a scan: the cache plus the owning table's
+/// fingerprint (which scopes the cache keys).
+#[derive(Clone, Copy)]
+pub struct ScanCache<'c> {
+    /// The shared chunk cache.
+    pub cache: &'c ChunkCache,
+    /// [`Table::fingerprint`] of the table being scanned.
+    pub table_fingerprint: u64,
+}
+
+/// Accounts one row group's scan into `stats`, routing each physically
+/// read chunk through the buffer pool when one is attached.
+///
+/// This is the single accounting primitive every engine uses (directly or
+/// via [`scan_stats_cached`]), so billing bytes are computed identically
+/// with and without a cache; only the `cache_*`/`bytes_from_cache` fields
+/// differ.
+pub fn account_group_scan(
+    stats: &mut ScanStats,
+    group: &RowGroup,
+    group_idx: usize,
+    read_leaves: &[&LeafInfo],
+    logical_leaves: &[&LeafInfo],
+    cache: Option<ScanCache<'_>>,
+) {
+    stats.rows += group.n_rows() as u64;
+    stats.bytes_scanned += group.compressed_bytes(read_leaves) as u64;
+    stats.uncompressed_bytes += group.uncompressed_bytes(read_leaves) as u64;
+    stats.logical_bytes += group.logical_bytes(logical_leaves) as u64;
+    stats.ideal_compressed_bytes += group.compressed_bytes(logical_leaves) as u64;
+    stats.ideal_uncompressed_bytes += group.uncompressed_bytes(logical_leaves) as u64;
+    let Some(sc) = cache else { return };
+    for leaf in read_leaves {
+        let Ok(chunk) = group.column(&leaf.path) else {
+            continue;
+        };
+        let key = ChunkKey {
+            table: sc.table_fingerprint,
+            group: group_idx as u32,
+            leaf: leaf.path.clone(),
+        };
+        // Chunks are in-memory already; "loading" is sharing a clone of
+        // the sealed chunk, which stands in for the storage read.
+        let admission = sc.cache.admit(&key, || std::sync::Arc::new(chunk.clone()));
+        if admission.hit {
+            stats.cache_hits += 1;
+            stats.bytes_from_cache += chunk.compressed_bytes as u64;
+        } else {
+            stats.cache_misses += 1;
+            stats.cache_evictions += admission.evicted;
+        }
+    }
+}
+
 /// Computes the scan statistics a reader with capability `cap` incurs for
 /// `projection` over `table`.
 pub fn scan_stats(
@@ -59,19 +140,26 @@ pub fn scan_stats(
     projection: &Projection,
     cap: PushdownCapability,
 ) -> Result<ScanStats, ColumnarError> {
+    scan_stats_cached(table, projection, cap, None)
+}
+
+/// [`scan_stats`] with an optional buffer pool in front of the physical
+/// chunk reads. With `cache: None` the result is bit-identical to
+/// [`scan_stats`] (all cache counters zero).
+pub fn scan_stats_cached(
+    table: &Table,
+    projection: &Projection,
+    cap: PushdownCapability,
+    cache: Option<ScanCache<'_>>,
+) -> Result<ScanStats, ColumnarError> {
     let read_leaves = projection.resolve(table.schema(), cap)?;
     let logical_leaves = projection.logical_leaves(table.schema())?;
     let mut stats = ScanStats {
         columns_read: read_leaves.len() as u64,
         ..ScanStats::default()
     };
-    for g in table.row_groups() {
-        stats.rows += g.n_rows() as u64;
-        stats.bytes_scanned += g.compressed_bytes(&read_leaves) as u64;
-        stats.uncompressed_bytes += g.uncompressed_bytes(&read_leaves) as u64;
-        stats.logical_bytes += g.logical_bytes(&logical_leaves) as u64;
-        stats.ideal_compressed_bytes += g.compressed_bytes(&logical_leaves) as u64;
-        stats.ideal_uncompressed_bytes += g.uncompressed_bytes(&logical_leaves) as u64;
+    for (idx, g) in table.row_groups().iter().enumerate() {
+        account_group_scan(&mut stats, g, idx, &read_leaves, &logical_leaves, cache);
     }
     Ok(stats)
 }

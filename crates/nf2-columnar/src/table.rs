@@ -70,6 +70,34 @@ impl Table {
             .sum()
     }
 
+    /// A stable content fingerprint of the table: schema shape plus
+    /// per-chunk statistics (row counts, entry counts, compressed sizes,
+    /// min/max). Used to key the serving-layer caches — tables are
+    /// immutable, so an equal fingerprint means cached chunks and results
+    /// are valid, and any rebuild with different data changes the
+    /// statistics and hence the key space. FNV-1a, independent of process
+    /// and platform.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.name);
+        for leaf in self.schema.leaves() {
+            h.write_str(&leaf.path.to_string());
+            h.write_u64(leaf.ptype as u64);
+            h.write_u64(leaf.repeated as u64);
+        }
+        for g in &self.row_groups {
+            h.write_u64(g.n_rows() as u64);
+            for (path, chunk) in g.columns() {
+                h.write_str(&path.to_string());
+                h.write_u64(chunk.n_entries() as u64);
+                h.write_u64(chunk.compressed_bytes as u64);
+                h.write_u64(chunk.min.map_or(0, f64::to_bits));
+                h.write_u64(chunk.max.map_or(0, f64::to_bits));
+            }
+        }
+        h.finish()
+    }
+
     /// A new table containing only the first `n` rows (row-group aligned
     /// slicing plus a partial group if needed) — used by the Figure 2
     /// data-size sweep.
@@ -89,6 +117,36 @@ impl Table {
             }
         }
         Table::new(self.name.clone(), self.schema.clone(), groups)
+    }
+}
+
+/// Minimal FNV-1a, kept local so fingerprints do not depend on std's
+/// unspecified `DefaultHasher` algorithm.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Length terminator so "ab"+"c" ≠ "a"+"bc".
+        self.write_u64(s.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -1,0 +1,100 @@
+//! Request/response types and service errors.
+
+use std::time::Duration;
+
+use hepbench_core::runner::System;
+use hepbench_core::QueryId;
+use nf2_columnar::ExecStats;
+use physics::Histogram;
+
+/// One query request from one tenant.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// Tenant identity — the unit of fair scheduling. Tenants share the
+    /// data and the caches (the table is immutable, so there is no
+    /// cross-tenant leakage to isolate), but queue capacity is dequeued
+    /// round-robin across tenants so one flood cannot starve the rest.
+    pub tenant: String,
+    /// Which simulated system executes the query (selects engine and
+    /// dialect).
+    pub system: System,
+    /// The benchmark query to run.
+    pub query: QueryId,
+    /// Per-query deadline measured from submission; `None` uses the
+    /// service default. A request whose deadline passes while it is still
+    /// queued is answered with [`ServiceError::TimedOut`] instead of
+    /// executing.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request with the service-default deadline.
+    pub fn new(tenant: impl Into<String>, system: System, query: QueryId) -> QueryRequest {
+        QueryRequest {
+            tenant: tenant.into(),
+            system,
+            query,
+            deadline: None,
+        }
+    }
+}
+
+/// A served query result.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The query's histogram.
+    pub histogram: Histogram,
+    /// Execution statistics. On a result-cache hit this reports **zero
+    /// bytes scanned** (all-zero [`nf2_columnar::ScanStats`]): nothing was
+    /// read, which is exactly how BigQuery bills cached results.
+    pub stats: ExecStats,
+    /// Whether the response was served from the result cache.
+    pub from_result_cache: bool,
+    /// Query cost under the system's pricing model (QaaS: bytes-based,
+    /// $0 on a result-cache hit; self-managed: measured wall seconds on
+    /// the service's pricing instance).
+    pub cost_usd: f64,
+    /// Seconds the request waited in the admission queue.
+    pub queue_seconds: f64,
+    /// End-to-end seconds from submission to completion.
+    pub total_seconds: f64,
+}
+
+/// Why the service could not serve a request.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// Admission control refused the request: the bounded queue is full.
+    /// Back off and retry; the alternative is the unbounded pile-up the
+    /// paper's QaaS providers avoid the same way.
+    QueryRejected {
+        /// The configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// The deadline passed before a worker picked the request up.
+    QueryTimedOut {
+        /// Seconds the request spent queued before expiring.
+        waited_seconds: f64,
+    },
+    /// The engine failed executing the query (message carries system and
+    /// query id).
+    Engine(String),
+    /// The service shut down with the request still queued.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueryRejected { queue_depth } => {
+                write!(f, "rejected: admission queue full ({queue_depth} deep)")
+            }
+            ServiceError::QueryTimedOut { waited_seconds } => {
+                write!(f, "timed out after {waited_seconds:.3}s in queue")
+            }
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::Shutdown => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,190 @@
+//! Plan-keyed result cache — the BigQuery "cached results" model.
+//!
+//! BigQuery serves a repeated query from a 24-hour result cache when the
+//! query text matches byte-for-byte, the referenced tables are unchanged,
+//! and the query is deterministic; a hit bills **zero** bytes. The paper
+//! explicitly disabled this for its fair comparison (§4.1: "we disabled
+//! cached results"), which is why the serving layer exposes a `cache: off`
+//! knob reproducing the measured configuration exactly.
+//!
+//! Our key refines BigQuery's in one paper-relevant way: it is
+//! `(language/dialect, whitespace-normalized query text, table
+//! fingerprint)`. The language tag keeps the three SQL dialects, JSONiq
+//! and RDataFrame apart even where their texts could collide; the
+//! fingerprint plays the role of BigQuery's table last-modified check
+//! (tables here are immutable, so a fingerprint *is* the version). All
+//! benchmark queries are deterministic, satisfying the cacheability
+//! condition by construction.
+//!
+//! The keyspace is bounded by the distinct (language, query) pairs of the
+//! workload — there is no eviction, matching the 24-hour-window model at
+//! benchmark timescales.
+
+use std::collections::HashMap;
+
+use hepbench_core::queries::{self, Language};
+use hepbench_core::runner::System;
+use hepbench_core::QueryId;
+use nf2_columnar::ScanStats;
+use parking_lot::Mutex;
+use physics::Histogram;
+
+/// Cache key: dialect, normalized plan text, table version.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Language/dialect executing the text.
+    pub language: Language,
+    /// Whitespace-normalized query text.
+    pub text: String,
+    /// [`nf2_columnar::Table::fingerprint`] of the scanned table.
+    pub table_fingerprint: u64,
+}
+
+/// The stored outcome of one executed query.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// The result histogram.
+    pub histogram: Histogram,
+    /// Scan accounting of the run that populated the entry (kept for
+    /// introspection; hits are *served* with a zeroed scan).
+    pub source_scan: ScanStats,
+}
+
+/// Collapses every whitespace run to a single space and trims the ends, so
+/// formatting differences (indentation, line breaks) hit the same entry.
+/// Case is preserved: JSONiq is case-sensitive, and SQL literals can be.
+pub fn normalize_query_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// The language whose query text a system executes.
+pub fn language_of(system: System) -> Language {
+    match system {
+        System::BigQuery | System::BigQueryExternal => Language::BigQuery,
+        System::AthenaV2 | System::AthenaV1 => Language::Athena,
+        System::Presto => Language::Presto,
+        System::Rumble => Language::Jsoniq,
+        System::RDataFrame | System::RDataFrameDev => Language::RDataFrame,
+    }
+}
+
+/// Builds the cache key a (system, query) request resolves to.
+pub fn result_key(system: System, q: QueryId, table_fingerprint: u64) -> ResultKey {
+    let language = language_of(system);
+    ResultKey {
+        language,
+        text: normalize_query_text(&queries::text(language, q)),
+        table_fingerprint,
+    }
+}
+
+/// A shared, thread-safe result cache with hit/miss counters.
+#[derive(Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<ResultKey, CachedResult>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    pub fn get(&self, key: &ResultKey) -> Option<CachedResult> {
+        use std::sync::atomic::Ordering;
+        let got = self.map.lock().get(key).cloned();
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Stores a result (last write wins; entries are deterministic, so
+    /// concurrent writers store identical values).
+    pub fn put(&self, key: ResultKey, value: CachedResult) {
+        self.map.lock().insert(key, value);
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_only() {
+        assert_eq!(
+            normalize_query_text("  SELECT\n\t x ,  y\nFROM t  "),
+            "SELECT x , y FROM t"
+        );
+        // Case and literal spelling are preserved.
+        assert_eq!(normalize_query_text("Select 'A  B'"), "Select 'A B'");
+        assert_ne!(normalize_query_text("select x"), "SELECT x");
+    }
+
+    #[test]
+    fn keys_separate_dialects_and_table_versions() {
+        let a = result_key(System::BigQuery, QueryId::Q1, 1);
+        let b = result_key(System::Presto, QueryId::Q1, 1);
+        let c = result_key(System::BigQuery, QueryId::Q1, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // The two BigQuery deployments share one plan key.
+        assert_eq!(a, result_key(System::BigQueryExternal, QueryId::Q1, 1));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = ResultCache::new();
+        let k = result_key(System::Rumble, QueryId::Q2, 7);
+        assert!(cache.get(&k).is_none());
+        cache.put(
+            k.clone(),
+            CachedResult {
+                histogram: Histogram::new(QueryId::Q2.hist_spec()),
+                source_scan: ScanStats::default(),
+            },
+        );
+        assert!(cache.get(&k).is_some());
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

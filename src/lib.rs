@@ -21,7 +21,10 @@
 //!   analog);
 //! * [`cloud`] — the instance/pricing/scaling simulator;
 //! * [`bench`] — the ADL benchmark: queries, reference implementations,
-//!   validation, metrics, and the run orchestrator.
+//!   validation, metrics, and the run orchestrator;
+//! * [`service`] — concurrent multi-tenant query serving over the same
+//!   engines: worker pool, admission control, buffer pool and a
+//!   BigQuery-style result cache (with the paper's caches-off knob).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use hepbench_core as bench;
 pub use nested_value as value;
 pub use nf2_columnar as columnar;
 pub use physics;
+pub use query_service as service;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {

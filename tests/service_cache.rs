@@ -1,0 +1,166 @@
+//! The serving layer's central promises, end to end:
+//!
+//! 1. **caches off ⇒ the paper's numbers.** A service configured with
+//!    [`ServiceConfig::paper_fairness`] serves every (system, query) with
+//!    a histogram and `ScanStats` identical to the direct single-query
+//!    benchmark path — the "disable cached results for a fair comparison"
+//!    configuration of the paper, byte for byte.
+//! 2. **result cache ⇒ BigQuery's cached-results economics.** A repeated
+//!    query is served from the result cache: same histogram, zero bytes
+//!    scanned, zero QaaS cost.
+//! 3. **buffer pool ⇒ accounting only.** Chunk-cache hits show up in
+//!    `bytes_from_cache` but never change `bytes_scanned` (the billing
+//!    basis) or the results.
+
+use std::sync::Arc;
+
+use hepquery::bench::runner::{execute_engine, System};
+use hepquery::bench::{adapters::ExecEnv, QueryId, ALL_QUERIES};
+use hepquery::columnar::{ScanStats, Table};
+use hepquery::prelude::*;
+use hepquery::service::{QueryRequest, QueryService, ServiceConfig};
+
+/// One system per language/dialect (AthenaV1 and RDataFrameDev execute
+/// the same engines as their siblings; BigQueryExternal shares BigQuery's
+/// dialect).
+const SYSTEMS: &[System] = &[
+    System::BigQuery,
+    System::AthenaV2,
+    System::Presto,
+    System::Rumble,
+    System::RDataFrame,
+];
+
+fn table() -> Arc<Table> {
+    Arc::new(
+        hepquery::model::generator::build_dataset(DatasetSpec {
+            n_events: 1_500,
+            row_group_size: 256,
+            seed: 0x5EBF,
+        })
+        .1,
+    )
+}
+
+#[test]
+fn caches_off_is_byte_identical_to_the_seed_path() {
+    let table = table();
+    let service = QueryService::start(table.clone(), ServiceConfig::paper_fairness());
+    for &system in SYSTEMS {
+        for &q in ALL_QUERIES {
+            let direct = execute_engine(system, &table, q, &ExecEnv::seed()).unwrap();
+            let served = service.execute(QueryRequest::new("t0", system, q)).unwrap();
+            assert!(!served.from_result_cache);
+            assert_eq!(
+                served.histogram,
+                direct.histogram,
+                "{} {}: histogram differs",
+                system.name(),
+                q.name()
+            );
+            assert_eq!(
+                served.stats.scan,
+                direct.stats.scan,
+                "{} {}: scan accounting differs",
+                system.name(),
+                q.name()
+            );
+            // No buffer pool ⇒ no cache traffic at all.
+            assert_eq!(served.stats.scan.cache_hits, 0);
+            assert_eq!(served.stats.scan.bytes_from_cache, 0);
+        }
+    }
+    assert!(service.result_cache_counters().is_none());
+    assert!(service.chunk_cache_counters().is_none());
+}
+
+#[test]
+fn result_cache_repeats_are_free() {
+    let table = table();
+    let service = QueryService::start(
+        table,
+        ServiceConfig {
+            n_workers: 2,
+            chunk_cache_bytes: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    for &system in SYSTEMS {
+        let q = QueryId::Q5;
+        let first = service.execute(QueryRequest::new("t0", system, q)).unwrap();
+        assert!(!first.from_result_cache);
+        assert!(first.stats.scan.bytes_scanned > 0);
+        let repeat = service.execute(QueryRequest::new("t1", system, q)).unwrap();
+        assert!(repeat.from_result_cache, "{}: repeat missed", system.name());
+        assert_eq!(repeat.histogram, first.histogram);
+        // Zero bytes scanned — the whole ScanStats is zero.
+        assert_eq!(repeat.stats.scan, ScanStats::default());
+        if system.is_qaas() {
+            assert_eq!(
+                repeat.cost_usd,
+                0.0,
+                "{}: cached repeat must be free",
+                system.name()
+            );
+            assert!(first.cost_usd > 0.0);
+        }
+    }
+    // The two BigQuery deployments share dialect, text and table — the
+    // external flavor's first request is already a hit.
+    let external = service
+        .execute(QueryRequest::new(
+            "t2",
+            System::BigQueryExternal,
+            QueryId::Q5,
+        ))
+        .unwrap();
+    assert!(external.from_result_cache);
+    let (hits, _misses) = service.result_cache_counters().unwrap();
+    assert_eq!(hits as usize, SYSTEMS.len() + 1);
+}
+
+#[test]
+fn buffer_pool_changes_accounting_but_not_billing_or_results() {
+    let table = table();
+    let service = QueryService::start(
+        table.clone(),
+        ServiceConfig {
+            n_workers: 2,
+            result_cache: false, // force re-execution on repeat
+            chunk_cache_bytes: 256 << 20,
+            ..ServiceConfig::default()
+        },
+    );
+    let baseline = execute_engine(System::Presto, &table, QueryId::Q4, &ExecEnv::seed()).unwrap();
+    let cold = service
+        .execute(QueryRequest::new("t0", System::Presto, QueryId::Q4))
+        .unwrap();
+    let warm = service
+        .execute(QueryRequest::new("t0", System::Presto, QueryId::Q4))
+        .unwrap();
+    assert!(!warm.from_result_cache);
+    // Results identical with and without the pool.
+    assert_eq!(cold.histogram, baseline.histogram);
+    assert_eq!(warm.histogram, baseline.histogram);
+    // Billing basis unchanged; the pool is a separate, subtractive view.
+    assert_eq!(
+        cold.stats.scan.bytes_scanned,
+        baseline.stats.scan.bytes_scanned
+    );
+    assert_eq!(
+        warm.stats.scan.bytes_scanned,
+        baseline.stats.scan.bytes_scanned
+    );
+    // The cold run misses (and fills); the warm run hits.
+    assert_eq!(cold.stats.scan.cache_hits, 0);
+    assert!(cold.stats.scan.cache_misses > 0);
+    assert!(warm.stats.scan.cache_hits > 0, "warm run must hit the pool");
+    assert!(warm.stats.scan.bytes_from_cache > 0);
+    assert!(warm.stats.scan.bytes_from_cache <= warm.stats.scan.bytes_scanned);
+    assert_eq!(
+        warm.stats.scan.bytes_from_storage(),
+        warm.stats.scan.bytes_scanned - warm.stats.scan.bytes_from_cache
+    );
+    let counters = service.chunk_cache_counters().unwrap();
+    assert!(counters.hits > 0 && counters.insertions > 0);
+}
