@@ -1,0 +1,216 @@
+//! Differential query-fuzzing and fault-injection gate.
+//!
+//! Three modes, all deterministic from their seeds and watchdog-guarded
+//! (a hung engine fails the run instead of wedging CI):
+//!
+//! * `--check` — generates `HEPQUERY_FUZZ_PLANS` (default 200) seeded
+//!   random plans over the CMS schema and executes every one on all five
+//!   systems under test (BigQuery/Presto/Athena SQL, JSONiq, RDataFrame),
+//!   comparing each histogram **bin-for-bin** against the interpreter
+//!   oracle. Any divergence or fault-free failure exits non-zero.
+//! * `--faults` — sweeps every fault class over a smaller plan budget
+//!   (persistent faults must surface typed `ScanError`s, transient faults
+//!   must converge to the oracle under bounded retry), then drives a
+//!   [`query_service::QueryService`] with a transient injector across the
+//!   (system × query) grid and asserts every request completes with the
+//!   fault-free histogram while `retried > 0` shows the retry path ran.
+//! * default — both, with the same budgets.
+//!
+//! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`,
+//! `HEPQUERY_FUZZ_SEED`, `HEPQUERY_FUZZ_PLANS`,
+//! `HEPQUERY_FUZZ_FAULT_PLANS`, `HEPQUERY_FUZZ_WATCHDOG`.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chaos::{differential_fuzz, fault_sweep};
+use hep_model::generator::build_dataset;
+use hep_model::{DatasetSpec, Event};
+use hepbench_core::adapters::ExecEnv;
+use hepbench_core::runner::{execute_engine, System};
+use hepbench_core::ALL_QUERIES;
+use nf2_columnar::{FaultConfig, FaultInjector, Table};
+use query_service::{QueryRequest, QueryService, ServiceConfig};
+
+/// Systems the service-level fault phase drives (one per
+/// language/dialect, like `serve_smoke`).
+const SYSTEMS: &[System] = &[
+    System::BigQuery,
+    System::AthenaV2,
+    System::Presto,
+    System::Rumble,
+    System::RDataFrame,
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dataset() -> (Vec<Event>, Arc<Table>) {
+    let (events, table) = build_dataset(DatasetSpec {
+        n_events: env_u64("HEPQUERY_EVENTS", 2_000) as usize,
+        row_group_size: env_u64("HEPQUERY_ROW_GROUP", 256) as usize,
+        seed: env_u64("HEPQUERY_SEED", 0xAD1B70),
+    });
+    (events, Arc::new(table))
+}
+
+/// Differential phase: every plan × every engine vs the oracle.
+fn run_diff(events: &[Event], table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_FUZZ_SEED", 0x5EED);
+    let n_plans = env_u64("HEPQUERY_FUZZ_PLANS", 200) as usize;
+    eprintln!("# fuzz_diff --check: {n_plans} plans, seed {seed:#x}");
+    let report = differential_fuzz(seed, n_plans, events, table);
+    for d in &report.divergences {
+        eprintln!("FAIL: {d}");
+    }
+    eprintln!(
+        "  {} plans x {} engines = {} comparisons, {} divergences",
+        report.plans,
+        chaos::ALL_ENGINES.len(),
+        report.checks,
+        report.divergences.len()
+    );
+    if report.passed() {
+        eprintln!("# differential fuzz OK");
+        0
+    } else {
+        report.divergences.len() as u32
+    }
+}
+
+/// Fault phase 1: adapter-level sweep of every class on every engine.
+fn run_fault_sweep(events: &[Event], table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_FUZZ_SEED", 0x5EED);
+    let n_plans = env_u64("HEPQUERY_FUZZ_FAULT_PLANS", 6) as usize;
+    eprintln!("# fuzz_diff --faults: sweep over {n_plans} plans, seed {seed:#x}");
+    let mut failures = 0;
+    let mut injected = 0;
+    for report in fault_sweep(seed, n_plans, events, table) {
+        for v in &report.violations {
+            eprintln!("FAIL: {v}");
+        }
+        eprintln!(
+            "  {:<20} {} runs: {} clean, {} typed errors, {} retries",
+            report.class.name(),
+            report.runs,
+            report.clean_results,
+            report.typed_errors,
+            report.retries
+        );
+        failures += report.violations.len() as u32;
+        injected += report.typed_errors + report.retries;
+    }
+    if injected == 0 {
+        eprintln!("FAIL: fault sweep never injected a fault — dead injector?");
+        failures += 1;
+    }
+    failures
+}
+
+/// Fault phase 2: service-level retry. Every request across the
+/// (system × query) grid must complete with the fault-free histogram,
+/// and the retry counter must show the transient faults actually fired.
+fn run_service_faults(table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_FUZZ_SEED", 0x5EED);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        p_io: 0.04,
+        p_checksum: 0.02,
+        p_truncated: 0.02,
+        transient_attempts: 1,
+        ..FaultConfig::off(seed)
+    }));
+    let service = QueryService::start(
+        table.clone(),
+        ServiceConfig {
+            n_workers: 4,
+            result_cache: false,
+            fault_injector: Some(injector.clone()),
+            max_retries: 64,
+            retry_backoff: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut failures = 0;
+    for &system in SYSTEMS {
+        for &query in ALL_QUERIES {
+            let served = match service.execute(QueryRequest::new("chaos", system, query)) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    eprintln!(
+                        "FAIL: {} {} did not survive transient faults: {e}",
+                        system.name(),
+                        query.name()
+                    );
+                    failures += 1;
+                    continue;
+                }
+            };
+            let clean =
+                execute_engine(system, table, query, &ExecEnv::seed()).expect("fault-free run");
+            if !served.histogram.counts_equal(&clean.histogram) {
+                eprintln!(
+                    "FAIL: {} {} served a wrong histogram under faults",
+                    system.name(),
+                    query.name()
+                );
+                failures += 1;
+            }
+        }
+    }
+    let snap = service.stats();
+    let counters = injector.counters();
+    eprintln!(
+        "  service: {} completed, {} failed, {} retries; injector {} errors, {} recovered",
+        snap.completed,
+        snap.failed,
+        snap.retried,
+        counters.errors(),
+        counters.recovered
+    );
+    if snap.retried == 0 {
+        eprintln!("FAIL: service never retried — transient faults did not fire");
+        failures += 1;
+    }
+    if failures == 0 {
+        eprintln!("# fault injection OK");
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let faults = args.iter().any(|a| a == "--faults");
+    let both = !check && !faults;
+    let watchdog = Duration::from_secs(env_u64("HEPQUERY_FUZZ_WATCHDOG", 600));
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let (events, table) = dataset();
+        let mut failures = 0;
+        if check || both {
+            failures += run_diff(&events, &table);
+        }
+        if faults || both {
+            failures += run_fault_sweep(&events, &table);
+            failures += run_service_faults(&table);
+        }
+        let _ = done_tx.send(failures);
+    });
+    let failures = match done_rx.recv_timeout(watchdog) {
+        Ok(f) => f,
+        Err(_) => {
+            eprintln!(
+                "FAIL: fuzz_diff did not finish within {}s — hung engine?",
+                watchdog.as_secs()
+            );
+            std::process::exit(1);
+        }
+    };
+    worker.join().expect("fuzz worker");
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

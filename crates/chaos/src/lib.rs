@@ -1,0 +1,498 @@
+//! # chaos
+//!
+//! Deterministic chaos testing for the benchmark engines: a seeded
+//! random-plan generator over the CMS schema, a **differential fuzzing**
+//! harness that executes every generated plan on all five systems under
+//! test (three SQL dialects, JSONiq, RDataFrame) and compares them
+//! bin-for-bin against the interpreter oracle
+//! ([`hepbench_core::fuzzplan::FuzzPlan::reference`]), and a
+//! **fault-injection sweep** that re-runs plans under every
+//! [`FaultClass`] and asserts the only two acceptable outcomes:
+//!
+//! * the exact oracle histogram (possibly after bounded retries of a
+//!   transient fault), or
+//! * a typed [`nf2_columnar::ScanError`] carrying table, row group and
+//!   leaf context.
+//!
+//! A wrong histogram, an untyped error, a panic or a hang is a bug by
+//! construction. Everything is a pure function of the seed, so any
+//! failure replays bit-for-bit.
+
+use std::sync::Arc;
+
+use hep_model::Event;
+use hepbench_core::adapters::{AdapterError, ExecEnv};
+use hepbench_core::fuzzplan::{
+    CountPred, ElemPred, FillSource, FuzzPlan, ScalarPred, ALL_CMPS, ALL_JET_FIELDS,
+    ALL_SCALAR_LEAVES,
+};
+use nf2_columnar::{FaultClass, FaultConfig, FaultInjector, Table};
+use physics::{HistSpec, Histogram};
+
+/// Tiny seeded generator (splitmix64 core) so the crate needs no RNG
+/// dependency and streams are reproducible from a single `u64`.
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform index below `n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+/// Rounds to one decimal so every lowering prints the literal exactly
+/// (via [`hepbench_core::queries::flit`]) and every parser reads back the
+/// identical `f64`.
+fn quantize(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Seeded stream of [`FuzzPlan`]s over the CMS schema.
+pub struct PlanGenerator {
+    rng: ChaosRng,
+    next_id: u64,
+}
+
+impl PlanGenerator {
+    /// A generator whose whole stream is a function of `seed`.
+    pub fn new(seed: u64) -> PlanGenerator {
+        PlanGenerator {
+            rng: ChaosRng::new(seed),
+            next_id: 0,
+        }
+    }
+
+    fn scalar_pred(&mut self) -> ScalarPred {
+        let leaf = *self.rng.pick(ALL_SCALAR_LEAVES);
+        let (lo, hi) = leaf.range();
+        ScalarPred {
+            leaf,
+            cmp: *self.rng.pick(ALL_CMPS),
+            lit: quantize(self.rng.range(lo, hi)),
+        }
+    }
+
+    fn elem_pred(&mut self) -> ElemPred {
+        let field = *self.rng.pick(ALL_JET_FIELDS);
+        let (lo, hi) = field.range();
+        ElemPred {
+            field,
+            cmp: *self.rng.pick(ALL_CMPS),
+            lit: quantize(self.rng.range(lo, hi)),
+        }
+    }
+
+    /// The next plan in the stream.
+    pub fn next_plan(&mut self) -> FuzzPlan {
+        let id = self.next_id;
+        self.next_id += 1;
+        let (fill, fill_range) = if self.rng.f64() < 0.5 {
+            let leaf = *self.rng.pick(ALL_SCALAR_LEAVES);
+            (FillSource::Scalar(leaf), leaf.range())
+        } else {
+            let field = *self.rng.pick(ALL_JET_FIELDS);
+            let elem_pred = (self.rng.f64() < 0.5).then(|| self.elem_pred());
+            (FillSource::Jets { field, elem_pred }, field.range())
+        };
+        let n_scalar = self.rng.index(3);
+        let scalar_preds = (0..n_scalar).map(|_| self.scalar_pred()).collect();
+        let count_pred = (self.rng.f64() < 0.4).then(|| CountPred {
+            elem: self.elem_pred(),
+            min_count: 1 + self.rng.index(3) as u32,
+        });
+        // Jitter the histogram range so under/overflow paths are
+        // exercised; keep bounds on the 0.1 grid like the literals.
+        let bins = *self.rng.pick(&[20usize, 50, 100]);
+        let (lo, hi) = fill_range;
+        let lo = quantize(self.rng.range(lo, lo + 0.25 * (hi - lo)));
+        let hi = quantize(self.rng.range(lo + 0.25 * (hi - lo), hi.max(lo + 1.0)));
+        let spec = HistSpec::new(bins, lo, hi.max(lo + 0.2));
+        FuzzPlan {
+            id,
+            fill,
+            scalar_preds,
+            count_pred,
+            spec,
+        }
+    }
+}
+
+/// Convenience: the first `n` plans of `seed`'s stream.
+pub fn generate_plans(seed: u64, n: usize) -> Vec<FuzzPlan> {
+    let mut g = PlanGenerator::new(seed);
+    (0..n).map(|_| g.next_plan()).collect()
+}
+
+/// One system under differential test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineUnderTest {
+    /// `engine-sql`, BigQuery dialect.
+    BigQuery,
+    /// `engine-sql`, Presto dialect.
+    Presto,
+    /// `engine-sql`, Athena dialect.
+    Athena,
+    /// `engine-flwor` (JSONiq).
+    Jsoniq,
+    /// `engine-rdf` (RDataFrame).
+    Rdf,
+}
+
+/// All engines, in reporting order.
+pub const ALL_ENGINES: &[EngineUnderTest] = &[
+    EngineUnderTest::BigQuery,
+    EngineUnderTest::Presto,
+    EngineUnderTest::Athena,
+    EngineUnderTest::Jsoniq,
+    EngineUnderTest::Rdf,
+];
+
+impl EngineUnderTest {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineUnderTest::BigQuery => "BigQuery SQL",
+            EngineUnderTest::Presto => "Presto SQL",
+            EngineUnderTest::Athena => "Athena SQL",
+            EngineUnderTest::Jsoniq => "JSONiq",
+            EngineUnderTest::Rdf => "RDataFrame",
+        }
+    }
+
+    /// Executes `plan` on this engine in `env`.
+    pub fn run(
+        &self,
+        plan: &FuzzPlan,
+        table: &Arc<Table>,
+        env: &ExecEnv,
+    ) -> Result<Histogram, AdapterError> {
+        match self {
+            EngineUnderTest::BigQuery => plan.run_sql(engine_sql::Dialect::bigquery(), table, env),
+            EngineUnderTest::Presto => plan.run_sql(engine_sql::Dialect::presto(), table, env),
+            EngineUnderTest::Athena => plan.run_sql(engine_sql::Dialect::athena(), table, env),
+            EngineUnderTest::Jsoniq => plan.run_jsoniq(table, env),
+            EngineUnderTest::Rdf => plan.run_rdf(table, env),
+        }
+    }
+}
+
+/// Outcome of a differential fuzzing run.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Plans executed.
+    pub plans: usize,
+    /// Individual engine-vs-oracle comparisons.
+    pub checks: usize,
+    /// Human-readable description of every divergence (empty ⇒ pass).
+    pub divergences: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the run found no divergence.
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Runs `n_plans` seeded plans on every engine (fault-free) and compares
+/// each result bin-for-bin against the interpreter oracle.
+pub fn differential_fuzz(
+    seed: u64,
+    n_plans: usize,
+    events: &[Event],
+    table: &Arc<Table>,
+) -> DiffReport {
+    let env = ExecEnv::seed();
+    let mut report = DiffReport::default();
+    let mut generator = PlanGenerator::new(seed);
+    for _ in 0..n_plans {
+        let plan = generator.next_plan();
+        let oracle = plan.reference(events);
+        report.plans += 1;
+        for engine in ALL_ENGINES {
+            report.checks += 1;
+            match engine.run(&plan, table, &env) {
+                Ok(h) if h.counts_equal(&oracle) => {}
+                Ok(h) => report.divergences.push(format!(
+                    "{} {}: histogram diverged from oracle \
+                     (engine total {}, oracle total {})\nplan: {:?}",
+                    plan.label(),
+                    engine.name(),
+                    h.total(),
+                    oracle.total(),
+                    plan
+                )),
+                Err(e) => report.divergences.push(format!(
+                    "{} {}: failed fault-free: {e}\nplan: {:?}",
+                    plan.label(),
+                    engine.name(),
+                    plan
+                )),
+            }
+        }
+    }
+    report
+}
+
+/// Fault classes the sweep injects (every member of the taxonomy that
+/// surfaces as an error value or a delay; `Panic` is exercised separately
+/// by the service panic-safety tests).
+pub const SWEPT_FAULTS: &[FaultClass] = &[
+    FaultClass::Io,
+    FaultClass::ChecksumMismatch,
+    FaultClass::TruncatedRowGroup,
+    FaultClass::Latency,
+];
+
+/// Outcome of one fault class across the sweep.
+#[derive(Debug)]
+pub struct FaultReport {
+    /// The injected class.
+    pub class: FaultClass,
+    /// Engine runs performed under this class.
+    pub runs: usize,
+    /// Runs that returned the exact oracle histogram (directly, or after
+    /// transient-fault retries).
+    pub clean_results: usize,
+    /// Runs that surfaced a typed, context-carrying scan error.
+    pub typed_errors: usize,
+    /// Retries performed against transient faults.
+    pub retries: usize,
+    /// Contract violations (wrong histogram, untyped/wrong-class error,
+    /// retry budget exhausted). Empty ⇒ pass.
+    pub violations: Vec<String>,
+}
+
+impl FaultReport {
+    /// Whether this class met the fault contract everywhere.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-chunk fault probability used by the sweep: high enough that every
+/// class fires on multi-group tables, low enough that most runs finish.
+pub const SWEEP_FAULT_P: f64 = 0.05;
+
+/// Retry budget of the sweep's transient phase, mirroring the
+/// query-service retry loop. Each retry burns exactly one faulting chunk
+/// (the scan aborts at the first fault), so the budget must exceed the
+/// number of faulted chunks in the widest projection — JSONiq scans every
+/// leaf, ~`0.05 × groups × leaves` faults on the default dataset.
+pub const SWEEP_MAX_RETRIES: usize = 64;
+
+/// Runs `n_plans` seeded plans on every engine under every fault class,
+/// in two phases per class:
+///
+/// * **persistent** (`transient_attempts = 0`): the engine must return
+///   either the exact oracle histogram (no chunk of its projection
+///   faulted) or a typed [`nf2_columnar::ScanError`] of the injected
+///   class — never a wrong histogram;
+/// * **transient** (`transient_attempts = 1`) with bounded retries: the
+///   engine must converge to the exact oracle histogram.
+///
+/// Latency faults must never produce an error in either phase.
+pub fn fault_sweep(
+    seed: u64,
+    n_plans: usize,
+    events: &[Event],
+    table: &Arc<Table>,
+) -> Vec<FaultReport> {
+    let plans = generate_plans(seed, n_plans);
+    SWEPT_FAULTS
+        .iter()
+        .map(|&class| {
+            let mut report = FaultReport {
+                class,
+                runs: 0,
+                clean_results: 0,
+                typed_errors: 0,
+                retries: 0,
+                violations: Vec::new(),
+            };
+            for plan in &plans {
+                let oracle = plan.reference(events);
+                for engine in ALL_ENGINES {
+                    persistent_phase(&mut report, class, seed, plan, &oracle, engine, table);
+                    transient_phase(&mut report, class, seed, plan, &oracle, engine, table);
+                }
+            }
+            report
+        })
+        .collect()
+}
+
+/// Persistent faults: typed error of the right class, or untouched result.
+fn persistent_phase(
+    report: &mut FaultReport,
+    class: FaultClass,
+    seed: u64,
+    plan: &FuzzPlan,
+    oracle: &Histogram,
+    engine: &EngineUnderTest,
+    table: &Arc<Table>,
+) {
+    let env = ExecEnv {
+        fault_injector: Some(Arc::new(FaultInjector::new(FaultConfig {
+            transient_attempts: 0,
+            ..FaultConfig::only(class, SWEEP_FAULT_P, seed)
+        }))),
+        ..ExecEnv::seed()
+    };
+    report.runs += 1;
+    match engine.run(plan, table, &env) {
+        Ok(h) if h.counts_equal(oracle) => report.clean_results += 1,
+        Ok(_) => report.violations.push(format!(
+            "{} {} persistent {}: WRONG histogram instead of typed error",
+            plan.label(),
+            engine.name(),
+            class.name()
+        )),
+        Err(e) => match &e.scan {
+            Some(s) if s.class == class && !s.leaf.is_empty() => report.typed_errors += 1,
+            Some(s) => report.violations.push(format!(
+                "{} {} persistent {}: wrong fault class in error: {s}",
+                plan.label(),
+                engine.name(),
+                class.name()
+            )),
+            None => report.violations.push(format!(
+                "{} {} persistent {}: untyped error: {e}",
+                plan.label(),
+                engine.name(),
+                class.name()
+            )),
+        },
+    }
+}
+
+/// Transient faults + bounded retry: must converge to the oracle.
+fn transient_phase(
+    report: &mut FaultReport,
+    class: FaultClass,
+    seed: u64,
+    plan: &FuzzPlan,
+    oracle: &Histogram,
+    engine: &EngineUnderTest,
+    table: &Arc<Table>,
+) {
+    let env = ExecEnv {
+        fault_injector: Some(Arc::new(FaultInjector::new(FaultConfig {
+            transient_attempts: 1,
+            ..FaultConfig::only(class, SWEEP_FAULT_P, seed)
+        }))),
+        ..ExecEnv::seed()
+    };
+    report.runs += 1;
+    for attempt in 0..=SWEEP_MAX_RETRIES {
+        match engine.run(plan, table, &env) {
+            Ok(h) if h.counts_equal(oracle) => {
+                report.clean_results += 1;
+                return;
+            }
+            Ok(_) => {
+                report.violations.push(format!(
+                    "{} {} transient {}: WRONG histogram after {attempt} retries",
+                    plan.label(),
+                    engine.name(),
+                    class.name()
+                ));
+                return;
+            }
+            Err(e) if e.retryable() && attempt < SWEEP_MAX_RETRIES => report.retries += 1,
+            Err(e) => {
+                report.violations.push(format!(
+                    "{} {} transient {}: did not converge after {attempt} retries: {e}",
+                    plan.label(),
+                    engine.name(),
+                    class.name()
+                ));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_model::{generator::build_dataset, DatasetSpec};
+
+    fn dataset() -> (Vec<Event>, Arc<Table>) {
+        let (events, table) = build_dataset(DatasetSpec {
+            n_events: 500,
+            row_group_size: 128,
+            seed: 0xC0FFEE,
+        });
+        (events, Arc::new(table))
+    }
+
+    #[test]
+    fn plan_stream_is_deterministic_and_diverse() {
+        let a = generate_plans(7, 40);
+        let b = generate_plans(7, 40);
+        assert_eq!(a, b);
+        let c = generate_plans(8, 40);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|p| matches!(p.fill, FillSource::Scalar(_))));
+        assert!(a.iter().any(|p| matches!(p.fill, FillSource::Jets { .. })));
+        assert!(a.iter().any(|p| p.count_pred.is_some()));
+        assert!(a.iter().any(|p| !p.scalar_preds.is_empty()));
+    }
+
+    #[test]
+    fn small_differential_run_is_clean() {
+        let (events, table) = dataset();
+        let report = differential_fuzz(0xD1FF, 12, &events, &table);
+        assert_eq!(report.plans, 12);
+        assert_eq!(report.checks, 12 * ALL_ENGINES.len());
+        assert!(report.passed(), "{:#?}", report.divergences);
+    }
+
+    #[test]
+    fn small_fault_sweep_meets_the_contract() {
+        let (events, table) = dataset();
+        let reports = fault_sweep(0xFA17, 3, &events, &table);
+        assert_eq!(reports.len(), SWEPT_FAULTS.len());
+        for r in &reports {
+            assert!(r.passed(), "{:?}: {:#?}", r.class, r.violations);
+            assert_eq!(r.clean_results + r.typed_errors, r.runs);
+        }
+        // The error classes must actually have fired somewhere.
+        let errors: usize = reports
+            .iter()
+            .filter(|r| r.class != FaultClass::Latency)
+            .map(|r| r.typed_errors + r.retries)
+            .sum();
+        assert!(errors > 0, "sweep never injected an error fault");
+    }
+}

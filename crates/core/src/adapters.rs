@@ -5,19 +5,56 @@ use std::sync::Arc;
 use engine_flwor::{FlworEngine, FlworOptions};
 use engine_sql::{Dialect, SqlEngine, SqlOptions};
 use nested_value::Value;
-use nf2_columnar::{ChunkCache, ExecStats, Table};
+use nf2_columnar::{ChunkCache, ExecStats, FaultInjector, ScanError, Table};
 use physics::Histogram;
 
 use crate::queries::{self, Language};
 use crate::spec::QueryId;
 
-/// An adapter failure (engine error or malformed result shape).
-#[derive(Debug)]
-pub struct AdapterError(pub String);
+/// An adapter failure (engine error or malformed result shape), carrying
+/// the executing system, the query id, and — for chaos-layer scan faults —
+/// the typed [`ScanError`] with row group and leaf column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdapterError {
+    /// Name of the system (or language, below the system layer) that
+    /// failed.
+    pub system: String,
+    /// Name of the benchmark query that failed.
+    pub query: String,
+    /// The underlying engine error, formatted.
+    pub message: String,
+    /// The typed scan fault when the failure was an injected fault;
+    /// `None` for ordinary engine errors. The service retry path keys
+    /// off this.
+    pub scan: Option<Box<ScanError>>,
+}
+
+impl AdapterError {
+    /// Builds an error from an engine failure, extracting the typed scan
+    /// fault when there is one.
+    pub fn new(
+        system: impl Into<String>,
+        query: impl Into<String>,
+        message: impl ToString,
+        scan: Option<&ScanError>,
+    ) -> AdapterError {
+        AdapterError {
+            system: system.into(),
+            query: query.into(),
+            message: message.to_string(),
+            scan: scan.cloned().map(Box::new),
+        }
+    }
+
+    /// Whether the service retry path should re-run the query.
+    pub fn retryable(&self) -> bool {
+        self.scan.as_ref().is_some_and(|s| s.retryable())
+    }
+}
 
 impl std::fmt::Display for AdapterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{} on {}: {}", self.query, self.system, self.message)
     }
 }
 
@@ -44,6 +81,10 @@ pub struct ExecEnv {
     /// all cores). A multi-tenant server sets this to 1 and parallelizes
     /// across queries instead.
     pub intra_query_threads: Option<usize>,
+    /// Chaos-layer fault injector on physical chunk reads (`None`, the
+    /// default, reproduces the fault-free path byte-for-byte; see
+    /// [`nf2_columnar::fault`]).
+    pub fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl ExecEnv {
@@ -84,13 +125,14 @@ pub fn run_sql_env(
     let mut engine = SqlEngine::new(dialect, options);
     engine.register(table.clone());
     engine.set_chunk_cache(env.chunk_cache.clone());
+    engine.set_fault_injector(env.fault_injector.clone());
     let out = engine
         .execute(&sql)
-        .map_err(|e| AdapterError(format!("{} {}: {e}", lang.name(), q.name())))?;
+        .map_err(|e| AdapterError::new(lang.name(), q.name(), &e, e.scan_error()))?;
     let mut histogram = Histogram::new(q.hist_spec());
     for row in &out.relation.rows {
-        let (bin, n) = bin_count_row(row)
-            .map_err(|e| AdapterError(format!("{} {}: {e}", lang.name(), q.name())))?;
+        let (bin, n) =
+            bin_count_row(row).map_err(|e| AdapterError::new(lang.name(), q.name(), e, None))?;
         histogram.add_bin_count(bin, n);
     }
     Ok(EngineRun {
@@ -99,7 +141,7 @@ pub fn run_sql_env(
     })
 }
 
-fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
+pub(crate) fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
     match row {
         [bin, n] => {
             let b = bin
@@ -138,14 +180,15 @@ pub fn run_jsoniq_env(
     let mut engine = FlworEngine::new(options);
     engine.register(table.clone());
     engine.set_chunk_cache(env.chunk_cache.clone());
+    engine.set_fault_injector(env.fault_injector.clone());
     let out = engine
         .execute(&text)
-        .map_err(|e| AdapterError(format!("JSONiq {}: {e}", q.name())))?;
+        .map_err(|e| AdapterError::new("JSONiq", q.name(), &e, e.scan_error()))?;
     let mut histogram = Histogram::new(q.hist_spec());
     for item in &out.items {
         let bin = item
             .as_i64()
-            .map_err(|e| AdapterError(format!("JSONiq {}: bin item {e}", q.name())))?;
+            .map_err(|e| AdapterError::new("JSONiq", q.name(), format!("bin item {e}"), None))?;
         histogram.add_bin_count(bin, 1);
     }
     Ok(EngineRun {
@@ -175,9 +218,10 @@ pub fn run_rdf_env(
     }
     let mut df = crate::rdf_programs::build(q, table.clone(), options);
     df.set_chunk_cache(env.chunk_cache.clone());
+    df.set_fault_injector(env.fault_injector.clone());
     let out = df
         .run_all()
-        .map_err(|e| AdapterError(format!("RDataFrame {}: {e}", q.name())))?;
+        .map_err(|e| AdapterError::new("RDataFrame", q.name(), &e, e.scan_error()))?;
     Ok(EngineRun {
         histogram: out.histograms.into_iter().next().expect("one booking"),
         stats: out.stats,

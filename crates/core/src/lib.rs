@@ -15,6 +15,8 @@
 //! * [`adapters`] — uniform execution of any query on any engine, with
 //!   histogram extraction and [`nf2_columnar::ExecStats`] collection;
 //! * [`validate`] — cross-engine result validation against the reference;
+//! * [`fuzzplan`] — seeded random query plans with an interpreter oracle,
+//!   lowering to every system under test (differential fuzzing);
 //! * [`metrics`] — the Table-1 conciseness metrics (characters, lines,
 //!   clauses, unique clauses) computed from the embedded query texts;
 //! * [`complexity`] — Table-2 analytic formulas and empirical measurement;
@@ -24,6 +26,7 @@
 pub mod adapters;
 pub mod capabilities;
 pub mod complexity;
+pub mod fuzzplan;
 pub mod metrics;
 pub mod queries;
 pub mod rdf_programs;

@@ -72,7 +72,7 @@ pub fn text(lang: Language, q: QueryId) -> String {
 
 /// Formats an `f64` as a SQL/JSONiq literal that parses back to the same
 /// bits (full precision, always with a decimal point).
-pub(crate) fn flit(x: f64) -> String {
+pub fn flit(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
         format!("{x:.1}")
     } else {
@@ -84,7 +84,7 @@ pub(crate) fn flit(x: f64) -> String {
 /// BigQuery bins inline (and groups by the select alias, its R2.4
 /// extension) — no helper UDF needed, keeping its texts the most concise
 /// of the SQL dialects like in the paper.
-pub(crate) fn bq_binof_call(value: &str, spec: HistSpec) -> String {
+pub fn bq_binof_call(value: &str, spec: HistSpec) -> String {
     let lo = flit(spec.lo);
     let hi = flit(spec.hi);
     let n = spec.bins as i64;
@@ -99,7 +99,7 @@ pub(crate) fn bq_binof_call(value: &str, spec: HistSpec) -> String {
 /// Presto/Athena have no usable scalar-UDF path for binning in Athena's
 /// case (no UDFs at all), so both spell the CASE out; this builds the
 /// final two-CTE binning tail over a CTE `plotted(x)`.
-pub(crate) fn presto_hist_tail(spec: HistSpec) -> String {
+pub fn presto_hist_tail(spec: HistSpec) -> String {
     let lo = flit(spec.lo);
     let hi = flit(spec.hi);
     let n = spec.bins as i64;
@@ -117,7 +117,7 @@ pub(crate) fn presto_hist_tail(spec: HistSpec) -> String {
 }
 
 /// The JSONiq binning function declaration.
-pub(crate) fn jq_bin_fn() -> &'static str {
+pub fn jq_bin_fn() -> &'static str {
     "declare function hep:bin($x, $lo, $hi, $n) {\n\
      \x20 if ($x < $lo) then -1\n\
      \x20 else if ($x ge $hi) then $n\n\
@@ -130,7 +130,7 @@ pub(crate) fn jq_bin_fn() -> &'static str {
 /// that the returned bin indices are integers (the `div` in the width
 /// computation still promotes to double, keeping the width bits identical
 /// to [`physics::HistSpec::width`]).
-pub(crate) fn jq_bin_call(value: &str, spec: HistSpec) -> String {
+pub fn jq_bin_call(value: &str, spec: HistSpec) -> String {
     format!(
         "hep:bin({value}, {}, {}, {})",
         flit(spec.lo),

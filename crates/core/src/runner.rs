@@ -148,7 +148,12 @@ pub fn execute_engine(
             adapters::run_rdf_env(table, q, engine_rdf::Options::default(), env)
         }
     };
-    run.map_err(|e| AdapterError(format!("{} on {}: {e}", q.name(), system.name())))
+    // Re-label with the deployed system's name (several systems share one
+    // engine/dialect, and the service logs must identify the deployment).
+    run.map_err(|mut e| {
+        e.system = system.name().to_string();
+        e
+    })
 }
 
 fn qaas_profile(system: System) -> QaasProfile {

@@ -6,8 +6,8 @@ use std::time::Instant;
 
 use nested_value::Value;
 use nf2_columnar::{
-    ChunkCache, ExecStats, Projection, PushdownCapability, ScalarPredicate, ScanCache, Schema,
-    SelCmp, SelValue, Table,
+    ChunkCache, ExecStats, FaultInjector, Projection, PushdownCapability, ScalarPredicate,
+    ScanCache, ScanFaults, Schema, SelCmp, SelValue, Table,
 };
 use parking_lot::Mutex;
 
@@ -58,6 +58,7 @@ pub struct FlworEngine {
     options: FlworOptions,
     tables: Vec<Arc<Table>>,
     chunk_cache: Option<Arc<ChunkCache>>,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 struct TableSource<'a> {
@@ -82,6 +83,7 @@ impl FlworEngine {
             options,
             tables: Vec::new(),
             chunk_cache: None,
+            fault_injector: None,
         }
     }
 
@@ -94,6 +96,13 @@ impl FlworEngine {
     /// (accounting-only; results and billing bytes are unchanged).
     pub fn set_chunk_cache(&mut self, cache: Option<Arc<ChunkCache>>) {
         self.chunk_cache = cache;
+    }
+
+    /// Attaches a chaos-layer fault injector to physical chunk reads.
+    /// `None` (the default) leaves the scan path byte-identical to the
+    /// fault-free engine.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault_injector = injector;
     }
 
     fn table(&self, name: &str) -> Option<&Arc<Table>> {
@@ -133,11 +142,17 @@ impl FlworEngine {
             cache,
             table_fingerprint: table.fingerprint(),
         });
-        let scan = nf2_columnar::scan::scan_stats_cached(
+        let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
+            injector,
+            table_name: table.name(),
+            table_fingerprint: table.fingerprint(),
+        });
+        let scan = nf2_columnar::scan::scan_stats_faulted(
             &table,
             &Projection::all(),
             PushdownCapability::None,
             scan_cache,
+            scan_faults,
         )?;
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 

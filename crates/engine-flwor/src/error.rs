@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use nf2_columnar::ScanError;
+
 /// Errors from parsing or evaluating JSONiq.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlworError {
@@ -17,6 +19,18 @@ pub enum FlworError {
     Dynamic(String),
     /// Substrate error.
     Columnar(String),
+    /// Typed scan fault from the chaos layer (carries row group + leaf).
+    Scan(ScanError),
+}
+
+impl FlworError {
+    /// The typed scan fault, when this error is one.
+    pub fn scan_error(&self) -> Option<&ScanError> {
+        match self {
+            FlworError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FlworError {
@@ -28,6 +42,7 @@ impl fmt::Display for FlworError {
             FlworError::Type(m) => write!(f, "type error: {m}"),
             FlworError::Dynamic(m) => write!(f, "dynamic error: {m}"),
             FlworError::Columnar(m) => write!(f, "storage error: {m}"),
+            FlworError::Scan(e) => write!(f, "scan fault: {e}"),
         }
     }
 }
@@ -36,6 +51,9 @@ impl std::error::Error for FlworError {}
 
 impl From<nf2_columnar::ColumnarError> for FlworError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        FlworError::Columnar(e.to_string())
+        match e {
+            nf2_columnar::ColumnarError::Fault(s) => FlworError::Scan(s),
+            other => FlworError::Columnar(other.to_string()),
+        }
     }
 }

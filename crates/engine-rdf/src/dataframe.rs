@@ -35,6 +35,16 @@ impl fmt::Display for RdfError {
 
 impl std::error::Error for RdfError {}
 
+impl RdfError {
+    /// The typed scan fault, when this error is one.
+    pub fn scan_error(&self) -> Option<&nf2_columnar::ScanError> {
+        match self {
+            RdfError::Columnar(e) => e.scan_error(),
+            _ => None,
+        }
+    }
+}
+
 impl From<nf2_columnar::ColumnarError> for RdfError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
         RdfError::Columnar(e)
@@ -111,6 +121,8 @@ pub struct RDataFrame {
     /// Optional buffer pool fronting physical chunk reads (accounting
     /// only; results and billing bytes are unchanged).
     pub(crate) chunk_cache: Option<Arc<nf2_columnar::ChunkCache>>,
+    /// Optional chaos-layer fault injector on physical chunk reads.
+    pub(crate) fault_injector: Option<Arc<nf2_columnar::FaultInjector>>,
 }
 
 impl RDataFrame {
@@ -124,12 +136,20 @@ impl RDataFrame {
             scalar_filters: Vec::new(),
             bookings: Vec::new(),
             chunk_cache: None,
+            fault_injector: None,
         }
     }
 
     /// Attaches a shared buffer pool in front of physical chunk reads.
     pub fn set_chunk_cache(&mut self, cache: Option<Arc<nf2_columnar::ChunkCache>>) {
         self.chunk_cache = cache;
+    }
+
+    /// Attaches a chaos-layer fault injector to physical chunk reads.
+    /// `None` (the default) leaves the scan path byte-identical to the
+    /// fault-free engine.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<nf2_columnar::FaultInjector>>) {
+        self.fault_injector = injector;
     }
 
     fn declare_deps(&mut self, deps: &[&str]) {

@@ -109,11 +109,20 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             cache,
             table_fingerprint: table.fingerprint(),
         });
-    let scan = nf2_columnar::scan::scan_stats_cached(
+    let scan_faults = df
+        .fault_injector
+        .as_deref()
+        .map(|injector| nf2_columnar::ScanFaults {
+            injector,
+            table_name: table.name(),
+            table_fingerprint: table.fingerprint(),
+        });
+    let scan = nf2_columnar::scan::scan_stats_faulted(
         table,
         &projection,
         PushdownCapability::IndividualLeaves,
         scan_cache,
+        scan_faults,
     )?;
 
     // Resolve booking targets.

@@ -8,7 +8,8 @@ use std::time::Instant;
 
 use nested_value::Value;
 use nf2_columnar::{
-    ChunkCache, ExecStats, Projection, RowGroup, ScalarPredicate, ScanCache, ScanStats, Table,
+    ChunkCache, ExecStats, FaultInjector, Projection, RowGroup, ScalarPredicate, ScanCache,
+    ScanFaults, ScanStats, Table,
 };
 use parking_lot::Mutex;
 
@@ -69,6 +70,7 @@ pub struct SqlEngine {
     options: SqlOptions,
     tables: HashMap<String, Arc<Table>>,
     chunk_cache: Option<Arc<ChunkCache>>,
+    fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl SqlEngine {
@@ -79,6 +81,7 @@ impl SqlEngine {
             options,
             tables: HashMap::new(),
             chunk_cache: None,
+            fault_injector: None,
         }
     }
 
@@ -92,6 +95,13 @@ impl SqlEngine {
     /// are identical with or without it (see [`nf2_columnar::ScanStats`]).
     pub fn set_chunk_cache(&mut self, cache: Option<Arc<ChunkCache>>) {
         self.chunk_cache = cache;
+    }
+
+    /// Attaches a chaos-layer fault injector to physical chunk reads.
+    /// `None` (the default) leaves the scan path byte-identical to the
+    /// fault-free engine.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.fault_injector = injector;
     }
 
     /// The engine's dialect.
@@ -185,6 +195,11 @@ impl SqlEngine {
                 cache,
                 table_fingerprint: table.fingerprint(),
             });
+            let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
+                injector,
+                table_name: table.name(),
+                table_fingerprint: table.fingerprint(),
+            });
             for (idx, (g, keep)) in table.row_groups().iter().zip(mask).enumerate() {
                 if !keep {
                     continue;
@@ -196,7 +211,8 @@ impl SqlEngine {
                     &read_leaves,
                     &logical_leaves,
                     scan_cache,
-                );
+                    scan_faults,
+                )?;
             }
             scan.merge(&s);
             table_projs.insert(name.clone(), proj);

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use nf2_columnar::ScanError;
+
 /// Errors from parsing, planning, or executing SQL.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlError {
@@ -25,6 +27,18 @@ pub enum SqlError {
     Eval(String),
     /// Substrate error.
     Columnar(String),
+    /// Typed scan fault from the chaos layer (carries row group + leaf).
+    Scan(ScanError),
+}
+
+impl SqlError {
+    /// The typed scan fault, when this error is one.
+    pub fn scan_error(&self) -> Option<&ScanError> {
+        match self {
+            SqlError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -39,6 +53,7 @@ impl fmt::Display for SqlError {
             SqlError::Plan(m) => write!(f, "planning error: {m}"),
             SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
             SqlError::Columnar(m) => write!(f, "storage error: {m}"),
+            SqlError::Scan(e) => write!(f, "scan fault: {e}"),
         }
     }
 }
@@ -53,6 +68,9 @@ impl From<nested_value::ValueError> for SqlError {
 
 impl From<nf2_columnar::ColumnarError> for SqlError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        SqlError::Columnar(e.to_string())
+        match e {
+            nf2_columnar::ColumnarError::Fault(s) => SqlError::Scan(s),
+            other => SqlError::Columnar(other.to_string()),
+        }
     }
 }

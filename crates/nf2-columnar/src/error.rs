@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fault::ScanError;
+
 /// Errors raised while building, reading, or persisting columnar data.
 #[derive(Debug)]
 pub enum ColumnarError {
@@ -16,6 +18,18 @@ pub enum ColumnarError {
     Format(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// An injected scan fault (chaos layer); carries full chunk context.
+    Fault(ScanError),
+}
+
+impl ColumnarError {
+    /// The typed scan fault, when this error is one.
+    pub fn scan_error(&self) -> Option<&ScanError> {
+        match self {
+            ColumnarError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ColumnarError {
@@ -26,6 +40,7 @@ impl fmt::Display for ColumnarError {
             ColumnarError::UnsupportedSchema(m) => write!(f, "unsupported schema: {m}"),
             ColumnarError::Format(m) => write!(f, "file format error: {m}"),
             ColumnarError::Io(e) => write!(f, "io error: {e}"),
+            ColumnarError::Fault(e) => write!(f, "scan fault: {e}"),
         }
     }
 }
@@ -42,5 +57,11 @@ impl std::error::Error for ColumnarError {
 impl From<std::io::Error> for ColumnarError {
     fn from(e: std::io::Error) -> Self {
         ColumnarError::Io(e)
+    }
+}
+
+impl From<ScanError> for ColumnarError {
+    fn from(e: ScanError) -> Self {
+        ColumnarError::Fault(e)
     }
 }

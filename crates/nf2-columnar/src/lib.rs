@@ -37,6 +37,7 @@ pub mod cache;
 pub mod column;
 pub mod compress;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod project;
 pub mod rowgroup;
@@ -48,9 +49,10 @@ pub mod table;
 pub use cache::{CacheCounters, ChunkCache, ChunkKey};
 pub use column::{ColumnChunk, ColumnData};
 pub use error::ColumnarError;
+pub use fault::{FaultClass, FaultConfig, FaultCounters, FaultInjector, ScanError};
 pub use project::{Projection, PushdownCapability};
 pub use rowgroup::{GroupReader, RowGroup};
-pub use scan::{ExecStats, ScanCache, ScanStats};
+pub use scan::{ExecStats, ScanCache, ScanFaults, ScanStats};
 pub use schema::{DataType, Field, LeafInfo, PhysicalType, Schema};
 pub use select::{apply_predicates, ScalarPredicate, SelCmp, SelValue, SelectionVector};
 pub use table::{Table, TableBuilder};

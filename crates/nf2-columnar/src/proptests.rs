@@ -297,3 +297,86 @@ proptest! {
         prop_assert_eq!(&got[..], &rows[..expect]);
     }
 }
+
+/// Concurrency: N threads hammering one small cache with a deterministic
+/// mixed scan/evict workload. Exact LRU order is interleaving-dependent,
+/// but the *invariants* are not:
+///
+/// * the byte budget holds after every single operation;
+/// * no lookup is lost or double-counted — at quiescence
+///   `hits + misses` equals exactly the lookups issued (`get` + `admit`);
+/// * entry accounting balances: `len == insertions − evictions`;
+/// * every hit returns a chunk whose cost matches its key (no torn or
+///   cross-keyed value).
+#[test]
+fn chunk_cache_invariants_hold_under_contention() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 600;
+    const KEYS: u64 = 12;
+    for seed in [1u64, 2, 3] {
+        let budget = 500 + (seed as usize) * 331;
+        let cache = ChunkCache::new(budget);
+        let lookups: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        let mut state = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let mut rng = move || {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            state
+                        };
+                        let mut lookups = 0u64;
+                        for _ in 0..OPS {
+                            let k = (rng() % KEYS) as usize;
+                            match rng() % 3 {
+                                0 => {
+                                    if let Some(c) = cache.get(&cache_key(k)) {
+                                        assert_eq!(
+                                            c.compressed_bytes,
+                                            cache_chunk(k).compressed_bytes,
+                                            "hit returned a chunk of the wrong key"
+                                        );
+                                    }
+                                    lookups += 1;
+                                }
+                                1 => {
+                                    cache.admit(&cache_key(k), || cache_chunk(k));
+                                    lookups += 1;
+                                }
+                                _ => {
+                                    cache.put(cache_key(k), cache_chunk(k));
+                                }
+                            }
+                            assert!(
+                                cache.resident_bytes() <= budget,
+                                "budget exceeded mid-flight"
+                            );
+                        }
+                        lookups
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let c = cache.counters();
+        assert_eq!(
+            c.hits + c.misses,
+            lookups,
+            "lost or duplicated hit/miss accounting (seed {seed})"
+        );
+        assert!(c.insertions >= c.evictions);
+        assert_eq!(
+            cache.len() as u64,
+            c.insertions - c.evictions,
+            "entry accounting out of balance (seed {seed})"
+        );
+        assert!(cache.resident_bytes() <= budget);
+        assert!(
+            c.hits > 0 && c.misses > 0 && c.evictions > 0,
+            "workload too tame"
+        );
+    }
+}

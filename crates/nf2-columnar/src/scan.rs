@@ -3,6 +3,7 @@
 
 use crate::cache::{ChunkCache, ChunkKey};
 use crate::error::ColumnarError;
+use crate::fault::FaultInjector;
 use crate::project::{Projection, PushdownCapability};
 use crate::rowgroup::RowGroup;
 use crate::schema::LeafInfo;
@@ -89,13 +90,29 @@ pub struct ScanCache<'c> {
     pub table_fingerprint: u64,
 }
 
+/// A fault injector attached to a scan: the injector plus the identity of
+/// the table being scanned (the injector's decisions are keyed on the
+/// fingerprint; the name is carried for error context).
+#[derive(Clone, Copy)]
+pub struct ScanFaults<'f> {
+    /// The shared chaos-layer injector.
+    pub injector: &'f FaultInjector,
+    /// Name of the table being scanned (error context).
+    pub table_name: &'f str,
+    /// [`Table::fingerprint`] of the table being scanned.
+    pub table_fingerprint: u64,
+}
+
 /// Accounts one row group's scan into `stats`, routing each physically
-/// read chunk through the buffer pool when one is attached.
+/// read chunk through the buffer pool when one is attached and through the
+/// fault injector when one is attached.
 ///
 /// This is the single accounting primitive every engine uses (directly or
 /// via [`scan_stats_cached`]), so billing bytes are computed identically
 /// with and without a cache; only the `cache_*`/`bytes_from_cache` fields
-/// differ.
+/// differ. A faulted chunk read aborts the group's cache admissions and
+/// surfaces as [`ColumnarError::Fault`]; with `faults: None` the function
+/// is infallible in practice.
 pub fn account_group_scan(
     stats: &mut ScanStats,
     group: &RowGroup,
@@ -103,15 +120,27 @@ pub fn account_group_scan(
     read_leaves: &[&LeafInfo],
     logical_leaves: &[&LeafInfo],
     cache: Option<ScanCache<'_>>,
-) {
+    faults: Option<ScanFaults<'_>>,
+) -> Result<(), ColumnarError> {
     stats.rows += group.n_rows() as u64;
     stats.bytes_scanned += group.compressed_bytes(read_leaves) as u64;
     stats.uncompressed_bytes += group.uncompressed_bytes(read_leaves) as u64;
     stats.logical_bytes += group.logical_bytes(logical_leaves) as u64;
     stats.ideal_compressed_bytes += group.compressed_bytes(logical_leaves) as u64;
     stats.ideal_uncompressed_bytes += group.uncompressed_bytes(logical_leaves) as u64;
-    let Some(sc) = cache else { return };
+    if cache.is_none() && faults.is_none() {
+        return Ok(());
+    }
     for leaf in read_leaves {
+        if let Some(fi) = faults {
+            fi.injector.on_chunk_read(
+                fi.table_name,
+                fi.table_fingerprint,
+                group_idx as u32,
+                &leaf.path,
+            )?;
+        }
+        let Some(sc) = cache else { continue };
         let Ok(chunk) = group.column(&leaf.path) else {
             continue;
         };
@@ -131,6 +160,7 @@ pub fn account_group_scan(
             stats.cache_evictions += admission.evicted;
         }
     }
+    Ok(())
 }
 
 /// Computes the scan statistics a reader with capability `cap` incurs for
@@ -140,7 +170,7 @@ pub fn scan_stats(
     projection: &Projection,
     cap: PushdownCapability,
 ) -> Result<ScanStats, ColumnarError> {
-    scan_stats_cached(table, projection, cap, None)
+    scan_stats_faulted(table, projection, cap, None, None)
 }
 
 /// [`scan_stats`] with an optional buffer pool in front of the physical
@@ -152,6 +182,19 @@ pub fn scan_stats_cached(
     cap: PushdownCapability,
     cache: Option<ScanCache<'_>>,
 ) -> Result<ScanStats, ColumnarError> {
+    scan_stats_faulted(table, projection, cap, cache, None)
+}
+
+/// [`scan_stats_cached`] with an optional fault injector on the physical
+/// chunk reads. With `faults: None` the result is bit-identical to
+/// [`scan_stats_cached`].
+pub fn scan_stats_faulted(
+    table: &Table,
+    projection: &Projection,
+    cap: PushdownCapability,
+    cache: Option<ScanCache<'_>>,
+    faults: Option<ScanFaults<'_>>,
+) -> Result<ScanStats, ColumnarError> {
     let read_leaves = projection.resolve(table.schema(), cap)?;
     let logical_leaves = projection.logical_leaves(table.schema())?;
     let mut stats = ScanStats {
@@ -159,7 +202,15 @@ pub fn scan_stats_cached(
         ..ScanStats::default()
     };
     for (idx, g) in table.row_groups().iter().enumerate() {
-        account_group_scan(&mut stats, g, idx, &read_leaves, &logical_leaves, cache);
+        account_group_scan(
+            &mut stats,
+            g,
+            idx,
+            &read_leaves,
+            &logical_leaves,
+            cache,
+            faults,
+        )?;
     }
     Ok(stats)
 }

@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 use cloud_sim::InstanceType;
 use hepbench_core::adapters::ExecEnv;
 use hepbench_core::runner::{execute_engine, System};
-use nf2_columnar::{CacheCounters, ChunkCache, ExecStats, ScanStats, Table};
+use nf2_columnar::{CacheCounters, ChunkCache, ExecStats, FaultInjector, ScanStats, Table};
 
 pub use request::{QueryRequest, QueryResponse, ServiceError};
 pub use result_cache::{normalize_query_text, result_key, CachedResult, ResultCache, ResultKey};
@@ -75,6 +75,17 @@ pub struct ServiceConfig {
     /// Instance whose hourly price converts measured wall seconds into
     /// self-managed serving cost.
     pub pricing_instance: &'static str,
+    /// Chaos-layer fault injector applied to every worker's physical
+    /// chunk reads (`None`, the default, serves the fault-free path —
+    /// [`ServiceConfig::paper_fairness`] keeps it off).
+    pub fault_injector: Option<Arc<FaultInjector>>,
+    /// How many times a worker re-runs a query that failed with a
+    /// *retryable* scan fault (transient I/O, checksum mismatch,
+    /// truncated row group) before surfacing the error.
+    pub max_retries: u32,
+    /// Base backoff between retries; attempt `k` sleeps
+    /// `retry_backoff × 2^(k−1)`.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +99,9 @@ impl Default for ServiceConfig {
             chunk_cache_bytes: 64 << 20,
             intra_query_threads: 1,
             pricing_instance: "m5d.4xlarge",
+            fault_injector: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -360,7 +374,20 @@ fn worker_loop(shared: &Shared) {
             }
         }
         let queue_seconds = (now - job.enqueued).as_secs_f64();
-        let result = serve(shared, &job.req, queue_seconds, job.enqueued);
+        // Panic isolation: a query that panics (e.g. an injected panic
+        // fault, or an engine bug) must not take the worker thread — and
+        // with it a slice of the pool's capacity — down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(shared, &job.req, queue_seconds, job.enqueued)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ServiceError::Engine(format!(
+                "query worker panicked serving {} on {}: {}",
+                job.req.query.name(),
+                job.req.system.name(),
+                panic_message(&payload)
+            )))
+        });
         match &result {
             Ok(resp) => shared
                 .stats
@@ -405,9 +432,24 @@ fn serve(
         chunk_cache: shared.chunk_cache.clone(),
         intra_query_threads: (shared.config.intra_query_threads > 0)
             .then_some(shared.config.intra_query_threads),
+        fault_injector: shared.config.fault_injector.clone(),
     };
-    let run = execute_engine(req.system, &shared.table, req.query, &env)
-        .map_err(|e| ServiceError::Engine(e.0))?;
+    // Bounded retry with exponential backoff on *retryable* scan faults
+    // (transient I/O, checksum mismatch, truncated row group). Anything
+    // else — or a fault that outlives the retry budget — surfaces as a
+    // typed engine error carrying system, query and scan context.
+    let mut attempt: u32 = 0;
+    let run = loop {
+        match execute_engine(req.system, &shared.table, req.query, &env) {
+            Ok(run) => break run,
+            Err(e) if e.retryable() && attempt < shared.config.max_retries => {
+                attempt += 1;
+                shared.stats.note_retried();
+                std::thread::sleep(shared.config.retry_backoff * (1u32 << (attempt - 1).min(8)));
+            }
+            Err(e) => return Err(ServiceError::Engine(e.to_string())),
+        }
+    };
     if let (Some(cache), Some(key)) = (shared.result_cache.as_ref(), key) {
         cache.put(
             key,
@@ -425,6 +467,17 @@ fn serve(
         queue_seconds,
         total_seconds: enqueued.elapsed().as_secs_f64(),
     })
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Cost of one served query. QaaS systems bill scanned bytes (zero on a

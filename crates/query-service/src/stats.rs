@@ -19,6 +19,7 @@ pub struct ServiceStats {
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    retried: AtomicU64,
     total_latencies: Mutex<Vec<f64>>,
     queue_waits: Mutex<Vec<f64>>,
 }
@@ -37,6 +38,10 @@ pub struct StatsSnapshot {
     pub timed_out: u64,
     /// Requests whose engine execution failed.
     pub failed: u64,
+    /// Engine re-executions after a retryable scan fault (one request can
+    /// contribute several; a request that eventually completes still
+    /// counts its retries here).
+    pub retried: u64,
     /// Seconds since the service started.
     pub elapsed_seconds: f64,
     /// Completed requests per second of service lifetime.
@@ -69,6 +74,7 @@ impl ServiceStats {
             rejected: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
             total_latencies: Mutex::new(Vec::new()),
             queue_waits: Mutex::new(Vec::new()),
         }
@@ -88,6 +94,10 @@ impl ServiceStats {
 
     pub(crate) fn note_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_completed(&self, total_seconds: f64, queue_seconds: f64) {
@@ -114,6 +124,7 @@ impl ServiceStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
             elapsed_seconds,
             qps: if elapsed_seconds > 0.0 {
                 completed as f64 / elapsed_seconds

@@ -24,7 +24,10 @@
 //!   validation, metrics, and the run orchestrator;
 //! * [`service`] — concurrent multi-tenant query serving over the same
 //!   engines: worker pool, admission control, buffer pool and a
-//!   BigQuery-style result cache (with the paper's caches-off knob).
+//!   BigQuery-style result cache (with the paper's caches-off knob);
+//! * [`chaos`] — deterministic fault injection and differential query
+//!   fuzzing: seeded random plans lowered to every system under test,
+//!   checked bin-for-bin against an interpreter oracle.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 //! assert!(sql.histogram.counts_equal(&reference.hist));
 //! ```
 
+pub use chaos;
 pub use cloud_sim as cloud;
 pub use engine_flwor as jsoniq;
 pub use engine_rdf as rdataframe;
