@@ -22,13 +22,14 @@ fn table() -> Arc<nf2_columnar::Table> {
 
 fn bench_engines(c: &mut Criterion) {
     let t = table();
+    let env = adapters::ExecEnv::seed();
     for q in [QueryId::Q1, QueryId::Q5, QueryId::Q6a] {
         let mut group = c.benchmark_group(format!("e2e/{}", q.name()));
         group.sample_size(10);
         group.bench_function("rdataframe", |b| {
             b.iter(|| {
                 black_box(
-                    adapters::run_rdf(&t, q, engine_rdf::Options::default())
+                    adapters::run_rdf_env(&t, q, engine_rdf::Options::default(), &env)
                         .unwrap()
                         .histogram
                         .total(),
@@ -38,21 +39,28 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_function("sql_presto", |b| {
             b.iter(|| {
                 black_box(
-                    adapters::run_sql(Dialect::presto(), &t, q, engine_sql::SqlOptions::default())
-                        .unwrap()
-                        .histogram
-                        .total(),
+                    adapters::run_sql_env(
+                        Dialect::presto(),
+                        &t,
+                        q,
+                        engine_sql::SqlOptions::default(),
+                        &env,
+                    )
+                    .unwrap()
+                    .histogram
+                    .total(),
                 )
             })
         });
         group.bench_function("sql_bigquery", |b| {
             b.iter(|| {
                 black_box(
-                    adapters::run_sql(
+                    adapters::run_sql_env(
                         Dialect::bigquery(),
                         &t,
                         q,
                         engine_sql::SqlOptions::default(),
+                        &env,
                     )
                     .unwrap()
                     .histogram
@@ -63,7 +71,7 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_function("jsoniq", |b| {
             b.iter(|| {
                 black_box(
-                    adapters::run_jsoniq(&t, q, engine_flwor::FlworOptions::default())
+                    adapters::run_jsoniq_env(&t, q, engine_flwor::FlworOptions::default(), &env)
                         .unwrap()
                         .histogram
                         .total(),

@@ -8,11 +8,13 @@
 //! simulator as described in DESIGN.md.
 
 use hepbench_bench::{dataset, fmt_secs, fmt_usd};
+use hepbench_core::adapters::ExecEnv;
 use hepbench_core::runner::{run_one, System, ALL_SYSTEMS};
 use hepbench_core::{reference, ALL_QUERIES};
 
 fn main() {
     let (events, table) = dataset();
+    let env = ExecEnv::seed();
     println!("Figure 1 — running time vs cost per query and system");
     for q in ALL_QUERIES {
         // Like the paper, Q6b is omitted: "nearly identical results as Q6a".
@@ -31,7 +33,7 @@ fn main() {
                 continue; // excluded from Fig 1 (implausible scan statistics)
             }
             if system.is_qaas() {
-                let m = run_one(*system, None, &table, *q).expect("qaas run");
+                let m = run_one(*system, None, &table, *q, &env).expect("qaas run");
                 assert_eq!(
                     m.hist_entries,
                     expect.total(),
@@ -47,8 +49,8 @@ fn main() {
                     m.hist_entries
                 );
             } else {
-                for m in
-                    hepbench_core::runner::run_sweep(*system, &table, *q).expect("self-managed run")
+                for m in hepbench_core::runner::run_sweep(*system, &table, *q, &env)
+                    .expect("self-managed run")
                 {
                     assert_eq!(
                         m.hist_entries,

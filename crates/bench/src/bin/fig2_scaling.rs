@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use hepbench_bench::{dataset, fmt_secs};
+use hepbench_core::adapters::ExecEnv;
 use hepbench_core::runner::{run_one, System};
 use hepbench_core::QueryId;
 
@@ -29,6 +30,7 @@ fn systems() -> Vec<(System, Option<&'static cloud_sim::InstanceType>)> {
 
 fn main() {
     let (_, table) = dataset();
+    let env = ExecEnv::seed();
     let queries = [
         QueryId::Q1,
         QueryId::Q4,
@@ -57,7 +59,7 @@ fn main() {
             print!("{:24}", system.name());
             for s in &sizes {
                 let head = Arc::new(table.head(*s));
-                let m = run_one(system, inst, &head, q).expect("run");
+                let m = run_one(system, inst, &head, q, &env).expect("run");
                 print!("{:>12}", fmt_secs(m.wall_seconds));
             }
             println!();

@@ -1,8 +1,10 @@
 //! Regenerates **Figure 4**: the compute/IO balance analysis —
 //! (a) CPU time per query and system, (b) bytes scanned per event with the
-//! two "ideal" lines, (c) end-to-end scan throughput per core.
+//! two "ideal" lines, (c) end-to-end scan throughput per core, and
+//! (d) the per-stage breakdown from each run's span tree.
 
 use hepbench_bench::{dataset, fmt_bytes, fmt_secs};
+use hepbench_core::adapters::ExecEnv;
 use hepbench_core::runner::{run_one, System};
 use hepbench_core::ALL_QUERIES;
 
@@ -19,6 +21,14 @@ fn systems() -> Vec<(System, Option<&'static cloud_sim::InstanceType>)> {
 }
 
 fn main() {
+    // Tracing on: Figure 4d reads the per-stage breakdown straight off
+    // each run's span tree. CPU/scan numbers still come from the same
+    // accounting as before (tracing is an overlay, not a measurement
+    // change).
+    let env = ExecEnv {
+        trace: obs::TraceCtx::enabled(),
+        ..ExecEnv::seed()
+    };
     let (_, table) = dataset();
     let mut rows = Vec::new();
     for q in ALL_QUERIES {
@@ -26,7 +36,7 @@ fn main() {
             continue;
         }
         for (system, inst) in systems() {
-            let m = run_one(system, inst, &table, *q).expect("run");
+            let m = run_one(system, inst, &table, *q, &env).expect("run");
             rows.push(m);
         }
     }
@@ -57,6 +67,16 @@ fn main() {
         format!("{:.2}", m.throughput_mb_per_core_second())
     });
     println!();
+
+    println!("Figure 4d — where the time goes (top stage from each run's span tree)");
+    print_per_query_width(&rows, 22, |m| {
+        m.stage_seconds
+            .iter()
+            .find(|(stage, _)| *stage != "query")
+            .map(|(stage, secs)| format!("{stage} {}", fmt_secs(*secs)))
+            .unwrap_or_else(|| "-".to_string())
+    });
+    println!();
     println!(
         "total table size: {} compressed / {} uncompressed",
         fmt_bytes(table.compressed_bytes() as u64),
@@ -71,6 +91,14 @@ fn main() {
 
 fn print_per_query(
     rows: &[hepbench_core::runner::Measurement],
+    f: impl Fn(&hepbench_core::runner::Measurement) -> String,
+) {
+    print_per_query_width(rows, 10, f)
+}
+
+fn print_per_query_width(
+    rows: &[hepbench_core::runner::Measurement],
+    width: usize,
     f: impl Fn(&hepbench_core::runner::Measurement) -> String,
 ) {
     let queries: Vec<&str> = {
@@ -93,7 +121,7 @@ fn print_per_query(
     };
     print!("{:24}", "");
     for q in &queries {
-        print!("{q:>10}");
+        print!("{q:>width$}");
     }
     println!();
     for s in &systems {
@@ -103,7 +131,7 @@ fn print_per_query(
                 .iter()
                 .find(|m| m.system == *s && m.query == *q)
                 .expect("measured");
-            print!("{:>10}", f(m));
+            print!("{:>width$}", f(m));
         }
         println!();
     }

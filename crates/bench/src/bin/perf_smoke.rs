@@ -1,22 +1,45 @@
 //! Perf-trajectory smoke harness: runs Q1/Q5/Q6 on each engine at a fixed
 //! seed/scale and writes machine-readable `BENCH_smoke.json` so successive
-//! PRs have a comparable throughput baseline.
+//! PRs have a comparable throughput baseline. Each row also carries the
+//! per-stage breakdown from one traced run (the span tree's exclusive
+//! stage seconds), and the traced trees are exported to
+//! `results/traces/` as both span JSON and `chrome://tracing` files.
 //!
 //! Scale defaults to 32 768 events (seed `0xAD1B70`, 128 row groups) and can
 //! be overridden through the usual `HEPQUERY_*` environment variables. Each
 //! (engine, query) pair runs `RUNS` times; the JSON records the median wall
-//! time to damp scheduler noise.
+//! time to damp scheduler noise. Timed runs are untraced — tracing is
+//! overhead-gated, not free — and the stage breakdown comes from one
+//! extra traced run per point.
+//!
+//! `perf_smoke --check` is the CI observability gate: it sweeps Q1–Q8 on
+//! the SQL engine at small scale (default 2 048 events), compares the
+//! min-of-`RUNS` wall time traced vs untraced, and fails if tracing costs
+//! more than [`MAX_OVERHEAD_FRACTION`] in aggregate. It also exports one
+//! trace per (engine, query) for the CI artifact.
 
 use std::sync::Arc;
 
-use engine_sql::{Dialect, SqlOptions};
 use hep_model::generator::build_dataset;
 use hep_model::DatasetSpec;
-use hepbench_core::adapters;
-use hepbench_core::QueryId;
-use nf2_columnar::{ExecStats, Table};
+use hepbench_core::adapters::{EngineRun, ExecEnv};
+use hepbench_core::engine_api::{engine_for, QuerySpec};
+use hepbench_core::runner::System;
+use hepbench_core::{QueryId, ALL_QUERIES};
+use nf2_columnar::Table;
 
 const RUNS: usize = 3;
+
+/// The `--check` gate: traced aggregate wall time may exceed untraced by
+/// at most this fraction.
+const MAX_OVERHEAD_FRACTION: f64 = 0.03;
+
+/// The engines of the smoke baseline, with their stable JSON labels.
+const ENGINES: [(System, &str); 3] = [
+    (System::Presto, "sql-presto"),
+    (System::Rumble, "jsoniq"),
+    (System::RDataFrame, "rdataframe"),
+];
 
 struct Row {
     engine: &'static str,
@@ -24,13 +47,15 @@ struct Row {
     wall_seconds: f64,
     cpu_seconds: f64,
     events_per_sec: f64,
+    /// Exclusive per-stage seconds from one traced run (stage → s).
+    stages: Vec<(&'static str, f64)>,
 }
 
-fn spec() -> DatasetSpec {
+fn spec(default_events: usize) -> DatasetSpec {
     let n_events = std::env::var("HEPQUERY_EVENTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(32_768);
+        .unwrap_or(default_events);
     let row_group_size = std::env::var("HEPQUERY_ROW_GROUP")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -46,34 +71,160 @@ fn spec() -> DatasetSpec {
     }
 }
 
-fn median_stats(mut runs: Vec<ExecStats>) -> ExecStats {
-    runs.sort_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds));
-    runs.swap_remove(runs.len() / 2)
+fn run_point(system: System, table: &Arc<Table>, q: QueryId, env: &ExecEnv) -> EngineRun {
+    engine_for(system, table.clone())
+        .execute(&QuerySpec::benchmark(q), env)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Directory the trace exports land in (CI uploads it as an artifact).
+fn trace_dir() -> std::path::PathBuf {
+    std::env::var("TRACE_OUT_DIR")
+        .unwrap_or_else(|_| "results/traces".to_string())
+        .into()
+}
+
+/// Writes one traced run's span tree as span JSON and chrome trace.
+fn export_trace(run: &EngineRun, engine: &str, query: &str) {
+    let dir = trace_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let base = format!("{}_{}", query, engine.replace('-', "_"));
+    let _ = std::fs::write(dir.join(format!("{base}.spans.json")), run.trace.to_json());
+    let _ = std::fs::write(
+        dir.join(format!("{base}.chrome.json")),
+        run.trace.to_chrome_trace(),
+    );
 }
 
 fn measure(
+    system: System,
     engine: &'static str,
+    q: QueryId,
     query: &'static str,
+    table: &Arc<Table>,
     n_events: usize,
-    run: impl Fn() -> ExecStats,
 ) -> Row {
-    let stats = median_stats((0..RUNS).map(|_| run()).collect());
+    let untraced = ExecEnv::seed();
+    let mut walls: Vec<(f64, f64)> = (0..RUNS)
+        .map(|_| {
+            let s = run_point(system, table, q, &untraced).stats;
+            (s.wall_seconds, s.cpu_seconds)
+        })
+        .collect();
+    walls.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (wall_seconds, cpu_seconds) = walls[walls.len() / 2];
+    // One traced run per point supplies the stage breakdown and the
+    // exported trace files; its wall time is not part of the baseline.
+    let traced_env = ExecEnv {
+        trace: obs::TraceCtx::enabled(),
+        ..ExecEnv::seed()
+    };
+    let traced = run_point(system, table, q, &traced_env);
+    export_trace(&traced, engine, query);
+    let stages = traced
+        .trace
+        .stage_seconds()
+        .into_iter()
+        .map(|(s, secs)| (s.name(), secs))
+        .collect();
     eprintln!(
         "  {engine:12} {query}: {:8.2} ms wall, {:8.2} ms cpu",
-        stats.wall_seconds * 1e3,
-        stats.cpu_seconds * 1e3
+        wall_seconds * 1e3,
+        cpu_seconds * 1e3
     );
     Row {
         engine,
         query,
-        wall_seconds: stats.wall_seconds,
-        cpu_seconds: stats.cpu_seconds,
-        events_per_sec: n_events as f64 / stats.wall_seconds,
+        wall_seconds,
+        cpu_seconds,
+        events_per_sec: n_events as f64 / wall_seconds,
+        stages,
     }
 }
 
+/// `--check`: the tracing-overhead gate plus the Q1–Q8 trace artifact.
+fn check(spec: DatasetSpec) -> bool {
+    eprintln!(
+        "# perf_smoke --check: {} events, {} per row group, seed {:#x}",
+        spec.n_events, spec.row_group_size, spec.seed
+    );
+    let (_, table) = build_dataset(spec);
+    let table: Arc<Table> = Arc::new(table);
+    let untraced_env = ExecEnv::seed();
+    let traced_env = ExecEnv {
+        trace: obs::TraceCtx::enabled(),
+        ..ExecEnv::seed()
+    };
+    // Export one traced tree per (engine, query) — the CI artifact — and
+    // sanity-check every tree is non-empty with a query root.
+    for (system, label) in ENGINES {
+        for q in ALL_QUERIES {
+            let run = run_point(system, &table, *q, &traced_env);
+            assert!(
+                !run.trace.is_empty(),
+                "{label} {} produced no span tree under tracing",
+                q.name()
+            );
+            export_trace(&run, label, q.name());
+        }
+    }
+    // The overhead gate proper, on the SQL engine across Q1–Q8: compare
+    // min-of-GATE_RUNS wall times, aggregated across queries
+    // (single-query millisecond deltas are scheduler noise at this
+    // scale). Traced and untraced runs are interleaved pairwise so
+    // clock/thermal drift hits both arms symmetrically.
+    const GATE_RUNS: usize = 5;
+    let mut sum_untraced = 0.0;
+    let mut sum_traced = 0.0;
+    eprintln!("# tracing overhead (sql-presto, min of {GATE_RUNS} interleaved runs)");
+    for q in ALL_QUERIES {
+        let mut u = f64::INFINITY;
+        let mut t = f64::INFINITY;
+        for _ in 0..GATE_RUNS {
+            u = u.min(
+                run_point(System::Presto, &table, *q, &untraced_env)
+                    .stats
+                    .wall_seconds,
+            );
+            t = t.min(
+                run_point(System::Presto, &table, *q, &traced_env)
+                    .stats
+                    .wall_seconds,
+            );
+        }
+        sum_untraced += u;
+        sum_traced += t;
+        eprintln!(
+            "  {:4} untraced {:8.2} ms   traced {:8.2} ms   ({:+6.2}%)",
+            q.name(),
+            u * 1e3,
+            t * 1e3,
+            (t / u - 1.0) * 100.0
+        );
+    }
+    let overhead = sum_traced / sum_untraced - 1.0;
+    eprintln!(
+        "# aggregate: untraced {:.2} ms, traced {:.2} ms, overhead {:+.2}% (gate: {:.0}%)",
+        sum_untraced * 1e3,
+        sum_traced * 1e3,
+        overhead * 100.0,
+        MAX_OVERHEAD_FRACTION * 100.0
+    );
+    overhead <= MAX_OVERHEAD_FRACTION
+}
+
 fn main() {
-    let spec = spec();
+    if std::env::args().any(|a| a == "--check") {
+        if !check(spec(2_048)) {
+            eprintln!("# FAIL: tracing overhead exceeds the gate");
+            std::process::exit(1);
+        }
+        eprintln!("# OK: tracing overhead within the gate");
+        return;
+    }
+    let spec = spec(32_768);
     eprintln!(
         "# perf_smoke: {} events, {} per row group, seed {:#x}",
         spec.n_events, spec.row_group_size, spec.seed
@@ -89,26 +240,10 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for (q, name) in queries {
-        rows.push(measure("sql-presto", name, n, || {
-            adapters::run_sql(Dialect::presto(), &table, q, SqlOptions::default())
-                .expect("sql run")
-                .stats
-        }));
-    }
-    for (q, name) in queries {
-        rows.push(measure("jsoniq", name, n, || {
-            adapters::run_jsoniq(&table, q, engine_flwor::FlworOptions::default())
-                .expect("jsoniq run")
-                .stats
-        }));
-    }
-    for (q, name) in queries {
-        rows.push(measure("rdataframe", name, n, || {
-            adapters::run_rdf(&table, q, engine_rdf::Options::default())
-                .expect("rdf run")
-                .stats
-        }));
+    for (system, label) in ENGINES {
+        for (q, name) in queries {
+            rows.push(measure(system, label, q, name, &table, n));
+        }
     }
 
     let mut json = String::new();
@@ -120,13 +255,20 @@ fn main() {
     json.push_str(&format!("  \"runs_per_point\": {RUNS},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let stages = r
+            .stages
+            .iter()
+            .map(|(s, secs)| format!("\"{s}\": {secs:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6}, \"events_per_sec\": {:.1} }}{}\n",
+            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"stages\": {{ {} }} }}{}\n",
             r.engine,
             r.query,
             r.wall_seconds,
             r.cpu_seconds,
             r.events_per_sec,
+            stages,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

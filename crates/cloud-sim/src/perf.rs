@@ -144,7 +144,7 @@ mod tests {
 /// traffic). A non-zero `κ` produces a *retrograde* region — throughput
 /// decreasing beyond an optimal core count — which is exactly the behaviour
 /// the paper reports for RDataFrame on large multi-core machines (§4.1,
-/// [4], [28]) and, milder, for Presto.
+/// \[4\], \[28\]) and, milder, for Presto.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SelfManagedProfile {
     /// System name.

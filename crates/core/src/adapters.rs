@@ -46,9 +46,47 @@ impl AdapterError {
         }
     }
 
+    /// Builds an error from any engine's error type, propagating its
+    /// typed scan fault. This is the single bridge every engine adapter
+    /// uses — a new engine only implements [`EngineError`] and gets
+    /// scan-fault propagation (and thus service-side retries) for free.
+    pub fn from_engine(
+        system: impl Into<String>,
+        query: impl Into<String>,
+        e: &dyn EngineError,
+    ) -> AdapterError {
+        AdapterError::new(system, query, e, e.scan_error())
+    }
+
     /// Whether the service retry path should re-run the query.
     pub fn retryable(&self) -> bool {
         self.scan.as_ref().is_some_and(|s| s.retryable())
+    }
+}
+
+/// The contract an engine's error type satisfies so the adapter layer
+/// can wrap it uniformly: printable, and able to surface the typed
+/// chaos-layer [`ScanError`] when the failure was an injected fault.
+pub trait EngineError: std::fmt::Display {
+    /// The typed scan fault, when this error is one.
+    fn scan_error(&self) -> Option<&ScanError>;
+}
+
+impl EngineError for engine_sql::SqlError {
+    fn scan_error(&self) -> Option<&ScanError> {
+        self.scan_error()
+    }
+}
+
+impl EngineError for engine_flwor::FlworError {
+    fn scan_error(&self) -> Option<&ScanError> {
+        self.scan_error()
+    }
+}
+
+impl EngineError for engine_rdf::RdfError {
+    fn scan_error(&self) -> Option<&ScanError> {
+        self.scan_error()
     }
 }
 
@@ -66,6 +104,9 @@ pub struct EngineRun {
     pub histogram: Histogram,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// The span tree recorded during the run. Empty when the
+    /// environment's [`obs::TraceCtx`] was disabled (the default).
+    pub trace: obs::SpanTree,
 }
 
 /// Cross-engine execution environment: everything the serving layer
@@ -85,6 +126,10 @@ pub struct ExecEnv {
     /// default, reproduces the fault-free path byte-for-byte; see
     /// [`nf2_columnar::fault`]).
     pub fault_injector: Option<Arc<FaultInjector>>,
+    /// Tracing context. The default (disabled) context records nothing
+    /// and costs near-zero; an enabled context collects a span tree the
+    /// run returns in [`EngineRun::trace`].
+    pub trace: obs::TraceCtx,
 }
 
 impl ExecEnv {
@@ -96,6 +141,11 @@ impl ExecEnv {
 }
 
 /// Runs a query on the SQL engine under a dialect profile.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a crate::engine_api::SqlQueryEngine (or use \
+            crate::engine_api::engine_for) and call QueryEngine::execute"
+)]
 pub fn run_sql(
     dialect: Dialect,
     table: &Arc<Table>,
@@ -105,7 +155,13 @@ pub fn run_sql(
     run_sql_env(dialect, table, q, options, &ExecEnv::seed())
 }
 
-/// [`run_sql`] under an explicit [`ExecEnv`].
+/// Runs a query on the SQL engine under an explicit [`ExecEnv`].
+///
+/// This is the raw per-engine adapter the [`crate::engine_api`] trait
+/// impls delegate to. It records stage spans into `env.trace` but does
+/// not drain them: the caller owning the query-level root span (the
+/// trait impl, or the serving layer) collects the tree, so
+/// [`EngineRun::trace`] is empty here.
 pub fn run_sql_env(
     dialect: Dialect,
     table: &Arc<Table>,
@@ -121,23 +177,33 @@ pub fn run_sql_env(
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
     }
+    let setup_span = env
+        .trace
+        .span_with(obs::Stage::Plan, || "setup".to_string());
     let sql = queries::text(lang, q);
     let mut engine = SqlEngine::new(dialect, options);
     engine.register(table.clone());
     engine.set_chunk_cache(env.chunk_cache.clone());
     engine.set_fault_injector(env.fault_injector.clone());
+    engine.set_trace(env.trace.clone());
+    setup_span.finish();
     let out = engine
         .execute(&sql)
-        .map_err(|e| AdapterError::new(lang.name(), q.name(), &e, e.scan_error()))?;
+        .map_err(|e| AdapterError::from_engine(lang.name(), q.name(), &e))?;
+    let hist_span = env
+        .trace
+        .span_with(obs::Stage::Materialize, || "histogram".to_string());
     let mut histogram = Histogram::new(q.hist_spec());
     for row in &out.relation.rows {
         let (bin, n) =
             bin_count_row(row).map_err(|e| AdapterError::new(lang.name(), q.name(), e, None))?;
         histogram.add_bin_count(bin, n);
     }
+    hist_span.finish();
     Ok(EngineRun {
         histogram,
         stats: out.stats,
+        trace: obs::SpanTree::default(),
     })
 }
 
@@ -158,6 +224,11 @@ pub(crate) fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
 }
 
 /// Runs a query on the JSONiq engine (Rumble analog).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a crate::engine_api::FlworQueryEngine (or use \
+            crate::engine_api::engine_for) and call QueryEngine::execute"
+)]
 pub fn run_jsoniq(
     table: &Arc<Table>,
     q: QueryId,
@@ -166,7 +237,9 @@ pub fn run_jsoniq(
     run_jsoniq_env(table, q, options, &ExecEnv::seed())
 }
 
-/// [`run_jsoniq`] under an explicit [`ExecEnv`].
+/// Runs a query on the JSONiq engine under an explicit [`ExecEnv`].
+/// Like [`run_sql_env`], records spans into `env.trace` but leaves
+/// draining to the caller.
 pub fn run_jsoniq_env(
     table: &Arc<Table>,
     q: QueryId,
@@ -176,14 +249,22 @@ pub fn run_jsoniq_env(
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
     }
+    let setup_span = env
+        .trace
+        .span_with(obs::Stage::Plan, || "setup".to_string());
     let text = queries::text(Language::Jsoniq, q);
     let mut engine = FlworEngine::new(options);
     engine.register(table.clone());
     engine.set_chunk_cache(env.chunk_cache.clone());
     engine.set_fault_injector(env.fault_injector.clone());
+    engine.set_trace(env.trace.clone());
+    setup_span.finish();
     let out = engine
         .execute(&text)
-        .map_err(|e| AdapterError::new("JSONiq", q.name(), &e, e.scan_error()))?;
+        .map_err(|e| AdapterError::from_engine("JSONiq", q.name(), &e))?;
+    let hist_span = env
+        .trace
+        .span_with(obs::Stage::Materialize, || "histogram".to_string());
     let mut histogram = Histogram::new(q.hist_spec());
     for item in &out.items {
         let bin = item
@@ -191,13 +272,20 @@ pub fn run_jsoniq_env(
             .map_err(|e| AdapterError::new("JSONiq", q.name(), format!("bin item {e}"), None))?;
         histogram.add_bin_count(bin, 1);
     }
+    hist_span.finish();
     Ok(EngineRun {
         histogram,
         stats: out.stats,
+        trace: obs::SpanTree::default(),
     })
 }
 
 /// Runs a query on the RDataFrame-style engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a crate::engine_api::RdfQueryEngine (or use \
+            crate::engine_api::engine_for) and call QueryEngine::execute"
+)]
 pub fn run_rdf(
     table: &Arc<Table>,
     q: QueryId,
@@ -206,7 +294,9 @@ pub fn run_rdf(
     run_rdf_env(table, q, options, &ExecEnv::seed())
 }
 
-/// [`run_rdf`] under an explicit [`ExecEnv`].
+/// Runs a query on the RDataFrame-style engine under an explicit
+/// [`ExecEnv`]. Like [`run_sql_env`], records spans into `env.trace`
+/// but leaves draining to the caller.
 pub fn run_rdf_env(
     table: &Arc<Table>,
     q: QueryId,
@@ -216,15 +306,26 @@ pub fn run_rdf_env(
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
     }
+    let setup_span = env
+        .trace
+        .span_with(obs::Stage::Plan, || "setup".to_string());
     let mut df = crate::rdf_programs::build(q, table.clone(), options);
     df.set_chunk_cache(env.chunk_cache.clone());
     df.set_fault_injector(env.fault_injector.clone());
+    df.set_trace(env.trace.clone());
+    setup_span.finish();
     let out = df
         .run_all()
-        .map_err(|e| AdapterError::new("RDataFrame", q.name(), &e, e.scan_error()))?;
+        .map_err(|e| AdapterError::from_engine("RDataFrame", q.name(), &e))?;
+    let hist_span = env
+        .trace
+        .span_with(obs::Stage::Materialize, || "histogram".to_string());
+    let histogram = out.histograms.into_iter().next().expect("one booking");
+    hist_span.finish();
     Ok(EngineRun {
-        histogram: out.histograms.into_iter().next().expect("one booking"),
+        histogram,
         stats: out.stats,
+        trace: obs::SpanTree::default(),
     })
 }
 
@@ -243,17 +344,19 @@ mod tests {
         });
         let table = Arc::new(table);
         let n = events.len() as u64;
-        let sql = run_sql(
+        let env = ExecEnv::seed();
+        let sql = run_sql_env(
             Dialect::presto(),
             &table,
             QueryId::Q1,
             SqlOptions::default(),
+            &env,
         )
         .unwrap();
         assert_eq!(sql.histogram.total(), n);
-        let jq = run_jsoniq(&table, QueryId::Q1, FlworOptions::default()).unwrap();
+        let jq = run_jsoniq_env(&table, QueryId::Q1, FlworOptions::default(), &env).unwrap();
         assert_eq!(jq.histogram.total(), n);
-        let rdf = run_rdf(&table, QueryId::Q1, engine_rdf::Options::default()).unwrap();
+        let rdf = run_rdf_env(&table, QueryId::Q1, engine_rdf::Options::default(), &env).unwrap();
         assert_eq!(rdf.histogram.total(), n);
     }
 }

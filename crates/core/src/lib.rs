@@ -5,7 +5,7 @@
 //!
 //! * [`spec`] — the eight benchmark queries (Q1–Q8, with Q6's two plots as
 //!   `Q6a`/`Q6b`), their physics definitions and histogram specifications;
-//! * [`reference`] — ground-truth Rust implementations over the in-memory
+//! * [`mod@reference`] — ground-truth Rust implementations over the in-memory
 //!   event model, instrumented with the Table-2 "ops/event" counters;
 //! * [`queries`] — the query *texts* for every system under test: three
 //!   SQL dialects (BigQuery / Presto / Athena profiles of `engine-sql`),
@@ -14,6 +14,8 @@
 //!   [`rdf_programs`]);
 //! * [`adapters`] — uniform execution of any query on any engine, with
 //!   histogram extraction and [`nf2_columnar::ExecStats`] collection;
+//! * [`engine_api`] — the unified [`engine_api::QueryEngine`] trait every
+//!   engine implements, with per-query span trees from [`obs`];
 //! * [`validate`] — cross-engine result validation against the reference;
 //! * [`fuzzplan`] — seeded random query plans with an interpreter oracle,
 //!   lowering to every system under test (differential fuzzing);
@@ -26,6 +28,7 @@
 pub mod adapters;
 pub mod capabilities;
 pub mod complexity;
+pub mod engine_api;
 pub mod fuzzplan;
 pub mod metrics;
 pub mod queries;

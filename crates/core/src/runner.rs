@@ -13,10 +13,10 @@
 use std::sync::Arc;
 
 use cloud_sim::{InstanceType, QaasProfile, SelfManagedProfile};
-use engine_sql::Dialect;
 use nf2_columnar::{ScanStats, Table};
 
-use crate::adapters::{self, AdapterError, EngineRun, ExecEnv};
+use crate::adapters::{AdapterError, EngineRun, ExecEnv};
+use crate::engine_api::{engine_for, QuerySpec};
 use crate::spec::QueryId;
 
 /// The systems under test (Figure 1's legend).
@@ -95,6 +95,10 @@ pub struct Measurement {
     pub scan: ScanStats,
     /// Total histogram entries (for sanity checks).
     pub hist_entries: u64,
+    /// Per-stage exclusive CPU seconds from the run's span tree
+    /// (stage name → seconds, descending). Empty unless the execution
+    /// environment enabled tracing.
+    pub stage_seconds: Vec<(&'static str, f64)>,
 }
 
 impl Measurement {
@@ -119,41 +123,7 @@ pub fn execute_engine(
     q: QueryId,
     env: &ExecEnv,
 ) -> Result<EngineRun, AdapterError> {
-    let run = match system {
-        System::BigQuery | System::BigQueryExternal => adapters::run_sql_env(
-            Dialect::bigquery(),
-            table,
-            q,
-            engine_sql::SqlOptions::default(),
-            env,
-        ),
-        System::AthenaV2 | System::AthenaV1 => adapters::run_sql_env(
-            Dialect::athena(),
-            table,
-            q,
-            engine_sql::SqlOptions::default(),
-            env,
-        ),
-        System::Presto => adapters::run_sql_env(
-            Dialect::presto(),
-            table,
-            q,
-            engine_sql::SqlOptions::default(),
-            env,
-        ),
-        System::Rumble => {
-            adapters::run_jsoniq_env(table, q, engine_flwor::FlworOptions::default(), env)
-        }
-        System::RDataFrame | System::RDataFrameDev => {
-            adapters::run_rdf_env(table, q, engine_rdf::Options::default(), env)
-        }
-    };
-    // Re-label with the deployed system's name (several systems share one
-    // engine/dialect, and the service logs must identify the deployment).
-    run.map_err(|mut e| {
-        e.system = system.name().to_string();
-        e
-    })
+    engine_for(system, table.clone()).execute(&QuerySpec::benchmark(q), env)
 }
 
 fn qaas_profile(system: System) -> QaasProfile {
@@ -176,15 +146,18 @@ fn self_managed_profile(system: System) -> SelfManagedProfile {
     }
 }
 
-/// Runs one (system, query) on the data set. `instance` is required for
-/// self-managed systems and ignored for QaaS.
+/// Runs one (system, query) on the data set under an execution
+/// environment. `instance` is required for self-managed systems and
+/// ignored for QaaS. With `env.trace` enabled, the measurement's
+/// [`Measurement::stage_seconds`] carries the per-stage breakdown.
 pub fn run_one(
     system: System,
     instance: Option<&'static InstanceType>,
     table: &Arc<Table>,
     q: QueryId,
+    env: &ExecEnv,
 ) -> Result<Measurement, AdapterError> {
-    let run = execute_engine(system, table, q, &ExecEnv::seed())?;
+    let run = execute_engine(system, table, q, env)?;
     let row_groups = table.row_groups().len();
     let cpu = run.stats.cpu_seconds;
     let (wall, cost, iname) = if system.is_qaas() {
@@ -213,6 +186,12 @@ pub fn run_one(
         cpu_seconds: cpu,
         scan: run.stats.scan,
         hist_entries: run.histogram.total(),
+        stage_seconds: run
+            .trace
+            .stage_seconds()
+            .into_iter()
+            .map(|(s, secs)| (s.name(), secs))
+            .collect(),
     })
 }
 
@@ -226,6 +205,9 @@ pub fn scale_to_paper(m: &Measurement, factor: f64) -> Measurement {
     scaled.cost_usd *= factor;
     scaled.scan.bytes_scanned = (m.scan.bytes_scanned as f64 * factor) as u64;
     scaled.scan.logical_bytes = (m.scan.logical_bytes as f64 * factor) as u64;
+    for (_, secs) in &mut scaled.stage_seconds {
+        *secs *= factor;
+    }
     scaled
 }
 
@@ -237,11 +219,18 @@ pub fn run_sweep(
     system: System,
     table: &Arc<Table>,
     q: QueryId,
+    env: &ExecEnv,
 ) -> Result<Vec<Measurement>, AdapterError> {
     assert!(!system.is_qaas(), "QaaS systems have no instance sweep");
-    let run = execute_engine(system, table, q, &ExecEnv::seed())?;
+    let run = execute_engine(system, table, q, env)?;
     let row_groups = table.row_groups().len();
     let profile = self_managed_profile(system);
+    let stage_seconds: Vec<(&'static str, f64)> = run
+        .trace
+        .stage_seconds()
+        .into_iter()
+        .map(|(s, secs)| (s.name(), secs))
+        .collect();
     Ok(cloud_sim::M5D_CATALOG
         .iter()
         .map(|inst| {
@@ -255,6 +244,7 @@ pub fn run_sweep(
                 cpu_seconds: run.stats.cpu_seconds,
                 scan: run.stats.scan,
                 hist_entries: run.histogram.total(),
+                stage_seconds: stage_seconds.clone(),
             }
         })
         .collect())
@@ -280,7 +270,7 @@ mod tests {
     #[test]
     fn qaas_measurements() {
         let t = table();
-        let m = run_one(System::BigQuery, None, &t, QueryId::Q1).unwrap();
+        let m = run_one(System::BigQuery, None, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
         assert!(m.wall_seconds >= 1.5);
         assert!(m.cost_usd > 0.0);
         assert_eq!(m.hist_entries, 2_000);
@@ -288,7 +278,7 @@ mod tests {
         // Athena pays for the whole MET struct on Q1; BigQuery for one
         // logical column — but BigQuery's min-billing floor dominates at
         // this tiny scale, so compare the raw scan accounting instead.
-        let a = run_one(System::AthenaV2, None, &t, QueryId::Q1).unwrap();
+        let a = run_one(System::AthenaV2, None, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
         assert!(a.scan.bytes_scanned > m.scan.bytes_scanned);
     }
 
@@ -296,11 +286,25 @@ mod tests {
     fn self_managed_measurements() {
         let t = table();
         let inst = cloud_sim::instances::by_name("m5d.4xlarge").unwrap();
-        let m = run_one(System::RDataFrame, Some(inst), &t, QueryId::Q1).unwrap();
+        let m = run_one(
+            System::RDataFrame,
+            Some(inst),
+            &t,
+            QueryId::Q1,
+            &ExecEnv::seed(),
+        )
+        .unwrap();
         assert_eq!(m.instance, Some("m5d.4xlarge"));
         assert!(m.wall_seconds > 0.0);
         assert!(m.cost_usd > 0.0);
-        let p = run_one(System::Presto, Some(inst), &t, QueryId::Q1).unwrap();
+        let p = run_one(
+            System::Presto,
+            Some(inst),
+            &t,
+            QueryId::Q1,
+            &ExecEnv::seed(),
+        )
+        .unwrap();
         assert_eq!(p.hist_entries, m.hist_entries);
     }
 
@@ -311,8 +315,22 @@ mod tests {
         let mid = cloud_sim::instances::by_name("m5d.8xlarge").unwrap();
         // Fix the measured CPU by running once, then compare the model's
         // instance mapping for a compute-heavy query.
-        let m_mid = run_one(System::RDataFrame, Some(mid), &t, QueryId::Q6a).unwrap();
-        let m_big = run_one(System::RDataFrame, Some(big), &t, QueryId::Q6a).unwrap();
+        let m_mid = run_one(
+            System::RDataFrame,
+            Some(mid),
+            &t,
+            QueryId::Q6a,
+            &ExecEnv::seed(),
+        )
+        .unwrap();
+        let m_big = run_one(
+            System::RDataFrame,
+            Some(big),
+            &t,
+            QueryId::Q6a,
+            &ExecEnv::seed(),
+        )
+        .unwrap();
         // CPU measurement noise exists; compare the modeled *ratio* using
         // the same cpu for both.
         let prof = SelfManagedProfile::rdataframe_v622();
@@ -329,7 +347,7 @@ mod tests {
     #[test]
     fn scaling_helper() {
         let t = table();
-        let m = run_one(System::BigQuery, None, &t, QueryId::Q1).unwrap();
+        let m = run_one(System::BigQuery, None, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
         let s = scale_to_paper(&m, 10.0);
         assert!((s.cpu_seconds / m.cpu_seconds - 10.0).abs() < 1e-9);
         assert!(s.scan.bytes_scanned >= 9 * m.scan.bytes_scanned);

@@ -11,7 +11,7 @@ use engine_sql::Dialect;
 use nf2_columnar::Table;
 use physics::Histogram;
 
-use crate::adapters;
+use crate::adapters::{self, ExecEnv};
 use crate::reference;
 use crate::spec::QueryId;
 
@@ -61,18 +61,20 @@ pub fn validate_query(
     table: &Arc<Table>,
 ) -> Result<Vec<Validation>, adapters::AdapterError> {
     let expect = reference::run(q, events).hist;
+    let env = ExecEnv::seed();
     let mut out = Vec::new();
     for (label, dialect) in [
         ("BigQuery", Dialect::bigquery()),
         ("Presto", Dialect::presto()),
         ("Athena", Dialect::athena()),
     ] {
-        let run = adapters::run_sql(dialect, table, q, engine_sql::SqlOptions::default())?;
+        let run =
+            adapters::run_sql_env(dialect, table, q, engine_sql::SqlOptions::default(), &env)?;
         out.push(diff(label, q, &run.histogram, &expect));
     }
-    let run = adapters::run_jsoniq(table, q, engine_flwor::FlworOptions::default())?;
+    let run = adapters::run_jsoniq_env(table, q, engine_flwor::FlworOptions::default(), &env)?;
     out.push(diff("JSONiq", q, &run.histogram, &expect));
-    let run = adapters::run_rdf(table, q, engine_rdf::Options::default())?;
+    let run = adapters::run_rdf_env(table, q, engine_rdf::Options::default(), &env)?;
     out.push(diff("RDataFrame", q, &run.histogram, &expect));
     Ok(out)
 }

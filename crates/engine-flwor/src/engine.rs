@@ -59,6 +59,7 @@ pub struct FlworEngine {
     tables: Vec<Arc<Table>>,
     chunk_cache: Option<Arc<ChunkCache>>,
     fault_injector: Option<Arc<FaultInjector>>,
+    trace: obs::TraceCtx,
 }
 
 struct TableSource<'a> {
@@ -84,6 +85,7 @@ impl FlworEngine {
             tables: Vec::new(),
             chunk_cache: None,
             fault_injector: None,
+            trace: obs::TraceCtx::disabled(),
         }
     }
 
@@ -105,6 +107,13 @@ impl FlworEngine {
         self.fault_injector = injector;
     }
 
+    /// Attaches a tracing context: execution stages record spans into
+    /// it. The default (disabled) context makes instrumentation a
+    /// near-no-op.
+    pub fn set_trace(&mut self, trace: obs::TraceCtx) {
+        self.trace = trace;
+    }
+
     fn table(&self, name: &str) -> Option<&Arc<Table>> {
         self.tables.iter().find(|t| t.name() == name)
     }
@@ -112,15 +121,21 @@ impl FlworEngine {
     /// Parses and executes a module.
     pub fn execute(&self, text: &str) -> Result<FlworOutput, FlworError> {
         let start = Instant::now();
+        let parse_span = self.trace.span(obs::Stage::Parse);
         let module = parser::parse_module(text)?;
+        parse_span.finish();
 
+        let plan_span = self.trace.span(obs::Stage::Plan);
         // Which input does the module read?
         let input = find_input(&module);
         let Some(input_name) = input else {
+            plan_span.finish();
             // Pure expression: no table access.
+            let agg_span = self.trace.span(obs::Stage::Aggregate);
             let source = crate::interp::NoSource;
             let interp = Interp::new(&module, &source)?;
             let items = interp.eval_body(&module, &Env::new())?;
+            agg_span.finish();
             return Ok(FlworOutput {
                 items,
                 stats: ExecStats {
@@ -137,27 +152,9 @@ impl FlworEngine {
             .ok_or_else(|| FlworError::Unresolved(format!("input {input_name}")))?
             .clone();
 
-        // Rumble pushes no projections: the scan reads every leaf column.
-        let scan_cache = self.chunk_cache.as_deref().map(|cache| ScanCache {
-            cache,
-            table_fingerprint: table.fingerprint(),
-        });
-        let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
-            injector,
-            table_name: table.name(),
-            table_fingerprint: table.fingerprint(),
-        });
-        let scan = nf2_columnar::scan::scan_stats_faulted(
-            &table,
-            &Projection::all(),
-            PushdownCapability::None,
-            scan_cache,
-            scan_faults,
-        )?;
-        let leaves: Vec<_> = table.schema().leaves().iter().collect();
-
-        // Computed after `scan` so vectorized filtering cannot perturb the
-        // accounting above.
+        // Pre-filter extraction cannot perturb the scan accounting below:
+        // scan stats are defined by the projected columns (all of them,
+        // for Rumble), never by surviving rows.
         let preds = if self.options.vectorized_filter {
             prefilter_predicates(&module, table.schema())
         } else {
@@ -177,14 +174,43 @@ impl FlworEngine {
         } else {
             1
         };
+        plan_span.finish();
+
+        // Rumble pushes no projections: the scan reads every leaf column.
+        let scan_cache = self.chunk_cache.as_deref().map(|cache| ScanCache {
+            cache,
+            table_fingerprint: table.fingerprint(),
+        });
+        let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
+            injector,
+            table_name: table.name(),
+            table_fingerprint: table.fingerprint(),
+        });
+        let scan = nf2_columnar::scan::scan_stats_traced(
+            &table,
+            &Projection::all(),
+            PushdownCapability::None,
+            scan_cache,
+            scan_faults,
+            &self.trace,
+        )?;
+        let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
         let cpu = Mutex::new(0.0f64);
         let items = if n_threads <= 1 {
             let t0 = Instant::now();
             let mut rows = Vec::with_capacity(table.n_rows());
-            for g in table.row_groups() {
-                rows.extend(materialize_group(g, table.schema(), &leaves, &preds)?);
+            for (idx, g) in table.row_groups().iter().enumerate() {
+                rows.extend(materialize_group(
+                    g,
+                    idx,
+                    table.schema(),
+                    &leaves,
+                    &preds,
+                    &self.trace,
+                )?);
             }
+            let agg_span = self.trace.span(obs::Stage::Aggregate);
             // Overhead models per-record cost of everything the simulated
             // engine *scans*, so it is charged for all rows regardless of
             // how many the pre-filter admits.
@@ -195,6 +221,11 @@ impl FlworEngine {
             };
             let interp = Interp::new(&module, &source)?;
             let out = interp.eval_body(&module, &Env::new())?;
+            // Freeing the materialized rows is charged to the aggregate
+            // span: it is real work proportional to the input.
+            drop(interp);
+            drop(rows);
+            agg_span.finish();
             *cpu.lock() += t0.elapsed().as_secs_f64();
             out
         } else {
@@ -212,14 +243,28 @@ impl FlworEngine {
                     }
                     let r = (|| -> Result<Seq, FlworError> {
                         let group = &table.row_groups()[g];
-                        let rows = materialize_group(group, table.schema(), &leaves, &preds)?;
+                        let rows = materialize_group(
+                            group,
+                            g,
+                            table.schema(),
+                            &leaves,
+                            &preds,
+                            &self.trace,
+                        )?;
+                        let agg_span = self
+                            .trace
+                            .span_with(obs::Stage::Aggregate, || format!("group {g}"));
                         self.busy_overhead(group.n_rows());
                         let source = TableSource {
                             rows: &rows,
                             name: table.name(),
                         };
                         let interp = Interp::new(&module, &source)?;
-                        interp.eval_body(&module, &Env::new())
+                        let out = interp.eval_body(&module, &Env::new());
+                        drop(interp);
+                        drop(rows);
+                        agg_span.finish();
+                        out
                     })();
                     match r {
                         Ok(seq) => results.lock().push((g, seq)),
@@ -276,18 +321,33 @@ impl FlworEngine {
 /// (late materialization: only surviving rows are assembled into `Value`s).
 fn materialize_group(
     group: &nf2_columnar::RowGroup,
+    group_idx: usize,
     schema: &Schema,
     leaves: &[&nf2_columnar::LeafInfo],
     preds: &[ScalarPredicate],
+    trace: &obs::TraceCtx,
 ) -> Result<Vec<Value>, FlworError> {
     if preds.is_empty() {
-        return Ok(group.read_rows(schema, leaves)?);
+        let mat_span = trace.span_with(obs::Stage::Materialize, || format!("group {group_idx}"));
+        let rows = group.read_rows(schema, leaves)?;
+        drop(mat_span);
+        return Ok(rows);
     }
+    let mut filter_span = trace.span_with(obs::Stage::Filter, || format!("group {group_idx}"));
     let sel = nf2_columnar::apply_predicates(group, preds)?;
-    if sel.is_full() {
-        return Ok(group.read_rows(schema, leaves)?);
+    if filter_span.is_enabled() {
+        filter_span.add_rows_in(sel.n_rows() as u64);
+        filter_span.add_rows_out(sel.len() as u64);
     }
-    Ok(group.read_rows_selected(schema, leaves, &sel)?)
+    filter_span.finish();
+    let mat_span = trace.span_with(obs::Stage::Materialize, || format!("group {group_idx}"));
+    let rows = if sel.is_full() {
+        group.read_rows(schema, leaves)?
+    } else {
+        group.read_rows_selected(schema, leaves, &sel)?
+    };
+    drop(mat_span);
+    Ok(rows)
 }
 
 /// Extracts scalar `where` conjuncts of the shape `$e.path cmp literal`

@@ -51,9 +51,9 @@ impl std::error::Error for FlworError {}
 
 impl From<nf2_columnar::ColumnarError> for FlworError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        match e {
-            nf2_columnar::ColumnarError::Fault(s) => FlworError::Scan(s),
-            other => FlworError::Columnar(other.to_string()),
+        match e.into_scan_fault() {
+            Ok(s) => FlworError::Scan(s),
+            Err(m) => FlworError::Columnar(m),
         }
     }
 }

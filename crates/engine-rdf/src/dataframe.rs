@@ -123,6 +123,8 @@ pub struct RDataFrame {
     pub(crate) chunk_cache: Option<Arc<nf2_columnar::ChunkCache>>,
     /// Optional chaos-layer fault injector on physical chunk reads.
     pub(crate) fault_injector: Option<Arc<nf2_columnar::FaultInjector>>,
+    /// Tracing context; the default (disabled) context records nothing.
+    pub(crate) trace: obs::TraceCtx,
 }
 
 impl RDataFrame {
@@ -137,6 +139,7 @@ impl RDataFrame {
             bookings: Vec::new(),
             chunk_cache: None,
             fault_injector: None,
+            trace: obs::TraceCtx::disabled(),
         }
     }
 
@@ -150,6 +153,13 @@ impl RDataFrame {
     /// fault-free engine.
     pub fn set_fault_injector(&mut self, injector: Option<Arc<nf2_columnar::FaultInjector>>) {
         self.fault_injector = injector;
+    }
+
+    /// Attaches a tracing context: the event loop records stage spans
+    /// into it. The default (disabled) context makes instrumentation a
+    /// near-no-op.
+    pub fn set_trace(&mut self, trace: obs::TraceCtx) {
+        self.trace = trace;
     }
 
     fn declare_deps(&mut self, deps: &[&str]) {

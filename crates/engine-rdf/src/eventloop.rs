@@ -5,7 +5,7 @@
 //! (called 'event loop')"): the user writes an explicit per-event callback
 //! over raw columns and manages their own accumulator state. It is more
 //! flexible than the dataframe graph — and requires exactly the "non-
-//! trivial user effort" the paper quotes [16] — so this module exists both
+//! trivial user effort" the paper quotes \[16\] — so this module exists both
 //! for fidelity and as the escape hatch for analyses the `define`/`filter`
 //! vocabulary cannot express.
 //!

@@ -18,7 +18,7 @@ use crate::view::{BaseColumn, ColValue, ColumnId, EventView};
 /// How workers publish partial results.
 ///
 /// The paper reports that ROOT 6.22's RDataFrame loses performance beyond a
-/// certain core count due to lock contention ([4], [28], §4.1). We model the
+/// certain core count due to lock contention (\[4\], \[28\], §4.1). We model the
 /// two ends of that spectrum:
 ///
 /// * [`ContentionModel::Fixed`] — each worker merges its partial histograms
@@ -94,6 +94,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     let start = Instant::now();
     let table = &df.table;
 
+    let plan_span = df.trace.span(obs::Stage::Plan);
     // Resolve base columns and the projection they imply.
     let base_paths: Vec<Path> = df
         .registry
@@ -117,14 +118,6 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             table_name: table.name(),
             table_fingerprint: table.fingerprint(),
         });
-    let scan = nf2_columnar::scan::scan_stats_faulted(
-        table,
-        &projection,
-        PushdownCapability::IndividualLeaves,
-        scan_cache,
-        scan_faults,
-    )?;
-
     // Resolve booking targets.
     let booking_cols: Vec<ColumnId> = df
         .bookings
@@ -169,6 +162,16 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     }
     .max(1)
     .min(n_groups.max(1));
+    plan_span.finish();
+
+    let scan = nf2_columnar::scan::scan_stats_traced(
+        table,
+        &projection,
+        PushdownCapability::IndividualLeaves,
+        scan_cache,
+        scan_faults,
+        &df.trace,
+    )?;
 
     let fresh =
         || -> Vec<Histogram> { df.bookings.iter().map(|b| Histogram::new(b.spec)).collect() };
@@ -178,13 +181,22 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     let cpu_seconds = Mutex::new(0.0f64);
 
     let process_group = |group: &RowGroup,
+                         group_idx: usize,
                          partial: &mut Vec<Histogram>,
                          events_since_merge: &mut usize|
      -> Result<(), RdfError> {
         // Vectorized pre-pass: surviving rows are computed from the raw
         // typed chunks before the event loop sees anything.
         let sel: Option<SelectionVector> = if hoist {
+            let mut filter_span = df
+                .trace
+                .span_with(obs::Stage::Filter, || format!("group {group_idx}"));
             let s = nf2_columnar::apply_predicates(group, &scalar_preds)?;
+            if filter_span.is_enabled() {
+                filter_span.add_rows_in(s.n_rows() as u64);
+                filter_span.add_rows_out(s.len() as u64);
+            }
+            filter_span.finish();
             if s.is_empty() {
                 return Ok(());
             }
@@ -192,7 +204,14 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         } else {
             None
         };
+        let decode_span = df
+            .trace
+            .span_with(obs::Stage::Decode, || format!("group {group_idx}"));
         let base = materialize_base(group, &base_paths)?;
+        decode_span.finish();
+        let agg_span = df
+            .trace
+            .span_with(obs::Stage::Aggregate, || format!("group {group_idx}"));
         // Raw chunks for per-event scalar-cut evaluation when not hoisted.
         let sf_chunks: Vec<&ColumnChunk> = if hoist {
             Vec::new()
@@ -290,6 +309,12 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
                 }
             }
         }
+        // Freeing the decoded base columns is per-group work; charge it
+        // to the aggregate span rather than the gap between spans.
+        drop(defined);
+        drop(sf_chunks);
+        drop(base);
+        agg_span.finish();
         Ok(())
     };
 
@@ -302,7 +327,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             if g >= n_groups {
                 break;
             }
-            process_group(&table.row_groups()[g], &mut partial, &mut since_merge)?;
+            process_group(&table.row_groups()[g], g, &mut partial, &mut since_merge)?;
         }
         {
             let mut global = global.lock();

@@ -37,7 +37,7 @@
 //!
 //! ## The contention model
 //!
-//! The paper observes (§4.1, [4], [28]) that RDataFrame *degrades* beyond a
+//! The paper observes (§4.1, \[4\], \[28\]) that RDataFrame *degrades* beyond a
 //! certain core count due to lock contention on large multi-core machines.
 //! [`ContentionModel`] reproduces this as a documented simulation: in
 //! `RootV622` mode every worker merges its partial result into a shared

@@ -71,6 +71,7 @@ pub struct SqlEngine {
     tables: HashMap<String, Arc<Table>>,
     chunk_cache: Option<Arc<ChunkCache>>,
     fault_injector: Option<Arc<FaultInjector>>,
+    trace: obs::TraceCtx,
 }
 
 impl SqlEngine {
@@ -82,6 +83,7 @@ impl SqlEngine {
             tables: HashMap::new(),
             chunk_cache: None,
             fault_injector: None,
+            trace: obs::TraceCtx::disabled(),
         }
     }
 
@@ -104,6 +106,13 @@ impl SqlEngine {
         self.fault_injector = injector;
     }
 
+    /// Attaches a tracing context: execution stages record spans into
+    /// it. The default (disabled) context makes instrumentation a
+    /// near-no-op.
+    pub fn set_trace(&mut self, trace: obs::TraceCtx) {
+        self.trace = trace;
+    }
+
     /// The engine's dialect.
     pub fn dialect(&self) -> Dialect {
         self.dialect
@@ -112,9 +121,14 @@ impl SqlEngine {
     /// Parses, validates (against the dialect), and executes a script.
     pub fn execute(&self, sql: &str) -> Result<QueryOutput, SqlError> {
         let start = Instant::now();
+        let parse_span = self.trace.span_with(obs::Stage::Parse, || {
+            format!("{} dialect", self.dialect.name.as_str())
+        });
         let script = parser::parse_script(sql)?;
         self.dialect.validate(&script)?;
+        parse_span.finish();
 
+        let plan_span = self.trace.span(obs::Stage::Plan);
         // Static projection analysis → scan accounting per base table.
         let schemas: HashMap<String, &nf2_columnar::Schema> = self
             .tables
@@ -165,6 +179,13 @@ impl SqlEngine {
             HashMap::new()
         };
 
+        let udfs = compile_udfs(&script)?;
+        // Segment-parallel if the root is decomposable and exactly one base
+        // table is referenced.
+        let merge_spec = plan::root_merge_spec(&script);
+        plan_span.finish();
+
+        let mut scan_span = self.trace.span(obs::Stage::Scan);
         let mut scan = ScanStats::default();
         let mut table_projs: HashMap<String, Projection> = HashMap::new();
         for (name, table) in &self.tables {
@@ -217,12 +238,13 @@ impl SqlEngine {
             scan.merge(&s);
             table_projs.insert(name.clone(), proj);
         }
+        if scan_span.is_enabled() {
+            scan_span.add_rows_in(scan.rows);
+            scan_span.add_rows_out(scan.rows);
+            scan_span.add_bytes(scan.bytes_scanned);
+        }
+        scan_span.finish();
 
-        let udfs = compile_udfs(&script)?;
-
-        // Segment-parallel if the root is decomposable and exactly one base
-        // table is referenced.
-        let merge_spec = plan::root_merge_spec(&script);
         let cpu = Mutex::new(0.0f64);
         let (relation, threads_used) = match (&merge_spec, table_projs.len()) {
             (Some(spec), 1) if self.options.partition_parallel => {
@@ -256,21 +278,43 @@ impl SqlEngine {
         &self,
         table: &Table,
         group: &RowGroup,
+        group_idx: usize,
         proj: &Projection,
         preds: &[ScalarPredicate],
     ) -> Result<Vec<Value>, SqlError> {
         // Rows are reconstructed from the *logical* leaves; the dialect's
         // pushdown limitation affects bytes scanned (accounted above), not
-        // the values the executor sees.
-        let leaves = proj.logical_leaves(table.schema())?;
+        // the values the executor sees. Leaf resolution happens inside the
+        // materialize span: it is per-group work and must be accounted.
         if preds.is_empty() {
-            return Ok(group.read_rows(table.schema(), &leaves)?);
+            let mat_span = self
+                .trace
+                .span_with(obs::Stage::Materialize, || format!("group {group_idx}"));
+            let leaves = proj.logical_leaves(table.schema())?;
+            let rows = group.read_rows(table.schema(), &leaves)?;
+            drop(mat_span);
+            return Ok(rows);
         }
+        let mut filter_span = self
+            .trace
+            .span_with(obs::Stage::Filter, || format!("group {group_idx}"));
         let sel = nf2_columnar::apply_predicates(group, preds)?;
-        if sel.is_full() {
-            return Ok(group.read_rows(table.schema(), &leaves)?);
+        if filter_span.is_enabled() {
+            filter_span.add_rows_in(sel.n_rows() as u64);
+            filter_span.add_rows_out(sel.len() as u64);
         }
-        Ok(group.read_rows_selected(table.schema(), &leaves, &sel)?)
+        filter_span.finish();
+        let mat_span = self
+            .trace
+            .span_with(obs::Stage::Materialize, || format!("group {group_idx}"));
+        let leaves = proj.logical_leaves(table.schema())?;
+        let rows = if sel.is_full() {
+            group.read_rows(table.schema(), &leaves)?
+        } else {
+            group.read_rows_selected(table.schema(), &leaves, &sel)?
+        };
+        drop(mat_span);
+        Ok(rows)
     }
 
     fn run_serial(
@@ -287,21 +331,25 @@ impl SqlEngine {
             let mask = masks.get(name).expect("mask built");
             let preds = filters.get(name).map_or(&[][..], |v| v.as_slice());
             let mut rows = Vec::with_capacity(table.n_rows());
-            for (g, keep) in table.row_groups().iter().zip(mask) {
+            for (idx, (g, keep)) in table.row_groups().iter().zip(mask).enumerate() {
                 if !keep {
                     continue;
                 }
-                rows.extend(self.materialize_group(table, g, proj, preds)?);
+                rows.extend(self.materialize_group(table, g, idx, proj, preds)?);
             }
             relations.insert(name.clone(), Rc::new(rows));
         }
+        let agg_span = self.trace.span(obs::Stage::Aggregate);
         let ctx = ExecContext {
             relations,
             udfs: udfs.clone(),
             dialect: self.dialect,
         };
         let root = Scope::root();
-        exec::eval_query(&script.query, &ctx, &root)
+        let rel = exec::eval_query(&script.query, &ctx, &root);
+        drop(ctx);
+        agg_span.finish();
+        rel
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -347,7 +395,13 @@ impl SqlEngine {
                 }
                 let result = (|| -> Result<Relation, SqlError> {
                     let rows =
-                        self.materialize_group(table, &table.row_groups()[g], proj, preds)?;
+                        self.materialize_group(table, &table.row_groups()[g], g, proj, preds)?;
+                    // The aggregate span also covers building and freeing
+                    // the per-group context: releasing the materialized
+                    // rows is real per-group work.
+                    let agg_span = self
+                        .trace
+                        .span_with(obs::Stage::Aggregate, || format!("group {g}"));
                     let mut relations = HashMap::new();
                     relations.insert(table_name.to_string(), Rc::new(rows));
                     let ctx = ExecContext {
@@ -356,7 +410,10 @@ impl SqlEngine {
                         dialect: self.dialect,
                     };
                     let root = Scope::root();
-                    exec::eval_query(&script.query, &ctx, &root)
+                    let rel = exec::eval_query(&script.query, &ctx, &root);
+                    drop(ctx);
+                    agg_span.finish();
+                    rel
                 })();
                 match result {
                     Ok(rel) => partials.lock().push((g, rel)),
@@ -382,6 +439,9 @@ impl SqlEngine {
         if let Some(e) = first_err.into_inner() {
             return Err(e);
         }
+        let merge_span = self
+            .trace
+            .span_with(obs::Stage::Aggregate, || "merge".to_string());
         let mut partials = partials.into_inner();
         partials.sort_by_key(|(g, _)| *g);
         let merged = merge_partials(partials.into_iter().map(|(_, r)| r).collect(), spec)?;
@@ -396,6 +456,7 @@ impl SqlEngine {
             let root = Scope::root();
             exec::sort_relation_pub(&mut merged, &script.query.order_by, &ctx, &root)?;
         }
+        merge_span.finish();
         Ok((merged, n_threads))
     }
 }

@@ -68,9 +68,9 @@ impl From<nested_value::ValueError> for SqlError {
 
 impl From<nf2_columnar::ColumnarError> for SqlError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        match e {
-            nf2_columnar::ColumnarError::Fault(s) => SqlError::Scan(s),
-            other => SqlError::Columnar(other.to_string()),
+        match e.into_scan_fault() {
+            Ok(s) => SqlError::Scan(s),
+            Err(m) => SqlError::Columnar(m),
         }
     }
 }

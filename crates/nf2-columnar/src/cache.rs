@@ -9,7 +9,7 @@
 //! data), entries never need invalidation — a fingerprint change is a new
 //! key space.
 //!
-//! Semantics (pinned by the proptests in [`crate::proptests`]):
+//! Semantics (pinned by the proptests in `proptests.rs`):
 //!
 //! * resident bytes never exceed the budget, after every operation;
 //! * a hit only touches recency — it never evicts;

@@ -30,6 +30,18 @@ impl ColumnarError {
             _ => None,
         }
     }
+
+    /// Splits the error for engine-level wrapping: the typed scan fault
+    /// when this is one, otherwise the formatted message. Engine error
+    /// types use this in their `From<ColumnarError>` impls so scan
+    /// faults keep their chunk context while every other storage error
+    /// degrades uniformly to text.
+    pub fn into_scan_fault(self) -> Result<ScanError, String> {
+        match self {
+            ColumnarError::Fault(e) => Ok(e),
+            other => Err(other.to_string()),
+        }
+    }
 }
 
 impl fmt::Display for ColumnarError {

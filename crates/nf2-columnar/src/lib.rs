@@ -30,7 +30,7 @@
 //!   [`compress`]. Floating-point columns barely compress — the very
 //!   property the paper uses to explain Athena's pricing.
 //!
-//! The crate also provides a simple on-disk container format ([`file`]) so
+//! The crate also provides a simple on-disk container format ([`mod@file`]) so
 //! data sets can be materialized and re-read, with real file sizes.
 
 pub mod cache;

@@ -185,6 +185,36 @@ pub fn scan_stats_cached(
     scan_stats_faulted(table, projection, cap, cache, None)
 }
 
+/// [`scan_stats_faulted`] under a tracing context: wraps the whole scan
+/// in a [`obs::Stage::Scan`] span carrying the row, byte and cache
+/// counters. With a disabled context this is exactly
+/// [`scan_stats_faulted`] (the span machinery is a no-op).
+pub fn scan_stats_traced(
+    table: &Table,
+    projection: &Projection,
+    cap: PushdownCapability,
+    cache: Option<ScanCache<'_>>,
+    faults: Option<ScanFaults<'_>>,
+    trace: &obs::TraceCtx,
+) -> Result<ScanStats, ColumnarError> {
+    let mut span = trace.span_with(obs::Stage::Scan, || table.name().to_string());
+    let stats = scan_stats_faulted(table, projection, cap, cache, faults)?;
+    if span.is_enabled() {
+        span.add_rows_in(stats.rows);
+        span.add_rows_out(stats.rows);
+        span.add_bytes(stats.bytes_scanned);
+        if stats.cache_hits > 0 || stats.cache_misses > 0 {
+            span.set_label(format!(
+                "{} cache_hits={} cache_misses={}",
+                table.name(),
+                stats.cache_hits,
+                stats.cache_misses
+            ));
+        }
+    }
+    Ok(stats)
+}
+
 /// [`scan_stats_cached`] with an optional fault injector on the physical
 /// chunk reads. With `faults: None` the result is bit-identical to
 /// [`scan_stats_cached`].

@@ -53,7 +53,7 @@ pub enum DataType {
     /// Struct with named fields.
     Struct(Vec<Field>),
     /// Variable-length list. At most one list level per root-to-leaf path
-    /// (all HEP schemas satisfy this; enforced by [`Schema::validate`]).
+    /// (all HEP schemas satisfy this; enforced by schema validation).
     List(Box<DataType>),
 }
 

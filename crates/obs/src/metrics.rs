@@ -1,0 +1,369 @@
+//! Lock-sharded metrics registry: counters, gauges, log₂ histograms.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::json_escape;
+
+const N_SHARDS: usize = 16;
+/// Histogram buckets: bucket `i` covers values in `[2^(i-30), 2^(i-29))`
+/// — ~1 ns to ~17 min for seconds-valued observations, with under- and
+/// overflow clamped to the edge buckets.
+const N_BUCKETS: usize = 60;
+const BUCKET_BIAS: i32 = 30;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histo),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Histo {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histo {
+    fn new() -> Histo {
+        Histo {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; N_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    (v.log2().floor() as i32 + BUCKET_BIAS).clamp(0, N_BUCKETS as i32 - 1) as usize
+}
+
+/// Geometric midpoint of bucket `i` (for quantile estimates).
+fn bucket_mid(i: usize) -> f64 {
+    2f64.powi(i as i32 - BUCKET_BIAS) * std::f64::consts::SQRT_2
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+///
+/// Names are hashed onto 16 independently locked shards, so concurrent
+/// updates to different metrics rarely contend. Updates are exact:
+/// totals observed by [`MetricsRegistry::snapshot`] equal the sum of
+/// all completed updates regardless of thread interleaving.
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<HashMap<String, Metric>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        // FNV-1a — stable across runs, no dependency on std's hasher.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % N_SHARDS as u64) as usize]
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => *other = Metric::Counter(delta),
+        }
+    }
+
+    /// Adds 1 to the named counter.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        shard.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histo::new()))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            other => {
+                let mut h = Histo::new();
+                h.observe(v);
+                *other = Metric::Histogram(h);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(String, MetricValue)> = Vec::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().unwrap().iter() {
+                let value = match metric {
+                    Metric::Counter(v) => MetricValue::Counter(*v),
+                    Metric::Gauge(v) => MetricValue::Gauge(*v),
+                    Metric::Histogram(h) => MetricValue::Histogram(HistogramSummary {
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count > 0 { h.min } else { 0.0 },
+                        max: if h.count > 0 { h.max } else { 0.0 },
+                        p50: quantile(h, 0.50),
+                        p90: quantile(h, 0.90),
+                        p99: quantile(h, 0.99),
+                    }),
+                };
+                entries.push((name.clone(), value));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+}
+
+fn quantile(h: &Histo, q: f64) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    let target = (q * h.count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, n) in h.buckets.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return bucket_mid(i).clamp(h.min, h.max);
+        }
+    }
+    h.max
+}
+
+/// Snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-set gauge.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// Summary statistics of one histogram at snapshot time. Quantiles are
+/// estimated from log₂ buckets (within a factor of √2) and clamped to
+/// the observed min/max.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum / self.count as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Point-in-time view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter's value (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find_map(|(n, v)| match v {
+                MetricValue::Counter(c) if n == name => Some(*c),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Looks up a gauge's value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram summary.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// One `name value` line per metric (histograms expand to
+    /// `_count` / `_sum` / `_p50` / `_p90` / `_p99` lines) — the text
+    /// exposition format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {:.9}\n", h.sum));
+                    out.push_str(&format!("{name}_p50 {:.9}\n", h.p50));
+                    out.push_str(&format!("{name}_p90 {:.9}\n", h.p90));
+                    out.push_str(&format!("{name}_p99 {:.9}\n", h.p99));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", json_escape(name)));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{v}")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{v}")),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("queries_total", 3);
+        reg.counter_inc("queries_total");
+        reg.gauge_set("queue_depth", 7.5);
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            reg.observe("latency_seconds", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("queries_total"), 4);
+        assert_eq!(snap.gauge("queue_depth"), Some(7.5));
+        let h = snap.histogram("latency_seconds").unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 0.107).abs() < 1e-12);
+        assert_eq!(h.min, 0.001);
+        assert_eq!(h.max, 0.1);
+        assert!(h.p50 >= h.min && h.p50 <= h.max);
+        assert!(h.p99 >= h.p50);
+        let text = snap.to_text();
+        assert!(text.contains("queries_total 4"));
+        assert!(text.contains("latency_seconds_count 4"));
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queries_total\":4"));
+    }
+
+    #[test]
+    fn totals_exact_under_8_thread_contention() {
+        let reg = Arc::new(MetricsRegistry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        reg.counter_inc("shared_counter");
+                        reg.counter_add(&format!("per_thread_{t}"), 2);
+                        reg.observe("obs_values", (i % 7) as f64 + 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("shared_counter"), THREADS as u64 * PER_THREAD);
+        for t in 0..THREADS {
+            assert_eq!(snap.counter(&format!("per_thread_{t}")), PER_THREAD * 2);
+        }
+        let h = snap.histogram("obs_values").unwrap();
+        assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+        let expected_sum: f64 =
+            (0..PER_THREAD).map(|i| (i % 7) as f64 + 0.5).sum::<f64>() * THREADS as f64;
+        assert!((h.sum - expected_sum).abs() < 1e-6 * expected_sum);
+    }
+
+    #[test]
+    fn bucket_index_handles_edge_values() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert!(bucket_index(1e-12) < bucket_index(1.0));
+        assert!(bucket_index(1.0) < bucket_index(1e6));
+        assert_eq!(bucket_index(1e300), N_BUCKETS - 1);
+    }
+}

@@ -10,7 +10,7 @@
 //!
 //! A [`QueryService`] owns an immutable [`Table`] behind an `Arc` and a
 //! pool of worker threads. Requests name a tenant, a
-//! [`System`](hepbench_core::runner::System) and a
+//! [`System`] and a
 //! [`QueryId`](hepbench_core::QueryId); they pass admission control (a
 //! bounded queue — full ⇒ [`ServiceError::QueryRejected`]), wait in
 //! per-tenant FIFO queues drained round-robin across tenants (one noisy
@@ -46,7 +46,8 @@ use std::time::{Duration, Instant};
 
 use cloud_sim::InstanceType;
 use hepbench_core::adapters::ExecEnv;
-use hepbench_core::runner::{execute_engine, System};
+use hepbench_core::engine_api::{engine_for, QueryEngine, QuerySpec};
+use hepbench_core::runner::{System, ALL_SYSTEMS};
 use nf2_columnar::{CacheCounters, ChunkCache, ExecStats, FaultInjector, ScanStats, Table};
 
 pub use request::{QueryRequest, QueryResponse, ServiceError};
@@ -86,6 +87,12 @@ pub struct ServiceConfig {
     /// Base backoff between retries; attempt `k` sleeps
     /// `retry_backoff × 2^(k−1)`.
     pub retry_backoff: Duration,
+    /// Record a span tree per served query (queue wait, cache lookup,
+    /// retries, engine stages) and return it in
+    /// [`QueryResponse::trace`]. Off by default — and off under
+    /// [`ServiceConfig::paper_fairness`] — so the serving path stays a
+    /// near-no-op when untraced.
+    pub trace: bool,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +109,7 @@ impl Default for ServiceConfig {
             fault_injector: None,
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
+            trace: false,
         }
     }
 }
@@ -185,7 +193,6 @@ impl QueueState {
 
 /// State shared between the handle and the workers.
 struct Shared {
-    table: Arc<Table>,
     table_fingerprint: u64,
     config: ServiceConfig,
     pricing_instance: &'static InstanceType,
@@ -194,6 +201,12 @@ struct Shared {
     result_cache: Option<ResultCache>,
     chunk_cache: Option<Arc<ChunkCache>>,
     stats: ServiceStats,
+    /// One engine per servable system, built once at startup and shared
+    /// by every worker — the service's only execution path.
+    engines: HashMap<System, Box<dyn QueryEngine>>,
+    /// Service-wide counters and latency histograms; see
+    /// [`QueryService::metrics_snapshot`].
+    metrics: obs::MetricsRegistry,
 }
 
 impl Shared {
@@ -238,9 +251,12 @@ impl QueryService {
         } else {
             config.n_workers
         };
+        let engines = ALL_SYSTEMS
+            .iter()
+            .map(|s| (*s, engine_for(*s, table.clone())))
+            .collect();
         let shared = Arc::new(Shared {
             table_fingerprint: table.fingerprint(),
-            table,
             pricing_instance,
             queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
@@ -248,6 +264,8 @@ impl QueryService {
             chunk_cache: (config.chunk_cache_bytes > 0)
                 .then(|| Arc::new(ChunkCache::new(config.chunk_cache_bytes))),
             stats: ServiceStats::new(),
+            engines,
+            metrics: obs::MetricsRegistry::new(),
             config,
         });
         let workers = (0..n_workers)
@@ -266,6 +284,7 @@ impl QueryService {
     /// to wait on, or rejects immediately when the queue is full.
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, ServiceError> {
         self.shared.stats.note_submitted();
+        self.shared.metrics.counter_inc("queries_submitted");
         let (tx, rx) = mpsc::channel();
         {
             let mut state = self.shared.lock_queue();
@@ -306,6 +325,15 @@ impl QueryService {
     /// Aggregated service counters and latency percentiles.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Point-in-time view of the service's [`obs::MetricsRegistry`]:
+    /// submission/completion counters, cache hit/miss counters, retry
+    /// counts, and queue-wait / execution-latency histograms. Render
+    /// with [`obs::MetricsSnapshot::to_text`] or
+    /// [`obs::MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        self.shared.metrics.snapshot()
     }
 
     /// Result-cache `(hits, misses)`, when the result cache is enabled.
@@ -389,10 +417,16 @@ fn worker_loop(shared: &Shared) {
             )))
         });
         match &result {
-            Ok(resp) => shared
-                .stats
-                .note_completed(resp.total_seconds, resp.queue_seconds),
-            Err(_) => shared.stats.note_failed(),
+            Ok(resp) => {
+                shared
+                    .stats
+                    .note_completed(resp.total_seconds, resp.queue_seconds);
+                shared.metrics.counter_inc("queries_completed");
+            }
+            Err(_) => {
+                shared.stats.note_failed();
+                shared.metrics.counter_inc("queries_failed");
+            }
         }
         let _ = job.reply.send(result);
     }
@@ -406,12 +440,31 @@ fn serve(
     queue_seconds: f64,
     enqueued: Instant,
 ) -> Result<QueryResponse, ServiceError> {
+    // The per-request trace epoch is the *submission* instant, so the
+    // queue wait — which happened before any worker touched the job —
+    // can be recorded retroactively as a span starting at 0.
+    let trace = if shared.config.trace {
+        obs::TraceCtx::enabled_since(enqueued)
+    } else {
+        obs::TraceCtx::disabled()
+    };
+    trace.record(
+        obs::Stage::QueueWait,
+        &req.tenant,
+        enqueued,
+        Duration::from_secs_f64(queue_seconds),
+    );
+    shared.metrics.observe("queue_wait_seconds", queue_seconds);
     let key = shared
         .result_cache
         .as_ref()
         .map(|_| result_key(req.system, req.query, shared.table_fingerprint));
     if let (Some(cache), Some(key)) = (shared.result_cache.as_ref(), key.as_ref()) {
-        if let Some(hit) = cache.get(key) {
+        let lookup = trace.span_with(obs::Stage::CacheLookup, || "result cache".to_string());
+        let hit = cache.get(key);
+        drop(lookup);
+        if let Some(hit) = hit {
+            shared.metrics.counter_inc("result_cache_hits");
             // Cached result: nothing is read, nothing is billed. The
             // all-zero scan is the response's contract, not an accident.
             let stats = ExecStats {
@@ -425,27 +478,42 @@ fn serve(
                 cost_usd: cost_usd(shared, req.system, &stats, true),
                 queue_seconds,
                 total_seconds: enqueued.elapsed().as_secs_f64(),
+                trace: shared.config.trace.then(|| trace.take_tree()),
             });
         }
+        shared.metrics.counter_inc("result_cache_misses");
     }
     let env = ExecEnv {
         chunk_cache: shared.chunk_cache.clone(),
         intra_query_threads: (shared.config.intra_query_threads > 0)
             .then_some(shared.config.intra_query_threads),
         fault_injector: shared.config.fault_injector.clone(),
+        trace: trace.clone(),
     };
+    let engine = shared
+        .engines
+        .get(&req.system)
+        .expect("an engine per system is built at startup");
+    let spec = QuerySpec::benchmark(req.query);
     // Bounded retry with exponential backoff on *retryable* scan faults
     // (transient I/O, checksum mismatch, truncated row group). Anything
     // else — or a fault that outlives the retry budget — surfaces as a
-    // typed engine error carrying system, query and scan context.
+    // typed engine error carrying system, query and scan context. A
+    // failed attempt leaves its partial span tree in the trace context,
+    // so the final drained tree shows every attempt's stages plus a
+    // `Retry` span per backoff.
     let mut attempt: u32 = 0;
     let run = loop {
-        match execute_engine(req.system, &shared.table, req.query, &env) {
+        match engine.execute(&spec, &env) {
             Ok(run) => break run,
             Err(e) if e.retryable() && attempt < shared.config.max_retries => {
                 attempt += 1;
                 shared.stats.note_retried();
+                shared.metrics.counter_inc("retries");
+                let backoff =
+                    trace.span_with(obs::Stage::Retry, || format!("attempt {attempt} backoff"));
                 std::thread::sleep(shared.config.retry_backoff * (1u32 << (attempt - 1).min(8)));
+                drop(backoff);
             }
             Err(e) => return Err(ServiceError::Engine(e.to_string())),
         }
@@ -459,6 +527,18 @@ fn serve(
             },
         );
     }
+    shared
+        .metrics
+        .observe("exec_seconds", run.stats.wall_seconds);
+    let mut response_trace = shared.config.trace.then_some(run.trace);
+    if let Some(tree) = &mut response_trace {
+        // The engine drained the context at the end of the *successful*
+        // attempt; merge in anything recorded since (none today, but the
+        // drain below keeps the context empty for the next request on
+        // this worker either way).
+        let leftover = trace.take_tree();
+        tree.roots.extend(leftover.roots);
+    }
     Ok(QueryResponse {
         cost_usd: cost_usd(shared, req.system, &run.stats, false),
         histogram: run.histogram,
@@ -466,6 +546,7 @@ fn serve(
         from_result_cache: false,
         queue_seconds,
         total_seconds: enqueued.elapsed().as_secs_f64(),
+        trace: response_trace,
     })
 }
 

@@ -22,7 +22,7 @@ pub struct QueryRequest {
     pub query: QueryId,
     /// Per-query deadline measured from submission; `None` uses the
     /// service default. A request whose deadline passes while it is still
-    /// queued is answered with [`ServiceError::TimedOut`] instead of
+    /// queued is answered with [`ServiceError::QueryTimedOut`] instead of
     /// executing.
     pub deadline: Option<Duration>,
 }
@@ -58,6 +58,10 @@ pub struct QueryResponse {
     pub queue_seconds: f64,
     /// End-to-end seconds from submission to completion.
     pub total_seconds: f64,
+    /// The request's span tree — queue wait, cache lookup, retries, and
+    /// the engine's stage spans — when the service was configured with
+    /// `trace: true`; `None` otherwise.
+    pub trace: Option<obs::SpanTree>,
 }
 
 /// Why the service could not serve a request.

@@ -44,19 +44,26 @@ fn main() {
             continue;
         }
         let bq = scale_to_paper(
-            &run_one(System::BigQuery, None, &table, *q).unwrap(),
+            &run_one(System::BigQuery, None, &table, *q, &ExecEnv::seed()).unwrap(),
             paper_factor,
         );
         let at = scale_to_paper(
-            &run_one(System::AthenaV2, None, &table, *q).unwrap(),
+            &run_one(System::AthenaV2, None, &table, *q, &ExecEnv::seed()).unwrap(),
             paper_factor,
         );
         let pr = scale_to_paper(
-            &run_one(System::Presto, Some(big), &table, *q).unwrap(),
+            &run_one(System::Presto, Some(big), &table, *q, &ExecEnv::seed()).unwrap(),
             paper_factor,
         );
         let rdf = scale_to_paper(
-            &run_one(System::RDataFrame, Some(twelve), &table, *q).unwrap(),
+            &run_one(
+                System::RDataFrame,
+                Some(twelve),
+                &table,
+                *q,
+                &ExecEnv::seed(),
+            )
+            .unwrap(),
             paper_factor,
         );
         let spot = cloud_sim::spot_cost_usd(rdf.wall_seconds, twelve, 5.0);

@@ -36,11 +36,15 @@ fn main() {
     });
     let table = Arc::new(table);
     let expect = reference::run(q, &events);
-    let bq = adapters::run_sql(Dialect::bigquery(), &table, q, SqlOptions::default()).unwrap();
-    let presto = adapters::run_sql(Dialect::presto(), &table, q, SqlOptions::default()).unwrap();
-    let athena = adapters::run_sql(Dialect::athena(), &table, q, SqlOptions::default()).unwrap();
-    let jq = adapters::run_jsoniq(&table, q, Default::default()).unwrap();
-    let rdf = adapters::run_rdf(&table, q, Default::default()).unwrap();
+    let env = adapters::ExecEnv::seed();
+    let bq =
+        adapters::run_sql_env(Dialect::bigquery(), &table, q, SqlOptions::default(), &env).unwrap();
+    let presto =
+        adapters::run_sql_env(Dialect::presto(), &table, q, SqlOptions::default(), &env).unwrap();
+    let athena =
+        adapters::run_sql_env(Dialect::athena(), &table, q, SqlOptions::default(), &env).unwrap();
+    let jq = adapters::run_jsoniq_env(&table, q, Default::default(), &env).unwrap();
+    let rdf = adapters::run_rdf_env(&table, q, Default::default(), &env).unwrap();
     for (name, run) in [
         ("BigQuery", &bq),
         ("Presto", &presto),

@@ -32,22 +32,42 @@ fn main() {
     let expect = reference::run(q, &events);
     println!("reference    entries: {:>7}", expect.hist.total());
 
-    for dialect in [Dialect::bigquery(), Dialect::presto(), Dialect::athena()] {
-        let run = adapters::run_sql(dialect, &table, q, SqlOptions::default()).unwrap();
-        report(dialect.name.as_str(), &run, &expect.hist);
+    // Every deployment dispatches through the one `QueryEngine` trait.
+    let env = ExecEnv::seed();
+    for system in [
+        System::BigQuery,
+        System::Presto,
+        System::AthenaV2,
+        System::Rumble,
+        System::RDataFrame,
+    ] {
+        let run = engine_for(system, table.clone())
+            .execute(&QuerySpec::benchmark(q), &env)
+            .unwrap();
+        report(system.name(), &run, &expect.hist);
     }
-    let run = adapters::run_jsoniq(&table, q, Default::default()).unwrap();
-    report("JSONiq", &run, &expect.hist);
-    let run = adapters::run_rdf(&table, q, Default::default()).unwrap();
-    report("RDataFrame", &run, &expect.hist);
 
     // 3. The plot itself.
     println!("\n{}", expect.hist.ascii(60));
+
+    // 4. The same API with tracing on: one span tree per query.
+    let traced_env = ExecEnv {
+        trace: hepquery::obs::TraceCtx::enabled(),
+        ..ExecEnv::seed()
+    };
+    let run = engine_for(System::Presto, table.clone())
+        .execute(&QuerySpec::benchmark(q), &traced_env)
+        .unwrap();
+    println!(
+        "\nspan tree ({} on Presto):\n{}",
+        q.name(),
+        run.trace.render(false)
+    );
 }
 
 fn report(name: &str, run: &adapters::EngineRun, expect: &Histogram) {
     println!(
-        "{name:<12} entries: {:>7}  scanned: {:>10} B  cpu: {:>8.1} ms  exact: {}",
+        "{name:<20} entries: {:>7}  scanned: {:>10} B  cpu: {:>8.1} ms  exact: {}",
         run.histogram.total(),
         run.stats.scan.bytes_scanned,
         run.stats.cpu_seconds * 1e3,

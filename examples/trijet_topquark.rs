@@ -37,8 +37,10 @@ fn main() {
     println!("{}", expect_tag.hist.ascii(60));
 
     println!("dialect comparison on Q6a (same result, different work):");
+    let env = adapters::ExecEnv::seed();
     for dialect in [Dialect::bigquery(), Dialect::presto(), Dialect::athena()] {
-        let run = adapters::run_sql(dialect, &table, QueryId::Q6a, SqlOptions::default()).unwrap();
+        let run = adapters::run_sql_env(dialect, &table, QueryId::Q6a, SqlOptions::default(), &env)
+            .unwrap();
         assert!(run.histogram.counts_equal(&expect_pt.hist));
         println!(
             "  {:<9} cpu {:>8.1} ms   bytes scanned {:>10}",

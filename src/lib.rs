@@ -20,14 +20,18 @@
 //! * [`rdataframe`] — the RDataFrame-style dataframe engine (the ROOT
 //!   analog);
 //! * [`cloud`] — the instance/pricing/scaling simulator;
-//! * [`bench`] — the ADL benchmark: queries, reference implementations,
+//! * [`mod@bench`] — the ADL benchmark: queries, reference implementations,
 //!   validation, metrics, and the run orchestrator;
 //! * [`service`] — concurrent multi-tenant query serving over the same
 //!   engines: worker pool, admission control, buffer pool and a
 //!   BigQuery-style result cache (with the paper's caches-off knob);
 //! * [`chaos`] — deterministic fault injection and differential query
 //!   fuzzing: seeded random plans lowered to every system under test,
-//!   checked bin-for-bin against an interpreter oracle.
+//!   checked bin-for-bin against an interpreter oracle;
+//! * [`obs`] — zero-dependency observability: per-query span trees with
+//!   typed stages (parse/plan/scan/…) and a sharded metrics registry,
+//!   threaded through every engine via the unified
+//!   [`bench::engine_api::QueryEngine`] trait.
 //!
 //! ## Quickstart
 //!
@@ -43,13 +47,34 @@
 //! });
 //! let table = Arc::new(table);
 //!
-//! // 2. Run ADL query Q4 on the SQL engine under the BigQuery dialect…
-//! let sql = hepquery::bench::adapters::run_sql(
-//!     Dialect::bigquery(), &table, QueryId::Q4, Default::default()).unwrap();
+//! // 2. Run ADL query Q4 through the unified `QueryEngine` API — here
+//! //    the BigQuery deployment of the SQL engine…
+//! let engine = engine_for(System::BigQuery, table.clone());
+//! let run = engine
+//!     .execute(&QuerySpec::benchmark(QueryId::Q4), &ExecEnv::seed())
+//!     .unwrap();
 //!
 //! // 3. …and compare with the ground truth.
 //! let reference = hepquery::bench::reference::run(QueryId::Q4, &events);
-//! assert!(sql.histogram.counts_equal(&reference.hist));
+//! assert!(run.histogram.counts_equal(&reference.hist));
+//! ```
+//!
+//! To trace a run, enable the environment's [`obs::TraceCtx`] and read
+//! the span tree off the result:
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use hepquery::prelude::*;
+//! # let (_, table) = hepquery::model::generator::build_dataset(DatasetSpec {
+//! #     n_events: 200, row_group_size: 64, seed: 42 });
+//! # let table = Arc::new(table);
+//! let env = ExecEnv { trace: obs::TraceCtx::enabled(), ..ExecEnv::seed() };
+//! let engine = engine_for(System::Presto, table.clone());
+//! let run = engine
+//!     .execute(&QuerySpec::benchmark(QueryId::Q1), &env)
+//!     .unwrap();
+//! assert!(!run.trace.is_empty());
+//! println!("{}", run.trace.render(false)); // or .to_json() / .to_chrome_trace()
 //! ```
 
 pub use chaos;
@@ -61,11 +86,15 @@ pub use hep_model as model;
 pub use hepbench_core as bench;
 pub use nested_value as value;
 pub use nf2_columnar as columnar;
+pub use obs;
 pub use physics;
 pub use query_service as service;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::bench::adapters::ExecEnv;
+    pub use crate::bench::engine_api::{engine_for, QueryEngine, QuerySpec};
+    pub use crate::bench::runner::System;
     pub use crate::bench::{QueryId, ALL_QUERIES};
     pub use crate::columnar::{Projection, PushdownCapability, Table};
     pub use crate::model::{DatasetSpec, Event, Generator, GeneratorConfig};

@@ -49,7 +49,7 @@ USAGE:
   hepquery generate [--events N] [--row-group N] [--seed N] --out FILE
   hepquery sql      [--dialect bigquery|presto|athena] (--file FILE | --events N) SQL [--limit N]
   hepquery jsoniq   (--file FILE | --events N) QUERY [--limit N]
-  hepquery adl      --query Q1..Q8|Q6a|Q6b [--events N] [--engine all|sql|jsoniq|rdf]
+  hepquery adl      --query Q1..Q8|Q6a|Q6b [--events N] [--engine all|sql|jsoniq|rdf] [--trace]
   hepquery schema   --file FILE";
 
 /// Tiny argument scanner: `--key value` flags plus one positional.
@@ -200,36 +200,43 @@ fn cmd_adl(raw: &[String]) -> Result<(), String> {
     let expect = reference::run(q, &events);
     println!("{} — {}", q.name(), q.description());
     let engine = a.flag("--engine").unwrap_or("all");
-    let mut runs: Vec<(&str, adapters::EngineRun)> = Vec::new();
+    let trace_on = a.raw.iter().any(|s| s == "--trace");
+    let env = adapters::ExecEnv {
+        trace: if trace_on {
+            hepquery::obs::TraceCtx::enabled()
+        } else {
+            hepquery::obs::TraceCtx::disabled()
+        },
+        ..adapters::ExecEnv::seed()
+    };
+    let mut systems: Vec<System> = Vec::new();
     if engine == "all" || engine == "sql" {
-        for d in [Dialect::bigquery(), Dialect::presto(), Dialect::athena()] {
-            runs.push((
-                d.name.as_str(),
-                adapters::run_sql(d, &table, q, SqlOptions::default())
-                    .map_err(|e| e.to_string())?,
-            ));
-        }
+        systems.extend([System::BigQuery, System::Presto, System::AthenaV2]);
     }
     if engine == "all" || engine == "jsoniq" {
-        runs.push((
-            "JSONiq",
-            adapters::run_jsoniq(&table, q, Default::default()).map_err(|e| e.to_string())?,
-        ));
+        systems.push(System::Rumble);
     }
     if engine == "all" || engine == "rdf" {
-        runs.push((
-            "RDataFrame",
-            adapters::run_rdf(&table, q, Default::default()).map_err(|e| e.to_string())?,
-        ));
+        systems.push(System::RDataFrame);
+    }
+    let mut runs: Vec<(&str, adapters::EngineRun)> = Vec::new();
+    for system in systems {
+        let run = engine_for(system, table.clone())
+            .execute(&QuerySpec::benchmark(q), &env)
+            .map_err(|e| e.to_string())?;
+        runs.push((system.name(), run));
     }
     for (name, run) in &runs {
         println!(
-            "{name:<12} entries {:>8}  cpu {:>9.1} ms  scanned {:>12} B  exact {}",
+            "{name:<20} entries {:>8}  cpu {:>9.1} ms  scanned {:>12} B  exact {}",
             run.histogram.total(),
             run.stats.cpu_seconds * 1e3,
             run.stats.scan.bytes_scanned,
             run.histogram.counts_equal(&expect.hist)
         );
+        if trace_on {
+            println!("{}", run.trace.render(false));
+        }
     }
     println!("\n{}", expect.hist.ascii(60));
     let _ = QueryId::Q1;

@@ -42,10 +42,13 @@ fn agreement_is_layout_independent() {
     let (events2, t2) = dataset(77, 3_000, 3_000);
     assert_eq!(events, events2);
     let expect = reference::run(q, &events).hist;
+    let env = adapters::ExecEnv::seed();
     for table in [t1, t2] {
-        let run = adapters::run_sql(Dialect::bigquery(), &table, q, SqlOptions::default()).unwrap();
+        let run =
+            adapters::run_sql_env(Dialect::bigquery(), &table, q, SqlOptions::default(), &env)
+                .unwrap();
         assert!(run.histogram.counts_equal(&expect));
-        let run = adapters::run_rdf(&table, q, Default::default()).unwrap();
+        let run = adapters::run_rdf_env(&table, q, Default::default(), &env).unwrap();
         assert!(run.histogram.counts_equal(&expect));
     }
 }
@@ -53,9 +56,11 @@ fn agreement_is_layout_independent() {
 #[test]
 fn serial_and_parallel_sql_agree() {
     let (_, table) = dataset(31, 4_000, 256);
+    let env = adapters::ExecEnv::seed();
     for q in [QueryId::Q1, QueryId::Q4, QueryId::Q6a, QueryId::Q8] {
-        let par = adapters::run_sql(Dialect::presto(), &table, q, SqlOptions::default()).unwrap();
-        let ser = adapters::run_sql(
+        let par = adapters::run_sql_env(Dialect::presto(), &table, q, SqlOptions::default(), &env)
+            .unwrap();
+        let ser = adapters::run_sql_env(
             Dialect::presto(),
             &table,
             q,
@@ -64,6 +69,7 @@ fn serial_and_parallel_sql_agree() {
                 partition_parallel: false,
                 ..SqlOptions::default()
             },
+            &env,
         )
         .unwrap();
         assert!(
@@ -77,8 +83,9 @@ fn serial_and_parallel_sql_agree() {
 #[test]
 fn q6a_and_q6b_select_identical_events() {
     let (events, table) = dataset(6, 3_000, 512);
-    let a = adapters::run_rdf(&table, QueryId::Q6a, Default::default()).unwrap();
-    let b = adapters::run_rdf(&table, QueryId::Q6b, Default::default()).unwrap();
+    let env = adapters::ExecEnv::seed();
+    let a = adapters::run_rdf_env(&table, QueryId::Q6a, Default::default(), &env).unwrap();
+    let b = adapters::run_rdf_env(&table, QueryId::Q6b, Default::default(), &env).unwrap();
     assert_eq!(a.histogram.total(), b.histogram.total());
     let expect = events.iter().filter(|e| e.jets.len() >= 3).count() as u64;
     assert_eq!(a.histogram.total(), expect);

@@ -102,6 +102,7 @@ fn every_engine_and_dialect_matches_the_golden_snapshots() {
         std::fs::create_dir_all(golden_path("x").parent().unwrap()).unwrap();
     }
     let mut missing = Vec::new();
+    let env = adapters::ExecEnv::seed();
     for &q in ALL_QUERIES {
         let reference = reference::run(q, &events).hist;
         let path = golden_path(q.name());
@@ -123,20 +124,21 @@ fn every_engine_and_dialect_matches_the_golden_snapshots() {
         // in-memory reference.
         for dialect in [Dialect::bigquery(), Dialect::presto(), Dialect::athena()] {
             let name = format!("{:?}", dialect.name);
-            let run = adapters::run_sql(dialect, &table, q, SqlOptions::default()).unwrap();
+            let run =
+                adapters::run_sql_env(dialect, &table, q, SqlOptions::default(), &env).unwrap();
             assert!(
                 run.histogram.counts_equal(&golden),
                 "{} {name} diverged from golden snapshot",
                 q.name()
             );
         }
-        let run = adapters::run_jsoniq(&table, q, Default::default()).unwrap();
+        let run = adapters::run_jsoniq_env(&table, q, Default::default(), &env).unwrap();
         assert!(
             run.histogram.counts_equal(&golden),
             "{} JSONiq diverged from golden snapshot",
             q.name()
         );
-        let run = adapters::run_rdf(&table, q, Default::default()).unwrap();
+        let run = adapters::run_rdf_env(&table, q, Default::default(), &env).unwrap();
         assert!(
             run.histogram.counts_equal(&golden),
             "{} RDataFrame diverged from golden snapshot",

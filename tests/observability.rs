@@ -1,0 +1,157 @@
+//! End-to-end observability: every query on every engine, run through the
+//! unified `QueryEngine` trait, must produce a well-formed span tree whose
+//! stage timings account for the query's wall time — and the tree's
+//! *shape* for a pinned query is a golden fixture, so stage renames,
+//! dropped instrumentation, or parenting regressions show up as diffs.
+//!
+//! Regenerate the shape fixture after an *intentional* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test observability
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hepquery::obs;
+use hepquery::prelude::*;
+
+const EVENTS: usize = 8_000;
+const ROW_GROUP: usize = 1_024;
+const SEED: u64 = 0x901D;
+
+fn table() -> Arc<Table> {
+    Arc::new(
+        hepquery::model::generator::build_dataset(DatasetSpec {
+            n_events: EVENTS,
+            row_group_size: ROW_GROUP,
+            seed: SEED,
+        })
+        .1,
+    )
+}
+
+/// A single-threaded traced environment: with one worker, a query's
+/// direct child spans are sequential, so their durations must sum to
+/// (nearly) the root's — the accounting property the coverage test pins.
+fn traced_env() -> ExecEnv {
+    ExecEnv {
+        trace: obs::TraceCtx::enabled(),
+        intra_query_threads: Some(1),
+        ..ExecEnv::seed()
+    }
+}
+
+fn run_traced(
+    system: System,
+    table: &Arc<Table>,
+    q: QueryId,
+) -> hepquery::bench::adapters::EngineRun {
+    engine_for(system, table.clone())
+        .execute(&QuerySpec::benchmark(q), &traced_env())
+        .unwrap()
+}
+
+#[test]
+fn golden_span_tree_shape_q5_presto() {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/span_tree_q5_presto.txt");
+    let run = run_traced(System::Presto, &table(), QueryId::Q5);
+    // Durations redacted: the *shape* (stages, labels, nesting, row
+    // counts) is deterministic; the timings are not.
+    let rendered = run.trace.render(true);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden fixture {path:?} — generate with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        rendered, golden,
+        "span tree shape drifted from the golden fixture — if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn every_query_on_every_engine_traces_with_covering_stages() {
+    let t = table();
+    for system in [System::Presto, System::Rumble, System::RDataFrame] {
+        for q in ALL_QUERIES {
+            let run = run_traced(system, &t, *q);
+            let tree = &run.trace;
+            assert_eq!(
+                tree.roots.len(),
+                1,
+                "{} {}: expected exactly one query root",
+                system.name(),
+                q.name()
+            );
+            let root = &tree.roots[0];
+            assert_eq!(root.span.stage, obs::Stage::Query);
+            // Well-formed timing: spans are within their parent's window
+            // and the flattened record list has monotonic ids.
+            for child in &root.children {
+                assert!(child.span.start_ns >= root.span.start_ns);
+                assert!(child.span.end_ns() <= root.span.end_ns());
+            }
+            for w in tree.flatten().windows(2) {
+                if w[0].parent == w[1].parent {
+                    assert!(w[0].start_ns <= w[1].start_ns, "siblings out of order");
+                }
+            }
+            // Accounting: single-threaded, the direct children of the
+            // query root must cover its duration to within 5%.
+            let coverage = tree
+                .root_child_coverage()
+                .expect("root with children and non-zero duration");
+            assert!(
+                coverage > 0.95 && coverage < 1.05,
+                "{} {}: stage durations cover {:.1}% of the query wall time",
+                system.name(),
+                q.name(),
+                coverage * 100.0
+            );
+            // Every engine path reports at least plan, scan and
+            // aggregate work.
+            let stages: Vec<obs::Stage> = tree.flatten().iter().map(|s| s.stage).collect();
+            for want in [obs::Stage::Plan, obs::Stage::Scan, obs::Stage::Aggregate] {
+                assert!(
+                    stages.contains(&want),
+                    "{} {}: missing {want} span",
+                    system.name(),
+                    q.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exports_are_valid_and_disabled_tracing_is_empty() {
+    let t = table();
+    let run = run_traced(System::Rumble, &t, QueryId::Q3);
+    let json = run.trace.to_json();
+    assert!(json.starts_with('['));
+    assert!(json.contains("\"stage\":\"query\""));
+    assert!(json.contains("\"children\""));
+    let chrome = run.trace.to_chrome_trace();
+    assert!(chrome.starts_with('['));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert_eq!(
+        chrome.matches("\"ph\":\"X\"").count(),
+        run.trace.len(),
+        "one chrome event per span"
+    );
+    // Stage seconds decompose the root's total.
+    let total: f64 = run.trace.stage_seconds().iter().map(|(_, s)| s).sum();
+    assert!((total - run.trace.total_seconds()).abs() <= total * 1e-6 + 1e-9);
+    // Untraced runs carry an empty tree and produce identical results.
+    let untraced = engine_for(System::Rumble, t.clone())
+        .execute(&QuerySpec::benchmark(QueryId::Q3), &ExecEnv::seed())
+        .unwrap();
+    assert!(untraced.trace.is_empty());
+    assert_eq!(untraced.histogram, run.histogram);
+    assert_eq!(untraced.stats.scan, run.stats.scan);
+}

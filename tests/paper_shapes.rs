@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use hepquery::bench::adapters::ExecEnv;
 use hepquery::bench::runner::{run_one, System};
 use hepquery::bench::QueryId;
 use hepquery::prelude::*;
@@ -26,12 +27,12 @@ fn figure1_shapes() {
     let twelve = cloud_sim::instances::by_name("m5d.12xlarge").unwrap();
 
     for q in [QueryId::Q1, QueryId::Q6a] {
-        let bq = run_one(System::BigQuery, None, &t, q).unwrap();
-        let bq_ext = run_one(System::BigQueryExternal, None, &t, q).unwrap();
-        let athena = run_one(System::AthenaV2, None, &t, q).unwrap();
-        let presto = run_one(System::Presto, Some(big), &t, q).unwrap();
-        let rumble = run_one(System::Rumble, Some(big), &t, q).unwrap();
-        let rdf = run_one(System::RDataFrame, Some(twelve), &t, q).unwrap();
+        let bq = run_one(System::BigQuery, None, &t, q, &ExecEnv::seed()).unwrap();
+        let bq_ext = run_one(System::BigQueryExternal, None, &t, q, &ExecEnv::seed()).unwrap();
+        let athena = run_one(System::AthenaV2, None, &t, q, &ExecEnv::seed()).unwrap();
+        let presto = run_one(System::Presto, Some(big), &t, q, &ExecEnv::seed()).unwrap();
+        let rumble = run_one(System::Rumble, Some(big), &t, q, &ExecEnv::seed()).unwrap();
+        let rdf = run_one(System::RDataFrame, Some(twelve), &t, q, &ExecEnv::seed()).unwrap();
 
         // BigQuery is the fastest QaaS/SQL-style system on every query,
         // with the paper's QaaS ordering (loaded < external < Athena) and
@@ -92,8 +93,8 @@ fn figure2_plateau() {
     let t = table();
     let q = QueryId::Q1;
     let quarter = Arc::new(t.head(t.n_rows() / 4));
-    let full = run_one(System::BigQuery, None, &t, q).unwrap();
-    let small = run_one(System::BigQuery, None, &quarter, q).unwrap();
+    let full = run_one(System::BigQuery, None, &t, q, &ExecEnv::seed()).unwrap();
+    let small = run_one(System::BigQuery, None, &quarter, q, &ExecEnv::seed()).unwrap();
     let ratio = full.wall_seconds / small.wall_seconds;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -108,8 +109,8 @@ fn figure4_compute_bound_ordering() {
     let t = table();
     for system in [System::Presto, System::RDataFrame, System::Rumble] {
         let inst = cloud_sim::instances::by_name("m5d.24xlarge");
-        let q1 = run_one(system, inst, &t, QueryId::Q1).unwrap();
-        let q6 = run_one(system, inst, &t, QueryId::Q6a).unwrap();
+        let q1 = run_one(system, inst, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
+        let q6 = run_one(system, inst, &t, QueryId::Q6a, &ExecEnv::seed()).unwrap();
         assert!(
             q6.cpu_seconds > q1.cpu_seconds,
             "{}: Q6 {} <= Q1 {}",
@@ -136,8 +137,8 @@ fn pricing_models_diverge_like_the_paper() {
     // price BigQuery per byte of useful data; scan accounting must show
     // Athena reading strictly more than the ideal.
     let t = table();
-    let bq = run_one(System::BigQuery, None, &t, QueryId::Q1).unwrap();
-    let at = run_one(System::AthenaV2, None, &t, QueryId::Q1).unwrap();
+    let bq = run_one(System::BigQuery, None, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
+    let at = run_one(System::AthenaV2, None, &t, QueryId::Q1, &ExecEnv::seed()).unwrap();
     assert!(at.scan.bytes_scanned > at.scan.ideal_compressed_bytes);
     // BigQuery's billed (logical) bytes exceed its ideal uncompressed
     // bytes because 4-byte floats are billed as 8.

@@ -24,7 +24,7 @@ fn vectorized_filter_never_changes_scan_stats_or_results() {
     ] {
         for q in ALL_QUERIES {
             let run = |vectorized_filter: bool| {
-                adapters::run_sql(
+                adapters::run_sql_env(
                     make(),
                     &table,
                     *q,
@@ -32,6 +32,7 @@ fn vectorized_filter_never_changes_scan_stats_or_results() {
                         vectorized_filter,
                         ..SqlOptions::default()
                     },
+                    &adapters::ExecEnv::seed(),
                 )
                 .unwrap()
             };

@@ -26,9 +26,12 @@ fn queries_survive_disk_roundtrip() {
     let file_size = std::fs::metadata(&path).unwrap().len();
     assert!(file_size as usize >= table.uncompressed_bytes());
 
+    let env = adapters::ExecEnv::seed();
     for q in [QueryId::Q1, QueryId::Q4, QueryId::Q6a] {
-        let a = adapters::run_sql(Dialect::athena(), &table, q, SqlOptions::default()).unwrap();
-        let b = adapters::run_sql(Dialect::athena(), &reloaded, q, SqlOptions::default()).unwrap();
+        let a = adapters::run_sql_env(Dialect::athena(), &table, q, SqlOptions::default(), &env)
+            .unwrap();
+        let b = adapters::run_sql_env(Dialect::athena(), &reloaded, q, SqlOptions::default(), &env)
+            .unwrap();
         assert!(a.histogram.counts_equal(&b.histogram), "{}", q.name());
         assert_eq!(a.stats.scan.bytes_scanned, b.stats.scan.bytes_scanned);
     }
@@ -44,10 +47,13 @@ fn scan_accounting_is_consistent_across_engines() {
     });
     let table = Arc::new(table);
     let q = QueryId::Q1;
-    let bq = adapters::run_sql(Dialect::bigquery(), &table, q, SqlOptions::default()).unwrap();
-    let at = adapters::run_sql(Dialect::athena(), &table, q, SqlOptions::default()).unwrap();
-    let jq = adapters::run_jsoniq(&table, q, Default::default()).unwrap();
-    let rdf = adapters::run_rdf(&table, q, Default::default()).unwrap();
+    let env = adapters::ExecEnv::seed();
+    let bq =
+        adapters::run_sql_env(Dialect::bigquery(), &table, q, SqlOptions::default(), &env).unwrap();
+    let at =
+        adapters::run_sql_env(Dialect::athena(), &table, q, SqlOptions::default(), &env).unwrap();
+    let jq = adapters::run_jsoniq_env(&table, q, Default::default(), &env).unwrap();
+    let rdf = adapters::run_rdf_env(&table, q, Default::default(), &env).unwrap();
     // The Figure-4b ordering: BigQuery (leaf pushdown) < Athena (whole
     // structs) < Rumble (whole file); RDataFrame reads like BigQuery.
     assert!(bq.stats.scan.bytes_scanned < at.stats.scan.bytes_scanned);
