@@ -2,7 +2,7 @@
 //! with a mixed multi-tenant workload and reports QPS, latency percentiles
 //! and cache hit rates.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * default — 32 client threads, each issuing a stream of requests drawn
 //!   from (system × ADL query) round-robin under tenants `t0..t3`; merges
@@ -12,19 +12,29 @@
 //!   fails the run instead of hanging CI), asserts that repeated queries
 //!   hit the result cache and that every submitted request is accounted
 //!   for. Non-zero exit on any violation.
+//! * `--overload` — watchdog-guarded overload gate: a saturating
+//!   deadline-storm workload must produce zero deadline overshoots beyond
+//!   one row group of work; load shedding and an open circuit breaker
+//!   must reject without touching the scan layer; hedged execution must
+//!   win at least one race. Merges an `"overload"` section into
+//!   `BENCH_smoke.json`. Non-zero exit on any violation.
 //!
 //! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`, `HEPQUERY_SEED`,
 //! `HEPQUERY_SERVE_CLIENTS`, `HEPQUERY_SERVE_REQS`.
 
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hep_model::generator::build_dataset;
 use hep_model::DatasetSpec;
 use hepbench_core::runner::System;
 use hepbench_core::ALL_QUERIES;
-use query_service::{QueryRequest, QueryService, ServiceConfig, ServiceError};
+use nf2_columnar::{FaultClass, FaultConfig, FaultInjector};
+use query_service::{
+    BreakerConfig, BreakerState, HedgeConfig, QueryRequest, QueryService, ServiceConfig,
+    ServiceError,
+};
 
 /// Systems the mixed workload draws from (one per language/dialect).
 const SYSTEMS: &[System] = &[
@@ -127,11 +137,15 @@ fn rate(hits: u64, misses: u64) -> f64 {
     }
 }
 
-/// Merges a `"serving"` object into the (possibly existing) smoke JSON,
-/// replacing any previous `"serving"` section.
-fn merge_serving_section(path: &str, serving: &str) {
+/// Merges a named top-level object into the (possibly existing) smoke
+/// JSON, replacing any previous section of the same name. Sections are
+/// trailing: merging a section drops anything after a previous copy of
+/// it, which keeps the splice trivial and is harmless for the
+/// append-only sections this harness writes.
+fn merge_section(path: &str, key: &str, payload: &str) {
     let content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    let base = if let Some(pos) = content.find(",\n  \"serving\":") {
+    let marker = format!(",\n  \"{key}\":");
+    let base = if let Some(pos) = content.find(&marker) {
         content[..pos].to_string()
     } else {
         let mut c = content.trim_end().to_string();
@@ -145,9 +159,9 @@ fn merge_serving_section(path: &str, serving: &str) {
     } else {
         ","
     };
-    let json = format!("{base}{sep}\n  \"serving\": {serving}\n}}\n");
+    let json = format!("{base}{sep}\n  \"{key}\": {payload}\n}}\n");
     std::fs::write(path, &json).expect("write smoke json");
-    eprintln!("# merged serving section into {path}");
+    eprintln!("# merged {key} section into {path}");
 }
 
 fn run_default() {
@@ -202,7 +216,7 @@ fn run_default() {
         rate(cc.hits, cc.misses),
     );
     let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
-    merge_serving_section(&out, &serving);
+    merge_section(&out, "serving", &serving);
 }
 
 /// CI gate: finishes under a watchdog (admission control must not
@@ -282,10 +296,356 @@ fn run_check() -> i32 {
     }
 }
 
+/// Outcome of the overload gate's deadline-storm scenario.
+struct StormReport {
+    requests: usize,
+    cancelled: usize,
+    timed_out: usize,
+    rejected: usize,
+    completed: usize,
+    max_overshoot_seconds: f64,
+    full_scans_cancelled: usize,
+}
+
+/// Saturates a latency-stormed service with short-deadline requests and
+/// measures deadline overshoot per response. With every physical chunk
+/// read slowed, a wide query cannot finish inside the deadline, so its
+/// token must stop it — and nothing (cancelled, timed out, or a narrow
+/// query that legitimately completes) may run past the deadline by more
+/// than one row group of (artificially slow) work.
+fn deadline_storm(table: &Arc<nf2_columnar::Table>, n_rows: u64) -> StormReport {
+    const DEADLINE: Duration = Duration::from_millis(40);
+    // One row group of work under the storm: each of the projection's
+    // chunk reads sleeps 5 ms; the widest benchmark projection stays
+    // well under 30 chunks per group.
+    const GROUP_BUDGET: Duration = Duration::from_millis(150);
+    let service = QueryService::start(
+        table.clone(),
+        ServiceConfig {
+            n_workers: 2,
+            queue_depth: 64,
+            result_cache: false,
+            chunk_cache_bytes: 0,
+            max_retries: 0,
+            fault_injector: Some(Arc::new(FaultInjector::new(FaultConfig {
+                latency: Duration::from_millis(5),
+                ..FaultConfig::only(FaultClass::Latency, 1.0, 0xDEAD)
+            }))),
+            ..ServiceConfig::default()
+        },
+    );
+    let mix: Vec<(System, hepbench_core::QueryId)> = SYSTEMS
+        .iter()
+        .flat_map(|&s| ALL_QUERIES.iter().map(move |&q| (s, q)))
+        .collect();
+    let clients = 6;
+    let reqs = 2;
+    let outcomes: Vec<(Result<f64, ServiceError>, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let mix = &mix;
+                let service = &service;
+                scope.spawn(move || {
+                    let tenant = format!("t{}", c % TENANTS);
+                    (0..reqs)
+                        .map(|r| {
+                            let (system, query) = mix[(c * reqs + r) % mix.len()];
+                            let t0 = Instant::now();
+                            let outcome = service
+                                .execute(QueryRequest {
+                                    deadline: Some(DEADLINE),
+                                    ..QueryRequest::new(tenant.clone(), system, query)
+                                })
+                                .map(|resp| resp.total_seconds);
+                            (outcome, t0.elapsed().as_secs_f64())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm client"))
+            .collect()
+    });
+    let mut report = StormReport {
+        requests: outcomes.len(),
+        cancelled: 0,
+        timed_out: 0,
+        rejected: 0,
+        completed: 0,
+        max_overshoot_seconds: 0.0,
+        full_scans_cancelled: 0,
+    };
+    for (outcome, elapsed) in outcomes {
+        let overshoot = elapsed - DEADLINE.as_secs_f64() - GROUP_BUDGET.as_secs_f64();
+        match outcome {
+            // A narrow projection can finish inside the deadline — fine,
+            // but a completion is held to the same overshoot bound: the
+            // token must have stopped it had it run long.
+            Ok(_) => {
+                report.completed += 1;
+                report.max_overshoot_seconds = report.max_overshoot_seconds.max(overshoot);
+            }
+            Err(ServiceError::Cancelled { rows_processed, .. }) => {
+                report.cancelled += 1;
+                report.max_overshoot_seconds = report.max_overshoot_seconds.max(overshoot);
+                if rows_processed >= n_rows {
+                    report.full_scans_cancelled += 1;
+                }
+            }
+            Err(ServiceError::QueryTimedOut { .. }) => {
+                report.timed_out += 1;
+                report.max_overshoot_seconds = report.max_overshoot_seconds.max(overshoot);
+            }
+            Err(_) => report.rejected += 1,
+        }
+    }
+    report
+}
+
+/// CI overload gate: deadline storms cannot overshoot by more than one
+/// row group of work, shedding and breakers reject in O(µs) without a
+/// scan, hedging wins at least one race. Watchdogged like `--check`.
+fn run_overload() -> i32 {
+    let spec = spec(1_500);
+    eprintln!("# serve_smoke --overload: {} events", spec.n_events);
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let (_, table) = build_dataset(spec);
+        let n_rows = table.n_rows() as u64;
+        let table = Arc::new(table);
+
+        let storm = deadline_storm(&table, n_rows);
+
+        // Load shedding: prime the execution-time EWMA, pile a backlog
+        // onto one worker, then measure how fast hopeless requests are
+        // refused.
+        let service = QueryService::start(
+            table.clone(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                load_shedding: true,
+                ..ServiceConfig::default()
+            },
+        );
+        service
+            .execute(QueryRequest::new(
+                "t0",
+                System::BigQuery,
+                hepbench_core::QueryId::Q1,
+            ))
+            .expect("priming query");
+        let backlog: Vec<_> = (0..8)
+            .map(|_| {
+                service
+                    .submit(QueryRequest::new(
+                        "t0",
+                        System::Rumble,
+                        hepbench_core::QueryId::Q5,
+                    ))
+                    .expect("backlog submit")
+            })
+            .collect();
+        let mut shed = 0usize;
+        let mut shed_micros_max = 0.0f64;
+        for _ in 0..8 {
+            let t0 = Instant::now();
+            let outcome = service.submit(QueryRequest {
+                deadline: Some(Duration::from_nanos(1)),
+                ..QueryRequest::new("t1", System::BigQuery, hepbench_core::QueryId::Q1)
+            });
+            let micros = t0.elapsed().as_secs_f64() * 1e6;
+            if matches!(outcome, Err(ServiceError::QueryShedded { .. })) {
+                shed += 1;
+                shed_micros_max = shed_micros_max.max(micros);
+            }
+        }
+        for t in backlog {
+            let _ = t.wait();
+        }
+        drop(service);
+
+        // Circuit breaker: a persistent I/O-fault storm must open the
+        // breaker, after which admission rejects without executing.
+        let service = QueryService::start(
+            table.clone(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                chunk_cache_bytes: 0,
+                max_retries: 0,
+                fault_injector: Some(Arc::new(FaultInjector::new(FaultConfig {
+                    transient_attempts: 0,
+                    ..FaultConfig::only(FaultClass::Io, 1.0, 0xB0B0)
+                }))),
+                breaker: Some(BreakerConfig {
+                    cooldown: Duration::from_secs(600),
+                    ..BreakerConfig::default()
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..8 {
+            let _ = service.execute(QueryRequest::new(
+                "t0",
+                System::BigQuery,
+                hepbench_core::QueryId::Q1,
+            ));
+        }
+        let breaker_open = service.breaker_state(System::BigQuery) == Some(BreakerState::Open);
+        let t0 = Instant::now();
+        let breaker_rejects = matches!(
+            service.submit(QueryRequest::new(
+                "t0",
+                System::BigQuery,
+                hepbench_core::QueryId::Q1
+            )),
+            Err(ServiceError::CircuitOpen { .. })
+        );
+        let breaker_reject_micros = t0.elapsed().as_secs_f64() * 1e6;
+        drop(service);
+
+        // Hedging: each race gets a fresh service so the execution-time
+        // sample pool is empty and the zero floor delay launches the
+        // hedge at t≈0 — the two identical attempts race on scheduling
+        // alone, so over enough races the hedge must win at least one.
+        let mut hedge_wins = 0u64;
+        let mut hedge_launched = 0u64;
+        for i in 0..60 {
+            let service = QueryService::start(
+                table.clone(),
+                ServiceConfig {
+                    n_workers: 1,
+                    result_cache: false,
+                    chunk_cache_bytes: 0,
+                    hedge: Some(HedgeConfig {
+                        percentile: 0.99,
+                        min_delay: Duration::ZERO,
+                    }),
+                    ..ServiceConfig::default()
+                },
+            );
+            service
+                .execute(QueryRequest::new(
+                    "t0",
+                    SYSTEMS[i % SYSTEMS.len()],
+                    hepbench_core::QueryId::Q2,
+                ))
+                .expect("hedged query");
+            let m = service.metrics_snapshot();
+            hedge_wins += m.counter("hedge_wins");
+            hedge_launched += m.counter("hedges_launched");
+            if hedge_wins > 0 && i >= 9 {
+                break;
+            }
+        }
+        let _ = done_tx.send((
+            storm,
+            shed,
+            shed_micros_max,
+            breaker_open,
+            breaker_rejects,
+            breaker_reject_micros,
+            hedge_launched,
+            hedge_wins,
+        ));
+    });
+    let watchdog = Duration::from_secs(env_usize("HEPQUERY_SERVE_WATCHDOG", 600) as u64);
+    let Ok((
+        storm,
+        shed,
+        shed_micros_max,
+        breaker_open,
+        breaker_rejects,
+        breaker_reject_micros,
+        hedge_launched,
+        hedge_wins,
+    )) = done_rx.recv_timeout(watchdog)
+    else {
+        eprintln!(
+            "FAIL: overload scenarios did not finish within {}s — cancellation stuck?",
+            watchdog.as_secs()
+        );
+        return 1;
+    };
+    worker.join().expect("overload thread");
+    let mut failures = 0;
+    if storm.cancelled == 0 {
+        eprintln!("FAIL: deadline storm cancelled no running query");
+        failures += 1;
+    }
+    if storm.max_overshoot_seconds > 0.0 {
+        eprintln!(
+            "FAIL: a deadline overshot its budget + one row group by {:.3}s",
+            storm.max_overshoot_seconds
+        );
+        failures += 1;
+    }
+    if storm.full_scans_cancelled > 0 {
+        eprintln!(
+            "FAIL: {} cancellations reported a full scan's worth of rows",
+            storm.full_scans_cancelled
+        );
+        failures += 1;
+    }
+    if shed == 0 {
+        eprintln!("FAIL: load shedding never fired under a saturated queue");
+        failures += 1;
+    }
+    if !breaker_open {
+        eprintln!("FAIL: breaker did not open under a persistent fault storm");
+        failures += 1;
+    }
+    if !breaker_rejects {
+        eprintln!("FAIL: open breaker did not reject at admission");
+        failures += 1;
+    }
+    if hedge_wins == 0 {
+        eprintln!("FAIL: hedging never won a race ({hedge_launched} launched)");
+        failures += 1;
+    }
+    eprintln!(
+        "  storm: {} requests, {} cancelled, {} timed out, {} completed, {} rejected, \
+         max overshoot {:.3}s",
+        storm.requests,
+        storm.cancelled,
+        storm.timed_out,
+        storm.completed,
+        storm.rejected,
+        (storm.max_overshoot_seconds).max(0.0)
+    );
+    eprintln!(
+        "  shed {shed}/8 (slowest {shed_micros_max:.0}µs); breaker open={breaker_open}, \
+         rejected in {breaker_reject_micros:.0}µs; hedges {hedge_launched} launched, \
+         {hedge_wins} wins"
+    );
+    let payload = format!(
+        "{{\n    \"storm_requests\": {},\n    \"storm_cancelled\": {},\n    \"storm_timed_out\": {},\n    \"storm_completed\": {},\n    \"storm_rejected\": {},\n    \"storm_max_overshoot_seconds\": {:.6},\n    \"shed\": {shed},\n    \"shed_reject_micros_max\": {shed_micros_max:.1},\n    \"breaker_open\": {breaker_open},\n    \"breaker_reject_micros\": {breaker_reject_micros:.1},\n    \"hedges_launched\": {hedge_launched},\n    \"hedge_wins\": {hedge_wins}\n  }}",
+        storm.requests,
+        storm.cancelled,
+        storm.timed_out,
+        storm.completed,
+        storm.rejected,
+        storm.max_overshoot_seconds.max(0.0),
+    );
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    merge_section(&out, "overload", &payload);
+    if failures == 0 {
+        eprintln!("# serve_smoke --overload OK");
+        0
+    } else {
+        failures
+    }
+}
+
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
-    if check {
+    if std::env::args().any(|a| a == "--check") {
         std::process::exit(run_check());
+    }
+    if std::env::args().any(|a| a == "--overload") {
+        std::process::exit(run_overload());
     }
     run_default();
 }

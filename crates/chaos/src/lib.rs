@@ -19,6 +19,7 @@
 //! failure replays bit-for-bit.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use hep_model::Event;
 use hepbench_core::adapters::{AdapterError, ExecEnv};
@@ -442,6 +443,180 @@ fn transient_phase(
     }
 }
 
+/// Outcome of the cancellation sweep.
+#[derive(Debug)]
+pub struct CancelReport {
+    /// Engine runs performed.
+    pub runs: usize,
+    /// Runs stopped by a tripped token and surfaced as a typed
+    /// [`obs::Cancelled`] error.
+    pub cancellations: usize,
+    /// Runs that finished before their cancel point with the exact
+    /// oracle histogram.
+    pub clean_results: usize,
+    /// Contract violations (wrong histogram, untyped error, retryable
+    /// cancellation, inconsistent buffer pool). Empty ⇒ pass.
+    pub violations: Vec<String>,
+}
+
+impl CancelReport {
+    /// Whether every run met the cancellation contract.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-chunk injected latency of the cancellation sweep: long enough
+/// that a cancel point sampled within a run reliably lands mid-scan.
+pub const CANCEL_SWEEP_LATENCY: Duration = Duration::from_micros(300);
+
+/// Runs `n_plans` seeded plans on every engine with a randomized cancel
+/// point and asserts the all-or-nothing contract: every run either
+/// returns the **byte-identical oracle histogram** (the cancel landed
+/// after completion) or a **typed [`obs::Cancelled`] error** — never a
+/// partial or corrupt result, and never an untyped failure.
+///
+/// The cancel points come from two mechanisms, alternating per run:
+///
+/// * a **deadline** sampled inside the run's latency-stretched duration
+///   ([`FaultInjector`] latency faults slow every physical chunk read,
+///   so the deadline trips at an effectively random row group);
+/// * an **explicit cancel** from a second thread after a sampled delay —
+///   the service's `Ticket::cancel()` path.
+///
+/// All runs share one [`ChunkCache`] buffer pool. After the storm of
+/// aborted scans the pool must still honor its budget and serve
+/// byte-identical results to a fault-free rerun — a cancelled scan must
+/// not leak partially decoded chunks or corrupt resident ones.
+pub fn cancellation_sweep(
+    seed: u64,
+    n_plans: usize,
+    events: &[Event],
+    table: &Arc<Table>,
+) -> CancelReport {
+    use std::time::Instant;
+
+    const POOL_BUDGET: usize = 8 << 20;
+    let plans = generate_plans(seed, n_plans);
+    let mut rng = ChaosRng::new(seed ^ 0xCA9C_E11E);
+    let pool = Arc::new(nf2_columnar::ChunkCache::new(POOL_BUDGET));
+    let mut report = CancelReport {
+        runs: 0,
+        cancellations: 0,
+        clean_results: 0,
+        violations: Vec::new(),
+    };
+    for plan in &plans {
+        let oracle = plan.reference(events);
+        for engine in ALL_ENGINES {
+            report.runs += 1;
+            // The latency storm stretches the run so the sampled cancel
+            // point lands at an unpredictable row group.
+            let injector = Arc::new(FaultInjector::new(FaultConfig {
+                latency: CANCEL_SWEEP_LATENCY,
+                ..FaultConfig::only(FaultClass::Latency, 1.0, seed ^ report.runs as u64)
+            }));
+            let delay = Duration::from_micros(rng.range(0.0, 8_000.0) as u64);
+            let explicit = report.runs.is_multiple_of(2);
+            let cancel = if explicit {
+                obs::CancelToken::new()
+            } else {
+                obs::CancelToken::with_deadline(Instant::now() + delay)
+            };
+            let env = ExecEnv {
+                fault_injector: Some(injector),
+                chunk_cache: Some(pool.clone()),
+                cancel: cancel.clone(),
+                ..ExecEnv::seed()
+            };
+            let canceller = explicit.then(|| {
+                let cancel = cancel.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    cancel.cancel();
+                })
+            });
+            let outcome = engine.run(plan, table, &env);
+            if let Some(h) = canceller {
+                h.join().expect("canceller thread");
+            }
+            match outcome {
+                Ok(h) if h.counts_equal(&oracle) => report.clean_results += 1,
+                Ok(_) => report.violations.push(format!(
+                    "{} {}: PARTIAL/CORRUPT histogram survived cancellation",
+                    plan.label(),
+                    engine.name()
+                )),
+                Err(e) => match e.cancelled.as_deref() {
+                    Some(c) => {
+                        report.cancellations += 1;
+                        if c.rows_processed as usize > events.len() {
+                            report.violations.push(format!(
+                                "{} {}: cancelled after {} rows but the table has {}",
+                                plan.label(),
+                                engine.name(),
+                                c.rows_processed,
+                                events.len()
+                            ));
+                        }
+                        if e.retryable() {
+                            report.violations.push(format!(
+                                "{} {}: cancellation must never be retryable",
+                                plan.label(),
+                                engine.name()
+                            ));
+                        }
+                    }
+                    None => report.violations.push(format!(
+                        "{} {}: non-cancellation error under latency faults: {e}",
+                        plan.label(),
+                        engine.name()
+                    )),
+                },
+            }
+        }
+    }
+    // Buffer-pool consistency after the aborted scans.
+    if pool.resident_bytes() > POOL_BUDGET {
+        report.violations.push(format!(
+            "buffer pool over budget after cancellations: {} > {}",
+            pool.resident_bytes(),
+            POOL_BUDGET
+        ));
+    }
+    let c = pool.counters();
+    if c.insertions < c.evictions {
+        report
+            .violations
+            .push(format!("buffer pool evicted more than it admitted: {c:?}"));
+    }
+    // A fault-free rerun over the same pool must still match the oracle:
+    // cancelled scans must not have left corrupt chunks behind.
+    let env = ExecEnv {
+        chunk_cache: Some(pool.clone()),
+        ..ExecEnv::seed()
+    };
+    for plan in plans.iter().take(3) {
+        let oracle = plan.reference(events);
+        for engine in ALL_ENGINES {
+            match engine.run(plan, table, &env) {
+                Ok(h) if h.counts_equal(&oracle) => {}
+                Ok(_) => report.violations.push(format!(
+                    "{} {}: post-cancellation rerun diverged (pool corrupt?)",
+                    plan.label(),
+                    engine.name()
+                )),
+                Err(e) => report.violations.push(format!(
+                    "{} {}: post-cancellation rerun failed: {e}",
+                    plan.label(),
+                    engine.name()
+                )),
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,5 +669,25 @@ mod tests {
             .map(|r| r.typed_errors + r.retries)
             .sum();
         assert!(errors > 0, "sweep never injected an error fault");
+    }
+
+    #[test]
+    fn cancellation_sweep_is_all_or_nothing() {
+        let (events, table) = dataset();
+        let report = cancellation_sweep(0xCA9CE1, 6, &events, &table);
+        assert_eq!(report.runs, 6 * ALL_ENGINES.len());
+        assert!(report.passed(), "{:#?}", report.violations);
+        assert_eq!(
+            report.cancellations + report.clean_results,
+            report.runs,
+            "every run must be a clean result or a typed cancellation"
+        );
+        // With per-chunk latency storms and cancel points sampled inside
+        // the stretched runtime, the sweep must actually cancel some runs
+        // mid-flight (and some runs legitimately finish first).
+        assert!(
+            report.cancellations > 0,
+            "sweep never cancelled a running query"
+        );
     }
 }

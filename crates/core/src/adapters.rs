@@ -27,6 +27,11 @@ pub struct AdapterError {
     /// `None` for ordinary engine errors. The service retry path keys
     /// off this.
     pub scan: Option<Box<ScanError>>,
+    /// The typed cancellation payload when the run was stopped by a
+    /// tripped [`obs::CancelToken`] (expired deadline or explicit
+    /// cancel); `None` for every other failure. Never retryable, and
+    /// never billed: the error path computes no cost.
+    pub cancelled: Option<Box<obs::Cancelled>>,
 }
 
 impl AdapterError {
@@ -43,24 +48,29 @@ impl AdapterError {
             query: query.into(),
             message: message.to_string(),
             scan: scan.cloned().map(Box::new),
+            cancelled: None,
         }
     }
 
     /// Builds an error from any engine's error type, propagating its
-    /// typed scan fault. This is the single bridge every engine adapter
-    /// uses — a new engine only implements [`EngineError`] and gets
-    /// scan-fault propagation (and thus service-side retries) for free.
+    /// typed scan fault and cancellation payload. This is the single
+    /// bridge every engine adapter uses — a new engine only implements
+    /// [`EngineError`] and gets scan-fault propagation (and thus
+    /// service-side retries) and typed cancellation for free.
     pub fn from_engine(
         system: impl Into<String>,
         query: impl Into<String>,
         e: &dyn EngineError,
     ) -> AdapterError {
-        AdapterError::new(system, query, e, e.scan_error())
+        let mut err = AdapterError::new(system, query, e, e.scan_error());
+        err.cancelled = e.cancel_error().copied().map(Box::new);
+        err
     }
 
-    /// Whether the service retry path should re-run the query.
+    /// Whether the service retry path should re-run the query. A
+    /// cancelled run is never retryable: the token stays tripped.
     pub fn retryable(&self) -> bool {
-        self.scan.as_ref().is_some_and(|s| s.retryable())
+        self.cancelled.is_none() && self.scan.as_ref().is_some_and(|s| s.retryable())
     }
 }
 
@@ -70,11 +80,22 @@ impl AdapterError {
 pub trait EngineError: std::fmt::Display {
     /// The typed scan fault, when this error is one.
     fn scan_error(&self) -> Option<&ScanError>;
+
+    /// The typed cancellation payload, when this error is one.
+    /// Defaults to `None` so engines without cooperative cancellation
+    /// still satisfy the contract.
+    fn cancel_error(&self) -> Option<&obs::Cancelled> {
+        None
+    }
 }
 
 impl EngineError for engine_sql::SqlError {
     fn scan_error(&self) -> Option<&ScanError> {
         self.scan_error()
+    }
+
+    fn cancel_error(&self) -> Option<&obs::Cancelled> {
+        self.cancelled()
     }
 }
 
@@ -82,11 +103,19 @@ impl EngineError for engine_flwor::FlworError {
     fn scan_error(&self) -> Option<&ScanError> {
         self.scan_error()
     }
+
+    fn cancel_error(&self) -> Option<&obs::Cancelled> {
+        self.cancelled()
+    }
 }
 
 impl EngineError for engine_rdf::RdfError {
     fn scan_error(&self) -> Option<&ScanError> {
         self.scan_error()
+    }
+
+    fn cancel_error(&self) -> Option<&obs::Cancelled> {
+        self.cancelled()
     }
 }
 
@@ -130,6 +159,11 @@ pub struct ExecEnv {
     /// and costs near-zero; an enabled context collects a span tree the
     /// run returns in [`EngineRun::trace`].
     pub trace: obs::TraceCtx,
+    /// Cooperative cancellation token, checked by every engine at
+    /// row-group granularity. The default (disabled) token never trips
+    /// and costs a single branch per check, keeping the seed path
+    /// byte-identical.
+    pub cancel: obs::CancelToken,
 }
 
 impl ExecEnv {
@@ -186,6 +220,7 @@ pub fn run_sql_env(
     engine.set_chunk_cache(env.chunk_cache.clone());
     engine.set_fault_injector(env.fault_injector.clone());
     engine.set_trace(env.trace.clone());
+    engine.set_cancel(env.cancel.clone());
     setup_span.finish();
     let out = engine
         .execute(&sql)
@@ -258,6 +293,7 @@ pub fn run_jsoniq_env(
     engine.set_chunk_cache(env.chunk_cache.clone());
     engine.set_fault_injector(env.fault_injector.clone());
     engine.set_trace(env.trace.clone());
+    engine.set_cancel(env.cancel.clone());
     setup_span.finish();
     let out = engine
         .execute(&text)
@@ -313,6 +349,7 @@ pub fn run_rdf_env(
     df.set_chunk_cache(env.chunk_cache.clone());
     df.set_fault_injector(env.fault_injector.clone());
     df.set_trace(env.trace.clone());
+    df.set_cancel(env.cancel.clone());
     setup_span.finish();
     let out = df
         .run_all()

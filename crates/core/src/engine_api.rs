@@ -302,6 +302,66 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_stops_every_engine_within_one_row_group() {
+        // Acceptance pin: a query whose deadline expired before it
+        // started (rows_at_deadline = 0) must surface a typed
+        // cancellation with rows_processed ≤ one row group, on every
+        // engine.
+        let row_group = 256u64;
+        let t = table();
+        let spec = QuerySpec::benchmark(QueryId::Q1);
+        for system in ALL_SYSTEMS {
+            let engine = engine_for(*system, t.clone());
+            let env = ExecEnv {
+                cancel: obs::CancelToken::with_deadline(
+                    std::time::Instant::now() - std::time::Duration::from_millis(1),
+                ),
+                ..ExecEnv::seed()
+            };
+            let err = match engine.execute(&spec, &env) {
+                Err(e) => e,
+                Ok(_) => panic!("{}: ran to completion past deadline", system.name()),
+            };
+            let c = err
+                .cancelled
+                .as_deref()
+                .unwrap_or_else(|| panic!("{}: expected typed cancellation", system.name()));
+            assert_eq!(c.reason, obs::CancelReason::DeadlineExceeded);
+            assert!(
+                c.rows_processed <= row_group,
+                "{}: {} rows processed past an expired deadline",
+                system.name(),
+                c.rows_processed
+            );
+            assert!(!err.retryable(), "{}: cancellation retried", system.name());
+        }
+    }
+
+    #[test]
+    fn explicit_cancel_stops_every_engine() {
+        let t = table();
+        let spec = QuerySpec::benchmark(QueryId::Q1);
+        for system in ALL_SYSTEMS {
+            let engine = engine_for(*system, t.clone());
+            let token = obs::CancelToken::new();
+            token.cancel();
+            let env = ExecEnv {
+                cancel: token,
+                ..ExecEnv::seed()
+            };
+            let err = match engine.execute(&spec, &env) {
+                Err(e) => e,
+                Ok(_) => panic!("{}: ran to completion despite cancel", system.name()),
+            };
+            let c = err
+                .cancelled
+                .as_deref()
+                .unwrap_or_else(|| panic!("{}: expected typed cancellation", system.name()));
+            assert_eq!(c.reason, obs::CancelReason::Explicit);
+        }
+    }
+
+    #[test]
     fn traced_execute_yields_span_tree() {
         let t = table();
         let engine = SqlQueryEngine::new(System::Presto, t);

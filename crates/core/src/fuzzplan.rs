@@ -590,9 +590,12 @@ impl FuzzPlan {
         engine.register(table.clone());
         engine.set_chunk_cache(env.chunk_cache.clone());
         engine.set_fault_injector(env.fault_injector.clone());
-        let out = engine
-            .execute(&self.text(lang))
-            .map_err(|e| AdapterError::new(lang.name(), self.label(), &e, e.scan_error()))?;
+        engine.set_cancel(env.cancel.clone());
+        let out = engine.execute(&self.text(lang)).map_err(|e| {
+            let mut err = AdapterError::new(lang.name(), self.label(), &e, e.scan_error());
+            err.cancelled = e.cancelled().copied().map(Box::new);
+            err
+        })?;
         let mut histogram = Histogram::new(self.spec);
         for row in &out.relation.rows {
             let (bin, n) = crate::adapters::bin_count_row(row)
@@ -612,9 +615,12 @@ impl FuzzPlan {
         engine.register(table.clone());
         engine.set_chunk_cache(env.chunk_cache.clone());
         engine.set_fault_injector(env.fault_injector.clone());
-        let out = engine
-            .execute(&self.jsoniq())
-            .map_err(|e| AdapterError::new("JSONiq", self.label(), &e, e.scan_error()))?;
+        engine.set_cancel(env.cancel.clone());
+        let out = engine.execute(&self.jsoniq()).map_err(|e| {
+            let mut err = AdapterError::new("JSONiq", self.label(), &e, e.scan_error());
+            err.cancelled = e.cancelled().copied().map(Box::new);
+            err
+        })?;
         let mut histogram = Histogram::new(self.spec);
         for item in &out.items {
             let bin = item.as_i64().map_err(|e| {
@@ -634,9 +640,12 @@ impl FuzzPlan {
         let mut df = self.rdf(table.clone(), options);
         df.set_chunk_cache(env.chunk_cache.clone());
         df.set_fault_injector(env.fault_injector.clone());
-        let out = df
-            .run_all()
-            .map_err(|e| AdapterError::new("RDataFrame", self.label(), &e, e.scan_error()))?;
+        df.set_cancel(env.cancel.clone());
+        let out = df.run_all().map_err(|e| {
+            let mut err = AdapterError::new("RDataFrame", self.label(), &e, e.scan_error());
+            err.cancelled = e.cancelled().copied().map(Box::new);
+            err
+        })?;
         Ok(out.histograms.into_iter().next().expect("one booking"))
     }
 }

@@ -60,6 +60,7 @@ pub struct FlworEngine {
     chunk_cache: Option<Arc<ChunkCache>>,
     fault_injector: Option<Arc<FaultInjector>>,
     trace: obs::TraceCtx,
+    cancel: obs::CancelToken,
 }
 
 struct TableSource<'a> {
@@ -86,6 +87,7 @@ impl FlworEngine {
             chunk_cache: None,
             fault_injector: None,
             trace: obs::TraceCtx::disabled(),
+            cancel: obs::CancelToken::none(),
         }
     }
 
@@ -112,6 +114,14 @@ impl FlworEngine {
     /// near-no-op.
     pub fn set_trace(&mut self, trace: obs::TraceCtx) {
         self.trace = trace;
+    }
+
+    /// Attaches a cooperative cancellation token, checked at row-group
+    /// granularity: the scan and the per-group evaluation loops abort
+    /// with [`FlworError::Cancelled`] once it trips. The default
+    /// (disabled) token costs a single branch per group.
+    pub fn set_cancel(&mut self, cancel: obs::CancelToken) {
+        self.cancel = cancel;
     }
 
     fn table(&self, name: &str) -> Option<&Arc<Table>> {
@@ -186,13 +196,14 @@ impl FlworEngine {
             table_name: table.name(),
             table_fingerprint: table.fingerprint(),
         });
-        let scan = nf2_columnar::scan::scan_stats_traced(
+        let scan = nf2_columnar::scan::scan_stats_guarded(
             &table,
             &Projection::all(),
             PushdownCapability::None,
             scan_cache,
             scan_faults,
             &self.trace,
+            &self.cancel,
         )?;
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
@@ -200,7 +211,9 @@ impl FlworEngine {
         let items = if n_threads <= 1 {
             let t0 = Instant::now();
             let mut rows = Vec::with_capacity(table.n_rows());
+            let mut rows_done = 0u64;
             for (idx, g) in table.row_groups().iter().enumerate() {
+                self.cancel.check(obs::Stage::Materialize, rows_done)?;
                 rows.extend(materialize_group(
                     g,
                     idx,
@@ -209,6 +222,7 @@ impl FlworEngine {
                     &preds,
                     &self.trace,
                 )?);
+                rows_done += g.n_rows() as u64;
             }
             let agg_span = self.trace.span(obs::Stage::Aggregate);
             // Overhead models per-record cost of everything the simulated
@@ -234,11 +248,19 @@ impl FlworEngine {
             let next = AtomicUsize::new(0);
             let results: Mutex<Vec<(usize, Seq)>> = Mutex::new(Vec::new());
             let first_err: Mutex<Option<FlworError>> = Mutex::new(None);
+            let rows_done = std::sync::atomic::AtomicU64::new(0);
             let worker = || {
                 let t0 = Instant::now();
                 loop {
                     let g = next.fetch_add(1, Ordering::Relaxed);
                     if g >= n_groups {
+                        break;
+                    }
+                    if let Err(c) = self
+                        .cancel
+                        .check(obs::Stage::Materialize, rows_done.load(Ordering::Relaxed))
+                    {
+                        first_err.lock().get_or_insert(FlworError::Cancelled(c));
                         break;
                     }
                     let r = (|| -> Result<Seq, FlworError> {
@@ -267,7 +289,13 @@ impl FlworEngine {
                         out
                     })();
                     match r {
-                        Ok(seq) => results.lock().push((g, seq)),
+                        Ok(seq) => {
+                            rows_done.fetch_add(
+                                table.row_groups()[g].n_rows() as u64,
+                                Ordering::Relaxed,
+                            );
+                            results.lock().push((g, seq));
+                        }
                         Err(e) => {
                             first_err.lock().get_or_insert(e);
                             break;

@@ -21,6 +21,9 @@ pub enum FlworError {
     Columnar(String),
     /// Typed scan fault from the chaos layer (carries row group + leaf).
     Scan(ScanError),
+    /// The run observed a tripped [`obs::CancelToken`] and stopped at a
+    /// row-group boundary (expired deadline or explicit cancel).
+    Cancelled(obs::Cancelled),
 }
 
 impl FlworError {
@@ -28,6 +31,14 @@ impl FlworError {
     pub fn scan_error(&self) -> Option<&ScanError> {
         match self {
             FlworError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The typed cancellation payload, when this error is one.
+    pub fn cancelled(&self) -> Option<&obs::Cancelled> {
+        match self {
+            FlworError::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -43,6 +54,7 @@ impl fmt::Display for FlworError {
             FlworError::Dynamic(m) => write!(f, "dynamic error: {m}"),
             FlworError::Columnar(m) => write!(f, "storage error: {m}"),
             FlworError::Scan(e) => write!(f, "scan fault: {e}"),
+            FlworError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -51,9 +63,18 @@ impl std::error::Error for FlworError {}
 
 impl From<nf2_columnar::ColumnarError> for FlworError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        match e.into_scan_fault() {
-            Ok(s) => FlworError::Scan(s),
-            Err(m) => FlworError::Columnar(m),
+        match e {
+            nf2_columnar::ColumnarError::Cancelled(c) => FlworError::Cancelled(c),
+            other => match other.into_scan_fault() {
+                Ok(s) => FlworError::Scan(s),
+                Err(m) => FlworError::Columnar(m),
+            },
         }
+    }
+}
+
+impl From<obs::Cancelled> for FlworError {
+    fn from(c: obs::Cancelled) -> Self {
+        FlworError::Cancelled(c)
     }
 }

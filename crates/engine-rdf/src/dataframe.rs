@@ -43,6 +43,20 @@ impl RdfError {
             _ => None,
         }
     }
+
+    /// The typed cancellation payload, when this error is one.
+    pub fn cancelled(&self) -> Option<&obs::Cancelled> {
+        match self {
+            RdfError::Columnar(e) => e.cancelled(),
+            _ => None,
+        }
+    }
+}
+
+impl From<obs::Cancelled> for RdfError {
+    fn from(c: obs::Cancelled) -> Self {
+        RdfError::Columnar(nf2_columnar::ColumnarError::Cancelled(c))
+    }
 }
 
 impl From<nf2_columnar::ColumnarError> for RdfError {
@@ -125,6 +139,9 @@ pub struct RDataFrame {
     pub(crate) fault_injector: Option<Arc<nf2_columnar::FaultInjector>>,
     /// Tracing context; the default (disabled) context records nothing.
     pub(crate) trace: obs::TraceCtx,
+    /// Cooperative cancellation token, checked at row-group granularity
+    /// by the event loop; the default (disabled) token never trips.
+    pub(crate) cancel: obs::CancelToken,
 }
 
 impl RDataFrame {
@@ -140,6 +157,7 @@ impl RDataFrame {
             chunk_cache: None,
             fault_injector: None,
             trace: obs::TraceCtx::disabled(),
+            cancel: obs::CancelToken::none(),
         }
     }
 
@@ -160,6 +178,15 @@ impl RDataFrame {
     /// near-no-op.
     pub fn set_trace(&mut self, trace: obs::TraceCtx) {
         self.trace = trace;
+    }
+
+    /// Attaches a cooperative cancellation token, checked at row-group
+    /// granularity: the event loop aborts with a typed cancellation
+    /// (surfaced as [`RdfError::Columnar`] wrapping
+    /// [`nf2_columnar::ColumnarError::Cancelled`]) once it trips. The
+    /// default (disabled) token costs a single branch per group.
+    pub fn set_cancel(&mut self, cancel: obs::CancelToken) {
+        self.cancel = cancel;
     }
 
     fn declare_deps(&mut self, deps: &[&str]) {

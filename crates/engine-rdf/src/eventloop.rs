@@ -30,6 +30,7 @@ pub struct EventLoop {
     table: Arc<Table>,
     columns: Vec<String>,
     n_threads: usize,
+    cancel: obs::CancelToken,
 }
 
 impl EventLoop {
@@ -40,12 +41,20 @@ impl EventLoop {
             table,
             columns: columns.iter().map(|c| c.to_string()).collect(),
             n_threads: 0,
+            cancel: obs::CancelToken::none(),
         }
     }
 
     /// Sets the worker count (0 = all cores).
     pub fn with_threads(mut self, n: usize) -> EventLoop {
         self.n_threads = n;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked once per row
+    /// group by every worker.
+    pub fn with_cancel(mut self, cancel: obs::CancelToken) -> EventLoop {
+        self.cancel = cancel;
         self
     }
 
@@ -95,6 +104,7 @@ impl EventLoop {
         let states: Mutex<Vec<S>> = Mutex::new(Vec::new());
         let first_err: Mutex<Option<RdfError>> = Mutex::new(None);
         let cpu = Mutex::new(0.0f64);
+        let rows_done = std::sync::atomic::AtomicU64::new(0);
 
         let worker = || {
             let t0 = Instant::now();
@@ -105,6 +115,13 @@ impl EventLoop {
                     break;
                 }
                 let group = &table.row_groups()[g];
+                if let Err(c) = self.cancel.check(
+                    obs::Stage::Aggregate,
+                    rows_done.load(std::sync::atomic::Ordering::Relaxed),
+                ) {
+                    first_err.lock().get_or_insert(RdfError::from(c));
+                    break;
+                }
                 let base: Result<Vec<BaseColumn>, RdfError> =
                     crate::exec::materialize_base(group, &paths);
                 let base = match base {
@@ -124,6 +141,7 @@ impl EventLoop {
                     };
                     per_event(&mut state, &view);
                 }
+                rows_done.fetch_add(group.n_rows() as u64, std::sync::atomic::Ordering::Relaxed);
             }
             states.lock().push(state);
             *cpu.lock() += t0.elapsed().as_secs_f64();

@@ -164,13 +164,14 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     .min(n_groups.max(1));
     plan_span.finish();
 
-    let scan = nf2_columnar::scan::scan_stats_traced(
+    let scan = nf2_columnar::scan::scan_stats_guarded(
         table,
         &projection,
         PushdownCapability::IndividualLeaves,
         scan_cache,
         scan_faults,
         &df.trace,
+        &df.cancel,
     )?;
 
     let fresh =
@@ -179,6 +180,8 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     let global: Mutex<Vec<Histogram>> = Mutex::new(fresh());
     let next_group = AtomicUsize::new(0);
     let cpu_seconds = Mutex::new(0.0f64);
+    // Rows of fully processed groups, for cancellation progress reports.
+    let rows_done = std::sync::atomic::AtomicU64::new(0);
 
     let process_group = |group: &RowGroup,
                          group_idx: usize,
@@ -327,7 +330,11 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             if g >= n_groups {
                 break;
             }
-            process_group(&table.row_groups()[g], g, &mut partial, &mut since_merge)?;
+            let group = &table.row_groups()[g];
+            df.cancel
+                .check(obs::Stage::Aggregate, rows_done.load(Ordering::Relaxed))?;
+            process_group(group, g, &mut partial, &mut since_merge)?;
+            rows_done.fetch_add(group.n_rows() as u64, Ordering::Relaxed);
         }
         {
             let mut global = global.lock();

@@ -72,6 +72,7 @@ pub struct SqlEngine {
     chunk_cache: Option<Arc<ChunkCache>>,
     fault_injector: Option<Arc<FaultInjector>>,
     trace: obs::TraceCtx,
+    cancel: obs::CancelToken,
 }
 
 impl SqlEngine {
@@ -84,6 +85,7 @@ impl SqlEngine {
             chunk_cache: None,
             fault_injector: None,
             trace: obs::TraceCtx::disabled(),
+            cancel: obs::CancelToken::none(),
         }
     }
 
@@ -111,6 +113,14 @@ impl SqlEngine {
     /// near-no-op.
     pub fn set_trace(&mut self, trace: obs::TraceCtx) {
         self.trace = trace;
+    }
+
+    /// Attaches a cooperative cancellation token: the scan accounting
+    /// and the per-group execution loops check it at row-group
+    /// granularity and abort with [`SqlError::Cancelled`] once it trips.
+    /// The default (disabled) token costs a single branch per group.
+    pub fn set_cancel(&mut self, cancel: obs::CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The engine's dialect.
@@ -225,6 +235,7 @@ impl SqlEngine {
                 if !keep {
                     continue;
                 }
+                self.cancel.check(obs::Stage::Scan, scan.rows + s.rows)?;
                 nf2_columnar::scan::account_group_scan(
                     &mut s,
                     g,
@@ -331,11 +342,14 @@ impl SqlEngine {
             let mask = masks.get(name).expect("mask built");
             let preds = filters.get(name).map_or(&[][..], |v| v.as_slice());
             let mut rows = Vec::with_capacity(table.n_rows());
+            let mut rows_done = 0u64;
             for (idx, (g, keep)) in table.row_groups().iter().zip(mask).enumerate() {
                 if !keep {
                     continue;
                 }
+                self.cancel.check(obs::Stage::Materialize, rows_done)?;
                 rows.extend(self.materialize_group(table, g, idx, proj, preds)?);
+                rows_done += g.n_rows() as u64;
             }
             relations.insert(name.clone(), Rc::new(rows));
         }
@@ -382,6 +396,9 @@ impl SqlEngine {
         // results with no ORDER BY.
         let partials: Mutex<Vec<(usize, Relation)>> = Mutex::new(Vec::new());
         let first_err: Mutex<Option<SqlError>> = Mutex::new(None);
+        // Rows of fully processed groups, shared so a cancellation
+        // observed by any worker reports total progress.
+        let rows_done = std::sync::atomic::AtomicU64::new(0);
 
         let worker = || {
             let t0 = Instant::now();
@@ -392,6 +409,13 @@ impl SqlEngine {
                 }
                 if !mask[g] {
                     continue;
+                }
+                if let Err(c) = self
+                    .cancel
+                    .check(obs::Stage::Materialize, rows_done.load(Ordering::Relaxed))
+                {
+                    first_err.lock().get_or_insert(SqlError::Cancelled(c));
+                    break;
                 }
                 let result = (|| -> Result<Relation, SqlError> {
                     let rows =
@@ -416,7 +440,11 @@ impl SqlEngine {
                     rel
                 })();
                 match result {
-                    Ok(rel) => partials.lock().push((g, rel)),
+                    Ok(rel) => {
+                        rows_done
+                            .fetch_add(table.row_groups()[g].n_rows() as u64, Ordering::Relaxed);
+                        partials.lock().push((g, rel));
+                    }
                     Err(e) => {
                         first_err.lock().get_or_insert(e);
                         break;

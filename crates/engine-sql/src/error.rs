@@ -29,6 +29,9 @@ pub enum SqlError {
     Columnar(String),
     /// Typed scan fault from the chaos layer (carries row group + leaf).
     Scan(ScanError),
+    /// The run observed a tripped [`obs::CancelToken`] and stopped at a
+    /// row-group boundary (expired deadline or explicit cancel).
+    Cancelled(obs::Cancelled),
 }
 
 impl SqlError {
@@ -36,6 +39,14 @@ impl SqlError {
     pub fn scan_error(&self) -> Option<&ScanError> {
         match self {
             SqlError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The typed cancellation payload, when this error is one.
+    pub fn cancelled(&self) -> Option<&obs::Cancelled> {
+        match self {
+            SqlError::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -54,6 +65,7 @@ impl fmt::Display for SqlError {
             SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
             SqlError::Columnar(m) => write!(f, "storage error: {m}"),
             SqlError::Scan(e) => write!(f, "scan fault: {e}"),
+            SqlError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -68,9 +80,18 @@ impl From<nested_value::ValueError> for SqlError {
 
 impl From<nf2_columnar::ColumnarError> for SqlError {
     fn from(e: nf2_columnar::ColumnarError) -> Self {
-        match e.into_scan_fault() {
-            Ok(s) => SqlError::Scan(s),
-            Err(m) => SqlError::Columnar(m),
+        match e {
+            nf2_columnar::ColumnarError::Cancelled(c) => SqlError::Cancelled(c),
+            other => match other.into_scan_fault() {
+                Ok(s) => SqlError::Scan(s),
+                Err(m) => SqlError::Columnar(m),
+            },
         }
+    }
+}
+
+impl From<obs::Cancelled> for SqlError {
+    fn from(c: obs::Cancelled) -> Self {
+        SqlError::Cancelled(c)
     }
 }

@@ -20,6 +20,9 @@ pub enum ColumnarError {
     Io(std::io::Error),
     /// An injected scan fault (chaos layer); carries full chunk context.
     Fault(ScanError),
+    /// The scan observed a tripped [`obs::CancelToken`] (expired
+    /// deadline or explicit cancel) and stopped at a row-group boundary.
+    Cancelled(obs::Cancelled),
 }
 
 impl ColumnarError {
@@ -27,6 +30,14 @@ impl ColumnarError {
     pub fn scan_error(&self) -> Option<&ScanError> {
         match self {
             ColumnarError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The typed cancellation payload, when this error is one.
+    pub fn cancelled(&self) -> Option<&obs::Cancelled> {
+        match self {
+            ColumnarError::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -53,6 +64,7 @@ impl fmt::Display for ColumnarError {
             ColumnarError::Format(m) => write!(f, "file format error: {m}"),
             ColumnarError::Io(e) => write!(f, "io error: {e}"),
             ColumnarError::Fault(e) => write!(f, "scan fault: {e}"),
+            ColumnarError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -75,5 +87,11 @@ impl From<std::io::Error> for ColumnarError {
 impl From<ScanError> for ColumnarError {
     fn from(e: ScanError) -> Self {
         ColumnarError::Fault(e)
+    }
+}
+
+impl From<obs::Cancelled> for ColumnarError {
+    fn from(c: obs::Cancelled) -> Self {
+        ColumnarError::Cancelled(c)
     }
 }

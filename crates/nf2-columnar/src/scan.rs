@@ -197,8 +197,51 @@ pub fn scan_stats_traced(
     faults: Option<ScanFaults<'_>>,
     trace: &obs::TraceCtx,
 ) -> Result<ScanStats, ColumnarError> {
+    scan_stats_guarded(
+        table,
+        projection,
+        cap,
+        cache,
+        faults,
+        trace,
+        &obs::CancelToken::none(),
+    )
+}
+
+/// The full-featured scan: [`scan_stats_traced`] plus a cooperative
+/// [`obs::CancelToken`] checked once per row group *before* the group is
+/// accounted, so an expired deadline or explicit cancel stops the scan
+/// within one row group of work and no bytes of the aborted group are
+/// billed. With a disabled token this is exactly [`scan_stats_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn scan_stats_guarded(
+    table: &Table,
+    projection: &Projection,
+    cap: PushdownCapability,
+    cache: Option<ScanCache<'_>>,
+    faults: Option<ScanFaults<'_>>,
+    trace: &obs::TraceCtx,
+    cancel: &obs::CancelToken,
+) -> Result<ScanStats, ColumnarError> {
     let mut span = trace.span_with(obs::Stage::Scan, || table.name().to_string());
-    let stats = scan_stats_faulted(table, projection, cap, cache, faults)?;
+    let read_leaves = projection.resolve(table.schema(), cap)?;
+    let logical_leaves = projection.logical_leaves(table.schema())?;
+    let mut stats = ScanStats {
+        columns_read: read_leaves.len() as u64,
+        ..ScanStats::default()
+    };
+    for (idx, g) in table.row_groups().iter().enumerate() {
+        cancel.check(obs::Stage::Scan, stats.rows)?;
+        account_group_scan(
+            &mut stats,
+            g,
+            idx,
+            &read_leaves,
+            &logical_leaves,
+            cache,
+            faults,
+        )?;
+    }
     if span.is_enabled() {
         span.add_rows_in(stats.rows);
         span.add_rows_out(stats.rows);
@@ -225,24 +268,15 @@ pub fn scan_stats_faulted(
     cache: Option<ScanCache<'_>>,
     faults: Option<ScanFaults<'_>>,
 ) -> Result<ScanStats, ColumnarError> {
-    let read_leaves = projection.resolve(table.schema(), cap)?;
-    let logical_leaves = projection.logical_leaves(table.schema())?;
-    let mut stats = ScanStats {
-        columns_read: read_leaves.len() as u64,
-        ..ScanStats::default()
-    };
-    for (idx, g) in table.row_groups().iter().enumerate() {
-        account_group_scan(
-            &mut stats,
-            g,
-            idx,
-            &read_leaves,
-            &logical_leaves,
-            cache,
-            faults,
-        )?;
-    }
-    Ok(stats)
+    scan_stats_guarded(
+        table,
+        projection,
+        cap,
+        cache,
+        faults,
+        &obs::TraceCtx::default(),
+        &obs::CancelToken::none(),
+    )
 }
 
 #[cfg(test)]
@@ -322,6 +356,46 @@ mod tests {
         assert_eq!(s.logical_bytes, 800);
         assert_eq!(s.ideal_uncompressed_bytes, 400);
         assert_eq!(s.rows, 100);
+    }
+
+    #[test]
+    fn tripped_token_aborts_scan_before_first_group() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let token = obs::CancelToken::new();
+        token.cancel();
+        let err = scan_stats_guarded(
+            &t,
+            &p,
+            PushdownCapability::IndividualLeaves,
+            None,
+            None,
+            &obs::TraceCtx::default(),
+            &token,
+        )
+        .unwrap_err();
+        let c = err.cancelled().copied().expect("typed cancellation");
+        assert_eq!(c.stage, obs::Stage::Scan);
+        assert_eq!(c.rows_processed, 0);
+        assert_eq!(c.reason, obs::CancelReason::Explicit);
+    }
+
+    #[test]
+    fn disabled_token_scan_is_byte_identical() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let plain = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let guarded = scan_stats_guarded(
+            &t,
+            &p,
+            PushdownCapability::IndividualLeaves,
+            None,
+            None,
+            &obs::TraceCtx::default(),
+            &obs::CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(plain, guarded);
     }
 
     #[test]

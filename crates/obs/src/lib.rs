@@ -16,15 +16,20 @@
 //! * [`MetricsRegistry`] — a lock-sharded registry of counters, gauges
 //!   and log₂-bucketed histograms with point-in-time text and JSON
 //!   snapshots.
+//! * [`CancelToken`] / [`Cancelled`] — cooperative cancellation with
+//!   deadline propagation, checked at row-group granularity by the
+//!   engines. A disabled token (the default) is a single branch.
 //!
 //! The crate deliberately has no dependencies (not even workspace
 //! shims) so every other crate — including the lowest storage layer —
 //! can link it without cycles.
 
+mod cancel;
 mod metrics;
 mod span;
 mod tree;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanGuard, SpanId, SpanRecord, Stage, TraceCtx};
 pub use tree::{SpanNode, SpanTree};

@@ -33,23 +33,45 @@
 //! [`ServiceConfig::paper_fairness`] turns both off, reproducing the
 //! paper's measured configuration byte-for-byte (verified by
 //! `tests/service_cache.rs`).
+//!
+//! The serving layer also carries the overload-protection machinery a
+//! real multi-tenant deployment needs, all off by default and off under
+//! [`ServiceConfig::paper_fairness`]:
+//!
+//! * **cooperative cancellation** — every request gets an
+//!   [`obs::CancelToken`] (deadline-armed when the request has one);
+//!   [`Ticket::cancel`] or deadline expiry stops a *running* query
+//!   within one row group, surfacing as [`ServiceError::Cancelled`]
+//!   with the stage and rows processed, never billed;
+//! * **load shedding** ([`ServiceConfig::load_shedding`]) — admission
+//!   rejects requests whose estimated queue wait already exceeds their
+//!   deadline;
+//! * **circuit breakers** ([`ServiceConfig::breaker`]) — per-system
+//!   sliding-window breakers reject requests to a failing system in
+//!   O(µs), with half-open probing after a cooldown;
+//! * **hedged execution** ([`ServiceConfig::hedge`]) — a straggling
+//!   query gets a second attempt after a percentile-based delay; the
+//!   first result wins and the loser is cancelled through its token.
 
+pub mod breaker;
 pub mod request;
 pub mod result_cache;
 pub mod stats;
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cloud_sim::InstanceType;
-use hepbench_core::adapters::ExecEnv;
+use hepbench_core::adapters::{AdapterError, EngineRun, ExecEnv};
 use hepbench_core::engine_api::{engine_for, QueryEngine, QuerySpec};
 use hepbench_core::runner::{System, ALL_SYSTEMS};
 use nf2_columnar::{CacheCounters, ChunkCache, ExecStats, FaultInjector, ScanStats, Table};
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use request::{QueryRequest, QueryResponse, ServiceError};
 pub use result_cache::{normalize_query_text, result_key, CachedResult, ResultCache, ResultKey};
 pub use stats::{ServiceStats, StatsSnapshot};
@@ -93,6 +115,48 @@ pub struct ServiceConfig {
     /// [`ServiceConfig::paper_fairness`] — so the serving path stays a
     /// near-no-op when untraced.
     pub trace: bool,
+    /// Admission-time load shedding: reject a request with
+    /// [`ServiceError::QueryShedded`] when the estimated queue wait
+    /// (EWMA of recent execution times × queue depth ÷ workers) already
+    /// exceeds its deadline budget. Requests without a deadline are
+    /// never shed. Off by default and under
+    /// [`ServiceConfig::paper_fairness`].
+    pub load_shedding: bool,
+    /// Per-system circuit breakers over engine execution outcomes;
+    /// `None` (the default, and under
+    /// [`ServiceConfig::paper_fairness`]) disables them. When set, an
+    /// open breaker rejects the system's requests at admission with
+    /// [`ServiceError::CircuitOpen`]; states are visible as
+    /// `breaker_state_<system>` gauges in
+    /// [`QueryService::metrics_snapshot`].
+    pub breaker: Option<BreakerConfig>,
+    /// Opt-in hedged execution; `None` (the default, and under
+    /// [`ServiceConfig::paper_fairness`]) disables it. When set, an
+    /// engine attempt that outlives the hedge delay gets a second
+    /// identical attempt; the first reply wins and the loser is
+    /// cancelled through a child of the request's cancel token.
+    pub hedge: Option<HedgeConfig>,
+}
+
+/// Tuning for hedged execution (see [`ServiceConfig::hedge`]).
+#[derive(Clone, Debug)]
+pub struct HedgeConfig {
+    /// Launch the hedge once the primary attempt has run longer than
+    /// this percentile of recent execution times (nearest-rank over the
+    /// service's completed-execution samples).
+    pub percentile: f64,
+    /// Lower bound on the hedge delay; also the delay used before any
+    /// execution samples exist.
+    pub min_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            percentile: 0.95,
+            min_delay: Duration::from_millis(10),
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +174,9 @@ impl Default for ServiceConfig {
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
             trace: false,
+            load_shedding: false,
+            breaker: None,
+            hedge: None,
         }
     }
 }
@@ -119,7 +186,9 @@ impl ServiceConfig {
     /// disabled BigQuery's cached results for fairness), engine-default
     /// intra-query parallelism. With this config a served query is
     /// byte-for-byte identical — histogram and `ScanStats` — to the
-    /// single-query benchmark path.
+    /// single-query benchmark path. The overload knobs (shedding,
+    /// breakers, hedging) inherit their off-defaults, so none of them
+    /// can perturb the measured configuration.
     pub fn paper_fairness() -> ServiceConfig {
         ServiceConfig {
             result_cache: false,
@@ -135,6 +204,10 @@ struct Job {
     req: QueryRequest,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// The request's cancellation token, deadline-armed when the request
+    /// has one and shared with the caller's [`Ticket`]. Threaded through
+    /// [`ExecEnv`] so the engines check it once per row group.
+    cancel: obs::CancelToken,
     reply: mpsc::Sender<Result<QueryResponse, ServiceError>>,
 }
 
@@ -207,6 +280,20 @@ struct Shared {
     /// Service-wide counters and latency histograms; see
     /// [`QueryService::metrics_snapshot`].
     metrics: obs::MetricsRegistry,
+    /// Resolved worker count (the `n_workers == 0` default expanded),
+    /// the divisor in the load-shedding wait estimate.
+    n_workers: usize,
+    /// EWMA of recent engine execution seconds, stored as `f64` bits so
+    /// readers never lock. Zero until the first completed execution;
+    /// the read-modify-write race between workers is benign (the
+    /// estimate is approximate by construction).
+    exec_ewma_bits: std::sync::atomic::AtomicU64,
+    /// Completed-execution wall-time samples feeding the hedge-delay
+    /// percentile. Grows with completed requests, like the stats
+    /// latency vectors — fine for benchmark-length runs.
+    exec_samples: Mutex<Vec<f64>>,
+    /// One breaker per servable system when breakers are configured.
+    breakers: Option<HashMap<System, CircuitBreaker>>,
 }
 
 impl Shared {
@@ -218,15 +305,37 @@ impl Shared {
 }
 
 /// A pending response; [`Ticket::wait`] blocks until the worker replies.
+/// Also the request's cancellation handle: [`Ticket::cancel`] trips the
+/// token a running query checks once per row group.
+#[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<QueryResponse, ServiceError>>,
+    cancel: obs::CancelToken,
 }
+
+/// The handle a caller keeps for an in-flight query — wait on it or
+/// cancel it.
+pub type QueryHandle = Ticket;
 
 impl Ticket {
     /// Blocks until the request is answered. A disconnected channel means
     /// the service dropped the job during shutdown.
     pub fn wait(self) -> Result<QueryResponse, ServiceError> {
         self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+
+    /// Cooperatively cancels the request. A queued job is answered with
+    /// [`ServiceError::Cancelled`] at dequeue; a running query stops
+    /// within one row group and answers the same way. Idempotent, and a
+    /// no-op once the request has been answered.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The request's cancellation token (e.g. to link it into a larger
+    /// cancellation scope).
+    pub fn cancel_token(&self) -> &obs::CancelToken {
+        &self.cancel
     }
 }
 
@@ -266,6 +375,15 @@ impl QueryService {
             stats: ServiceStats::new(),
             engines,
             metrics: obs::MetricsRegistry::new(),
+            n_workers,
+            exec_ewma_bits: std::sync::atomic::AtomicU64::new(0),
+            exec_samples: Mutex::new(Vec::new()),
+            breakers: config.breaker.as_ref().map(|cfg| {
+                ALL_SYSTEMS
+                    .iter()
+                    .map(|s| (*s, CircuitBreaker::new(cfg.clone())))
+                    .collect()
+            }),
             config,
         });
         let workers = (0..n_workers)
@@ -285,7 +403,20 @@ impl QueryService {
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, ServiceError> {
         self.shared.stats.note_submitted();
         self.shared.metrics.counter_inc("queries_submitted");
+        // Breaker admission: an open breaker answers in microseconds
+        // without taking the queue lock or touching any scan state.
+        if let Some(breakers) = &self.shared.breakers {
+            let b = breakers
+                .get(&req.system)
+                .expect("a breaker per system is built at startup");
+            if !b.try_admit() {
+                self.shared.stats.note_rejected();
+                self.shared.metrics.counter_inc("breaker_rejected");
+                return Err(ServiceError::CircuitOpen { system: req.system });
+            }
+        }
         let (tx, rx) = mpsc::channel();
+        let cancel;
         {
             let mut state = self.shared.lock_queue();
             if state.shutdown {
@@ -298,10 +429,31 @@ impl QueryService {
                 });
             }
             let now = Instant::now();
-            let deadline = req
-                .deadline
-                .or(self.shared.config.default_deadline)
-                .map(|d| now + d);
+            let budget = req.deadline.or(self.shared.config.default_deadline);
+            // Load shedding: if the backlog alone is predicted to outlast
+            // the deadline, refuse now instead of queueing doomed work.
+            if self.shared.config.load_shedding {
+                if let Some(budget) = budget {
+                    let ewma = f64::from_bits(self.shared.exec_ewma_bits.load(Ordering::Relaxed));
+                    if ewma > 0.0 {
+                        let estimated_wait =
+                            ewma * state.queued as f64 / self.shared.n_workers as f64;
+                        if estimated_wait > budget.as_secs_f64() {
+                            self.shared.stats.note_shedded();
+                            self.shared.metrics.counter_inc("queries_shedded");
+                            return Err(ServiceError::QueryShedded {
+                                estimated_wait_seconds: estimated_wait,
+                                deadline_seconds: budget.as_secs_f64(),
+                            });
+                        }
+                    }
+                }
+            }
+            let deadline = budget.map(|d| now + d);
+            cancel = match deadline {
+                Some(d) => obs::CancelToken::with_deadline(d),
+                None => obs::CancelToken::new(),
+            };
             let tenant = req.tenant.clone();
             state.push(
                 tenant,
@@ -309,12 +461,13 @@ impl QueryService {
                     req,
                     enqueued: now,
                     deadline,
+                    cancel: cancel.clone(),
                     reply: tx,
                 },
             );
         }
         self.shared.available.notify_one();
-        Ok(Ticket { rx })
+        Ok(Ticket { rx, cancel })
     }
 
     /// Submits and blocks for the response.
@@ -331,9 +484,29 @@ impl QueryService {
     /// submission/completion counters, cache hit/miss counters, retry
     /// counts, and queue-wait / execution-latency histograms. Render
     /// with [`obs::MetricsSnapshot::to_text`] or
-    /// [`obs::MetricsSnapshot::to_json`].
+    /// [`obs::MetricsSnapshot::to_json`]. When circuit breakers are
+    /// configured the snapshot carries one `breaker_state_<system>`
+    /// gauge per system (0 = closed, 1 = half-open, 2 = open).
     pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        if let Some(breakers) = &self.shared.breakers {
+            for (system, b) in breakers {
+                self.shared.metrics.gauge_set(
+                    &format!("breaker_state_{}", system.name()),
+                    b.state().as_gauge(),
+                );
+            }
+        }
         self.shared.metrics.snapshot()
+    }
+
+    /// The current breaker state for one system, when breakers are
+    /// configured.
+    pub fn breaker_state(&self, system: System) -> Option<BreakerState> {
+        self.shared
+            .breakers
+            .as_ref()
+            .and_then(|b| b.get(&system))
+            .map(|b| b.state())
     }
 
     /// Result-cache `(hits, misses)`, when the result cache is enabled.
@@ -392,6 +565,29 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let now = Instant::now();
+        // A request whose token tripped while it sat in the queue never
+        // executes: a queue-expired deadline keeps its classic timeout
+        // answer, an explicit cancel is reported as such.
+        if let Err(c) = job.cancel.check(obs::Stage::QueueWait, 0) {
+            match c.reason {
+                obs::CancelReason::DeadlineExceeded => {
+                    shared.stats.note_timed_out();
+                    let _ = job.reply.send(Err(ServiceError::QueryTimedOut {
+                        waited_seconds: (now - job.enqueued).as_secs_f64(),
+                    }));
+                }
+                obs::CancelReason::Explicit => {
+                    shared.stats.note_cancelled();
+                    shared.metrics.counter_inc("queries_cancelled");
+                    let _ = job.reply.send(Err(ServiceError::Cancelled {
+                        stage: obs::Stage::QueueWait,
+                        rows_processed: 0,
+                        reason: c.reason,
+                    }));
+                }
+            }
+            continue;
+        }
         if let Some(deadline) = job.deadline {
             if now > deadline {
                 shared.stats.note_timed_out();
@@ -406,7 +602,7 @@ fn worker_loop(shared: &Shared) {
         // fault, or an engine bug) must not take the worker thread — and
         // with it a slice of the pool's capacity — down with it.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve(shared, &job.req, queue_seconds, job.enqueued)
+            serve(shared, &job, queue_seconds)
         }))
         .unwrap_or_else(|payload| {
             Err(ServiceError::Engine(format!(
@@ -423,6 +619,14 @@ fn worker_loop(shared: &Shared) {
                     .note_completed(resp.total_seconds, resp.queue_seconds);
                 shared.metrics.counter_inc("queries_completed");
             }
+            Err(ServiceError::Cancelled { .. }) => {
+                shared.stats.note_cancelled();
+                shared.metrics.counter_inc("queries_cancelled");
+            }
+            Err(ServiceError::QueryTimedOut { .. }) => {
+                shared.stats.note_timed_out();
+                shared.metrics.counter_inc("queries_timed_out");
+            }
             Err(_) => {
                 shared.stats.note_failed();
                 shared.metrics.counter_inc("queries_failed");
@@ -433,13 +637,11 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Serves one admitted request: result-cache lookup, engine execution on
-/// miss, cache fill, pricing.
-fn serve(
-    shared: &Shared,
-    req: &QueryRequest,
-    queue_seconds: f64,
-    enqueued: Instant,
-) -> Result<QueryResponse, ServiceError> {
+/// miss (cancellable, deadline-clamped retries, optional hedging), cache
+/// fill, pricing.
+fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse, ServiceError> {
+    let req = &job.req;
+    let enqueued = job.enqueued;
     // The per-request trace epoch is the *submission* instant, so the
     // queue wait — which happened before any worker touched the job —
     // can be recorded retroactively as a span starting at 0.
@@ -483,12 +685,24 @@ fn serve(
         }
         shared.metrics.counter_inc("result_cache_misses");
     }
+    // A cache miss on an already-expired job must not start a full scan:
+    // recheck the deadline between the lookup and engine dispatch. (The
+    // dequeue check ran before the lookup; the lookup itself can be the
+    // moment the deadline passes.)
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            return Err(ServiceError::QueryTimedOut {
+                waited_seconds: enqueued.elapsed().as_secs_f64(),
+            });
+        }
+    }
     let env = ExecEnv {
         chunk_cache: shared.chunk_cache.clone(),
         intra_query_threads: (shared.config.intra_query_threads > 0)
             .then_some(shared.config.intra_query_threads),
         fault_injector: shared.config.fault_injector.clone(),
         trace: trace.clone(),
+        cancel: job.cancel.clone(),
     };
     let engine = shared
         .engines
@@ -504,20 +718,82 @@ fn serve(
     // `Retry` span per backoff.
     let mut attempt: u32 = 0;
     let run = loop {
-        match engine.execute(&spec, &env) {
-            Ok(run) => break run,
-            Err(e) if e.retryable() && attempt < shared.config.max_retries => {
+        match execute_attempt(shared, engine.as_ref(), &spec, &env) {
+            Ok(run) => {
+                breaker_record(shared, req.system, true);
+                break run;
+            }
+            Err(e) => {
+                // A cancelled run is neither a failure (the backend is
+                // healthy — the client or its deadline stopped the work)
+                // nor retryable, and it is never billed: no response, no
+                // cost computation. Record a zero-length span so the
+                // trace shows where the run stopped.
+                if let Some(c) = e.cancelled.as_deref() {
+                    trace.span_with(c.stage, || format!("{c}"));
+                    return Err(ServiceError::Cancelled {
+                        stage: c.stage,
+                        rows_processed: c.rows_processed,
+                        reason: c.reason,
+                    });
+                }
+                breaker_record(shared, req.system, false);
+                if !e.retryable() || attempt >= shared.config.max_retries {
+                    return Err(ServiceError::Engine(e.to_string()));
+                }
                 attempt += 1;
                 shared.stats.note_retried();
                 shared.metrics.counter_inc("retries");
-                let backoff =
+                // Deadline-clamped backoff: check the budget before the
+                // sleep, never sleep past the deadline, and check again
+                // after waking — a retry must not overshoot an expired
+                // deadline by a backoff period.
+                let backoff = shared.config.retry_backoff * (1u32 << (attempt - 1).min(8));
+                let sleep = match job.deadline {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(ServiceError::Cancelled {
+                                stage: obs::Stage::Retry,
+                                rows_processed: 0,
+                                reason: obs::CancelReason::DeadlineExceeded,
+                            });
+                        }
+                        backoff.min(deadline - now)
+                    }
+                    None => backoff,
+                };
+                let span =
                     trace.span_with(obs::Stage::Retry, || format!("attempt {attempt} backoff"));
-                std::thread::sleep(shared.config.retry_backoff * (1u32 << (attempt - 1).min(8)));
-                drop(backoff);
+                std::thread::sleep(sleep);
+                drop(span);
+                if let Err(c) = job.cancel.check(obs::Stage::Retry, 0) {
+                    return Err(ServiceError::Cancelled {
+                        stage: c.stage,
+                        rows_processed: c.rows_processed,
+                        reason: c.reason,
+                    });
+                }
             }
-            Err(e) => return Err(ServiceError::Engine(e.to_string())),
         }
     };
+    // Feed the load-shedding EWMA and the hedge-delay percentile with
+    // the completed execution's wall time.
+    let sample = run.stats.wall_seconds;
+    let old = f64::from_bits(shared.exec_ewma_bits.load(Ordering::Relaxed));
+    let ewma = if old == 0.0 {
+        sample
+    } else {
+        0.8 * old + 0.2 * sample
+    };
+    shared
+        .exec_ewma_bits
+        .store(ewma.to_bits(), Ordering::Relaxed);
+    shared
+        .exec_samples
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(sample);
     if let (Some(cache), Some(key)) = (shared.result_cache.as_ref(), key) {
         cache.put(
             key,
@@ -548,6 +824,95 @@ fn serve(
         total_seconds: enqueued.elapsed().as_secs_f64(),
         trace: response_trace,
     })
+}
+
+/// One engine attempt — hedged when configured. The primary attempt runs
+/// with a child of the request's cancel token; if it has not replied
+/// within the hedge delay (a percentile of recent execution times,
+/// floored at `min_delay`), a second identical attempt launches with a
+/// sibling child token. The first reply wins and the loser is cancelled
+/// through its own token, so it stops within one row group instead of
+/// running to completion. Child tokens still see the request token, so
+/// an explicit cancel or the deadline stops both attempts.
+fn execute_attempt(
+    shared: &Shared,
+    engine: &dyn QueryEngine,
+    spec: &QuerySpec,
+    env: &ExecEnv,
+) -> Result<EngineRun, AdapterError> {
+    let Some(hedge) = &shared.config.hedge else {
+        return engine.execute(spec, env);
+    };
+    let delay = hedge_delay(shared, hedge);
+    let primary_cancel = env.cancel.child();
+    let hedge_cancel = env.cancel.child();
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel();
+        {
+            let tx = tx.clone();
+            let penv = ExecEnv {
+                cancel: primary_cancel.clone(),
+                ..env.clone()
+            };
+            s.spawn(move || {
+                let _ = tx.send((0u8, engine.execute(spec, &penv)));
+            });
+        }
+        let (winner, result) = match rx.recv_timeout(delay) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                shared.metrics.counter_inc("hedges_launched");
+                let henv = ExecEnv {
+                    cancel: hedge_cancel.clone(),
+                    ..env.clone()
+                };
+                s.spawn(move || {
+                    let _ = tx.send((1u8, engine.execute(spec, &henv)));
+                });
+                rx.recv().expect("a spawned attempt always replies")
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("primary sender is alive until it replies")
+            }
+        };
+        // First reply wins; cancel the other attempt (no-op if it never
+        // launched or already finished). The scope joins the loser, which
+        // stops within one row group of its token tripping.
+        if winner == 0 {
+            hedge_cancel.cancel();
+        } else {
+            shared.metrics.counter_inc("hedge_wins");
+            primary_cancel.cancel();
+        }
+        result
+    })
+}
+
+/// The hedge launch delay: the configured percentile of completed
+/// execution times (nearest-rank), floored at `min_delay`; `min_delay`
+/// alone before any executions completed.
+fn hedge_delay(shared: &Shared, hedge: &HedgeConfig) -> Duration {
+    let mut samples = shared
+        .exec_samples
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if samples.is_empty() {
+        return hedge.min_delay;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall seconds are finite"));
+    let rank = (hedge.percentile * samples.len() as f64).ceil() as usize;
+    let p = samples[rank.clamp(1, samples.len()) - 1];
+    Duration::from_secs_f64(p.max(0.0)).max(hedge.min_delay)
+}
+
+/// Feeds one execution outcome into the system's breaker, when breakers
+/// are configured. Cancellations must not be recorded — call sites skip
+/// them.
+fn breaker_record(shared: &Shared, system: System, success: bool) {
+    if let Some(b) = shared.breakers.as_ref().and_then(|m| m.get(&system)) {
+        b.record(success);
+    }
 }
 
 /// Best-effort text of a caught panic payload.
@@ -605,6 +970,7 @@ mod tests {
             req: QueryRequest::new(tenant, System::BigQuery, QueryId::Q1),
             enqueued,
             deadline: Some(enqueued + Duration::from_secs(n)),
+            cancel: obs::CancelToken::none(),
             reply: tx,
         }
     }
@@ -710,6 +1076,237 @@ mod tests {
         let err = doomed.wait().unwrap_err();
         assert!(matches!(err, ServiceError::QueryTimedOut { .. }));
         assert_eq!(service.stats().timed_out, 1);
+    }
+
+    /// A latency-storm injector: every physical chunk read sleeps, so a
+    /// query is reliably still running when the test cancels it.
+    fn latency_storm(ms: u64) -> Option<Arc<FaultInjector>> {
+        Some(Arc::new(FaultInjector::new(nf2_columnar::FaultConfig {
+            latency: Duration::from_millis(ms),
+            ..nf2_columnar::FaultConfig::only(nf2_columnar::FaultClass::Latency, 1.0, 7)
+        })))
+    }
+
+    #[test]
+    fn explicit_cancel_stops_running_query_and_is_never_billed() {
+        let service = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                chunk_cache_bytes: 0,
+                fault_injector: latency_storm(10),
+                ..ServiceConfig::default()
+            },
+        );
+        let ticket = service
+            .submit(QueryRequest::new("t0", System::BigQuery, QueryId::Q1))
+            .unwrap();
+        // Let the worker get well into the (artificially slow) scan,
+        // then hang up.
+        std::thread::sleep(Duration::from_millis(5));
+        ticket.cancel();
+        let err = match service.submit(QueryRequest::new("t0", System::BigQuery, QueryId::Q1)) {
+            Ok(t2) => {
+                // Unrelated request still serves fine afterwards.
+                let _ = t2;
+                ticket.wait().unwrap_err()
+            }
+            Err(e) => panic!("follow-up submit rejected: {e}"),
+        };
+        let ServiceError::Cancelled {
+            rows_processed,
+            reason,
+            ..
+        } = err
+        else {
+            panic!("expected Cancelled, got {err}");
+        };
+        assert_eq!(reason, obs::CancelReason::Explicit);
+        assert!(rows_processed < 1_000, "the full scan must not complete");
+        let snap = service.stats();
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.failed, 0, "a cancel is not an engine failure");
+        let metrics = service.metrics_snapshot();
+        assert_eq!(metrics.counter("queries_cancelled"), 1);
+        // Never billed: the cancelled attempt contributed no completed
+        // execution — no exec-time observation, no completion count.
+        assert!(metrics.histogram("exec_seconds").is_none());
+        assert_eq!(metrics.counter("queries_completed"), 0);
+    }
+
+    #[test]
+    fn mid_run_deadline_cancels_within_one_row_group() {
+        let service = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                chunk_cache_bytes: 0,
+                fault_injector: latency_storm(20),
+                ..ServiceConfig::default()
+            },
+        );
+        // Four 256-row groups at ≥20 ms of injected latency each: a
+        // 30 ms deadline expires mid-scan, well before the last group.
+        let err = service
+            .execute(QueryRequest {
+                deadline: Some(Duration::from_millis(30)),
+                ..QueryRequest::new("t0", System::BigQuery, QueryId::Q1)
+            })
+            .unwrap_err();
+        let ServiceError::Cancelled {
+            rows_processed,
+            reason,
+            ..
+        } = err
+        else {
+            panic!("expected Cancelled, got {err}");
+        };
+        assert_eq!(reason, obs::CancelReason::DeadlineExceeded);
+        assert!(
+            rows_processed < 1_000,
+            "deadline must stop the scan before the last group ({rows_processed} rows)"
+        );
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn shedding_rejects_when_backlog_outlasts_deadline() {
+        let service = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                load_shedding: true,
+                ..ServiceConfig::default()
+            },
+        );
+        // Prime the execution-time EWMA with one completed query.
+        service
+            .execute(QueryRequest::new("t0", System::BigQuery, QueryId::Q1))
+            .unwrap();
+        // Pile up work on the single worker so the backlog estimate is
+        // non-zero when the doomed request arrives.
+        let backlog: Vec<Ticket> = (0..6)
+            .map(|_| {
+                service
+                    .submit(QueryRequest::new("t0", System::Rumble, QueryId::Q5))
+                    .unwrap()
+            })
+            .collect();
+        let err = service
+            .submit(QueryRequest {
+                deadline: Some(Duration::from_nanos(1)),
+                ..QueryRequest::new("t1", System::BigQuery, QueryId::Q1)
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::QueryShedded { .. }),
+            "expected QueryShedded, got {err}"
+        );
+        assert_eq!(service.stats().shedded, 1);
+        assert_eq!(service.metrics_snapshot().counter("queries_shedded"), 1);
+        for t in backlog {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_failure_storm_and_rejects_at_admission() {
+        let service = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                chunk_cache_bytes: 0,
+                max_retries: 0,
+                fault_injector: Some(Arc::new(FaultInjector::new(nf2_columnar::FaultConfig {
+                    transient_attempts: 0,
+                    ..nf2_columnar::FaultConfig::only(nf2_columnar::FaultClass::Io, 1.0, 3)
+                }))),
+                breaker: Some(BreakerConfig {
+                    window: 8,
+                    failure_threshold: 0.5,
+                    min_samples: 4,
+                    cooldown: Duration::from_secs(60),
+                    half_open_probes: 1,
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            let err = service
+                .execute(QueryRequest::new("t0", System::BigQuery, QueryId::Q1))
+                .unwrap_err();
+            assert!(matches!(err, ServiceError::Engine(_)), "got {err}");
+        }
+        assert_eq!(
+            service.breaker_state(System::BigQuery),
+            Some(BreakerState::Open)
+        );
+        let err = service
+            .submit(QueryRequest::new("t0", System::BigQuery, QueryId::Q1))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::CircuitOpen {
+                    system: System::BigQuery
+                }
+            ),
+            "expected CircuitOpen, got {err}"
+        );
+        // Other systems' breakers are independent: Rumble is still
+        // admitted (its execution hits the same injected faults, but
+        // that is an engine error, not an admission rejection — and one
+        // sample is below min_samples, so its breaker stays closed).
+        let err = service
+            .execute(QueryRequest::new("t0", System::Rumble, QueryId::Q1))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Engine(_)), "got {err}");
+        assert_eq!(
+            service.breaker_state(System::Rumble),
+            Some(BreakerState::Closed)
+        );
+        let metrics = service.metrics_snapshot();
+        assert_eq!(metrics.gauge("breaker_state_BigQuery"), Some(2.0));
+        assert!(metrics.counter("breaker_rejected") >= 1);
+    }
+
+    #[test]
+    fn hedged_execution_matches_unhedged_result() {
+        let hedged = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                hedge: Some(HedgeConfig {
+                    percentile: 0.95,
+                    min_delay: Duration::ZERO,
+                }),
+                ..ServiceConfig::default()
+            },
+        );
+        let plain = QueryService::start(
+            table(),
+            ServiceConfig {
+                n_workers: 1,
+                result_cache: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = hedged
+            .execute(QueryRequest::new("t0", System::Presto, QueryId::Q2))
+            .unwrap();
+        let b = plain
+            .execute(QueryRequest::new("t0", System::Presto, QueryId::Q2))
+            .unwrap();
+        assert_eq!(a.histogram, b.histogram, "hedging must not change results");
+        assert!(
+            hedged.metrics_snapshot().counter("hedges_launched") >= 1,
+            "a zero hedge delay always launches the hedge"
+        );
     }
 
     #[test]

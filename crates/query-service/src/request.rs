@@ -74,10 +74,44 @@ pub enum ServiceError {
         /// The configured queue depth that was exhausted.
         queue_depth: usize,
     },
+    /// Load shedding refused the request at admission: the estimated
+    /// queue wait (EWMA of recent execution times × queue depth ÷
+    /// workers) already exceeds the request's deadline budget, so
+    /// queueing it would only burn capacity on a query doomed to time
+    /// out. Rejection costs microseconds — no scan is touched.
+    QueryShedded {
+        /// Predicted seconds the request would wait before a worker
+        /// reached it.
+        estimated_wait_seconds: f64,
+        /// The request's deadline budget in seconds.
+        deadline_seconds: f64,
+    },
+    /// The system's circuit breaker is open: recent executions on this
+    /// system failed at a rate past the configured threshold, and the
+    /// cooldown (or half-open probe budget) has not admitted this
+    /// request. Retry later or on another system.
+    CircuitOpen {
+        /// The system whose breaker rejected the request.
+        system: System,
+    },
     /// The deadline passed before a worker picked the request up.
     QueryTimedOut {
         /// Seconds the request spent queued before expiring.
         waited_seconds: f64,
+    },
+    /// The query was cancelled *while running* — an explicit
+    /// [`crate::Ticket::cancel`] or an expired deadline tripped the
+    /// request's [`obs::CancelToken`] and the engine stopped
+    /// cooperatively within one row group. The partial work is discarded
+    /// and never billed (no cost is computed on this path).
+    Cancelled {
+        /// The pipeline stage where the cancellation check fired.
+        stage: obs::Stage,
+        /// Rows fully processed before the run stopped — bounded by
+        /// "rows at the deadline + one row group".
+        rows_processed: u64,
+        /// Whether the token tripped explicitly or by deadline.
+        reason: obs::CancelReason,
     },
     /// The engine failed executing the query (message carries system and
     /// query id).
@@ -92,8 +126,33 @@ impl std::fmt::Display for ServiceError {
             ServiceError::QueryRejected { queue_depth } => {
                 write!(f, "rejected: admission queue full ({queue_depth} deep)")
             }
+            ServiceError::QueryShedded {
+                estimated_wait_seconds,
+                deadline_seconds,
+            } => {
+                write!(
+                    f,
+                    "shed: estimated queue wait {estimated_wait_seconds:.3}s exceeds \
+                     deadline budget {deadline_seconds:.3}s"
+                )
+            }
+            ServiceError::CircuitOpen { system } => {
+                write!(f, "circuit breaker open for {}", system.name())
+            }
             ServiceError::QueryTimedOut { waited_seconds } => {
                 write!(f, "timed out after {waited_seconds:.3}s in queue")
+            }
+            ServiceError::Cancelled {
+                stage,
+                rows_processed,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "cancelled ({}) in {} after {rows_processed} rows",
+                    reason.name(),
+                    stage.name()
+                )
             }
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
             ServiceError::Shutdown => write!(f, "service shut down"),

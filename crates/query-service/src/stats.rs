@@ -17,7 +17,9 @@ pub struct ServiceStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    shedded: AtomicU64,
     timed_out: AtomicU64,
+    cancelled: AtomicU64,
     failed: AtomicU64,
     retried: AtomicU64,
     total_latencies: Mutex<Vec<f64>>,
@@ -32,10 +34,17 @@ pub struct StatsSnapshot {
     pub submitted: u64,
     /// Requests answered with a result (cached or executed).
     pub completed: u64,
-    /// Requests refused at submission because the queue was full.
+    /// Requests refused at submission because the queue was full, or
+    /// because the system's circuit breaker was open.
     pub rejected: u64,
+    /// Requests refused at submission by load shedding: the estimated
+    /// queue wait already exceeded the deadline budget.
+    pub shedded: u64,
     /// Requests whose deadline expired while queued.
     pub timed_out: u64,
+    /// Requests cancelled while running (explicit cancel or deadline
+    /// expiry tripping the request's cancel token mid-execution).
+    pub cancelled: u64,
     /// Requests whose engine execution failed.
     pub failed: u64,
     /// Engine re-executions after a retryable scan fault (one request can
@@ -72,7 +81,9 @@ impl ServiceStats {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shedded: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             total_latencies: Mutex::new(Vec::new()),
@@ -88,8 +99,16 @@ impl ServiceStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_shedded(&self) {
+        self.shedded.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_timed_out(&self) {
         self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_failed(&self) {
@@ -122,7 +141,9 @@ impl ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
+            shedded: self.shedded.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             elapsed_seconds,
