@@ -4,10 +4,11 @@
 //! (a hung engine fails the run instead of wedging CI):
 //!
 //! * `--check` — generates `HEPQUERY_FUZZ_PLANS` (default 200) seeded
-//!   random plans over the CMS schema and executes every one on all five
-//!   systems under test (BigQuery/Presto/Athena SQL, JSONiq, RDataFrame),
-//!   comparing each histogram **bin-for-bin** against the interpreter
-//!   oracle. Any divergence or fault-free failure exits non-zero.
+//!   random plans over the CMS schema and executes every one on all six
+//!   systems under test (BigQuery/Presto/Athena SQL, JSONiq, RDataFrame,
+//!   and the compiled physical-IR executor), comparing each histogram
+//!   **bin-for-bin** against the interpreter oracle. Any divergence or
+//!   fault-free failure exits non-zero.
 //! * `--faults` — sweeps every fault class over a smaller plan budget
 //!   (persistent faults must surface typed `ScanError`s, transient faults
 //!   must converge to the oracle under bounded retry), then drives a

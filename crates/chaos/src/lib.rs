@@ -166,6 +166,10 @@ pub enum EngineUnderTest {
     Jsoniq,
     /// `engine-rdf` (RDataFrame).
     Rdf,
+    /// The `physical-ir` compiled executor (direct plan lowering, no
+    /// parser in the loop) — the differential oracle check for the fused
+    /// batch kernels the engines' compiled paths share.
+    Compiled,
 }
 
 /// All engines, in reporting order.
@@ -175,6 +179,7 @@ pub const ALL_ENGINES: &[EngineUnderTest] = &[
     EngineUnderTest::Athena,
     EngineUnderTest::Jsoniq,
     EngineUnderTest::Rdf,
+    EngineUnderTest::Compiled,
 ];
 
 impl EngineUnderTest {
@@ -186,6 +191,7 @@ impl EngineUnderTest {
             EngineUnderTest::Athena => "Athena SQL",
             EngineUnderTest::Jsoniq => "JSONiq",
             EngineUnderTest::Rdf => "RDataFrame",
+            EngineUnderTest::Compiled => "Compiled IR",
         }
     }
 
@@ -202,6 +208,7 @@ impl EngineUnderTest {
             EngineUnderTest::Athena => plan.run_sql(engine_sql::Dialect::athena(), table, env),
             EngineUnderTest::Jsoniq => plan.run_jsoniq(table, env),
             EngineUnderTest::Rdf => plan.run_rdf(table, env),
+            EngineUnderTest::Compiled => plan.run_compiled(table, env),
         }
     }
 }

@@ -109,6 +109,22 @@ impl EngineError for engine_flwor::FlworError {
     }
 }
 
+impl EngineError for physical_ir::PirError {
+    fn scan_error(&self) -> Option<&ScanError> {
+        match self {
+            physical_ir::PirError::Columnar(e) => e.scan_error(),
+            physical_ir::PirError::Cancelled(_) => None,
+        }
+    }
+
+    fn cancel_error(&self) -> Option<&obs::Cancelled> {
+        match self {
+            physical_ir::PirError::Cancelled(c) => Some(c),
+            physical_ir::PirError::Columnar(e) => e.cancelled(),
+        }
+    }
+}
+
 impl EngineError for engine_rdf::RdfError {
     fn scan_error(&self) -> Option<&ScanError> {
         self.scan_error()
@@ -172,21 +188,6 @@ impl ExecEnv {
     pub fn seed() -> ExecEnv {
         ExecEnv::default()
     }
-}
-
-/// Runs a query on the SQL engine under a dialect profile.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct a crate::engine_api::SqlQueryEngine (or use \
-            crate::engine_api::engine_for) and call QueryEngine::execute"
-)]
-pub fn run_sql(
-    dialect: Dialect,
-    table: &Arc<Table>,
-    q: QueryId,
-    options: SqlOptions,
-) -> Result<EngineRun, AdapterError> {
-    run_sql_env(dialect, table, q, options, &ExecEnv::seed())
 }
 
 /// Runs a query on the SQL engine under an explicit [`ExecEnv`].
@@ -258,20 +259,6 @@ pub(crate) fn bin_count_row(row: &[Value]) -> Result<(i64, u64), String> {
     }
 }
 
-/// Runs a query on the JSONiq engine (Rumble analog).
-#[deprecated(
-    since = "0.2.0",
-    note = "construct a crate::engine_api::FlworQueryEngine (or use \
-            crate::engine_api::engine_for) and call QueryEngine::execute"
-)]
-pub fn run_jsoniq(
-    table: &Arc<Table>,
-    q: QueryId,
-    options: FlworOptions,
-) -> Result<EngineRun, AdapterError> {
-    run_jsoniq_env(table, q, options, &ExecEnv::seed())
-}
-
 /// Runs a query on the JSONiq engine under an explicit [`ExecEnv`].
 /// Like [`run_sql_env`], records spans into `env.trace` but leaves
 /// draining to the caller.
@@ -314,20 +301,6 @@ pub fn run_jsoniq_env(
         stats: out.stats,
         trace: obs::SpanTree::default(),
     })
-}
-
-/// Runs a query on the RDataFrame-style engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct a crate::engine_api::RdfQueryEngine (or use \
-            crate::engine_api::engine_for) and call QueryEngine::execute"
-)]
-pub fn run_rdf(
-    table: &Arc<Table>,
-    q: QueryId,
-    options: engine_rdf::Options,
-) -> Result<EngineRun, AdapterError> {
-    run_rdf_env(table, q, options, &ExecEnv::seed())
 }
 
 /// Runs a query on the RDataFrame-style engine under an explicit

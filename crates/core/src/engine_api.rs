@@ -238,15 +238,43 @@ impl QueryEngine for RdfQueryEngine {
 /// The engine deployment behind a [`System`], over one registered
 /// table — the single construction point the runner and the query
 /// service share.
+///
+/// The deployments modeled here are the paper's studied systems, all of
+/// which interpret their queries — the cost model behind Table 1 and
+/// the figures is calibrated against interpreted CPU profiles, so these
+/// engines pin `compile: false`. The workspace's own compiled IR path
+/// (default-on for direct engine use, e.g. the golden tests and the
+/// bench harness's `compiled` section) is opted into via the
+/// `with_options` constructors.
 pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
     match system {
         System::BigQuery
         | System::BigQueryExternal
         | System::AthenaV2
         | System::AthenaV1
-        | System::Presto => Box::new(SqlQueryEngine::new(system, table)),
-        System::Rumble => Box::new(FlworQueryEngine::new(table)),
-        System::RDataFrame | System::RDataFrameDev => Box::new(RdfQueryEngine::new(system, table)),
+        | System::Presto => Box::new(SqlQueryEngine::with_options(
+            system,
+            table,
+            SqlOptions {
+                compile: false,
+                ..SqlOptions::default()
+            },
+        )),
+        System::Rumble => Box::new(FlworQueryEngine::with_options(
+            table,
+            FlworOptions {
+                compile: false,
+                ..FlworOptions::default()
+            },
+        )),
+        System::RDataFrame | System::RDataFrameDev => Box::new(RdfQueryEngine::with_options(
+            system,
+            table,
+            engine_rdf::Options {
+                compile: false,
+                ..engine_rdf::Options::default()
+            },
+        )),
     }
 }
 

@@ -523,6 +523,57 @@ impl FuzzPlan {
         )
     }
 
+    /// Lowers the plan to the shared physical IR. Unlike the engine-side
+    /// recognizers (which must prove a parsed query matches a template),
+    /// every fuzz plan lowers: the plan's node set is a subset of the
+    /// IR's by construction, which makes this the differential oracle
+    /// for the compiled executor itself.
+    pub fn physical(&self) -> physical_ir::PhysPlan {
+        use nested_value::Path;
+        let jet_leaf = |f: JetField| Path::parse(&format!("Jet.{}", f.member()));
+        let mut filters: Vec<physical_ir::FilterNode> = self
+            .scalar_preds
+            .iter()
+            .map(|p| {
+                physical_ir::FilterNode::Scalar(nf2_columnar::ScalarPredicate {
+                    leaf: Path::parse(p.leaf.sql()),
+                    cmp: p.cmp.sel(),
+                    value: SelValue::Float(p.lit),
+                })
+            })
+            .collect();
+        if let Some(cp) = &self.count_pred {
+            filters.push(physical_ir::FilterNode::ListCount {
+                leaf: jet_leaf(cp.elem.field),
+                elem: Some(physical_ir::ElemPredicate {
+                    leaf: jet_leaf(cp.elem.field),
+                    cmp: cp.elem.cmp.sel(),
+                    value: cp.elem.lit,
+                }),
+                cmp: SelCmp::Ge,
+                count: cp.min_count as i64,
+            });
+        }
+        let compute = match &self.fill {
+            FillSource::Scalar(leaf) => physical_ir::ComputeNode::ScalarFill {
+                leaf: Path::parse(leaf.sql()),
+            },
+            FillSource::Jets { field, elem_pred } => physical_ir::ComputeNode::ListFill {
+                leaf: jet_leaf(*field),
+                elem: elem_pred.map(|p| physical_ir::ElemPredicate {
+                    leaf: jet_leaf(p.field),
+                    cmp: p.cmp.sel(),
+                    value: p.lit,
+                }),
+            },
+        };
+        physical_ir::PhysPlan {
+            filters,
+            compute,
+            spec: self.spec,
+        }
+    }
+
     /// Lowers the plan to an `engine-rdf` dataframe chain over `table`.
     pub fn rdf(&self, table: Arc<Table>, options: engine_rdf::Options) -> RDataFrame {
         let mut df = RDataFrame::new(table, options);
@@ -648,6 +699,25 @@ impl FuzzPlan {
         })?;
         Ok(out.histograms.into_iter().next().expect("one booking"))
     }
+
+    /// Executes the plan on the compiled physical-IR executor in an
+    /// [`ExecEnv`]. The executor reads decoded chunks directly (scan
+    /// accounting and the chunk-level fault path are engine concerns),
+    /// so only the environment's trace and cancel token apply.
+    pub fn run_compiled(
+        &self,
+        table: &Arc<Table>,
+        env: &ExecEnv,
+    ) -> Result<Histogram, AdapterError> {
+        let plan = self.physical();
+        let bins = physical_ir::execute(&plan, table, None, &env.trace, &env.cancel)
+            .map_err(|e| AdapterError::from_engine("Compiled", self.label(), &e))?;
+        let mut histogram = Histogram::new(self.spec);
+        for b in bins {
+            histogram.add_bin_count(b, 1);
+        }
+        Ok(histogram)
+    }
 }
 
 #[cfg(test)]
@@ -751,6 +821,12 @@ mod tests {
             assert!(h.counts_equal(&oracle), "{} jsoniq diverged", plan.label());
             let h = plan.run_rdf(&table, &env).unwrap();
             assert!(h.counts_equal(&oracle), "{} rdf diverged", plan.label());
+            let h = plan.run_compiled(&table, &env).unwrap();
+            assert!(
+                h.counts_equal(&oracle),
+                "{} compiled diverged",
+                plan.label()
+            );
         }
     }
 }

@@ -183,6 +183,30 @@ mod tests {
     }
 
     #[test]
+    fn q6_texts_lower_to_the_compiled_path() {
+        // Guard against drift between these canonical texts and the
+        // engine-local templates: if recognition silently broke, Q6 would
+        // still be correct (interpreter fallback) but ~1000× slower.
+        for q in [QueryId::Q6a, QueryId::Q6b] {
+            for lang in [Language::Presto, Language::Athena] {
+                let script = engine_sql::parser::parse_script(&text(lang, q)).unwrap();
+                assert!(
+                    engine_sql::compile::lower(&script).is_some(),
+                    "{:?} {} must lower to the physical IR",
+                    lang,
+                    q.name()
+                );
+            }
+            let module = engine_flwor::parser::parse_module(&text(Language::Jsoniq, q)).unwrap();
+            assert!(
+                engine_flwor::compile::lower(&module).is_some(),
+                "JSONiq {} must lower to the physical IR",
+                q.name()
+            );
+        }
+    }
+
+    #[test]
     fn float_literals_roundtrip() {
         for x in [0.0, 200.0, 0.45, 91.2, 172.5, 1.0 / 3.0] {
             let lit = flit(x);

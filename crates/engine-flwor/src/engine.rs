@@ -32,6 +32,12 @@ pub struct FlworOptions {
     /// are defined by the projected columns (all of them, for Rumble), not
     /// by surviving rows, and the `where` clause still runs on survivors.
     pub vectorized_filter: bool,
+    /// Compiled execution: modules recognized by [`crate::compile`] run
+    /// as fused batch kernels over the shared physical IR instead of the
+    /// tree-walking interpreter. Recognition is exact (canonical-template
+    /// AST equality), so disabling this only costs speed; results are
+    /// bit-identical either way.
+    pub compile: bool,
 }
 
 impl Default for FlworOptions {
@@ -40,6 +46,7 @@ impl Default for FlworOptions {
             n_threads: 0,
             overhead_ns_per_item: 0,
             vectorized_filter: true,
+            compile: true,
         }
     }
 }
@@ -162,16 +169,28 @@ impl FlworEngine {
             .ok_or_else(|| FlworError::Unresolved(format!("input {input_name}")))?
             .clone();
 
+        // Compiled path detection happens under the Plan span: modules
+        // that are exact instances of the canonical template lower to a
+        // fused-kernel physical plan; everything else interprets. Neither
+        // detection nor compiled execution perturbs the scan accounting
+        // below — scan stats are defined by the projected columns (all of
+        // them, for Rumble), never by the execution strategy.
+        let compiled = if self.options.compile {
+            crate::compile::lower(&module)
+        } else {
+            None
+        };
+
         // Pre-filter extraction cannot perturb the scan accounting below:
         // scan stats are defined by the projected columns (all of them,
         // for Rumble), never by surviving rows.
-        let preds = if self.options.vectorized_filter {
+        let preds = if compiled.is_none() && self.options.vectorized_filter {
             prefilter_predicates(&module, table.schema())
         } else {
             Vec::new()
         };
 
-        let partitionable = is_partitionable(&module);
+        let partitionable = compiled.is_none() && is_partitionable(&module);
         let n_groups = table.row_groups().len();
         let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
         let n_threads = if partitionable {
@@ -208,7 +227,23 @@ impl FlworEngine {
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
         let cpu = Mutex::new(0.0f64);
-        let items = if n_threads <= 1 {
+        let items = if let Some(plan) = &compiled {
+            // Fused batch kernels over decoded column chunks: no row
+            // materialization, no per-record interpretation (and hence no
+            // simulated per-record overhead — the modeled JVM record cost
+            // is exactly what compilation eliminates). The executor emits
+            // one bin index per selected event, in event order — the same
+            // sequence the interpreter produces for the template.
+            let t0 = Instant::now();
+            let bins = physical_ir::execute(plan, &table, None, &self.trace, &self.cancel)
+                .map_err(|e| match e {
+                    physical_ir::PirError::Columnar(c) => FlworError::from(c),
+                    physical_ir::PirError::Cancelled(c) => FlworError::Cancelled(c),
+                })?;
+            let out: Seq = bins.into_iter().map(Value::Int).collect();
+            *cpu.lock() += t0.elapsed().as_secs_f64();
+            out
+        } else if n_threads <= 1 {
             let t0 = Instant::now();
             let mut rows = Vec::with_capacity(table.n_rows());
             let mut rows_done = 0u64;
@@ -574,7 +609,7 @@ fn is_partitionable(module: &Module) -> bool {
 }
 
 /// Pre-order expression walk.
-fn walk(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+pub(crate) fn walk(e: &Expr, f: &mut dyn FnMut(&Expr)) {
     f(e);
     match e {
         Expr::Sequence(items) => {

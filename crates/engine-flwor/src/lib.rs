@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod engine;
 pub mod error;
 pub mod interp;

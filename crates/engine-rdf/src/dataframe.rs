@@ -79,6 +79,12 @@ pub struct Options {
     /// back to per-event evaluation) under [`ContentionModel::RootV622`],
     /// whose simulated lock cadence is defined per *processed* event.
     pub vectorized_filter: bool,
+    /// Compiled execution: graphs recognized by the lowering pass (all
+    /// nodes declarative, one booking on a base column, contention-free
+    /// merging) run as fused batch kernels over the shared physical IR.
+    /// Unrecognized graphs always fall back to the interpreter, so this
+    /// is purely an execution-speed knob — results are bin-identical.
+    pub compile: bool,
 }
 
 impl Default for Options {
@@ -87,6 +93,7 @@ impl Default for Options {
             n_threads: 0,
             contention: ContentionModel::Fixed,
             vectorized_filter: true,
+            compile: true,
         }
     }
 }

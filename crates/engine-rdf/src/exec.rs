@@ -153,6 +153,14 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         && df.options.contention == ContentionModel::Fixed
         && !scalar_preds.is_empty();
 
+    // Fully-declarative graphs lower to the shared physical IR and run
+    // as fused batch kernels; anything opaque stays on the interpreter.
+    let compiled = if df.options.compile {
+        crate::compile::lower(df, &scalar_preds)
+    } else {
+        None
+    };
+
     let n_groups = table.row_groups().len();
     let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
     let n_threads = if df.options.n_threads == 0 {
@@ -173,6 +181,30 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         &df.trace,
         &df.cancel,
     )?;
+
+    if let Some(plan) = &compiled {
+        let t0 = Instant::now();
+        let bins = physical_ir::execute(plan, table, None, &df.trace, &df.cancel).map_err(
+            |e| match e {
+                physical_ir::PirError::Columnar(c) => RdfError::from(c),
+                physical_ir::PirError::Cancelled(c) => RdfError::from(c),
+            },
+        )?;
+        let mut h = Histogram::new(df.bookings[0].spec);
+        for b in bins {
+            h.add_bin_count(b, 1);
+        }
+        return Ok(RunOutput {
+            histograms: vec![h],
+            stats: ExecStats {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                cpu_seconds: t0.elapsed().as_secs_f64(),
+                scan,
+                threads_used: 1,
+                row_groups_skipped: 0,
+            },
+        });
+    }
 
     let fresh =
         || -> Vec<Histogram> { df.bookings.iter().map(|b| Histogram::new(b.spec)).collect() };

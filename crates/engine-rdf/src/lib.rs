@@ -45,6 +45,7 @@
 //! path did); in `Fixed` mode workers merge once per row group. The
 //! `ablation_contention` bench regenerates the scalability cliff.
 
+mod compile;
 pub mod dataframe;
 pub mod eventloop;
 pub mod exec;

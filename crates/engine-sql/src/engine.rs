@@ -42,6 +42,12 @@ pub struct SqlOptions {
     /// by the projected columns, not by surviving rows, and results are
     /// identical because the WHERE clause still runs on the survivors.
     pub vectorized_filter: bool,
+    /// Compiled execution: scripts recognized by [`crate::compile`] run
+    /// as fused batch kernels over the shared physical IR instead of the
+    /// row-at-a-time relational interpreter. Recognition is exact
+    /// (canonical-template AST equality), so disabling this only costs
+    /// speed; results are bit-identical either way.
+    pub compile: bool,
 }
 
 impl Default for SqlOptions {
@@ -51,6 +57,7 @@ impl Default for SqlOptions {
             partition_parallel: true,
             zone_map_pruning: true,
             vectorized_filter: true,
+            compile: true,
         }
     }
 }
@@ -193,6 +200,15 @@ impl SqlEngine {
         // Segment-parallel if the root is decomposable and exactly one base
         // table is referenced.
         let merge_spec = plan::root_merge_spec(&script);
+        // Compiled path detection (under the Plan span): scripts that are
+        // exact instances of the canonical template lower to a
+        // fused-kernel physical plan; everything else interprets. The
+        // scan accounting above and below is shared by both modes.
+        let compiled = if self.options.compile {
+            crate::compile::lower(&script)
+        } else {
+            None
+        };
         plan_span.finish();
 
         let mut scan_span = self.trace.span(obs::Stage::Scan);
@@ -257,19 +273,53 @@ impl SqlEngine {
         scan_span.finish();
 
         let cpu = Mutex::new(0.0f64);
-        let (relation, threads_used) = match (&merge_spec, table_projs.len()) {
-            (Some(spec), 1) if self.options.partition_parallel => {
-                let (name, proj) = table_projs.iter().next().expect("one table");
-                let table = self.tables.get(name).expect("registered");
-                let mask = masks.get(name).expect("mask built above");
-                let preds = filter_preds.get(name).map_or(&[][..], |v| v.as_slice());
-                self.run_parallel(&script, &udfs, name, table, proj, mask, preds, spec, &cpu)?
+        // Compiled execution binds to the template's base table; the
+        // zone-map keep-mask still applies (pruned groups are skipped by
+        // the executor exactly as the interpreter skips them).
+        let compiled_exec = compiled.as_ref().and_then(|p| {
+            let table = self.tables.get("events")?;
+            let mask = masks.get("events")?;
+            Some((p, table, mask))
+        });
+        let (relation, threads_used) = if let Some((cplan, table, mask)) = compiled_exec {
+            let t0 = Instant::now();
+            let skip: Vec<bool> = mask.iter().map(|keep| !keep).collect();
+            let bins = physical_ir::execute(cplan, table, Some(&skip), &self.trace, &self.cancel)
+                .map_err(|e| match e {
+                    physical_ir::PirError::Columnar(c) => SqlError::from(c),
+                    physical_ir::PirError::Cancelled(c) => SqlError::Cancelled(c),
+                })?;
+            // The trivial final count, matching the binning tail's output
+            // contract: two columns (bin, n), one row per non-empty bin.
+            let mut counts: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+            for b in bins {
+                *counts.entry(b).or_insert(0) += 1;
             }
-            _ => {
-                let t0 = Instant::now();
-                let rel = self.run_serial(&script, &udfs, &table_projs, &masks, &filter_preds)?;
-                *cpu.lock() += t0.elapsed().as_secs_f64();
-                (rel, 1)
+            let rel = Relation {
+                cols: vec!["bin".to_string(), "n".to_string()],
+                rows: counts
+                    .into_iter()
+                    .map(|(b, n)| vec![Value::Int(b), Value::Int(n)])
+                    .collect(),
+            };
+            *cpu.lock() += t0.elapsed().as_secs_f64();
+            (rel, 1)
+        } else {
+            match (&merge_spec, table_projs.len()) {
+                (Some(spec), 1) if self.options.partition_parallel => {
+                    let (name, proj) = table_projs.iter().next().expect("one table");
+                    let table = self.tables.get(name).expect("registered");
+                    let mask = masks.get(name).expect("mask built above");
+                    let preds = filter_preds.get(name).map_or(&[][..], |v| v.as_slice());
+                    self.run_parallel(&script, &udfs, name, table, proj, mask, preds, spec, &cpu)?
+                }
+                _ => {
+                    let t0 = Instant::now();
+                    let rel =
+                        self.run_serial(&script, &udfs, &table_projs, &masks, &filter_preds)?;
+                    *cpu.lock() += t0.elapsed().as_secs_f64();
+                    (rel, 1)
+                }
             }
         };
 

@@ -34,6 +34,7 @@
 //! groups (Presto's split model); see [`exec`].
 
 pub mod ast;
+pub mod compile;
 pub mod dialect;
 pub mod engine;
 pub mod error;

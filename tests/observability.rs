@@ -113,6 +113,19 @@ fn every_query_on_every_engine_traces_with_covering_stages() {
                 q.name(),
                 coverage * 100.0
             );
+            // Single-threaded, exclusive per-stage seconds are disjoint
+            // slices of the run, so their sum can never exceed the wall
+            // time the engine reports (epsilon absorbs the work outside
+            // the root span: setup and histogram materialization timers
+            // stopped before wall is read).
+            let stage_sum: f64 = tree.stage_seconds().iter().map(|(_, s)| s).sum();
+            assert!(
+                stage_sum <= run.stats.wall_seconds * 1.05 + 1e-3,
+                "{} {}: per-stage seconds ({stage_sum:.6}s) exceed wall ({:.6}s)",
+                system.name(),
+                q.name(),
+                run.stats.wall_seconds
+            );
             // Every engine path reports at least plan, scan and
             // aggregate work.
             let stages: Vec<obs::Stage> = tree.flatten().iter().map(|s| s.stage).collect();
