@@ -4,11 +4,13 @@
 //! (a hung engine fails the run instead of wedging CI):
 //!
 //! * `--check` — generates `HEPQUERY_FUZZ_PLANS` (default 200) seeded
-//!   random plans over the CMS schema and executes every one on all six
+//!   random plans over the CMS schema and executes every one on all seven
 //!   systems under test (BigQuery/Presto/Athena SQL, JSONiq, RDataFrame,
-//!   and the compiled physical-IR executor), comparing each histogram
-//!   **bin-for-bin** against the interpreter oracle. Any divergence or
-//!   fault-free failure exits non-zero.
+//!   the compiled physical-IR executor, and the compiled executor on the
+//!   morsel-parallel worker pool with a plan-derived steal seed),
+//!   comparing each histogram **bin-for-bin** against the interpreter
+//!   oracle. Any divergence or fault-free failure exits non-zero — in
+//!   particular, any parallel-vs-serial compiled divergence.
 //! * `--faults` — sweeps every fault class over a smaller plan budget
 //!   (persistent faults must surface typed `ScanError`s, transient faults
 //!   must converge to the oracle under bounded retry), then drives a

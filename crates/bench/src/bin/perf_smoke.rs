@@ -22,6 +22,12 @@
 //! the interpreted baseline on Q6, recorded as a `compiled` section —
 //! the headline ~1000× combinatorial-query gap of the paper, closed.
 //!
+//! `--threads N` pins `intra_query_threads` for the timed (untraced)
+//! runs and the compiled comparison; every JSON record carries the
+//! `intra_query_threads` the engine actually used, so baselines taken
+//! at different thread counts are never silently compared. The traced
+//! run stays pinned to 1 thread regardless (see above).
+//!
 //! `perf_smoke --check` is the CI observability gate: it sweeps Q1–Q8 on
 //! the SQL engine at small scale (default 2 048 events), compares the
 //! min-of-`RUNS` wall time traced vs untraced, and fails if tracing costs
@@ -66,6 +72,8 @@ struct Row {
     wall_seconds: f64,
     cpu_seconds: f64,
     events_per_sec: f64,
+    /// Threads the engine actually used for the timed runs.
+    intra_query_threads: usize,
     /// Exclusive per-stage seconds from one traced run (stage → s).
     stages: Vec<(&'static str, f64)>,
 }
@@ -124,11 +132,17 @@ fn measure(
     query: &'static str,
     table: &Arc<Table>,
     n_events: usize,
+    threads: Option<usize>,
 ) -> Row {
-    let untraced = ExecEnv::seed();
+    let untraced = ExecEnv {
+        intra_query_threads: threads,
+        ..ExecEnv::seed()
+    };
+    let mut threads_used = 1;
     let mut walls: Vec<(f64, f64)> = (0..RUNS)
         .map(|_| {
             let s = run_point(system, table, q, &untraced).stats;
+            threads_used = s.threads_used;
             (s.wall_seconds, s.cpu_seconds)
         })
         .collect();
@@ -161,6 +175,7 @@ fn measure(
         wall_seconds,
         cpu_seconds,
         events_per_sec: n_events as f64 / wall_seconds,
+        intra_query_threads: threads_used,
         stages,
     }
 }
@@ -172,6 +187,8 @@ struct CompiledRow {
     interpreted_seconds: f64,
     compiled_seconds: f64,
     speedup: f64,
+    /// Threads the compiled run actually used.
+    intra_query_threads: usize,
 }
 
 /// Median wall seconds of `runs` invocations of `f`.
@@ -185,8 +202,11 @@ fn median_wall(runs: usize, f: impl Fn() -> EngineRun) -> f64 {
 /// options) on the JSONiq and Presto SQL engines, through the raw
 /// adapters — `engine_for` deliberately models the paper's interpreted
 /// deployments, so the compiled path is opted into here explicitly.
-fn measure_compiled(table: &Arc<Table>, runs: usize) -> Vec<CompiledRow> {
-    let env = ExecEnv::seed();
+fn measure_compiled(table: &Arc<Table>, runs: usize, threads: Option<usize>) -> Vec<CompiledRow> {
+    let env = ExecEnv {
+        intra_query_threads: threads,
+        ..ExecEnv::seed()
+    };
     let q = QueryId::Q6a;
     let sql = |compile: bool| {
         let options = SqlOptions {
@@ -209,6 +229,7 @@ fn measure_compiled(table: &Arc<Table>, runs: usize) -> Vec<CompiledRow> {
     ] {
         let interpreted_seconds = median_wall(runs, || run(false));
         let compiled_seconds = median_wall(runs, || run(true));
+        let intra_query_threads = run(true).stats.threads_used;
         let speedup = interpreted_seconds / compiled_seconds;
         eprintln!(
             "  {engine:12} Q6 interpreted {:8.2} ms   compiled {:8.2} ms   ({speedup:.0}x)",
@@ -221,6 +242,7 @@ fn measure_compiled(table: &Arc<Table>, runs: usize) -> Vec<CompiledRow> {
             interpreted_seconds,
             compiled_seconds,
             speedup,
+            intra_query_threads,
         });
     }
     rows
@@ -305,7 +327,7 @@ fn check(spec: DatasetSpec) -> bool {
     // MIN_COMPILED_SPEEDUP on both engines with a compiled lowering.
     eprintln!("# compiled execution (Q6, median of {RUNS})");
     let mut compiled_ok = true;
-    for r in measure_compiled(&table, RUNS) {
+    for r in measure_compiled(&table, RUNS, Some(1)) {
         if r.speedup < MIN_COMPILED_SPEEDUP {
             eprintln!(
                 "# FAIL: {} {} compiled speedup {:.1}x below the {MIN_COMPILED_SPEEDUP:.0}x gate",
@@ -315,6 +337,18 @@ fn check(spec: DatasetSpec) -> bool {
         }
     }
     overhead <= MAX_OVERHEAD_FRACTION && compiled_ok
+}
+
+/// Parses `--threads N` (pins `intra_query_threads` for timed runs).
+fn threads_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--threads")?;
+    let n = args
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("--threads requires a positive integer"));
+    assert!(n > 0, "--threads requires a positive integer");
+    Some(n)
 }
 
 fn main() {
@@ -327,9 +361,13 @@ fn main() {
         return;
     }
     let spec = spec(32_768);
+    let threads = threads_arg();
     eprintln!(
-        "# perf_smoke: {} events, {} per row group, seed {:#x}",
-        spec.n_events, spec.row_group_size, spec.seed
+        "# perf_smoke: {} events, {} per row group, seed {:#x}, threads {}",
+        spec.n_events,
+        spec.row_group_size,
+        spec.seed,
+        threads.map_or_else(|| "engine default".to_string(), |n| n.to_string())
     );
     let (_, table) = build_dataset(spec);
     let table: Arc<Table> = Arc::new(table);
@@ -344,12 +382,12 @@ fn main() {
     let mut rows = Vec::new();
     for (system, label) in ENGINES {
         for (q, name) in queries {
-            rows.push(measure(system, label, q, name, &table, n));
+            rows.push(measure(system, label, q, name, &table, n, threads));
         }
     }
 
     eprintln!("# compiled execution (Q6, median of {RUNS})");
-    let compiled = measure_compiled(&table, RUNS);
+    let compiled = measure_compiled(&table, RUNS, threads);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -367,12 +405,13 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         json.push_str(&format!(
-            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"stages\": {{ {} }} }}{}\n",
+            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"wall_seconds\": {:.6}, \"cpu_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"intra_query_threads\": {}, \"stages\": {{ {} }} }}{}\n",
             r.engine,
             r.query,
             r.wall_seconds,
             r.cpu_seconds,
             r.events_per_sec,
+            r.intra_query_threads,
             stages,
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -381,12 +420,13 @@ fn main() {
     json.push_str("  \"compiled\": [\n");
     for (i, r) in compiled.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"interpreted_seconds\": {:.6}, \"compiled_seconds\": {:.6}, \"speedup\": {:.1} }}{}\n",
+            "    {{ \"engine\": \"{}\", \"query\": \"{}\", \"interpreted_seconds\": {:.6}, \"compiled_seconds\": {:.6}, \"speedup\": {:.1}, \"intra_query_threads\": {} }}{}\n",
             r.engine,
             r.query,
             r.interpreted_seconds,
             r.compiled_seconds,
             r.speedup,
+            r.intra_query_threads,
             if i + 1 < compiled.len() { "," } else { "" }
         ));
     }

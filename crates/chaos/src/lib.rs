@@ -170,6 +170,12 @@ pub enum EngineUnderTest {
     /// parser in the loop) — the differential oracle check for the fused
     /// batch kernels the engines' compiled paths share.
     Compiled,
+    /// The morsel-parallel compiled executor (`exec_par`) — same lowered
+    /// plan as [`EngineUnderTest::Compiled`], executed on a multi-worker
+    /// pool with a plan-derived steal seed, so the sweeps also hold the
+    /// exchange/partial-aggregation merge to bin-exactness under
+    /// adversarial steal interleavings.
+    CompiledParallel,
 }
 
 /// All engines, in reporting order.
@@ -180,7 +186,12 @@ pub const ALL_ENGINES: &[EngineUnderTest] = &[
     EngineUnderTest::Jsoniq,
     EngineUnderTest::Rdf,
     EngineUnderTest::Compiled,
+    EngineUnderTest::CompiledParallel,
 ];
+
+/// Worker count [`EngineUnderTest::CompiledParallel`] runs with: odd and
+/// > 1, so morsels distribute unevenly and stealing actually happens.
+pub const PARALLEL_FUZZ_WORKERS: usize = 3;
 
 impl EngineUnderTest {
     /// Display name.
@@ -192,6 +203,7 @@ impl EngineUnderTest {
             EngineUnderTest::Jsoniq => "JSONiq",
             EngineUnderTest::Rdf => "RDataFrame",
             EngineUnderTest::Compiled => "Compiled IR",
+            EngineUnderTest::CompiledParallel => "Compiled IR (parallel)",
         }
     }
 
@@ -209,8 +221,24 @@ impl EngineUnderTest {
             EngineUnderTest::Jsoniq => plan.run_jsoniq(table, env),
             EngineUnderTest::Rdf => plan.run_rdf(table, env),
             EngineUnderTest::Compiled => plan.run_compiled(table, env),
+            // Steal order is derived from the plan id: every plan sees a
+            // different (but reproducible) interleaving.
+            EngineUnderTest::CompiledParallel => plan.run_compiled_parallel(
+                table,
+                env,
+                PARALLEL_FUZZ_WORKERS,
+                splitmix64_once(plan.id),
+            ),
         }
     }
+}
+
+/// One splitmix64 step, for deriving per-plan steal seeds.
+fn splitmix64_once(x: u64) -> u64 {
+    let mut s = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    s ^ (s >> 31)
 }
 
 /// Outcome of a differential fuzzing run.
@@ -477,6 +505,10 @@ impl CancelReport {
 /// that a cancel point sampled within a run reliably lands mid-scan.
 pub const CANCEL_SWEEP_LATENCY: Duration = Duration::from_micros(300);
 
+/// Plans the sweep additionally probes with a deterministic cancel
+/// raised between parallel morsel execution and the exchange merge.
+pub const MERGE_CANCEL_PROBES: usize = 3;
+
 /// Runs `n_plans` seeded plans on every engine with a randomized cancel
 /// point and asserts the all-or-nothing contract: every run either
 /// returns the **byte-identical oracle histogram** (the cancel landed
@@ -491,7 +523,13 @@ pub const CANCEL_SWEEP_LATENCY: Duration = Duration::from_micros(300);
 /// * an **explicit cancel** from a second thread after a sampled delay —
 ///   the service's `Ticket::cancel()` path.
 ///
-/// All runs share one [`ChunkCache`] buffer pool. After the storm of
+/// A third, deterministic phase targets the parallel executor's merge:
+/// each probed plan runs all its morsels to completion on the worker
+/// pool, the token is cancelled, and the exchange merge must abort with
+/// a typed explicit cancellation instead of assembling a histogram from
+/// the finished partials.
+///
+/// All runs share one [`nf2_columnar::ChunkCache`] buffer pool. After the storm of
 /// aborted scans the pool must still honor its budget and serve
 /// byte-identical results to a fault-free rerun — a cancelled scan must
 /// not leak partially decoded chunks or corrupt resident ones.
@@ -581,6 +619,53 @@ pub fn cancellation_sweep(
                     )),
                 },
             }
+        }
+    }
+    // Deterministic merge-phase cancellation: the parallel executor's
+    // exchange re-checks the token while merging partial aggregates, so
+    // a cancel raised *between* morsel execution and the merge must
+    // surface as a typed cancellation — never as a partial histogram
+    // assembled from already-finished workers.
+    for plan in plans.iter().take(MERGE_CANCEL_PROBES) {
+        report.runs += 1;
+        let phys = plan.physical();
+        let cancel = obs::CancelToken::new();
+        let opts = exec_par::ParOptions {
+            workers: PARALLEL_FUZZ_WORKERS,
+            steal_seed: splitmix64_once(plan.id),
+        };
+        match exec_par::run_morsels(
+            &phys,
+            table,
+            None,
+            &obs::TraceCtx::disabled(),
+            &cancel,
+            None,
+            &opts,
+        ) {
+            Ok((exchange, _)) => {
+                cancel.cancel();
+                match exchange.merge(&cancel) {
+                    Ok(_) => report.violations.push(format!(
+                        "{}: exchange merge ignored a cancel raised before it drained",
+                        plan.label()
+                    )),
+                    Err(c) => {
+                        report.cancellations += 1;
+                        if !matches!(c.reason, obs::CancelReason::Explicit) {
+                            report.violations.push(format!(
+                                "{}: merge-phase cancel mislabelled as {:?}",
+                                plan.label(),
+                                c.reason
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) => report.violations.push(format!(
+                "{}: fault-free parallel morsel run failed: {e}",
+                plan.label()
+            )),
         }
     }
     // Buffer-pool consistency after the aborted scans.
@@ -682,7 +767,8 @@ mod tests {
     fn cancellation_sweep_is_all_or_nothing() {
         let (events, table) = dataset();
         let report = cancellation_sweep(0xCA9CE1, 6, &events, &table);
-        assert_eq!(report.runs, 6 * ALL_ENGINES.len());
+        // The randomized grid plus the deterministic merge-phase probes.
+        assert_eq!(report.runs, 6 * ALL_ENGINES.len() + MERGE_CANCEL_PROBES);
         assert!(report.passed(), "{:#?}", report.violations);
         assert_eq!(
             report.cancellations + report.clean_results,

@@ -167,6 +167,13 @@ pub struct ExecEnv {
     /// all cores). A multi-tenant server sets this to 1 and parallelizes
     /// across queries instead.
     pub intra_query_threads: Option<usize>,
+    /// Morsel-parallel workers for *compiled* execution (`None` ⇒ engine
+    /// option default, which is serial). Unlike `intra_query_threads`
+    /// (the interpreters' partition parallelism), this drives the
+    /// `exec_par` morsel executor on the compiled-IR path; results are
+    /// byte-identical at any value, so it is purely a latency knob the
+    /// serving layer can expose per query.
+    pub parallel_workers: Option<usize>,
     /// Chaos-layer fault injector on physical chunk reads (`None`, the
     /// default, reproduces the fault-free path byte-for-byte; see
     /// [`nf2_columnar::fault`]).
@@ -211,6 +218,9 @@ pub fn run_sql_env(
     };
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
+    }
+    if let Some(n) = env.parallel_workers {
+        options.parallel_workers = n;
     }
     let setup_span = env
         .trace
@@ -271,6 +281,9 @@ pub fn run_jsoniq_env(
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
     }
+    if let Some(n) = env.parallel_workers {
+        options.parallel_workers = n;
+    }
     let setup_span = env
         .trace
         .span_with(obs::Stage::Plan, || "setup".to_string());
@@ -314,6 +327,9 @@ pub fn run_rdf_env(
 ) -> Result<EngineRun, AdapterError> {
     if let Some(n) = env.intra_query_threads {
         options.n_threads = n;
+    }
+    if let Some(n) = env.parallel_workers {
+        options.parallel_workers = n;
     }
     let setup_span = env
         .trace

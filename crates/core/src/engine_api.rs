@@ -242,10 +242,13 @@ impl QueryEngine for RdfQueryEngine {
 /// The deployments modeled here are the paper's studied systems, all of
 /// which interpret their queries — the cost model behind Table 1 and
 /// the figures is calibrated against interpreted CPU profiles, so these
-/// engines pin `compile: false`. The workspace's own compiled IR path
-/// (default-on for direct engine use, e.g. the golden tests and the
-/// bench harness's `compiled` section) is opted into via the
-/// `with_options` constructors.
+/// engines pin `compile: false`, and — for the same reason — pin
+/// `parallel_workers: 0`: the morsel-parallel executor only applies to
+/// compiled plans, but pinning it explicitly keeps the paper simulation
+/// byte-identical even if the option's default ever changes. The
+/// workspace's own compiled IR path (default-on for direct engine use,
+/// e.g. the golden tests and the bench harness's `compiled` section) is
+/// opted into via the `with_options` constructors.
 pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
     match system {
         System::BigQuery
@@ -257,6 +260,7 @@ pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
             table,
             SqlOptions {
                 compile: false,
+                parallel_workers: 0,
                 ..SqlOptions::default()
             },
         )),
@@ -264,6 +268,7 @@ pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
             table,
             FlworOptions {
                 compile: false,
+                parallel_workers: 0,
                 ..FlworOptions::default()
             },
         )),
@@ -272,6 +277,7 @@ pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
             table,
             engine_rdf::Options {
                 compile: false,
+                parallel_workers: 0,
                 ..engine_rdf::Options::default()
             },
         )),

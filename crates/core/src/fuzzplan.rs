@@ -718,6 +718,32 @@ impl FuzzPlan {
         }
         Ok(histogram)
     }
+
+    /// Executes the plan on the morsel-parallel compiled executor
+    /// ([`exec_par`]) with `workers` threads and the given steal seed.
+    /// Must produce exactly the bins of [`FuzzPlan::run_compiled`] at
+    /// any worker count — the differential fuzzer holds it to that.
+    pub fn run_compiled_parallel(
+        &self,
+        table: &Arc<Table>,
+        env: &ExecEnv,
+        workers: usize,
+        steal_seed: u64,
+    ) -> Result<Histogram, AdapterError> {
+        let plan = self.physical();
+        let opts = exec_par::ParOptions {
+            workers,
+            steal_seed,
+        };
+        let (bins, _stats) =
+            exec_par::execute(&plan, table, None, &env.trace, &env.cancel, None, &opts)
+                .map_err(|e| AdapterError::from_engine("Compiled-parallel", self.label(), &e))?;
+        let mut histogram = Histogram::new(self.spec);
+        for b in bins {
+            histogram.add_bin_count(b, 1);
+        }
+        Ok(histogram)
+    }
 }
 
 #[cfg(test)]

@@ -255,10 +255,8 @@ mod tests {
             assert!(lower(&module).is_none());
         }
         // An unrelated module.
-        let other = parser::parse_module(
-            "for $e in parquet-file(\"events\") return $e.MET.pt",
-        )
-        .unwrap();
+        let other =
+            parser::parse_module("for $e in parquet-file(\"events\") return $e.MET.pt").unwrap();
         assert!(lower(&other).is_none());
     }
 }

@@ -38,6 +38,13 @@ pub struct FlworOptions {
     /// AST equality), so disabling this only costs speed; results are
     /// bit-identical either way.
     pub compile: bool,
+    /// Morsel-driven intra-query parallelism for compiled execution:
+    /// `> 1` runs compiled plans through `exec_par` with this many
+    /// workers (row groups are the morsels); output is byte-identical at
+    /// any value and scan accounting is unaffected. `0`/`1` keeps the
+    /// serial compiled executor; ignored when `compile` is off or the
+    /// module does not lower.
+    pub parallel_workers: usize,
 }
 
 impl Default for FlworOptions {
@@ -47,6 +54,7 @@ impl Default for FlworOptions {
             overhead_ns_per_item: 0,
             vectorized_filter: true,
             compile: true,
+            parallel_workers: 0,
         }
     }
 }
@@ -227,6 +235,7 @@ impl FlworEngine {
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
         let cpu = Mutex::new(0.0f64);
+        let mut threads_used = n_threads;
         let items = if let Some(plan) = &compiled {
             // Fused batch kernels over decoded column chunks: no row
             // materialization, no per-record interpretation (and hence no
@@ -235,11 +244,28 @@ impl FlworEngine {
             // one bin index per selected event, in event order — the same
             // sequence the interpreter produces for the template.
             let t0 = Instant::now();
-            let bins = physical_ir::execute(plan, &table, None, &self.trace, &self.cancel)
-                .map_err(|e| match e {
-                    physical_ir::PirError::Columnar(c) => FlworError::from(c),
-                    physical_ir::PirError::Cancelled(c) => FlworError::Cancelled(c),
-                })?;
+            let workers = self.options.parallel_workers;
+            let bins = if workers > 1 {
+                exec_par::execute(
+                    plan,
+                    &table,
+                    None,
+                    &self.trace,
+                    &self.cancel,
+                    None,
+                    &exec_par::ParOptions::new(workers),
+                )
+                .map(|(bins, stats)| {
+                    threads_used = stats.workers;
+                    bins
+                })
+            } else {
+                physical_ir::execute(plan, &table, None, &self.trace, &self.cancel)
+            }
+            .map_err(|e| match e {
+                physical_ir::PirError::Columnar(c) => FlworError::from(c),
+                physical_ir::PirError::Cancelled(c) => FlworError::Cancelled(c),
+            })?;
             let out: Seq = bins.into_iter().map(Value::Int).collect();
             *cpu.lock() += t0.elapsed().as_secs_f64();
             out
@@ -359,7 +385,7 @@ impl FlworEngine {
                 wall_seconds: start.elapsed().as_secs_f64(),
                 cpu_seconds: cpu.into_inner(),
                 scan,
-                threads_used: n_threads,
+                threads_used,
                 row_groups_skipped: 0,
             },
         })

@@ -98,7 +98,10 @@ mod tests {
             .histo1d(HistSpec::new(100, 15.0, 60.0), "Jet_pt")
             .df;
         let plan = lower(&df, &[]).unwrap();
-        assert!(matches!(plan.compute, ComputeNode::ListFill { elem: None, .. }));
+        assert!(matches!(
+            plan.compute,
+            ComputeNode::ListFill { elem: None, .. }
+        ));
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct Options {
     /// Unrecognized graphs always fall back to the interpreter, so this
     /// is purely an execution-speed knob — results are bin-identical.
     pub compile: bool,
+    /// Morsel-driven intra-query parallelism for compiled execution:
+    /// `> 1` runs compiled plans through `exec_par` with this many
+    /// workers (row groups are the morsels); output is bin-identical at
+    /// any value and scan accounting is unaffected. `0`/`1` keeps the
+    /// serial compiled executor; ignored when the graph does not lower.
+    pub parallel_workers: usize,
 }
 
 impl Default for Options {
@@ -94,6 +100,7 @@ impl Default for Options {
             contention: ContentionModel::Fixed,
             vectorized_filter: true,
             compile: true,
+            parallel_workers: 0,
         }
     }
 }

@@ -184,12 +184,25 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
 
     if let Some(plan) = &compiled {
         let t0 = Instant::now();
-        let bins = physical_ir::execute(plan, table, None, &df.trace, &df.cancel).map_err(
-            |e| match e {
-                physical_ir::PirError::Columnar(c) => RdfError::from(c),
-                physical_ir::PirError::Cancelled(c) => RdfError::from(c),
-            },
-        )?;
+        let workers = df.options.parallel_workers;
+        let (bins, compiled_threads) = if workers > 1 {
+            exec_par::execute(
+                plan,
+                table,
+                None,
+                &df.trace,
+                &df.cancel,
+                None,
+                &exec_par::ParOptions::new(workers),
+            )
+            .map(|(bins, stats)| (bins, stats.workers))
+        } else {
+            physical_ir::execute(plan, table, None, &df.trace, &df.cancel).map(|bins| (bins, 1))
+        }
+        .map_err(|e| match e {
+            physical_ir::PirError::Columnar(c) => RdfError::from(c),
+            physical_ir::PirError::Cancelled(c) => RdfError::from(c),
+        })?;
         let mut h = Histogram::new(df.bookings[0].spec);
         for b in bins {
             h.add_bin_count(b, 1);
@@ -200,7 +213,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
                 wall_seconds: start.elapsed().as_secs_f64(),
                 cpu_seconds: t0.elapsed().as_secs_f64(),
                 scan,
-                threads_used: 1,
+                threads_used: compiled_threads,
                 row_groups_skipped: 0,
             },
         });

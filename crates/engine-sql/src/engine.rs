@@ -48,6 +48,14 @@ pub struct SqlOptions {
     /// (canonical-template AST equality), so disabling this only costs
     /// speed; results are bit-identical either way.
     pub compile: bool,
+    /// Morsel-driven intra-query parallelism for compiled execution:
+    /// `> 1` runs compiled plans through `exec_par` with this many
+    /// workers (row groups are the morsels). `0` or `1` keeps the serial
+    /// compiled executor. Output is byte-identical at any value — the
+    /// exchange merges partial aggregates in group order — and scan
+    /// accounting is unaffected (it is a serial pre-pass either way).
+    /// Ignored when `compile` is off or the script does not lower.
+    pub parallel_workers: usize,
 }
 
 impl Default for SqlOptions {
@@ -58,6 +66,7 @@ impl Default for SqlOptions {
             zone_map_pruning: true,
             vectorized_filter: true,
             compile: true,
+            parallel_workers: 0,
         }
     }
 }
@@ -284,14 +293,30 @@ impl SqlEngine {
         let (relation, threads_used) = if let Some((cplan, table, mask)) = compiled_exec {
             let t0 = Instant::now();
             let skip: Vec<bool> = mask.iter().map(|keep| !keep).collect();
-            let bins = physical_ir::execute(cplan, table, Some(&skip), &self.trace, &self.cancel)
-                .map_err(|e| match e {
-                    physical_ir::PirError::Columnar(c) => SqlError::from(c),
-                    physical_ir::PirError::Cancelled(c) => SqlError::Cancelled(c),
-                })?;
+            let workers = self.options.parallel_workers;
+            let (bins, compiled_threads) = if workers > 1 {
+                exec_par::execute(
+                    cplan,
+                    table,
+                    Some(&skip),
+                    &self.trace,
+                    &self.cancel,
+                    None,
+                    &exec_par::ParOptions::new(workers),
+                )
+                .map(|(bins, stats)| (bins, stats.workers))
+            } else {
+                physical_ir::execute(cplan, table, Some(&skip), &self.trace, &self.cancel)
+                    .map(|bins| (bins, 1))
+            }
+            .map_err(|e| match e {
+                physical_ir::PirError::Columnar(c) => SqlError::from(c),
+                physical_ir::PirError::Cancelled(c) => SqlError::Cancelled(c),
+            })?;
             // The trivial final count, matching the binning tail's output
             // contract: two columns (bin, n), one row per non-empty bin.
-            let mut counts: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+            let mut counts: std::collections::BTreeMap<i64, i64> =
+                std::collections::BTreeMap::new();
             for b in bins {
                 *counts.entry(b).or_insert(0) += 1;
             }
@@ -303,7 +328,7 @@ impl SqlEngine {
                     .collect(),
             };
             *cpu.lock() += t0.elapsed().as_secs_f64();
-            (rel, 1)
+            (rel, compiled_threads)
         } else {
             match (&merge_spec, table_projs.len()) {
                 (Some(spec), 1) if self.options.partition_parallel => {

@@ -1,0 +1,514 @@
+//! # exec-par
+//!
+//! Morsel-driven parallel execution of compiled [`PhysPlan`]s.
+//!
+//! The morsel is one row group — the paper's Figure 2 parallelism unit:
+//! its measured systems parallelize Parquet scans at row-group
+//! granularity, which is what creates the plateau once the data set
+//! outgrows one group and the second rise once groups outnumber cores.
+//! This crate reproduces that execution model for the workspace's own
+//! compiled IR path:
+//!
+//! * **Sharded scans** — the non-skipped row groups are dealt to the
+//!   workers as contiguous shards (worker *w* starts with shard *w* of
+//!   the morsel list, the same contiguous partitioning as
+//!   [`nf2_columnar::Table::shard`]), preserving decode locality.
+//! * **Work stealing** — a worker that drains its own deque steals from
+//!   the *back* of a victim's, visiting victims in a per-worker order
+//!   derived from [`ParOptions::steal_seed`] (splitmix64). Seeding the
+//!   victim order makes steal interleaving reproducible *and* lets the
+//!   determinism tests drive adversarial schedules.
+//! * **Exchange + partial aggregation** — each morsel produces a
+//!   [`physical_ir::PartialAgg`]; the [`physical_ir::Exchange`] merges
+//!   them in group order, so the output is byte-identical to
+//!   single-threaded [`physical_ir::execute`] at any worker count and
+//!   under any steal schedule (see `physical_ir::agg` for the argument).
+//! * **Cooperative cancellation** — every worker checks the
+//!   [`CancelToken`] before each morsel, and the merge checks it again
+//!   per partial, so cancel-during-merge still yields a typed error and
+//!   never a partial histogram.
+//! * **Observability** — per-worker [`Stage::Aggregate`] spans (children
+//!   of one `compiled parallel` umbrella span) carry rows-in/rows-out,
+//!   and an optional [`MetricsRegistry`] records morsel/steal counters
+//!   and queue-depth samples.
+//!
+//! Scan accounting is untouched by design: the engines account scans in
+//! a serial pre-pass before execution (see `engine-sql`), so
+//! `ScanStats` — and therefore billing — are identical at any worker
+//! count, and a cancelled or stolen morsel can never be double-billed.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use nf2_columnar::{RowGroup, Table};
+use obs::{CancelToken, MetricsRegistry, Stage, TraceCtx};
+use parking_lot::Mutex;
+use physical_ir::{execute_group, Exchange, GroupScratch, PartialAgg, PhysPlan, PirError};
+
+/// Parallel execution options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParOptions {
+    /// Worker threads. Clamped to `[1, morsel count]`; `0` and `1` both
+    /// run the single-worker pool (still through the morsel machinery,
+    /// so the 1-worker path exercises the same code the N-worker path
+    /// does).
+    pub workers: usize,
+    /// Seed of the per-worker victim-visit order for work stealing.
+    /// Changing it permutes steal interleaving without changing output —
+    /// the determinism tests sweep it adversarially.
+    pub steal_seed: u64,
+}
+
+impl ParOptions {
+    /// Options for `workers` threads with the default steal order.
+    pub fn new(workers: usize) -> ParOptions {
+        ParOptions {
+            workers,
+            steal_seed: 0,
+        }
+    }
+}
+
+/// What a parallel run did, for tests and the scaling bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Workers actually used (after clamping to the morsel count).
+    pub workers: usize,
+    /// Morsels executed — exactly the number of non-skipped row groups
+    /// (each claimed and executed once; a mismatch would mean lost or
+    /// double-executed work).
+    pub morsels: u64,
+    /// Morsels obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Rows processed across all morsels.
+    pub rows: u64,
+}
+
+/// splitmix64 step (same constants as the chaos generator) — seeds the
+/// per-worker victim orders without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The victim-visit order of worker `w`: a seeded Fisher–Yates
+/// permutation of all worker indices (self is skipped at steal time).
+fn victim_order(w: usize, workers: usize, steal_seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..workers).collect();
+    let mut state = steal_seed ^ (w as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Pops the next morsel for worker `w`: front of its own deque, else the
+/// back of the first non-empty victim in its visit order. `None` means
+/// every deque is empty — and since deques are only ever drained, that
+/// means all work is claimed.
+fn claim(queues: &[Mutex<VecDeque<usize>>], w: usize, order: &[usize]) -> Option<(usize, bool)> {
+    if let Some(g) = queues[w].lock().pop_front() {
+        return Some((g, false));
+    }
+    for &v in order {
+        if v == w {
+            continue;
+        }
+        if let Some(g) = queues[v].lock().pop_back() {
+            return Some((g, true));
+        }
+    }
+    None
+}
+
+/// Executes `plan` over `table` on a worker pool and merges the
+/// per-morsel partials deterministically: the returned bin-index
+/// sequence is byte-identical to [`physical_ir::execute`] with the same
+/// `skip` mask, at any worker count and steal seed.
+///
+/// `metrics`, when given, receives `par_morsels`/`par_steals` counters,
+/// a `par_workers` gauge and `par_queue_depth` samples.
+pub fn execute(
+    plan: &PhysPlan,
+    table: &Table,
+    skip: Option<&[bool]>,
+    trace: &TraceCtx,
+    cancel: &CancelToken,
+    metrics: Option<&MetricsRegistry>,
+    opts: &ParOptions,
+) -> Result<(Vec<i64>, ParStats), PirError> {
+    let (exchange, stats) = run_morsels(plan, table, skip, trace, cancel, metrics, opts)?;
+    let bins = exchange.merge(cancel)?;
+    Ok((bins, stats))
+}
+
+/// The execution phase of [`execute`]: runs every non-skipped row group
+/// through the worker pool and returns the unmerged [`Exchange`].
+/// Exposed separately so tests (and the chaos cancel sweep) can trip the
+/// token *between* execution and merge and assert the merge still
+/// surfaces a typed cancellation.
+pub fn run_morsels(
+    plan: &PhysPlan,
+    table: &Table,
+    skip: Option<&[bool]>,
+    trace: &TraceCtx,
+    cancel: &CancelToken,
+    metrics: Option<&MetricsRegistry>,
+    opts: &ParOptions,
+) -> Result<(Exchange, ParStats), PirError> {
+    let groups = table.row_groups();
+    let morsels: Vec<usize> = (0..groups.len())
+        .filter(|&i| !skip.is_some_and(|m| m.get(i).copied().unwrap_or(false)))
+        .collect();
+    let workers = opts.workers.clamp(1, morsels.len().max(1));
+
+    let mut umbrella =
+        trace.span_with(Stage::Aggregate, || format!("compiled parallel x{workers}"));
+    let child_ctx = umbrella.ctx();
+
+    // Initial deal: contiguous shards of the morsel list (worker w gets
+    // shard w), like Table::shard — stealing then rebalances from the
+    // far end of a victim's shard, keeping each worker's run contiguous.
+    let shard = morsels.len().div_ceil(workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = (w * shard).min(morsels.len());
+            let hi = ((w + 1) * shard).min(morsels.len());
+            Mutex::new(morsels[lo..hi].iter().copied().collect())
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let rows_done = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let first_err: Mutex<Option<PirError>> = Mutex::new(None);
+
+    let per_worker: Vec<Vec<PartialAgg>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let stop = &stop;
+                let rows_done = &rows_done;
+                let steals = &steals;
+                let first_err = &first_err;
+                let trace = &child_ctx;
+                s.spawn(move |_| {
+                    worker_loop(
+                        w, plan, groups, queues, opts, stop, rows_done, steals, first_err, trace,
+                        cancel, metrics,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker"))
+            .collect()
+    })
+    .expect("worker scope");
+
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+
+    let mut exchange = Exchange::new();
+    for partials in per_worker {
+        for p in partials {
+            exchange.push(p);
+        }
+    }
+    let stats = ParStats {
+        workers,
+        morsels: exchange.len() as u64,
+        steals: steals.load(Ordering::Relaxed),
+        rows: rows_done.load(Ordering::Relaxed),
+    };
+    if let Some(m) = metrics {
+        m.gauge_set("par_workers", workers as f64);
+        m.counter_add("par_morsels", stats.morsels);
+        m.counter_add("par_steals", stats.steals);
+    }
+    umbrella.add_rows_in(stats.rows);
+    umbrella.finish();
+    Ok((exchange, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    plan: &PhysPlan,
+    groups: &[RowGroup],
+    queues: &[Mutex<VecDeque<usize>>],
+    opts: &ParOptions,
+    stop: &AtomicBool,
+    rows_done: &AtomicU64,
+    steals: &AtomicU64,
+    first_err: &Mutex<Option<PirError>>,
+    trace: &TraceCtx,
+    cancel: &CancelToken,
+    metrics: Option<&MetricsRegistry>,
+) -> Vec<PartialAgg> {
+    let order = victim_order(w, queues.len(), opts.steal_seed);
+    let mut span = trace.span_with(Stage::Aggregate, || format!("worker {w}"));
+    let mut scratch = GroupScratch::new(plan);
+    let mut out: Vec<PartialAgg> = Vec::new();
+    let fail = |e: PirError| {
+        let mut slot = first_err.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        stop.store(true, Ordering::Relaxed);
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(m) = metrics {
+            m.observe("par_queue_depth", queues[w].lock().len() as f64);
+        }
+        let Some((g_idx, stolen)) = claim(queues, w, &order) else {
+            break;
+        };
+        if stolen {
+            steals.fetch_add(1, Ordering::Relaxed);
+        }
+        // Check before the morsel runs, with globally completed rows —
+        // same per-row-group cancellation granularity as the serial
+        // executor, overshooting by at most one in-flight morsel per
+        // worker.
+        if let Err(c) = cancel.check(Stage::Aggregate, rows_done.load(Ordering::Relaxed)) {
+            fail(PirError::Cancelled(c));
+            break;
+        }
+        let group = &groups[g_idx];
+        let mut bins = Vec::new();
+        match execute_group(plan, group, &mut scratch, &mut bins) {
+            Ok(()) => {
+                let rows = group.n_rows() as u64;
+                rows_done.fetch_add(rows, Ordering::Relaxed);
+                span.add_rows_in(rows);
+                span.add_rows_out(bins.len() as u64);
+                out.push(PartialAgg {
+                    group: g_idx,
+                    bins,
+                    rows,
+                });
+            }
+            Err(e) => {
+                fail(PirError::Columnar(e));
+                break;
+            }
+        }
+    }
+    span.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hep_model::generator::build_dataset;
+    use hep_model::DatasetSpec;
+    use nested_value::Path;
+    use nf2_columnar::{ScalarPredicate, SelCmp, SelValue};
+    use physical_ir::{ComputeNode, FilterNode, TrijetCompute, TrijetPlot};
+    use physics::HistSpec;
+
+    fn dataset() -> Table {
+        build_dataset(DatasetSpec {
+            n_events: 1_200,
+            row_group_size: 100,
+            seed: 0xC0FFEE,
+        })
+        .1
+    }
+
+    fn scalar_plan() -> PhysPlan {
+        PhysPlan {
+            filters: vec![FilterNode::Scalar(ScalarPredicate {
+                leaf: Path::parse("MET.pt"),
+                cmp: SelCmp::Gt,
+                value: SelValue::Float(20.0),
+            })],
+            compute: ComputeNode::ScalarFill {
+                leaf: Path::parse("MET.pt"),
+            },
+            spec: HistSpec::new(50, 0.0, 150.0),
+        }
+    }
+
+    fn trijet_plan() -> PhysPlan {
+        PhysPlan {
+            filters: vec![FilterNode::ListCount {
+                leaf: Path::parse("Jet.pt"),
+                elem: None,
+                cmp: SelCmp::Ge,
+                count: 3,
+            }],
+            compute: ComputeNode::Trijet(TrijetCompute {
+                pt: Path::parse("Jet.pt"),
+                eta: Path::parse("Jet.eta"),
+                phi: Path::parse("Jet.phi"),
+                mass: Path::parse("Jet.mass"),
+                btag: Path::parse("Jet.btag"),
+                top_mass: 172.5,
+                plot: TrijetPlot::Pt,
+            }),
+            spec: HistSpec::new(100, 15.0, 40.0),
+        }
+    }
+
+    fn serial(plan: &PhysPlan, table: &Table, skip: Option<&[bool]>) -> Vec<i64> {
+        physical_ir::execute(
+            plan,
+            table,
+            skip,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn byte_identical_at_any_worker_count_and_steal_seed() {
+        let table = dataset();
+        for plan in [scalar_plan(), trijet_plan()] {
+            let want = serial(&plan, &table, None);
+            for workers in [1, 2, 3, 8] {
+                for steal_seed in [0, 1, 0xDEAD_BEEF, u64::MAX] {
+                    let (bins, stats) = execute(
+                        &plan,
+                        &table,
+                        None,
+                        &TraceCtx::disabled(),
+                        &CancelToken::none(),
+                        None,
+                        &ParOptions {
+                            workers,
+                            steal_seed,
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(bins, want, "workers={workers} seed={steal_seed:#x}");
+                    assert_eq!(stats.morsels, table.row_groups().len() as u64);
+                    assert_eq!(stats.rows, table.n_rows() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_mask_respected_and_morsels_counted_exactly() {
+        let table = dataset();
+        let plan = scalar_plan();
+        let n_groups = table.row_groups().len();
+        let skip: Vec<bool> = (0..n_groups).map(|i| i % 3 == 0).collect();
+        let want = serial(&plan, &table, Some(&skip));
+        let (bins, stats) = execute(
+            &plan,
+            &table,
+            Some(&skip),
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+            None,
+            &ParOptions::new(4),
+        )
+        .unwrap();
+        assert_eq!(bins, want);
+        let expected = skip.iter().filter(|s| !**s).count() as u64;
+        assert_eq!(stats.morsels, expected, "each kept group executed once");
+    }
+
+    #[test]
+    fn already_cancelled_token_stops_before_any_morsel() {
+        let table = dataset();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = execute(
+            &scalar_plan(),
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &cancel,
+            None,
+            &ParOptions::new(4),
+        )
+        .unwrap_err();
+        match err {
+            PirError::Cancelled(c) => {
+                assert_eq!(c.rows_processed, 0);
+                assert_eq!(c.stage, Stage::Aggregate);
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancel_between_execution_and_merge_is_all_or_nothing() {
+        let table = dataset();
+        let plan = scalar_plan();
+        let cancel = CancelToken::new();
+        let (exchange, stats) = run_morsels(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &cancel,
+            None,
+            &ParOptions::new(2),
+        )
+        .unwrap();
+        assert_eq!(stats.morsels, table.row_groups().len() as u64);
+        // The client cancels after every morsel ran but before the merge:
+        // the merge must surface a typed cancellation, not partial bins.
+        cancel.cancel();
+        let err = exchange.merge(&cancel).unwrap_err();
+        assert_eq!(err.stage, Stage::Aggregate);
+        assert_eq!(err.reason, obs::CancelReason::Explicit);
+    }
+
+    #[test]
+    fn trace_and_metrics_record_worker_activity() {
+        let table = dataset();
+        let trace = TraceCtx::enabled();
+        let metrics = MetricsRegistry::new();
+        let (_, stats) = execute(
+            &scalar_plan(),
+            &table,
+            None,
+            &trace,
+            &CancelToken::none(),
+            Some(&metrics),
+            &ParOptions::new(3),
+        )
+        .unwrap();
+        let tree = trace.take_tree();
+        let spans = tree.flatten();
+        let workers_seen = spans
+            .iter()
+            .filter(|s| s.label.starts_with("worker "))
+            .count();
+        assert_eq!(workers_seen, stats.workers);
+        assert!(spans
+            .iter()
+            .any(|s| s.label.starts_with("compiled parallel")));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("par_morsels"), stats.morsels);
+        assert_eq!(snap.counter("par_steals"), stats.steals);
+    }
+
+    #[test]
+    fn victim_orders_are_permutations_and_seed_sensitive() {
+        let a = victim_order(0, 8, 7);
+        let b = victim_order(0, 8, 8);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        assert_ne!(a, b, "different seeds should permute victims differently");
+        assert_eq!(a, victim_order(0, 8, 7), "same seed ⇒ same order");
+    }
+}

@@ -30,7 +30,7 @@ pub mod schema;
 pub mod to_value;
 
 pub use event::{Electron, Event, Jet, Met, Muon, Photon, Tau};
-pub use generator::{DatasetSpec, Generator, GeneratorConfig};
+pub use generator::{build_sharded_table, DatasetSpec, Generator, GeneratorConfig, ShardedSpec};
 
 #[cfg(test)]
 mod proptests;

@@ -98,6 +98,30 @@ impl Table {
         h.finish()
     }
 
+    /// Shard `i` of `n`: a new table holding a contiguous run of this
+    /// table's row groups, the partitioning a parallel scan deals to its
+    /// workers (row groups are the unit of parallelism, so shards never
+    /// split a group). The first `len % n` shards get one extra group;
+    /// concatenating shards `0..n` in order reproduces the table exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i >= n`.
+    pub fn shard(&self, i: usize, n: usize) -> Table {
+        assert!(n > 0, "shard count must be positive");
+        assert!(i < n, "shard index {i} out of range for {n} shards");
+        let len = self.row_groups.len();
+        let base = len / n;
+        let extra = len % n;
+        let lo = i * base + i.min(extra);
+        let hi = lo + base + usize::from(i < extra);
+        Table::new(
+            self.name.clone(),
+            self.schema.clone(),
+            self.row_groups[lo..hi].to_vec(),
+        )
+    }
+
     /// A new table containing only the first `n` rows (row-group aligned
     /// slicing plus a partial group if needed) — used by the Figure 2
     /// data-size sweep.
@@ -520,6 +544,40 @@ mod tests {
             got.extend(g.read_rows(h.schema(), &leaves).unwrap());
         }
         assert_eq!(got, rows[..5].to_vec());
+    }
+
+    #[test]
+    fn shard_partitions_row_groups_contiguously() {
+        let mut b = TableBuilder::new("events", schema(), 4);
+        let rows: Vec<Value> = (0..26)
+            .map(|i| row(i, i as f64, &[(i as f64, 0.0)]))
+            .collect();
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        assert_eq!(t.row_groups().len(), 7);
+        for n in [1, 2, 3, 7] {
+            let shards: Vec<Table> = (0..n).map(|i| t.shard(i, n)).collect();
+            let total_groups: usize = shards.iter().map(|s| s.row_groups().len()).sum();
+            assert_eq!(total_groups, 7, "n={n}");
+            assert_eq!(shards.iter().map(Table::n_rows).sum::<usize>(), 26);
+            // Concatenating shards in order reproduces the table.
+            let leaves: Vec<_> = t.schema().leaves().iter().collect();
+            let mut got = Vec::new();
+            for s in &shards {
+                for g in s.row_groups() {
+                    got.extend(g.read_rows(s.schema(), &leaves).unwrap());
+                }
+            }
+            assert_eq!(got, rows, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        let mut b = TableBuilder::new("events", schema(), 4);
+        b.append(&row(0, 0.0, &[])).unwrap();
+        b.finish().shard(2, 2);
     }
 
     #[test]

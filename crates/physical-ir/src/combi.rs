@@ -50,7 +50,9 @@ impl CombiBuffer {
     /// buffer.
     pub fn triples(&mut self, n: usize) -> &[[u32; 3]] {
         self.triples.clear();
-        for_each_triple(n, |i, j, k| self.triples.push([i as u32, j as u32, k as u32]));
+        for_each_triple(n, |i, j, k| {
+            self.triples.push([i as u32, j as u32, k as u32])
+        });
         &self.triples
     }
 }

@@ -1,7 +1,9 @@
 //! The vectorized executor: runs a [`PhysPlan`] one row group at a time
 //! over decoded column chunks and selection vectors.
 
-use nf2_columnar::{apply_predicates, ColumnarError, RowGroup, ScalarPredicate, SelectionVector, Table};
+use nf2_columnar::{
+    apply_predicates, ColumnarError, RowGroup, ScalarPredicate, SelectionVector, Table,
+};
 use obs::{CancelToken, Cancelled, Stage, TraceCtx};
 
 use crate::kernel::TrijetScratch;
@@ -39,6 +41,70 @@ impl From<Cancelled> for PirError {
     }
 }
 
+/// Reusable per-worker execution state for [`execute_group`]: the plan's
+/// scalar predicates extracted once, the trijet enumeration scratch, and
+/// the per-event jet component buffers. One instance serves any number of
+/// row groups of the same plan; parallel executors keep one per worker so
+/// morsel execution allocates nothing per group beyond the output bins.
+pub struct GroupScratch {
+    scalar_preds: Vec<ScalarPredicate>,
+    trijet: TrijetScratch,
+    jpt: Vec<f64>,
+    jeta: Vec<f64>,
+    jphi: Vec<f64>,
+    jmass: Vec<f64>,
+    jbtag: Vec<f64>,
+}
+
+impl GroupScratch {
+    /// Scratch for executing `plan`, group at a time.
+    pub fn new(plan: &PhysPlan) -> GroupScratch {
+        GroupScratch {
+            scalar_preds: plan
+                .filters
+                .iter()
+                .filter_map(|f| match f {
+                    FilterNode::Scalar(p) => Some(p.clone()),
+                    FilterNode::ListCount { .. } => None,
+                })
+                .collect(),
+            trijet: TrijetScratch::new(),
+            jpt: Vec::new(),
+            jeta: Vec::new(),
+            jphi: Vec::new(),
+            jmass: Vec::new(),
+            jbtag: Vec::new(),
+        }
+    }
+}
+
+/// Executes `plan` over one row group — the morsel-granular primitive
+/// behind [`execute`] and the parallel executor: filters build the
+/// group's selection vector, then the compute node appends one histogram
+/// bin index per fill to `bins`, in row order. Cancellation, tracing and
+/// skip masks are the caller's concern; `scratch` must come from
+/// [`GroupScratch::new`] on the same plan.
+pub fn execute_group(
+    plan: &PhysPlan,
+    group: &RowGroup,
+    scratch: &mut GroupScratch,
+    bins: &mut Vec<i64>,
+) -> Result<(), ColumnarError> {
+    let sel = run_filters(plan, &scratch.scalar_preds, group)?;
+    compute_group(
+        plan,
+        group,
+        &sel,
+        &mut scratch.trijet,
+        &mut scratch.jpt,
+        &mut scratch.jeta,
+        &mut scratch.jphi,
+        &mut scratch.jmass,
+        &mut scratch.jbtag,
+        bins,
+    )
+}
+
 /// Executes `plan` over `table`, returning the histogram bin index of
 /// every fill in event order.
 ///
@@ -60,33 +126,14 @@ pub fn execute(
     let mut span = trace.span_with(Stage::Aggregate, || "compiled".to_string());
     let mut bins: Vec<i64> = Vec::new();
     let mut rows_done: u64 = 0;
-    let mut scratch = TrijetScratch::new();
-    // Reused per-event jet component buffers (Trijet compute).
-    let mut jpt: Vec<f64> = Vec::new();
-    let mut jeta: Vec<f64> = Vec::new();
-    let mut jphi: Vec<f64> = Vec::new();
-    let mut jmass: Vec<f64> = Vec::new();
-    let mut jbtag: Vec<f64> = Vec::new();
-
-    let scalar_preds: Vec<ScalarPredicate> = plan
-        .filters
-        .iter()
-        .filter_map(|f| match f {
-            FilterNode::Scalar(p) => Some(p.clone()),
-            FilterNode::ListCount { .. } => None,
-        })
-        .collect();
+    let mut scratch = GroupScratch::new(plan);
 
     for (g_idx, group) in table.row_groups().iter().enumerate() {
         if skip.is_some_and(|m| m.get(g_idx).copied().unwrap_or(false)) {
             continue;
         }
         cancel.check(Stage::Aggregate, rows_done)?;
-        let sel = run_filters(plan, &scalar_preds, group)?;
-        compute_group(
-            plan, group, &sel, &mut scratch, &mut jpt, &mut jeta, &mut jphi, &mut jmass,
-            &mut jbtag, &mut bins,
-        )?;
+        execute_group(plan, group, &mut scratch, &mut bins)?;
         rows_done += group.n_rows() as u64;
         span.add_rows_in(group.n_rows() as u64);
     }
@@ -108,7 +155,13 @@ fn run_filters(
         apply_predicates(group, scalar_preds)?
     };
     for f in &plan.filters {
-        let FilterNode::ListCount { leaf, elem, cmp, count } = f else {
+        let FilterNode::ListCount {
+            leaf,
+            elem,
+            cmp,
+            count,
+        } = f
+        else {
             continue;
         };
         let chunk = group.column(leaf)?;
@@ -123,7 +176,10 @@ fn run_filters(
                 None => range.len() as i64,
                 Some(e) => {
                     let data = &elem_chunk.unwrap_or(chunk).data;
-                    range.clone().filter(|&i| e.matches(data.get_f64(i))).count() as i64
+                    range
+                        .clone()
+                        .filter(|&i| e.matches(data.get_f64(i)))
+                        .count() as i64
                 }
             };
             let keep = match cmp {
@@ -250,8 +306,14 @@ mod tests {
             },
             spec,
         };
-        let bins = execute(&plan, &table, None, &TraceCtx::disabled(), &CancelToken::none())
-            .unwrap();
+        let bins = execute(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let want: Vec<i64> = events
             .iter()
             .filter(|e| e.met.pt > 20.0)
@@ -282,8 +344,14 @@ mod tests {
             },
             spec,
         };
-        let bins = execute(&plan, &table, None, &TraceCtx::disabled(), &CancelToken::none())
-            .unwrap();
+        let bins = execute(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let want: Vec<i64> = events
             .iter()
             .filter(|e| e.jets.iter().filter(|j| j.pt > 30.0).count() >= 2)
@@ -313,12 +381,15 @@ mod tests {
         assert!(n_groups >= 2);
         let mut skip = vec![false; n_groups];
         skip[0] = true;
-        let bins = execute(&plan, &table, Some(&skip), &TraceCtx::disabled(), &CancelToken::none())
-            .unwrap();
-        assert_eq!(
-            bins.len(),
-            table.n_rows() - table.row_groups()[0].n_rows()
-        );
+        let bins = execute(
+            &plan,
+            &table,
+            Some(&skip),
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(bins.len(), table.n_rows() - table.row_groups()[0].n_rows());
     }
 
     #[test]
@@ -345,13 +416,56 @@ mod tests {
             }),
             spec,
         };
-        let bins = execute(&plan, &table, None, &TraceCtx::disabled(), &CancelToken::none())
-            .unwrap();
+        let bins = execute(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let want = events.iter().filter(|e| e.jets.len() >= 3).count();
         assert_eq!(bins.len(), want);
-        let again = execute(&plan, &table, None, &TraceCtx::disabled(), &CancelToken::none())
-            .unwrap();
+        let again = execute(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert_eq!(bins, again);
+    }
+
+    #[test]
+    fn execute_group_concatenation_matches_execute() {
+        let (_, table) = dataset();
+        let spec = HistSpec::new(50, 0.0, 150.0);
+        let plan = PhysPlan {
+            filters: vec![FilterNode::Scalar(ScalarPredicate {
+                leaf: Path::parse("MET.pt"),
+                cmp: SelCmp::Gt,
+                value: SelValue::Float(25.0),
+            })],
+            compute: ComputeNode::ScalarFill {
+                leaf: Path::parse("MET.pt"),
+            },
+            spec,
+        };
+        let whole = execute(
+            &plan,
+            &table,
+            None,
+            &TraceCtx::disabled(),
+            &CancelToken::none(),
+        )
+        .unwrap();
+        let mut scratch = GroupScratch::new(&plan);
+        let mut by_group = Vec::new();
+        for group in table.row_groups() {
+            execute_group(&plan, group, &mut scratch, &mut by_group).unwrap();
+        }
+        assert_eq!(by_group, whole);
     }
 
     #[test]

@@ -131,7 +131,7 @@ mod tests {
                         let sz = pz[i] + pz[j] + pz[k];
                         let m = (se * se - (sx * sx + sy * sy + sz * sz)).max(0.0).sqrt();
                         let dist = (m - 172.5).abs();
-                        if want.map_or(true, |(d, _, _)| dist < d) {
+                        if want.is_none_or(|(d, _, _)| dist < d) {
                             want = Some((
                                 dist,
                                 (sx * sx + sy * sy).sqrt(),

@@ -32,12 +32,14 @@
 //! sequence (the trijet kernel replicates the reference kernel op for op);
 //! everything else falls back to the interpreters.
 
+pub mod agg;
 pub mod combi;
 pub mod exec;
 pub mod kernel;
 pub mod plan;
 
+pub use agg::{Exchange, PartialAgg};
 pub use combi::{for_each_pair, for_each_triple, CombiBuffer};
-pub use exec::{execute, PirError};
+pub use exec::{execute, execute_group, GroupScratch, PirError};
 pub use kernel::TrijetScratch;
 pub use plan::{ComputeNode, ElemPredicate, FilterNode, PhysPlan, TrijetCompute, TrijetPlot};

@@ -700,6 +700,7 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
         chunk_cache: shared.chunk_cache.clone(),
         intra_query_threads: (shared.config.intra_query_threads > 0)
             .then_some(shared.config.intra_query_threads),
+        parallel_workers: req.parallel_workers,
         fault_injector: shared.config.fault_injector.clone(),
         trace: trace.clone(),
         cancel: job.cancel.clone(),

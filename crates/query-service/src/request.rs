@@ -25,6 +25,13 @@ pub struct QueryRequest {
     /// queued is answered with [`ServiceError::QueryTimedOut`] instead of
     /// executing.
     pub deadline: Option<Duration>,
+    /// Morsel-parallel workers for this query's compiled execution
+    /// (`None` ⇒ serial, the default). Opt-in per request: results are
+    /// byte-identical at any value (the exchange merges partials in
+    /// deterministic group order), so this only trades worker-pool
+    /// threads for single-query latency. Engines that do not compile
+    /// the query ignore it.
+    pub parallel_workers: Option<usize>,
 }
 
 impl QueryRequest {
@@ -35,7 +42,15 @@ impl QueryRequest {
             system,
             query,
             deadline: None,
+            parallel_workers: None,
         }
+    }
+
+    /// Opts this request into morsel-parallel compiled execution with
+    /// `workers` threads.
+    pub fn with_parallel_workers(mut self, workers: usize) -> QueryRequest {
+        self.parallel_workers = Some(workers);
+        self
     }
 }
 

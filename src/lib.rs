@@ -19,6 +19,12 @@
 //! * [`jsoniq`] — the JSONiq/FLWOR engine (the Rumble analog);
 //! * [`rdataframe`] — the RDataFrame-style dataframe engine (the ROOT
 //!   analog);
+//! * [`physical_ir`] — the shared compiled physical IR (fused batch
+//!   kernels) all three language engines lower eligible queries onto;
+//! * [`exec_par`] — morsel-driven parallel execution of compiled plans:
+//!   sharded row-group scans, seeded work stealing, and a deterministic
+//!   exchange/partial-aggregation merge (byte-identical at any worker
+//!   count);
 //! * [`cloud`] — the instance/pricing/scaling simulator;
 //! * [`mod@bench`] — the ADL benchmark: queries, reference implementations,
 //!   validation, metrics, and the run orchestrator;
@@ -82,11 +88,13 @@ pub use cloud_sim as cloud;
 pub use engine_flwor as jsoniq;
 pub use engine_rdf as rdataframe;
 pub use engine_sql as sql;
+pub use exec_par;
 pub use hep_model as model;
 pub use hepbench_core as bench;
 pub use nested_value as value;
 pub use nf2_columnar as columnar;
 pub use obs;
+pub use physical_ir;
 pub use physics;
 pub use query_service as service;
 
