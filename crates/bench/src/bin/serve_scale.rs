@@ -1,0 +1,475 @@
+//! Open-loop serving scale study (ROADMAP item 4): heavy-tailed load,
+//! zipfian tenants, and p99/p999 SLO gates.
+//!
+//! The harness self-calibrates the service's saturation capacity with a
+//! short closed-loop run, derives an SLO from the calibrated tail
+//! (4 × the p99 single-query latency of the zipfian mix), then sweeps
+//! offered load across a multiplier grid **open-loop** — every request
+//! timestamped with its intended bounded-Pareto arrival instant
+//! ([`hepbench_bench::loadgen`]), so queue delay under overload is
+//! charged to latency instead of silently slowing the generator down
+//! (no coordinated omission). Each grid point runs twice: once with
+//! every overload knob off (no deadline, no shedding, no breakers, no
+//! hedging — the queue just grows) and once with the knobs on, which is
+//! exactly the contrast the gate asserts.
+//!
+//! Modes:
+//!
+//! * default — full multiplier grid (0.25×…4× capacity), tens of
+//!   thousands of requests per point over thousands of tenants; merges
+//!   a `"serve_scale"` section into `BENCH_smoke.json` and writes the
+//!   full goodput/latency curves to `serve_scale_curves.json` (or
+//!   `HEPQUERY_SCALE_CURVES`).
+//! * `--check` — reduced request budget under a watchdog (a deadlock
+//!   fails the run instead of hanging CI). Gates: every submitted
+//!   request accounted for exactly once, client-side and service-side
+//!   completion accounting agree, zero engine failures, **knobs-on
+//!   goodput ≥ knobs-off goodput at the overload point**, and the
+//!   knobs-on SLO compliance ≥ 99 % below the knee. Non-zero exit on
+//!   any violation.
+//!
+//! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`, `HEPQUERY_SEED`,
+//! `HEPQUERY_SCALE_REQS` (requests per grid point),
+//! `HEPQUERY_SCALE_TENANTS`, `HEPQUERY_SCALE_WORKERS`,
+//! `HEPQUERY_SCALE_SUBMITTERS`, `HEPQUERY_SERVE_WATCHDOG` (seconds).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hep_model::generator::build_dataset;
+use hep_model::DatasetSpec;
+use hepbench_bench::loadgen::{
+    query_mix, run_open_loop, LoadConfig, OpenLoopOutcome, Schedule, SplitMix64, Zipf,
+};
+use hepbench_bench::merge_section;
+use nf2_columnar::Table;
+use query_service::{BreakerConfig, HedgeConfig, QueryRequest, QueryService, ServiceConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn spec(default_events: usize) -> DatasetSpec {
+    let n_events = env_usize("HEPQUERY_EVENTS", default_events);
+    DatasetSpec {
+        n_events,
+        row_group_size: env_usize("HEPQUERY_ROW_GROUP", 256),
+        seed: std::env::var("HEPQUERY_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xAD1B70),
+    }
+}
+
+/// The study's shared serving shape. The queue is effectively unbounded
+/// so that *overload behaviour is the knobs' job*: with everything off
+/// the backlog simply grows (the classic unprotected service), with the
+/// knobs on the deadline/shedding/breaker/hedge machinery from the
+/// overload-protection layer has to hold the SLO.
+fn service_config(n_workers: usize, knobs_on: bool, slo: Duration) -> ServiceConfig {
+    let base = ServiceConfig {
+        n_workers,
+        queue_depth: 1 << 20,
+        // Every request pays real execution: a result cache would make
+        // the 45-entry grid free after one pass and hide the knee.
+        result_cache: false,
+        intra_query_threads: 1,
+        ..ServiceConfig::default()
+    };
+    if knobs_on {
+        ServiceConfig {
+            default_deadline: Some(slo.mul_f64(0.8)),
+            load_shedding: true,
+            breaker: Some(BreakerConfig::default()),
+            hedge: Some(HedgeConfig {
+                percentile: 0.95,
+                min_delay: slo.mul_f64(0.5),
+            }),
+            ..base
+        }
+    } else {
+        ServiceConfig {
+            default_deadline: None,
+            load_shedding: false,
+            breaker: None,
+            hedge: None,
+            ..base
+        }
+    }
+}
+
+struct Calibration {
+    /// Closed-loop saturation throughput of the zipfian mix (QPS).
+    capacity_qps: f64,
+    /// The study's SLO: 4 × the calibrated p99, floored at 25 ms.
+    slo: Duration,
+    /// Mean single-query latency of the mix (seconds).
+    mean_seconds: f64,
+}
+
+/// Closed-loop capacity probe: `n_workers` clients × the zipfian mix,
+/// one in flight per worker, so throughput ≈ saturation capacity and
+/// the completed-latency histogram ≈ the execution-time distribution.
+fn calibrate(table: &Arc<Table>, n_workers: usize, samples: usize, seed: u64) -> Calibration {
+    let service = QueryService::start(
+        table.clone(),
+        service_config(n_workers, false, Duration::ZERO),
+    );
+    let mix = query_mix();
+    let zipf = Zipf::new(mix.len(), LoadConfig::default().mix_zipf_s);
+    let mut rng = SplitMix64::new(seed ^ 0xCA11_B8A7E);
+    let draws: Vec<usize> = (0..samples).map(|_| zipf.sample(rng.unit_f64())).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for k in 0..n_workers.max(1) {
+            let (draws, mix, service) = (&draws, &mix, &service);
+            scope.spawn(move || {
+                for &slot in draws.iter().skip(k).step_by(n_workers.max(1)) {
+                    let (system, query) = mix[slot];
+                    service
+                        .execute(QueryRequest::new("calibrate", system, query))
+                        .expect("calibration query");
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let hist = service
+        .latency_histogram("completed")
+        .expect("calibration produced completions");
+    Calibration {
+        capacity_qps: samples as f64 / wall,
+        slo: Duration::from_secs_f64((4.0 * hist.quantile(0.99)).max(0.025)),
+        mean_seconds: hist.mean(),
+    }
+}
+
+/// One grid point's results.
+struct Point {
+    multiplier: f64,
+    knobs_on: bool,
+    offered_qps: f64,
+    schedule_digest: u64,
+    outcome: OpenLoopOutcome,
+    /// Completions per the *service's* per-outcome histogram — must
+    /// equal the client-side count (accounting cross-check).
+    service_completed: u64,
+    hedges_launched: u64,
+    hedge_wins: u64,
+    cost_per_1k_usd: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    table: &Arc<Table>,
+    cal: &Calibration,
+    multiplier: f64,
+    knobs_on: bool,
+    n_requests: usize,
+    n_tenants: usize,
+    n_workers: usize,
+    n_submitters: usize,
+    seed: u64,
+) -> Point {
+    let service = QueryService::start(table.clone(), service_config(n_workers, knobs_on, cal.slo));
+    let offered_qps = multiplier * cal.capacity_qps;
+    let cfg = LoadConfig {
+        seed,
+        n_requests,
+        offered_qps,
+        n_tenants,
+        ..LoadConfig::default()
+    };
+    let schedule = Schedule::generate(&cfg);
+    let outcome = run_open_loop(&service, &schedule, n_submitters, cal.slo);
+    let metrics = service.metrics_snapshot();
+    let service_completed = service
+        .latency_histogram("completed")
+        .map_or(0, |h| h.count());
+    let cost_per_1k_usd = cloud_sim::cost_per_1k_queries(outcome.total_cost_usd, outcome.completed);
+    eprintln!(
+        "  {:>5.2}x knobs {:>3}: offered {:>7.1} qps, {} submitted, {} completed \
+         ({} in SLO), {} shed, {} rejected, {} timed out, {} cancelled; \
+         goodput {:>7.1} qps, p99 {:.1} ms, ${:.4}/1k",
+        multiplier,
+        if knobs_on { "on" } else { "off" },
+        offered_qps,
+        outcome.submitted,
+        outcome.completed,
+        outcome.within_slo,
+        outcome.shedded,
+        outcome.rejected,
+        outcome.timed_out,
+        outcome.cancelled,
+        outcome.goodput_qps(),
+        outcome.latency.quantile(0.99) * 1e3,
+        cost_per_1k_usd,
+    );
+    Point {
+        multiplier,
+        knobs_on,
+        offered_qps,
+        schedule_digest: schedule.digest(),
+        outcome,
+        service_completed,
+        hedges_launched: metrics.counter("hedges_launched"),
+        hedge_wins: metrics.counter("hedge_wins"),
+        cost_per_1k_usd,
+    }
+}
+
+fn point_json(p: &Point) -> String {
+    let o = &p.outcome;
+    format!(
+        "{{ \"multiplier\": {:.2}, \"knobs\": \"{}\", \"offered_qps\": {:.2}, \
+         \"schedule_digest\": \"{:#018x}\", \"submitted\": {}, \"completed\": {}, \
+         \"within_slo\": {}, \"shedded\": {}, \"rejected\": {}, \"breaker_rejected\": {}, \
+         \"timed_out\": {}, \"cancelled\": {}, \"failed\": {}, \"goodput_qps\": {:.2}, \
+         \"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}, \"p999_seconds\": {:.6}, \
+         \"hedges_launched\": {}, \"hedge_wins\": {}, \"total_cost_usd\": {:.6}, \
+         \"cost_per_1k_usd\": {:.6}, \"wall_seconds\": {:.3} }}",
+        p.multiplier,
+        if p.knobs_on { "on" } else { "off" },
+        p.offered_qps,
+        p.schedule_digest,
+        o.submitted,
+        o.completed,
+        o.within_slo,
+        o.shedded,
+        o.rejected,
+        o.breaker_rejected,
+        o.timed_out,
+        o.cancelled,
+        o.failed,
+        o.goodput_qps(),
+        o.latency.quantile(0.5),
+        o.latency.quantile(0.99),
+        o.latency.quantile(0.999),
+        p.hedges_launched,
+        p.hedge_wins,
+        o.total_cost_usd,
+        p.cost_per_1k_usd,
+        o.wall_seconds,
+    )
+}
+
+fn emit(spec: &DatasetSpec, n_tenants: usize, cal: &Calibration, points: &[Point]) {
+    let rows: Vec<String> = points.iter().map(point_json).collect();
+    let payload = format!(
+        "{{\n    \"events\": {},\n    \"tenants\": {},\n    \"capacity_qps\": {:.2},\n    \
+         \"slo_seconds\": {:.6},\n    \"mean_exec_seconds\": {:.6},\n    \"points\": [\n      {}\n    ]\n  }}",
+        spec.n_events,
+        n_tenants,
+        cal.capacity_qps,
+        cal.slo.as_secs_f64(),
+        cal.mean_seconds,
+        rows.join(",\n      "),
+    );
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    merge_section(&out, "serve_scale", &payload);
+    let curves = std::env::var("HEPQUERY_SCALE_CURVES")
+        .unwrap_or_else(|_| "serve_scale_curves.json".to_string());
+    if let Some(parent) = std::path::Path::new(&curves).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create curves dir");
+        }
+    }
+    let standalone = format!(
+        "{{\n  \"capacity_qps\": {:.2},\n  \"slo_seconds\": {:.6},\n  \"points\": [\n    {}\n  ]\n}}\n",
+        cal.capacity_qps,
+        cal.slo.as_secs_f64(),
+        rows.join(",\n    "),
+    );
+    std::fs::write(&curves, standalone).expect("write curves json");
+    eprintln!("# wrote goodput/latency curves to {curves}");
+}
+
+/// Runs the whole study: calibrate once, then one knobs-off and one
+/// knobs-on replay per multiplier. Overload points (multiplier > 1) get
+/// their request count raised so the backlog a knobs-off service builds
+/// dwarfs the SLO — otherwise a short run under-states the damage.
+fn sweep(
+    table: &Arc<Table>,
+    multipliers: &[f64],
+    base_requests: usize,
+    n_tenants: usize,
+    cal: &Calibration,
+) -> Vec<Point> {
+    let n_workers = env_usize("HEPQUERY_SCALE_WORKERS", 4);
+    let n_submitters = env_usize("HEPQUERY_SCALE_SUBMITTERS", 4);
+    let seed = env_usize("HEPQUERY_SEED", 0xAD1B70) as u64;
+    let mut points = Vec::new();
+    for &m in multipliers {
+        let n_requests = if m > 1.0 {
+            let backlog_bound = (10.0 * cal.capacity_qps * cal.slo.as_secs_f64()).ceil() as usize;
+            backlog_bound.clamp(base_requests, base_requests.max(24_000))
+        } else {
+            base_requests
+        };
+        for knobs_on in [false, true] {
+            points.push(run_point(
+                table,
+                cal,
+                m,
+                knobs_on,
+                n_requests,
+                n_tenants,
+                n_workers,
+                n_submitters,
+                seed,
+            ));
+        }
+    }
+    points
+}
+
+fn run_default() {
+    let spec = spec(4_096);
+    let n_tenants = env_usize("HEPQUERY_SCALE_TENANTS", 2_000);
+    let base_requests = env_usize("HEPQUERY_SCALE_REQS", 20_000);
+    eprintln!(
+        "# serve_scale: {} events, {} tenants, {} requests per point",
+        spec.n_events, n_tenants, base_requests
+    );
+    let (_, table) = build_dataset(spec);
+    let table = Arc::new(table);
+    let n_workers = env_usize("HEPQUERY_SCALE_WORKERS", 4);
+    let cal = calibrate(&table, n_workers, 1_000, spec.seed);
+    eprintln!(
+        "# calibrated: capacity {:.1} qps, mean {:.2} ms, SLO {:.1} ms",
+        cal.capacity_qps,
+        cal.mean_seconds * 1e3,
+        cal.slo.as_secs_f64() * 1e3
+    );
+    let points = sweep(
+        &table,
+        &[0.25, 0.5, 1.0, 2.0, 4.0],
+        base_requests,
+        n_tenants,
+        &cal,
+    );
+    emit(&spec, n_tenants, &cal, &points);
+}
+
+/// CI gate (see module docs for the exact assertions).
+fn run_check() -> i32 {
+    let spec = spec(1_000);
+    let n_tenants = env_usize("HEPQUERY_SCALE_TENANTS", 1_000);
+    let base_requests = env_usize("HEPQUERY_SCALE_REQS", 800);
+    eprintln!(
+        "# serve_scale --check: {} events, {} tenants, {} requests per point",
+        spec.n_events, n_tenants, base_requests
+    );
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let (_, table) = build_dataset(spec);
+        let table = Arc::new(table);
+        let n_workers = env_usize("HEPQUERY_SCALE_WORKERS", 4);
+        let cal = calibrate(&table, n_workers, 400, spec.seed);
+        eprintln!(
+            "# calibrated: capacity {:.1} qps, mean {:.2} ms, SLO {:.1} ms",
+            cal.capacity_qps,
+            cal.mean_seconds * 1e3,
+            cal.slo.as_secs_f64() * 1e3
+        );
+        let points = sweep(&table, &[0.4, 3.0], base_requests, n_tenants, &cal);
+        emit(&spec, n_tenants, &cal, &points);
+        let _ = done_tx.send((cal, points));
+    });
+    let watchdog = Duration::from_secs(env_usize("HEPQUERY_SERVE_WATCHDOG", 600) as u64);
+    let Ok((cal, points)) = done_rx.recv_timeout(watchdog) else {
+        eprintln!(
+            "FAIL: scale sweep did not finish within {}s — deadlock under load?",
+            watchdog.as_secs()
+        );
+        return 1;
+    };
+    worker.join().expect("sweep thread");
+
+    let mut failures = 0;
+    for p in &points {
+        let o = &p.outcome;
+        let label = format!(
+            "{:.2}x knobs {}",
+            p.multiplier,
+            if p.knobs_on { "on" } else { "off" }
+        );
+        if o.accounted() != o.submitted {
+            eprintln!(
+                "FAIL [{label}]: {} submitted but {} accounted for",
+                o.submitted,
+                o.accounted()
+            );
+            failures += 1;
+        }
+        if p.service_completed != o.completed {
+            eprintln!(
+                "FAIL [{label}]: service histogram says {} completed, clients saw {}",
+                p.service_completed, o.completed
+            );
+            failures += 1;
+        }
+        if o.failed > 0 {
+            eprintln!("FAIL [{label}]: {} engine failures", o.failed);
+            failures += 1;
+        }
+    }
+    let top = points.iter().map(|p| p.multiplier).fold(f64::MIN, f64::max);
+    let bottom = points.iter().map(|p| p.multiplier).fold(f64::MAX, f64::min);
+    let at = |m: f64, knobs: bool| {
+        points
+            .iter()
+            .find(|p| p.multiplier == m && p.knobs_on == knobs)
+            .expect("grid point")
+    };
+    let (over_on, over_off) = (at(top, true), at(top, false));
+    if over_on.outcome.goodput_qps() < over_off.outcome.goodput_qps() {
+        eprintln!(
+            "FAIL: at {top:.2}x offered load, knobs-on goodput {:.1} qps < knobs-off {:.1} qps",
+            over_on.outcome.goodput_qps(),
+            over_off.outcome.goodput_qps()
+        );
+        failures += 1;
+    }
+    if over_on.outcome.within_slo == 0 {
+        eprintln!("FAIL: knobs-on served nothing within the SLO under overload");
+        failures += 1;
+    }
+    let knee = at(bottom, true);
+    if knee.outcome.completed == 0
+        || (knee.outcome.within_slo as f64) < 0.99 * knee.outcome.completed as f64
+    {
+        eprintln!(
+            "FAIL: below the knee ({bottom:.2}x), knobs-on SLO compliance {}/{} < 99%",
+            knee.outcome.within_slo, knee.outcome.completed
+        );
+        failures += 1;
+    }
+    eprintln!(
+        "  SLO {:.1} ms: overload goodput on/off = {:.1}/{:.1} qps; \
+         knee p99 {:.1} ms, compliance {}/{}",
+        cal.slo.as_secs_f64() * 1e3,
+        over_on.outcome.goodput_qps(),
+        over_off.outcome.goodput_qps(),
+        knee.outcome.latency.quantile(0.99) * 1e3,
+        knee.outcome.within_slo,
+        knee.outcome.completed,
+    );
+    if failures == 0 {
+        eprintln!("# serve_scale --check OK");
+        0
+    } else {
+        failures
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(run_check());
+    }
+    run_default();
+}

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use hep_model::generator::build_dataset;
 use hep_model::DatasetSpec;
+use hepbench_bench::merge_section;
 use hepbench_core::runner::System;
 use hepbench_core::ALL_QUERIES;
 use nf2_columnar::{FaultClass, FaultConfig, FaultInjector};
@@ -135,33 +136,6 @@ fn rate(hits: u64, misses: u64) -> f64 {
     } else {
         hits as f64 / (hits + misses) as f64
     }
-}
-
-/// Merges a named top-level object into the (possibly existing) smoke
-/// JSON, replacing any previous section of the same name. Sections are
-/// trailing: merging a section drops anything after a previous copy of
-/// it, which keeps the splice trivial and is harmless for the
-/// append-only sections this harness writes.
-fn merge_section(path: &str, key: &str, payload: &str) {
-    let content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    let marker = format!(",\n  \"{key}\":");
-    let base = if let Some(pos) = content.find(&marker) {
-        content[..pos].to_string()
-    } else {
-        let mut c = content.trim_end().to_string();
-        if c.ends_with('}') {
-            c.pop();
-        }
-        c.trim_end().to_string()
-    };
-    let sep = if base.trim_end().ends_with('{') {
-        ""
-    } else {
-        ","
-    };
-    let json = format!("{base}{sep}\n  \"{key}\": {payload}\n}}\n");
-    std::fs::write(path, &json).expect("write smoke json");
-    eprintln!("# merged {key} section into {path}");
 }
 
 fn run_default() {

@@ -13,6 +13,8 @@
 //!   structure);
 //! * `HEPQUERY_SEED` — generator seed (default the benchmark seed).
 
+pub mod loadgen;
+
 use std::sync::Arc;
 
 use hep_model::generator::build_dataset;
@@ -52,6 +54,33 @@ pub fn dataset() -> (Vec<Event>, Arc<Table>) {
     );
     let (events, table) = build_dataset(spec);
     (events, Arc::new(table))
+}
+
+/// Merges a named top-level object into the (possibly existing) smoke
+/// JSON at `path`, replacing any previous section of the same name.
+/// Sections are trailing: merging a section drops anything after a
+/// previous copy of it, which keeps the splice trivial and is harmless
+/// for the append-only sections the harnesses write.
+pub fn merge_section(path: &str, key: &str, payload: &str) {
+    let content = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let marker = format!(",\n  \"{key}\":");
+    let base = if let Some(pos) = content.find(&marker) {
+        content[..pos].to_string()
+    } else {
+        let mut c = content.trim_end().to_string();
+        if c.ends_with('}') {
+            c.pop();
+        }
+        c.trim_end().to_string()
+    };
+    let sep = if base.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    let json = format!("{base}{sep}\n  \"{key}\": {payload}\n}}\n");
+    std::fs::write(path, &json).expect("write smoke json");
+    eprintln!("# merged {key} section into {path}");
 }
 
 /// Formats seconds for table output.

@@ -34,5 +34,5 @@ pub use instances::{InstanceType, M5D_CATALOG};
 pub use perf::{QaasProfile, SelfManagedProfile};
 pub use pricing::{
     athena_cost_usd, athena_cost_usd_cached, bigquery_cost_usd, bigquery_cost_usd_cached,
-    self_managed_cost_usd, spot_cost_usd,
+    cost_per_1k_queries, self_managed_cost_usd, spot_cost_usd,
 };

@@ -67,6 +67,20 @@ pub fn spot_cost_usd(wall_seconds: f64, instance: &InstanceType, discount: f64) 
     self_managed_cost_usd(wall_seconds, instance) / discount
 }
 
+/// Normalizes an accumulated serving bill to **cost per 1 000 answered
+/// queries** — the unit the serving study reports so QaaS bills (per
+/// byte) and self-managed bills (per wall-second of rented instance)
+/// land on one comparable axis. Zero answered queries price at zero
+/// rather than dividing by zero: an idle deployment's marginal serving
+/// cost is undefined, and the curves treat it as free.
+pub fn cost_per_1k_queries(total_cost_usd: f64, answered_queries: u64) -> f64 {
+    if answered_queries == 0 {
+        0.0
+    } else {
+        total_cost_usd * 1000.0 / answered_queries as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +149,15 @@ mod tests {
         let c_big = self_managed_cost_usd(100.0, big);
         assert!((c_big / c_small - 24.0).abs() < 1e-9);
         assert!((self_managed_cost_usd(3600.0, big) - 6.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_per_1k_normalizes_and_handles_idle() {
+        assert_eq!(cost_per_1k_queries(0.0, 0), 0.0);
+        assert_eq!(cost_per_1k_queries(5.0, 0), 0.0);
+        // 2 $ over 500 queries → 4 $ per 1k.
+        assert!((cost_per_1k_queries(2.0, 500) - 4.0).abs() < 1e-12);
+        assert!((cost_per_1k_queries(1.0, 1000) - 1.0).abs() < 1e-12);
     }
 
     #[test]

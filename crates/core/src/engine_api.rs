@@ -284,6 +284,51 @@ pub fn engine_for(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
     }
 }
 
+/// The compiled-execution deployment of a system: the same engine and
+/// dialect as [`engine_for`], but with the physical-IR compile path on
+/// (`compile: true`). Queries the frontends cannot lower fall back to
+/// interpretation, so results stay byte-identical to the interpreted
+/// path (the PR 6 fuzz gate). `parallel_workers` stays pinned at 0 —
+/// the serving layer threads a per-request override through
+/// [`ExecEnv::parallel_workers`], which the adapters apply on top of
+/// the engine options. The paper simulation never uses these
+/// deployments; they exist for the serving layer's opt-in
+/// compiled/parallel request paths.
+pub fn engine_for_compiled(system: System, table: Arc<Table>) -> Box<dyn QueryEngine> {
+    match system {
+        System::BigQuery
+        | System::BigQueryExternal
+        | System::AthenaV2
+        | System::AthenaV1
+        | System::Presto => Box::new(SqlQueryEngine::with_options(
+            system,
+            table,
+            SqlOptions {
+                compile: true,
+                parallel_workers: 0,
+                ..SqlOptions::default()
+            },
+        )),
+        System::Rumble => Box::new(FlworQueryEngine::with_options(
+            table,
+            FlworOptions {
+                compile: true,
+                parallel_workers: 0,
+                ..FlworOptions::default()
+            },
+        )),
+        System::RDataFrame | System::RDataFrameDev => Box::new(RdfQueryEngine::with_options(
+            system,
+            table,
+            engine_rdf::Options {
+                compile: true,
+                parallel_workers: 0,
+                ..engine_rdf::Options::default()
+            },
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +378,33 @@ mod tests {
         let t = table();
         let boxed: Box<dyn QueryEngine> = Box::new(FlworQueryEngine::new(t));
         assert_eq!(takes_dyn(boxed.as_ref()), System::Rumble);
+    }
+
+    #[test]
+    fn compiled_deployments_match_interpreted_results() {
+        let t = table();
+        // Q6a lowers to the specialized trijet kernel on every capable
+        // frontend; Q5 exercises the fall-back-to-interpreter path on
+        // engines that cannot lower it. Both must match the interpreted
+        // deployment bin for bin.
+        for q in [QueryId::Q5, QueryId::Q6a] {
+            let spec = QuerySpec::benchmark(q);
+            for &system in ALL_SYSTEMS {
+                let interp = engine_for(system, t.clone())
+                    .execute(&spec, &ExecEnv::seed())
+                    .unwrap();
+                let compiled = engine_for_compiled(system, t.clone())
+                    .execute(&spec, &ExecEnv::seed())
+                    .unwrap();
+                assert_eq!(
+                    interp.histogram,
+                    compiled.histogram,
+                    "{} {}: compiled deployment diverges",
+                    system.name(),
+                    q.name()
+                );
+            }
+        }
     }
 
     #[test]

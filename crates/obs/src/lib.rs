@@ -16,13 +16,17 @@
 //! * [`MetricsRegistry`] — a lock-sharded registry of counters, gauges
 //!   and log₂-bucketed histograms with point-in-time text and JSON
 //!   snapshots.
+//! * [`Log2Histogram`] — the mergeable log₂ histogram behind the
+//!   registry, exposed for per-thread latency recording with a
+//!   deterministic [`Log2Histogram::merge`] afterwards.
 //! * [`CancelToken`] / [`Cancelled`] — cooperative cancellation with
 //!   deadline propagation, checked at row-group granularity by the
 //!   engines. A disabled token (the default) is a single branch.
 //!
-//! The crate deliberately has no dependencies (not even workspace
-//! shims) so every other crate — including the lowest storage layer —
-//! can link it without cycles.
+//! The crate deliberately has no runtime dependencies (not even
+//! workspace shims; tests use the vendored `proptest` shim) so every
+//! other crate — including the lowest storage layer — can link it
+//! without cycles.
 
 mod cancel;
 mod metrics;
@@ -30,7 +34,7 @@ mod span;
 mod tree;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled};
-pub use metrics::{HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{HistogramSummary, Log2Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanGuard, SpanId, SpanRecord, Stage, TraceCtx};
 pub use tree::{SpanNode, SpanTree};
 

@@ -16,11 +16,23 @@ const BUCKET_BIAS: i32 = 30;
 enum Metric {
     Counter(u64),
     Gauge(f64),
-    Histogram(Histo),
+    Histogram(Log2Histogram),
 }
 
+/// A mergeable log₂-bucketed histogram — the aggregation primitive
+/// behind [`MetricsRegistry`] histograms, exposed so load harnesses can
+/// record latency distributions per thread and [`Log2Histogram::merge`]
+/// them deterministically afterwards.
+///
+/// Buckets are powers of two (`[2^k, 2^(k+1))`); quantile estimates
+/// return the geometric midpoint of the bucket holding the
+/// nearest-rank observation, clamped to the observed `[min, max]`. For
+/// values inside the bucketed range (`~1e-9 ..= ~1e9`) an estimate is
+/// therefore within one bucket — a factor of √2 either way, i.e. at
+/// most 2× relative error — of the exact sample quantile (pinned by
+/// `tests/histogram_props.rs`).
 #[derive(Clone, Debug, PartialEq)]
-struct Histo {
+pub struct Log2Histogram {
     count: u64,
     sum: f64,
     min: f64,
@@ -28,9 +40,16 @@ struct Histo {
     buckets: Vec<u64>,
 }
 
-impl Histo {
-    fn new() -> Histo {
-        Histo {
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -39,12 +58,107 @@ impl Histo {
         }
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Folds `other` into `self`: the result has exactly the bucket
+    /// counts, count, min and max of a histogram fed both sample sets
+    /// (the sum may differ in the last float bits — addition order).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count > 0 {
+            self.min
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count > 0 {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum / self.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The raw per-bucket counts (bucket `i` covers
+    /// `[2^(i-30), 2^(i-29))`).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, nearest-rank): the
+    /// geometric midpoint of the bucket containing the target-ranked
+    /// observation, clamped to the observed `[min, max]`. 0.0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summary statistics (count, sum, min/max, p50/p90/p99/p999).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
     }
 }
 
@@ -119,14 +233,36 @@ impl MetricsRegistry {
         let mut shard = self.shard(name).lock().unwrap();
         match shard
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Histo::new()))
+            .or_insert_with(|| Metric::Histogram(Log2Histogram::new()))
         {
             Metric::Histogram(h) => h.observe(v),
             other => {
-                let mut h = Histo::new();
+                let mut h = Log2Histogram::new();
                 h.observe(v);
                 *other = Metric::Histogram(h);
             }
+        }
+    }
+
+    /// Folds a pre-aggregated histogram into the named histogram —
+    /// equivalent to replaying every observation `hist` has seen.
+    pub fn merge_histogram(&self, name: &str, hist: &Log2Histogram) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Log2Histogram::new()))
+        {
+            Metric::Histogram(h) => h.merge(hist),
+            other => *other = Metric::Histogram(hist.clone()),
+        }
+    }
+
+    /// The named histogram's current state, when it exists.
+    pub fn histogram_state(&self, name: &str) -> Option<Log2Histogram> {
+        let shard = self.shard(name).lock().unwrap();
+        match shard.get(name) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
         }
     }
 
@@ -138,15 +274,7 @@ impl MetricsRegistry {
                 let value = match metric {
                     Metric::Counter(v) => MetricValue::Counter(*v),
                     Metric::Gauge(v) => MetricValue::Gauge(*v),
-                    Metric::Histogram(h) => MetricValue::Histogram(HistogramSummary {
-                        count: h.count,
-                        sum: h.sum,
-                        min: if h.count > 0 { h.min } else { 0.0 },
-                        max: if h.count > 0 { h.max } else { 0.0 },
-                        p50: quantile(h, 0.50),
-                        p90: quantile(h, 0.90),
-                        p99: quantile(h, 0.99),
-                    }),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
                 };
                 entries.push((name.clone(), value));
             }
@@ -154,21 +282,6 @@ impl MetricsRegistry {
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot { entries }
     }
-}
-
-fn quantile(h: &Histo, q: f64) -> f64 {
-    if h.count == 0 {
-        return 0.0;
-    }
-    let target = (q * h.count as f64).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, n) in h.buckets.iter().enumerate() {
-        seen += n;
-        if seen >= target {
-            return bucket_mid(i).clamp(h.min, h.max);
-        }
-    }
-    h.max
 }
 
 /// Snapshot value of one metric.
@@ -201,6 +314,8 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Estimated 99.9th percentile.
+    pub p999: f64,
 }
 
 impl HistogramSummary {
@@ -250,8 +365,8 @@ impl MetricsSnapshot {
     }
 
     /// One `name value` line per metric (histograms expand to
-    /// `_count` / `_sum` / `_p50` / `_p90` / `_p99` lines) — the text
-    /// exposition format.
+    /// `_count` / `_sum` / `_p50` / `_p90` / `_p99` / `_p999` lines) —
+    /// the text exposition format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.entries {
@@ -264,6 +379,7 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{name}_p50 {:.9}\n", h.p50));
                     out.push_str(&format!("{name}_p90 {:.9}\n", h.p90));
                     out.push_str(&format!("{name}_p99 {:.9}\n", h.p99));
+                    out.push_str(&format!("{name}_p999 {:.9}\n", h.p999));
                 }
             }
         }
@@ -282,8 +398,8 @@ impl MetricsSnapshot {
                 MetricValue::Counter(v) => out.push_str(&format!("{v}")),
                 MetricValue::Gauge(v) => out.push_str(&format!("{v}")),
                 MetricValue::Histogram(h) => out.push_str(&format!(
-                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99, h.p999
                 )),
             }
         }
@@ -316,12 +432,15 @@ mod tests {
         assert_eq!(h.max, 0.1);
         assert!(h.p50 >= h.min && h.p50 <= h.max);
         assert!(h.p99 >= h.p50);
+        assert!(h.p999 >= h.p99);
         let text = snap.to_text();
         assert!(text.contains("queries_total 4"));
         assert!(text.contains("latency_seconds_count 4"));
+        assert!(text.contains("latency_seconds_p999"));
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries_total\":4"));
+        assert!(json.contains("\"p999\":"));
     }
 
     #[test]
@@ -365,5 +484,64 @@ mod tests {
         assert!(bucket_index(1e-12) < bucket_index(1.0));
         assert!(bucket_index(1.0) < bucket_index(1e6));
         assert_eq!(bucket_index(1e300), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_observations() {
+        let a_samples = [0.001, 0.5, 12.0, 0.004];
+        let b_samples = [0.25, 90.0, 0.001];
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut both = Log2Histogram::new();
+        for &v in &a_samples {
+            a.observe(v);
+            both.observe(v);
+        }
+        for &v in &b_samples {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.bucket_counts(), both.bucket_counts());
+        assert!((a.sum() - both.sum()).abs() < 1e-12);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_histogram_folds_into_registry() {
+        let reg = MetricsRegistry::new();
+        reg.observe("lat", 0.010);
+        let mut local = Log2Histogram::new();
+        local.observe(0.020);
+        local.observe(0.160);
+        reg.merge_histogram("lat", &local);
+        let snap = reg.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0.010);
+        assert_eq!(h.max, 0.160);
+        let state = reg.histogram_state("lat").unwrap();
+        assert_eq!(state.count(), 3);
+        assert!(reg.histogram_state("absent").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        let s = h.summary();
+        assert_eq!(
+            (s.count, s.min, s.max, s.p50, s.p999),
+            (0, 0.0, 0.0, 0.0, 0.0)
+        );
     }
 }

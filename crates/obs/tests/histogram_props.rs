@@ -1,0 +1,97 @@
+//! Property tests for [`obs::Log2Histogram`] (ISSUE 8 satellite):
+//!
+//! 1. quantile estimates are within one log₂ bucket — at most 2×
+//!    relative error — of the exact nearest-rank sample quantile, for
+//!    arbitrary positive sample sets inside the bucketed range;
+//! 2. merging two histograms is indistinguishable from building one
+//!    histogram over the concatenated samples (bucket counts, count,
+//!    min, max and every quantile are *exactly* equal; the sum agrees
+//!    up to float addition order).
+
+use obs::Log2Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of an unsorted sample set — the
+/// definition the histogram estimate is held to.
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target.clamp(1, sorted.len()) - 1]
+}
+
+fn histogram_of(samples: &[f64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in samples {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Estimated quantiles stay within one bucket (≤2× relative error)
+    /// of the exact nearest-rank quantile, across the whole quantile
+    /// range including the deep tail.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(1e-6f64..1e6, 1..500),
+    ) {
+        let h = histogram_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = h.quantile(q);
+            prop_assert!(
+                est >= exact * 0.5 && est <= exact * 2.0,
+                "q={} exact={} est={} (n={})",
+                q, exact, est, samples.len()
+            );
+        }
+        // The estimate never leaves the observed range.
+        prop_assert!(h.quantile(0.0) >= h.min() && h.quantile(1.0) <= h.max());
+    }
+
+    /// `merge` of two histograms equals the histogram of the
+    /// concatenated samples.
+    #[test]
+    fn merge_equals_histogram_of_concatenation(
+        a in proptest::collection::vec(1e-9f64..1e9, 0..300),
+        b in proptest::collection::vec(1e-9f64..1e9, 0..300),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let whole = histogram_of(&concat);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.bucket_counts(), whole.bucket_counts());
+        let scale = whole.sum().abs().max(1.0);
+        prop_assert!((merged.sum() - whole.sum()).abs() <= 1e-9 * scale);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Merging is order-insensitive: a ⊕ b and b ⊕ a agree on every
+    /// deterministic field, so multi-threaded collectors can merge in
+    /// any order.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(1e-6f64..1e6, 0..200),
+        b in proptest::collection::vec(1e-6f64..1e6, 0..200),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+    }
+}

@@ -54,6 +54,8 @@
 //!   first result wins and the loser is cancelled through its token.
 
 pub mod breaker;
+#[cfg(test)]
+mod queue_proptests;
 pub mod request;
 pub mod result_cache;
 pub mod stats;
@@ -67,7 +69,7 @@ use std::time::{Duration, Instant};
 
 use cloud_sim::InstanceType;
 use hepbench_core::adapters::{AdapterError, EngineRun, ExecEnv};
-use hepbench_core::engine_api::{engine_for, QueryEngine, QuerySpec};
+use hepbench_core::engine_api::{engine_for, engine_for_compiled, QueryEngine, QuerySpec};
 use hepbench_core::runner::{System, ALL_SYSTEMS};
 use nf2_columnar::{CacheCounters, ChunkCache, ExecStats, FaultInjector, ScanStats, Table};
 
@@ -277,6 +279,11 @@ struct Shared {
     /// One engine per servable system, built once at startup and shared
     /// by every worker — the service's only execution path.
     engines: HashMap<System, Box<dyn QueryEngine>>,
+    /// The compiled deployments ([`engine_for_compiled`]), used only by
+    /// requests that set [`QueryRequest::compiled`]. Default requests —
+    /// and everything [`ServiceConfig::paper_fairness`] measures — never
+    /// touch these.
+    engines_compiled: HashMap<System, Box<dyn QueryEngine>>,
     /// Service-wide counters and latency histograms; see
     /// [`QueryService::metrics_snapshot`].
     metrics: obs::MetricsRegistry,
@@ -364,6 +371,10 @@ impl QueryService {
             .iter()
             .map(|s| (*s, engine_for(*s, table.clone())))
             .collect();
+        let engines_compiled = ALL_SYSTEMS
+            .iter()
+            .map(|s| (*s, engine_for_compiled(*s, table.clone())))
+            .collect();
         let shared = Arc::new(Shared {
             table_fingerprint: table.fingerprint(),
             pricing_instance,
@@ -374,6 +385,7 @@ impl QueryService {
                 .then(|| Arc::new(ChunkCache::new(config.chunk_cache_bytes))),
             stats: ServiceStats::new(),
             engines,
+            engines_compiled,
             metrics: obs::MetricsRegistry::new(),
             n_workers,
             exec_ewma_bits: std::sync::atomic::AtomicU64::new(0),
@@ -400,9 +412,17 @@ impl QueryService {
 
     /// Submits a request through admission control; returns a [`Ticket`]
     /// to wait on, or rejects immediately when the queue is full.
+    ///
+    /// An open-loop request carrying [`QueryRequest::arrival`] is
+    /// charged from that intended instant: its deadline is armed at
+    /// `arrival + budget` and its queue wait / end-to-end latency
+    /// include any lag between intended arrival and this call, so a
+    /// saturated submitter cannot hide queue delay (no coordinated
+    /// omission).
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, ServiceError> {
         self.shared.stats.note_submitted();
         self.shared.metrics.counter_inc("queries_submitted");
+        let arrived = req.arrival.unwrap_or_else(Instant::now);
         // Breaker admission: an open breaker answers in microseconds
         // without taking the queue lock or touching any scan state.
         if let Some(breakers) = &self.shared.breakers {
@@ -412,6 +432,7 @@ impl QueryService {
             if !b.try_admit() {
                 self.shared.stats.note_rejected();
                 self.shared.metrics.counter_inc("breaker_rejected");
+                observe_outcome(&self.shared, "breaker", arrived);
                 return Err(ServiceError::CircuitOpen { system: req.system });
             }
         }
@@ -424,32 +445,37 @@ impl QueryService {
             }
             if state.queued >= self.shared.config.queue_depth {
                 self.shared.stats.note_rejected();
+                observe_outcome(&self.shared, "rejected", arrived);
                 return Err(ServiceError::QueryRejected {
                     queue_depth: self.shared.config.queue_depth,
                 });
             }
             let now = Instant::now();
             let budget = req.deadline.or(self.shared.config.default_deadline);
+            let deadline = budget.map(|d| arrived + d);
             // Load shedding: if the backlog alone is predicted to outlast
-            // the deadline, refuse now instead of queueing doomed work.
+            // the *remaining* deadline budget (which an open-loop arrival
+            // timestamp may already have eaten into), refuse now instead
+            // of queueing doomed work.
             if self.shared.config.load_shedding {
-                if let Some(budget) = budget {
+                if let Some(deadline) = deadline {
                     let ewma = f64::from_bits(self.shared.exec_ewma_bits.load(Ordering::Relaxed));
                     if ewma > 0.0 {
+                        let remaining = deadline.saturating_duration_since(now);
                         let estimated_wait =
                             ewma * state.queued as f64 / self.shared.n_workers as f64;
-                        if estimated_wait > budget.as_secs_f64() {
+                        if estimated_wait > remaining.as_secs_f64() {
                             self.shared.stats.note_shedded();
                             self.shared.metrics.counter_inc("queries_shedded");
+                            observe_outcome(&self.shared, "shedded", arrived);
                             return Err(ServiceError::QueryShedded {
                                 estimated_wait_seconds: estimated_wait,
-                                deadline_seconds: budget.as_secs_f64(),
+                                deadline_seconds: remaining.as_secs_f64(),
                             });
                         }
                     }
                 }
             }
-            let deadline = budget.map(|d| now + d);
             cancel = match deadline {
                 Some(d) => obs::CancelToken::with_deadline(d),
                 None => obs::CancelToken::new(),
@@ -459,7 +485,7 @@ impl QueryService {
                 tenant,
                 Job {
                     req,
-                    enqueued: now,
+                    enqueued: arrived,
                     deadline,
                     cancel: cancel.clone(),
                     reply: tx,
@@ -497,6 +523,18 @@ impl QueryService {
             }
         }
         self.shared.metrics.snapshot()
+    }
+
+    /// The mergeable per-outcome end-to-end latency histogram —
+    /// `outcome` is one of `completed`, `cancelled`, `timed_out`,
+    /// `failed`, `rejected`, `shedded`, `breaker` — measured from each
+    /// request's intended arrival. `None` until a request reached that
+    /// outcome. Load harnesses fold these into offered-load curves with
+    /// [`obs::Log2Histogram::merge`] and quantile them for SLO gates.
+    pub fn latency_histogram(&self, outcome: &str) -> Option<obs::Log2Histogram> {
+        self.shared
+            .metrics
+            .histogram_state(&format!("latency_seconds_{outcome}"))
     }
 
     /// The current breaker state for one system, when breakers are
@@ -547,6 +585,17 @@ impl Drop for QueryService {
     }
 }
 
+/// Records a request's end-to-end latency — measured from its intended
+/// arrival — into the per-outcome `latency_seconds_<outcome>` histogram.
+/// Keyed by outcome so an SLO gate can quantile *completed* latency
+/// without cancelled or shed requests polluting the tail.
+fn observe_outcome(shared: &Shared, outcome: &str, arrived: Instant) {
+    shared.metrics.observe(
+        &format!("latency_seconds_{outcome}"),
+        arrived.elapsed().as_secs_f64(),
+    );
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -572,6 +621,7 @@ fn worker_loop(shared: &Shared) {
             match c.reason {
                 obs::CancelReason::DeadlineExceeded => {
                     shared.stats.note_timed_out();
+                    observe_outcome(shared, "timed_out", job.enqueued);
                     let _ = job.reply.send(Err(ServiceError::QueryTimedOut {
                         waited_seconds: (now - job.enqueued).as_secs_f64(),
                     }));
@@ -579,6 +629,7 @@ fn worker_loop(shared: &Shared) {
                 obs::CancelReason::Explicit => {
                     shared.stats.note_cancelled();
                     shared.metrics.counter_inc("queries_cancelled");
+                    observe_outcome(shared, "cancelled", job.enqueued);
                     let _ = job.reply.send(Err(ServiceError::Cancelled {
                         stage: obs::Stage::QueueWait,
                         rows_processed: 0,
@@ -591,6 +642,7 @@ fn worker_loop(shared: &Shared) {
         if let Some(deadline) = job.deadline {
             if now > deadline {
                 shared.stats.note_timed_out();
+                observe_outcome(shared, "timed_out", job.enqueued);
                 let _ = job.reply.send(Err(ServiceError::QueryTimedOut {
                     waited_seconds: (now - job.enqueued).as_secs_f64(),
                 }));
@@ -618,18 +670,22 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .note_completed(resp.total_seconds, resp.queue_seconds);
                 shared.metrics.counter_inc("queries_completed");
+                observe_outcome(shared, "completed", job.enqueued);
             }
             Err(ServiceError::Cancelled { .. }) => {
                 shared.stats.note_cancelled();
                 shared.metrics.counter_inc("queries_cancelled");
+                observe_outcome(shared, "cancelled", job.enqueued);
             }
             Err(ServiceError::QueryTimedOut { .. }) => {
                 shared.stats.note_timed_out();
                 shared.metrics.counter_inc("queries_timed_out");
+                observe_outcome(shared, "timed_out", job.enqueued);
             }
             Err(_) => {
                 shared.stats.note_failed();
                 shared.metrics.counter_inc("queries_failed");
+                observe_outcome(shared, "failed", job.enqueued);
             }
         }
         let _ = job.reply.send(result);
@@ -705,8 +761,12 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
         trace: trace.clone(),
         cancel: job.cancel.clone(),
     };
-    let engine = shared
-        .engines
+    let deployments = if req.compiled {
+        &shared.engines_compiled
+    } else {
+        &shared.engines
+    };
+    let engine = deployments
         .get(&req.system)
         .expect("an engine per system is built at startup");
     let spec = QuerySpec::benchmark(req.query);

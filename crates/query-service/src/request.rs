@@ -1,6 +1,6 @@
 //! Request/response types and service errors.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hepbench_core::runner::System;
 use hepbench_core::QueryId;
@@ -32,6 +32,19 @@ pub struct QueryRequest {
     /// threads for single-query latency. Engines that do not compile
     /// the query ignore it.
     pub parallel_workers: Option<usize>,
+    /// Execute through the system's *compiled* deployment
+    /// (physical-IR batch kernels) instead of the interpreted one.
+    /// Results are byte-identical either way (the PR 6 fuzz gate);
+    /// this selects the CPU profile a request pays for. Off by
+    /// default, and never used by the paper simulation.
+    pub compiled: bool,
+    /// The request's **intended arrival instant** for open-loop load:
+    /// deadlines, queue wait and end-to-end latency are all measured
+    /// from it rather than from the moment `submit` ran, so a slow
+    /// submitter charges its own lag to the request (no coordinated
+    /// omission). `None` — the default, and the closed-loop behaviour —
+    /// uses the submission instant.
+    pub arrival: Option<Instant>,
 }
 
 impl QueryRequest {
@@ -43,6 +56,8 @@ impl QueryRequest {
             query,
             deadline: None,
             parallel_workers: None,
+            compiled: false,
+            arrival: None,
         }
     }
 
@@ -50,6 +65,19 @@ impl QueryRequest {
     /// `workers` threads.
     pub fn with_parallel_workers(mut self, workers: usize) -> QueryRequest {
         self.parallel_workers = Some(workers);
+        self
+    }
+
+    /// Routes this request through the system's compiled deployment.
+    pub fn via_compiled(mut self) -> QueryRequest {
+        self.compiled = true;
+        self
+    }
+
+    /// Timestamps this request with its intended open-loop arrival
+    /// instant (see [`QueryRequest::arrival`]).
+    pub fn arriving_at(mut self, arrival: Instant) -> QueryRequest {
+        self.arrival = Some(arrival);
         self
     }
 }
