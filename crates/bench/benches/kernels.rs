@@ -102,12 +102,11 @@ fn bench_columnar(c: &mut Criterion) {
     });
     g.bench_function("scan_stats", |b| {
         b.iter(|| {
-            nf2_columnar::scan::scan_stats(
-                &table,
-                &proj,
-                nf2_columnar::PushdownCapability::WholeStructs,
-            )
-            .unwrap()
+            nf2_columnar::ScanRequest::new(&table, &proj)
+                .capability(nf2_columnar::PushdownCapability::WholeStructs)
+                .run()
+                .unwrap()
+                .stats
         })
     });
     g.finish();

@@ -10,7 +10,10 @@
 //!   morsel-parallel worker pool with a plan-derived steal seed),
 //!   comparing each histogram **bin-for-bin** against the interpreter
 //!   oracle. Any divergence or fault-free failure exits non-zero — in
-//!   particular, any parallel-vs-serial compiled divergence.
+//!   particular, any parallel-vs-serial compiled divergence. A second
+//!   pruning arm (`HEPQUERY_FUZZ_PRUNE_PLANS`, default 60) re-runs each
+//!   plan with zone-map pruning forced off and on and requires both to
+//!   match the oracle, so an unsound zone map cannot hide.
 //! * `--faults` — sweeps every fault class over a smaller plan budget
 //!   (persistent faults must surface typed `ScanError`s, transient faults
 //!   must converge to the oracle under bounded retry), then drives a
@@ -27,7 +30,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use chaos::{differential_fuzz, fault_sweep};
+use chaos::{differential_fuzz, fault_sweep, pruning_differential_fuzz};
 use hep_model::generator::build_dataset;
 use hep_model::{DatasetSpec, Event};
 use hepbench_core::adapters::ExecEnv;
@@ -80,6 +83,31 @@ fn run_diff(events: &[Event], table: &Arc<Table>) -> u32 {
     );
     if report.passed() {
         eprintln!("# differential fuzz OK");
+        0
+    } else {
+        report.divergences.len() as u32
+    }
+}
+
+/// Pruning arm of the differential phase: every plan × every engine with
+/// zone-map pruning forced off and on — both runs must match the oracle
+/// bin-for-bin, so a zone map that over-prunes cannot hide.
+fn run_pruning_diff(events: &[Event], table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_FUZZ_SEED", 0x5EED);
+    let n_plans = env_u64("HEPQUERY_FUZZ_PRUNE_PLANS", 60) as usize;
+    eprintln!("# fuzz_diff --check (pruning arm): {n_plans} plans, seed {seed:#x}");
+    let report = pruning_differential_fuzz(seed, n_plans, events, table);
+    for d in &report.divergences {
+        eprintln!("FAIL: {d}");
+    }
+    eprintln!(
+        "  {} plans x {} engines x 2 pruning modes, {} divergences",
+        report.plans,
+        chaos::ALL_ENGINES.len(),
+        report.divergences.len()
+    );
+    if report.passed() {
+        eprintln!("# pruning differential fuzz OK");
         0
     } else {
         report.divergences.len() as u32
@@ -197,6 +225,7 @@ fn main() {
         let mut failures = 0;
         if check || both {
             failures += run_diff(&events, &table);
+            failures += run_pruning_diff(&events, &table);
         }
         if faults || both {
             failures += run_fault_sweep(&events, &table);

@@ -248,6 +248,89 @@ fn measure_compiled(table: &Arc<Table>, runs: usize, threads: Option<usize>) -> 
     rows
 }
 
+/// The zone-map pruning section of the smoke baseline: a windowed Q1
+/// (the Q1 MET histogram restricted to the middle-quarter event-id
+/// window) on the interpreted Presto engine, pruning off vs on. The
+/// window cut sits on the monotone `event` column, so zone maps skip
+/// most row groups; `groups_pruned`/`bytes_pruned` in the JSON give
+/// successive PRs a pruning baseline next to the throughput one. The
+/// full (engine × Q1/Q5) grid with CI gates lives in `fig4b_pruning`.
+struct PruningRow {
+    window_lo: i64,
+    window_hi: i64,
+    groups_total: u64,
+    groups_pruned: u64,
+    bytes_scanned: u64,
+    bytes_pruned: u64,
+    wall_seconds_off: f64,
+    wall_seconds_on: f64,
+    speedup: f64,
+}
+
+fn measure_pruning(table: &Arc<Table>, n_events: usize, runs: usize) -> PruningRow {
+    let n = n_events as i64;
+    let (lo, hi) = (n / 8, n / 8 + n / 4);
+    let sql = format!(
+        "SELECT CAST(FLOOR(MET.pt / 5.0) AS BIGINT) AS bin, COUNT(*) AS n\n\
+         FROM events\n\
+         WHERE event >= {lo} AND event < {hi}\n\
+         GROUP BY CAST(FLOOR(MET.pt / 5.0) AS BIGINT)\n\
+         ORDER BY bin"
+    );
+    // Interpreted path (no vectorized filter), as in `fig4b_pruning`:
+    // the off arm pays full row-at-a-time evaluation of the window cut.
+    let run = |prune: bool| {
+        let mut engine = engine_sql::SqlEngine::new(
+            Dialect::presto(),
+            SqlOptions {
+                zone_map_pruning: prune,
+                vectorized_filter: false,
+                n_threads: 1,
+                ..SqlOptions::default()
+            },
+        );
+        engine.register(table.clone());
+        engine.execute(&sql).unwrap_or_else(|e| panic!("{e}"))
+    };
+    let min_wall = |prune: bool| {
+        (0..runs)
+            .map(|_| run(prune).stats.wall_seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.relation, off.relation, "pruning changed the Q1w result");
+    assert_eq!(
+        on.stats.scan.bytes_scanned + on.stats.scan.bytes_pruned,
+        off.stats.scan.bytes_scanned,
+        "accounting bytes not conserved under pruning",
+    );
+    let wall_seconds_off = min_wall(false);
+    let wall_seconds_on = min_wall(true);
+    let row = PruningRow {
+        window_lo: lo,
+        window_hi: hi,
+        groups_total: table.row_groups().len() as u64,
+        groups_pruned: on.stats.scan.groups_pruned,
+        bytes_scanned: on.stats.scan.bytes_scanned,
+        bytes_pruned: on.stats.scan.bytes_pruned,
+        wall_seconds_off,
+        wall_seconds_on,
+        speedup: wall_seconds_off / wall_seconds_on,
+    };
+    eprintln!(
+        "  sql-presto   Q1w: pruned {}/{} groups, {} of {} bytes; wall {:.2} -> {:.2} ms ({:.1}x)",
+        row.groups_pruned,
+        row.groups_total,
+        row.bytes_pruned,
+        row.bytes_scanned + row.bytes_pruned,
+        wall_seconds_off * 1e3,
+        wall_seconds_on * 1e3,
+        row.speedup,
+    );
+    row
+}
+
 /// `--check`: the tracing-overhead gate plus the Q1–Q8 trace artifact.
 fn check(spec: DatasetSpec) -> bool {
     eprintln!(
@@ -389,6 +472,9 @@ fn main() {
     eprintln!("# compiled execution (Q6, median of {RUNS})");
     let compiled = measure_compiled(&table, RUNS, threads);
 
+    eprintln!("# zone-map pruning (windowed Q1, min of {RUNS})");
+    let pruning = measure_pruning(&table, n, RUNS);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -430,7 +516,20 @@ fn main() {
             if i + 1 < compiled.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"pruning\": {{ \"engine\": \"sql-presto\", \"query\": \"Q1w\", \"window\": {{ \"lo\": {}, \"hi\": {} }}, \"groups_total\": {}, \"groups_pruned\": {}, \"bytes_scanned\": {}, \"bytes_pruned\": {}, \"wall_seconds_off\": {:.6}, \"wall_seconds_on\": {:.6}, \"speedup\": {:.2} }}\n",
+        pruning.window_lo,
+        pruning.window_hi,
+        pruning.groups_total,
+        pruning.groups_pruned,
+        pruning.bytes_scanned,
+        pruning.bytes_pruned,
+        pruning.wall_seconds_off,
+        pruning.wall_seconds_on,
+        pruning.speedup,
+    ));
+    json.push_str("}\n");
 
     let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&out, &json).expect("write BENCH_smoke.json");

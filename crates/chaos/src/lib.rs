@@ -299,6 +299,69 @@ pub fn differential_fuzz(
     report
 }
 
+/// Runs `n_plans` seeded plans on every engine twice — zone-map pruning
+/// forced off, then forced on — and requires both runs to match the
+/// interpreter oracle bin-for-bin. Pruning is a storage-level rewrite
+/// (skip row groups whose statistics refute a filter), so *any*
+/// divergence between the two runs is a soundness bug: a zone map that
+/// pruned a group the filter would not have emptied.
+pub fn pruning_differential_fuzz(
+    seed: u64,
+    n_plans: usize,
+    events: &[Event],
+    table: &Arc<Table>,
+) -> DiffReport {
+    let env_off = ExecEnv {
+        zone_map_pruning: Some(false),
+        ..ExecEnv::seed()
+    };
+    let env_on = ExecEnv {
+        zone_map_pruning: Some(true),
+        ..ExecEnv::seed()
+    };
+    let mut report = DiffReport::default();
+    let mut generator = PlanGenerator::new(seed);
+    for _ in 0..n_plans {
+        let plan = generator.next_plan();
+        let oracle = plan.reference(events);
+        report.plans += 1;
+        for engine in ALL_ENGINES {
+            report.checks += 1;
+            let off = engine.run(&plan, table, &env_off);
+            let on = engine.run(&plan, table, &env_on);
+            match (off, on) {
+                (Ok(a), Ok(b)) => {
+                    if !a.counts_equal(&oracle) {
+                        report.divergences.push(format!(
+                            "{} {}: pruning-off run diverged from oracle\nplan: {:?}",
+                            plan.label(),
+                            engine.name(),
+                            plan
+                        ));
+                    } else if !b.counts_equal(&a) {
+                        report.divergences.push(format!(
+                            "{} {}: pruning changed the histogram \
+                             (off total {}, on total {})\nplan: {:?}",
+                            plan.label(),
+                            engine.name(),
+                            a.total(),
+                            b.total(),
+                            plan
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => report.divergences.push(format!(
+                    "{} {}: failed fault-free: {e}\nplan: {:?}",
+                    plan.label(),
+                    engine.name(),
+                    plan
+                )),
+            }
+        }
+    }
+    report
+}
+
 /// Fault classes the sweep injects (every member of the taxonomy that
 /// surfaces as an error value or a delay; `Panic` is exercised separately
 /// by the service panic-safety tests).

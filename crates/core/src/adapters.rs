@@ -174,6 +174,12 @@ pub struct ExecEnv {
     /// byte-identical at any value, so it is purely a latency knob the
     /// serving layer can expose per query.
     pub parallel_workers: Option<usize>,
+    /// Zone-map row-group pruning override (`None` ⇒ engine option
+    /// default, which is on). Results are byte-identical either way;
+    /// `Some(false)` reproduces the paper's configuration, where every
+    /// system reads every row group and pruning never perturbs the
+    /// measured scan bytes (see [`nf2_columnar::ScanStats`]).
+    pub zone_map_pruning: Option<bool>,
     /// Chaos-layer fault injector on physical chunk reads (`None`, the
     /// default, reproduces the fault-free path byte-for-byte; see
     /// [`nf2_columnar::fault`]).
@@ -221,6 +227,9 @@ pub fn run_sql_env(
     }
     if let Some(n) = env.parallel_workers {
         options.parallel_workers = n;
+    }
+    if let Some(p) = env.zone_map_pruning {
+        options.zone_map_pruning = p;
     }
     let setup_span = env
         .trace
@@ -284,6 +293,9 @@ pub fn run_jsoniq_env(
     if let Some(n) = env.parallel_workers {
         options.parallel_workers = n;
     }
+    if let Some(p) = env.zone_map_pruning {
+        options.zone_map_pruning = p;
+    }
     let setup_span = env
         .trace
         .span_with(obs::Stage::Plan, || "setup".to_string());
@@ -330,6 +342,9 @@ pub fn run_rdf_env(
     }
     if let Some(n) = env.parallel_workers {
         options.parallel_workers = n;
+    }
+    if let Some(p) = env.zone_map_pruning {
+        options.zone_map_pruning = p;
     }
     let setup_span = env
         .trace

@@ -637,6 +637,9 @@ impl FuzzPlan {
         if let Some(n) = env.intra_query_threads {
             options.n_threads = n;
         }
+        if let Some(p) = env.zone_map_pruning {
+            options.zone_map_pruning = p;
+        }
         let mut engine = SqlEngine::new(dialect, options);
         engine.register(table.clone());
         engine.set_chunk_cache(env.chunk_cache.clone());
@@ -661,6 +664,9 @@ impl FuzzPlan {
         let mut options = engine_flwor::FlworOptions::default();
         if let Some(n) = env.intra_query_threads {
             options.n_threads = n;
+        }
+        if let Some(p) = env.zone_map_pruning {
+            options.zone_map_pruning = p;
         }
         let mut engine = FlworEngine::new(options);
         engine.register(table.clone());
@@ -688,6 +694,9 @@ impl FuzzPlan {
         if let Some(n) = env.intra_query_threads {
             options.n_threads = n;
         }
+        if let Some(p) = env.zone_map_pruning {
+            options.zone_map_pruning = p;
+        }
         let mut df = self.rdf(table.clone(), options);
         df.set_chunk_cache(env.chunk_cache.clone());
         df.set_fault_injector(env.fault_injector.clone());
@@ -710,7 +719,8 @@ impl FuzzPlan {
         env: &ExecEnv,
     ) -> Result<Histogram, AdapterError> {
         let plan = self.physical();
-        let bins = physical_ir::execute(&plan, table, None, &env.trace, &env.cancel)
+        let skip = compiled_skip_mask(&plan, table, env);
+        let bins = physical_ir::execute(&plan, table, skip.as_deref(), &env.trace, &env.cancel)
             .map_err(|e| AdapterError::from_engine("Compiled", self.label(), &e))?;
         let mut histogram = Histogram::new(self.spec);
         for b in bins {
@@ -735,15 +745,48 @@ impl FuzzPlan {
             workers,
             steal_seed,
         };
-        let (bins, _stats) =
-            exec_par::execute(&plan, table, None, &env.trace, &env.cancel, None, &opts)
-                .map_err(|e| AdapterError::from_engine("Compiled-parallel", self.label(), &e))?;
+        let skip = compiled_skip_mask(&plan, table, env);
+        let (bins, _stats) = exec_par::execute(
+            &plan,
+            table,
+            skip.as_deref(),
+            &env.trace,
+            &env.cancel,
+            None,
+            &opts,
+        )
+        .map_err(|e| AdapterError::from_engine("Compiled-parallel", self.label(), &e))?;
         let mut histogram = Histogram::new(self.spec);
         for b in bins {
             histogram.add_bin_count(b, 1);
         }
         Ok(histogram)
     }
+}
+
+/// The zone-map skip mask the bare compiled executors run with: the
+/// plan's scalar filters, evaluated against per-chunk statistics — the
+/// same mask an engine's scan layer would hand them — when the
+/// environment explicitly enables pruning, `None` otherwise (the
+/// executors have no scan layer of their own, so the default stays the
+/// unpruned seed path).
+fn compiled_skip_mask(
+    plan: &physical_ir::PhysPlan,
+    table: &Table,
+    env: &ExecEnv,
+) -> Option<Vec<bool>> {
+    if env.zone_map_pruning != Some(true) {
+        return None;
+    }
+    let preds: Vec<nf2_columnar::ScalarPredicate> = plan
+        .filters
+        .iter()
+        .filter_map(|f| match f {
+            physical_ir::FilterNode::Scalar(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    Some(nf2_columnar::stats::skip_mask(table, &preds))
 }
 
 #[cfg(test)]

@@ -32,6 +32,13 @@ pub struct FlworOptions {
     /// are defined by the projected columns (all of them, for Rumble), not
     /// by surviving rows, and the `where` clause still runs on survivors.
     pub vectorized_filter: bool,
+    /// Zone-map row-group pruning: scalar `where` conjuncts extracted by
+    /// the same analysis as `vectorized_filter` are also evaluated against
+    /// per-chunk min/max statistics at scan time, skipping row groups that
+    /// provably contain no matching events (billed as `bytes_pruned`, see
+    /// [`nf2_columnar::ScanStats`]). Results are byte-identical either
+    /// way; applies to interpreted and compiled execution alike.
+    pub zone_map_pruning: bool,
     /// Compiled execution: modules recognized by [`crate::compile`] run
     /// as fused batch kernels over the shared physical IR instead of the
     /// tree-walking interpreter. Recognition is exact (canonical-template
@@ -53,6 +60,7 @@ impl Default for FlworOptions {
             n_threads: 0,
             overhead_ns_per_item: 0,
             vectorized_filter: true,
+            zone_map_pruning: true,
             compile: true,
             parallel_workers: 0,
         }
@@ -189,13 +197,24 @@ impl FlworEngine {
             None
         };
 
-        // Pre-filter extraction cannot perturb the scan accounting below:
-        // scan stats are defined by the projected columns (all of them,
-        // for Rumble), never by surviving rows.
-        let preds = if compiled.is_none() && self.options.vectorized_filter {
+        // Scalar `where`-conjunct extraction feeds two independent
+        // consumers: the vectorized pre-filter (interpreted path only —
+        // compiled plans carry their own filters) and zone-map row-group
+        // pruning (every path). Neither perturbs the per-row scan
+        // accounting: scan stats are defined by the projected columns
+        // (all of them, for Rumble), never by surviving rows; pruned
+        // groups are billed separately as `bytes_pruned`.
+        let want_filter = compiled.is_none() && self.options.vectorized_filter;
+        let extracted = if want_filter || self.options.zone_map_pruning {
             prefilter_predicates(&module, table.schema())
         } else {
             Vec::new()
+        };
+        let preds: &[ScalarPredicate] = if want_filter { &extracted } else { &[] };
+        let prune_preds: &[ScalarPredicate] = if self.options.zone_map_pruning {
+            &extracted
+        } else {
+            &[]
         };
 
         let partitionable = compiled.is_none() && is_partitionable(&module);
@@ -223,15 +242,17 @@ impl FlworEngine {
             table_name: table.name(),
             table_fingerprint: table.fingerprint(),
         });
-        let scan = nf2_columnar::scan::scan_stats_guarded(
-            &table,
-            &Projection::all(),
-            PushdownCapability::None,
-            scan_cache,
-            scan_faults,
-            &self.trace,
-            &self.cancel,
-        )?;
+        let projection = Projection::all();
+        let run = nf2_columnar::ScanRequest::new(&table, &projection)
+            .capability(PushdownCapability::None)
+            .cache(scan_cache)
+            .faults(scan_faults)
+            .trace(&self.trace)
+            .cancel(&self.cancel)
+            .prune(prune_preds)
+            .run()?;
+        let scan = run.stats;
+        let skip = run.skip.expect("prune() was supplied");
         let leaves: Vec<_> = table.schema().leaves().iter().collect();
 
         let cpu = Mutex::new(0.0f64);
@@ -249,7 +270,7 @@ impl FlworEngine {
                 exec_par::execute(
                     plan,
                     &table,
-                    None,
+                    Some(&skip),
                     &self.trace,
                     &self.cancel,
                     None,
@@ -260,7 +281,7 @@ impl FlworEngine {
                     bins
                 })
             } else {
-                physical_ir::execute(plan, &table, None, &self.trace, &self.cancel)
+                physical_ir::execute(plan, &table, Some(&skip), &self.trace, &self.cancel)
             }
             .map_err(|e| match e {
                 physical_ir::PirError::Columnar(c) => FlworError::from(c),
@@ -274,22 +295,26 @@ impl FlworEngine {
             let mut rows = Vec::with_capacity(table.n_rows());
             let mut rows_done = 0u64;
             for (idx, g) in table.row_groups().iter().enumerate() {
+                if skip[idx] {
+                    continue;
+                }
                 self.cancel.check(obs::Stage::Materialize, rows_done)?;
                 rows.extend(materialize_group(
                     g,
                     idx,
                     table.schema(),
                     &leaves,
-                    &preds,
+                    preds,
                     &self.trace,
                 )?);
                 rows_done += g.n_rows() as u64;
             }
             let agg_span = self.trace.span(obs::Stage::Aggregate);
             // Overhead models per-record cost of everything the simulated
-            // engine *scans*, so it is charged for all rows regardless of
-            // how many the pre-filter admits.
-            self.busy_overhead(table.n_rows());
+            // engine *scans*, so it is charged for all scanned rows
+            // regardless of how many the pre-filter admits — but not for
+            // rows in pruned groups, which are never read at all.
+            self.busy_overhead(scan.rows as usize);
             let source = TableSource {
                 rows: &rows,
                 name: table.name(),
@@ -317,6 +342,9 @@ impl FlworEngine {
                     if g >= n_groups {
                         break;
                     }
+                    if skip[g] {
+                        continue;
+                    }
                     if let Err(c) = self
                         .cancel
                         .check(obs::Stage::Materialize, rows_done.load(Ordering::Relaxed))
@@ -331,7 +359,7 @@ impl FlworEngine {
                             g,
                             table.schema(),
                             &leaves,
-                            &preds,
+                            preds,
                             &self.trace,
                         )?;
                         let agg_span = self
@@ -384,9 +412,9 @@ impl FlworEngine {
             stats: ExecStats {
                 wall_seconds: start.elapsed().as_secs_f64(),
                 cpu_seconds: cpu.into_inner(),
-                scan,
                 threads_used,
-                row_groups_skipped: 0,
+                row_groups_skipped: scan.groups_pruned,
+                scan,
             },
         })
     }

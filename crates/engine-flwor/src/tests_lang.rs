@@ -333,6 +333,52 @@ fn vectorized_prefilter_matches_interpreter() {
 }
 
 #[test]
+fn zone_map_pruning_skips_groups_and_preserves_results() {
+    // Event ids are monotone across row groups (500 events, groups of
+    // 128), so a cut on `$e.event` prunes whole groups: `< 100` keeps
+    // only the first of four. Results must be identical with pruning on
+    // and off, at any thread count, with and without the vectorized
+    // pre-filter, and the pruned bytes must account exactly for the
+    // bytes the unpruned scan would have billed.
+    let q = "for $e in parquet-file(\"events\") \
+             where $e.event < 100 \
+             return $e.MET.pt";
+    let (events, base) = hep_engine_opts(FlworOptions {
+        zone_map_pruning: false,
+        ..FlworOptions::default()
+    });
+    let off = base.execute(q).unwrap();
+    let expect: Vec<Value> = events
+        .iter()
+        .filter(|e| e.event < 100)
+        .map(|e| Value::Float(e.met.pt))
+        .collect();
+    assert_eq!(off.items, expect);
+    assert_eq!(off.stats.row_groups_skipped, 0);
+    assert_eq!(off.stats.scan.groups_pruned, 0);
+    for n_threads in [1, 4] {
+        for vectorized_filter in [true, false] {
+            let (_, engine) = hep_engine_opts(FlworOptions {
+                n_threads,
+                vectorized_filter,
+                zone_map_pruning: true,
+                ..FlworOptions::default()
+            });
+            let on = engine.execute(q).unwrap();
+            assert_eq!(on.items, expect, "vf={vectorized_filter} t={n_threads}");
+            assert_eq!(on.stats.row_groups_skipped, 3);
+            assert_eq!(on.stats.scan.groups_pruned, 3);
+            assert!(on.stats.scan.bytes_pruned > 0);
+            assert_eq!(
+                on.stats.scan.bytes_scanned + on.stats.scan.bytes_pruned,
+                off.stats.scan.bytes_scanned,
+                "pruned + scanned bytes must equal the unpruned scan"
+            );
+        }
+    }
+}
+
+#[test]
 fn prefilter_skips_nonscalar_conjuncts_soundly() {
     // Mixed where: the scalar MET conjunct (with an *integer* literal
     // against a float column) is vectorizable, the jet-count conjunct is

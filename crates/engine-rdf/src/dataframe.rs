@@ -79,6 +79,15 @@ pub struct Options {
     /// back to per-event evaluation) under [`ContentionModel::RootV622`],
     /// whose simulated lock cadence is defined per *processed* event.
     pub vectorized_filter: bool,
+    /// Zone-map row-group pruning: [`RDataFrame::filter_scalar`] cuts are
+    /// also evaluated against per-chunk min/max statistics at scan time,
+    /// skipping row groups that provably contain no passing events
+    /// (billed separately as `bytes_pruned`). Results are bin-identical
+    /// either way; applies to interpreted and compiled execution alike
+    /// and, unlike `vectorized_filter`, also under
+    /// [`ContentionModel::RootV622`] — a pruned group is never read, so
+    /// its events never reach the simulated lock in any model.
+    pub zone_map_pruning: bool,
     /// Compiled execution: graphs recognized by the lowering pass (all
     /// nodes declarative, one booking on a base column, contention-free
     /// merging) run as fused batch kernels over the shared physical IR.
@@ -99,6 +108,7 @@ impl Default for Options {
             n_threads: 0,
             contention: ContentionModel::Fixed,
             vectorized_filter: true,
+            zone_map_pruning: true,
             compile: true,
             parallel_workers: 0,
         }

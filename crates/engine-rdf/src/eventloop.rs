@@ -84,11 +84,10 @@ impl EventLoop {
             .map(|n| resolve_column(table, n))
             .collect::<Result<_, _>>()?;
         let projection = Projection::of(paths.iter().map(|p| p.to_string()));
-        let scan = nf2_columnar::scan::scan_stats(
-            table,
-            &projection,
-            PushdownCapability::IndividualLeaves,
-        )?;
+        let scan = nf2_columnar::ScanRequest::new(table, &projection)
+            .capability(PushdownCapability::IndividualLeaves)
+            .run()?
+            .stats;
 
         let n_groups = table.row_groups().len();
         let hw = std::thread::available_parallelism().map_or(4, |n| n.get());

@@ -172,15 +172,25 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     .min(n_groups.max(1));
     plan_span.finish();
 
-    let scan = nf2_columnar::scan::scan_stats_guarded(
-        table,
-        &projection,
-        PushdownCapability::IndividualLeaves,
-        scan_cache,
-        scan_faults,
-        &df.trace,
-        &df.cancel,
-    )?;
+    // Zone-map pruning reuses the resolved scalar cuts: they are pure
+    // conjuncts applied per event in every execution mode (hoisted,
+    // per-event, or compiled into the plan's filters), so a row group
+    // whose statistics refute one of them would contribute nothing.
+    let prune_preds: &[ScalarPredicate] = if df.options.zone_map_pruning {
+        &scalar_preds
+    } else {
+        &[]
+    };
+    let run = nf2_columnar::ScanRequest::new(table, &projection)
+        .capability(PushdownCapability::IndividualLeaves)
+        .cache(scan_cache)
+        .faults(scan_faults)
+        .trace(&df.trace)
+        .cancel(&df.cancel)
+        .prune(prune_preds)
+        .run()?;
+    let scan = run.stats;
+    let skip = run.skip.expect("prune() was supplied");
 
     if let Some(plan) = &compiled {
         let t0 = Instant::now();
@@ -189,7 +199,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             exec_par::execute(
                 plan,
                 table,
-                None,
+                Some(&skip),
                 &df.trace,
                 &df.cancel,
                 None,
@@ -197,7 +207,8 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             )
             .map(|(bins, stats)| (bins, stats.workers))
         } else {
-            physical_ir::execute(plan, table, None, &df.trace, &df.cancel).map(|bins| (bins, 1))
+            physical_ir::execute(plan, table, Some(&skip), &df.trace, &df.cancel)
+                .map(|bins| (bins, 1))
         }
         .map_err(|e| match e {
             physical_ir::PirError::Columnar(c) => RdfError::from(c),
@@ -212,9 +223,9 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             stats: ExecStats {
                 wall_seconds: start.elapsed().as_secs_f64(),
                 cpu_seconds: t0.elapsed().as_secs_f64(),
-                scan,
                 threads_used: compiled_threads,
-                row_groups_skipped: 0,
+                row_groups_skipped: scan.groups_pruned,
+                scan,
             },
         });
     }
@@ -375,6 +386,9 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             if g >= n_groups {
                 break;
             }
+            if skip[g] {
+                continue;
+            }
             let group = &table.row_groups()[g];
             df.cancel
                 .check(obs::Stage::Aggregate, rows_done.load(Ordering::Relaxed))?;
@@ -413,9 +427,9 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
         stats: ExecStats {
             wall_seconds: start.elapsed().as_secs_f64(),
             cpu_seconds: cpu_seconds.into_inner(),
-            scan,
             threads_used: n_threads,
-            row_groups_skipped: 0,
+            row_groups_skipped: scan.groups_pruned,
+            scan,
         },
     })
 }
@@ -537,6 +551,55 @@ mod tests {
         for s in &stats[1..] {
             assert_eq!(s.bytes_scanned, stats[0].bytes_scanned);
             assert_eq!(s.logical_bytes, stats[0].logical_bytes);
+        }
+    }
+
+    #[test]
+    fn zone_map_pruning_skips_groups_and_preserves_bins() {
+        use nf2_columnar::{SelCmp, SelValue};
+        // Event ids are monotone across row groups (1000 events, groups
+        // of 128): `event < 200` keeps the first two of eight groups.
+        let (events, t) = test_table();
+        let spec = HistSpec::new(100, 0.0, 200.0);
+        let expect = {
+            let mut h = Histogram::new(spec);
+            for e in events.iter().filter(|e| e.event < 200) {
+                h.fill(e.met.pt);
+            }
+            h
+        };
+        let mk = |zone_map_pruning, n_threads, compile| {
+            RDataFrame::new(
+                t.clone(),
+                Options {
+                    n_threads,
+                    compile,
+                    zone_map_pruning,
+                    ..Options::default()
+                },
+            )
+            .filter_scalar("event", SelCmp::Lt, SelValue::Int(200))
+            .histo1d(spec, "MET_pt")
+            .run()
+            .unwrap()
+        };
+        let off = mk(false, 1, true);
+        assert!(off.histogram.counts_equal(&expect));
+        assert_eq!(off.stats.row_groups_skipped, 0);
+        for n_threads in [1, 4] {
+            for compile in [true, false] {
+                let on = mk(true, n_threads, compile);
+                assert!(
+                    on.histogram.counts_equal(&expect),
+                    "t={n_threads} compile={compile}"
+                );
+                assert_eq!(on.stats.row_groups_skipped, 6);
+                assert_eq!(
+                    on.stats.scan.bytes_scanned + on.stats.scan.bytes_pruned,
+                    off.stats.scan.bytes_scanned,
+                    "pruned + scanned bytes must equal the unpruned scan"
+                );
+            }
         }
     }
 

@@ -31,9 +31,11 @@ pub struct SqlOptions {
     /// per-event `GROUP BY` stays within one event and events never span
     /// row groups. Disable for arbitrary SQL.
     pub partition_parallel: bool,
-    /// Skip row groups whose min/max statistics cannot satisfy top-level
-    /// WHERE conjuncts on scalar columns (zone maps). Sound — extraction
-    /// in [`crate::plan::prunable_predicates`] is conservative.
+    /// Skip row groups whose zone maps ([`nf2_columnar::stats`]) cannot
+    /// satisfy top-level WHERE conjuncts on scalar columns. Sound —
+    /// extraction in [`crate::plan::filterable_predicates`] is
+    /// conservative, and the skipped bytes are billed as
+    /// `ScanStats::bytes_pruned`.
     pub zone_map_pruning: bool,
     /// Evaluate top-level WHERE conjuncts on non-repeated numeric columns
     /// vectorized over the decoded chunk buffers and materialize only the
@@ -163,46 +165,28 @@ impl SqlEngine {
             .collect();
         let projections = plan::collect_projections(&script, &schemas);
 
-        // Zone-map pruning: per table, a keep-mask over row groups derived
-        // from the chunk min/max statistics (reading statistics is free —
-        // they live in the footer, like Parquet's).
-        let prune_preds = if self.options.zone_map_pruning {
-            plan::prunable_predicates(&script, &schemas)
-        } else {
-            Vec::new()
-        };
-        let mut masks: HashMap<String, Vec<bool>> = HashMap::new();
-        let mut skipped_groups = 0u64;
-        for (name, table) in &self.tables {
-            let preds: Vec<_> = prune_preds.iter().filter(|p| &p.table == name).collect();
-            let mask: Vec<bool> = table
-                .row_groups()
-                .iter()
-                .map(|g| {
-                    preds
-                        .iter()
-                        .all(|p| match g.column(&nested_value::Path::parse(&p.leaf)) {
-                            Ok(chunk) => match (chunk.min, chunk.max) {
-                                (Some(min), Some(max)) => p.may_match(min, max),
-                                _ => chunk.n_entries() > 0,
-                            },
-                            Err(_) => true,
-                        })
-                })
-                .collect();
-            skipped_groups += mask.iter().filter(|k| !**k).count() as u64;
-            masks.insert(name.clone(), mask);
-        }
-
-        // Vectorized pre-filter (late materialization): per-table WHERE
-        // conjuncts evaluated over decoded chunks before any row is built.
-        // Deliberately computed independently of the zone-map mask — masks
-        // drop whole groups and feed the scan accounting above; the filter
-        // only decides which rows of a surviving group get materialized.
-        let filter_preds = if self.options.vectorized_filter {
+        // One predicate extraction feeds two independent consumers:
+        // zone-map pruning (whole row groups skipped before decode, via
+        // [`nf2_columnar::ScanRequest::prune`]) and the vectorized
+        // pre-filter (late materialization of surviving groups). Either
+        // can be toggled without the other; results are identical in all
+        // four combinations because the full WHERE still runs on whatever
+        // rows get materialized.
+        let extracted = if self.options.zone_map_pruning || self.options.vectorized_filter {
             plan::filterable_predicates(&script, &schemas)
         } else {
             HashMap::new()
+        };
+        let no_preds: HashMap<String, Vec<ScalarPredicate>> = HashMap::new();
+        let prune_preds = if self.options.zone_map_pruning {
+            &extracted
+        } else {
+            &no_preds
+        };
+        let filter_preds = if self.options.vectorized_filter {
+            &extracted
+        } else {
+            &no_preds
         };
 
         let udfs = compile_udfs(&script)?;
@@ -220,9 +204,11 @@ impl SqlEngine {
         };
         plan_span.finish();
 
-        let mut scan_span = self.trace.span(obs::Stage::Scan);
         let mut scan = ScanStats::default();
         let mut table_projs: HashMap<String, Projection> = HashMap::new();
+        // Keep-masks over row groups (zone-map pruning); execution loops
+        // skip exactly the groups the scan accounting skipped.
+        let mut masks: HashMap<String, Vec<bool>> = HashMap::new();
         for (name, table) in &self.tables {
             let proj = match projections.get(name) {
                 Some(cols) if !cols.is_empty() => Projection::of(cols.iter()),
@@ -239,14 +225,6 @@ impl SqlEngine {
                 }
                 None => continue, // table not referenced
             };
-            // Accumulate scan bytes only over surviving row groups.
-            let read_leaves = proj.resolve(table.schema(), self.dialect.pushdown)?;
-            let logical_leaves = proj.logical_leaves(table.schema())?;
-            let mask = masks.get(name).expect("mask built above");
-            let mut s = ScanStats {
-                columns_read: read_leaves.len() as u64,
-                ..ScanStats::default()
-            };
             let scan_cache = self.chunk_cache.as_deref().map(|cache| ScanCache {
                 cache,
                 table_fingerprint: table.fingerprint(),
@@ -256,30 +234,24 @@ impl SqlEngine {
                 table_name: table.name(),
                 table_fingerprint: table.fingerprint(),
             });
-            for (idx, (g, keep)) in table.row_groups().iter().zip(mask).enumerate() {
-                if !keep {
-                    continue;
-                }
-                self.cancel.check(obs::Stage::Scan, scan.rows + s.rows)?;
-                nf2_columnar::scan::account_group_scan(
-                    &mut s,
-                    g,
-                    idx,
-                    &read_leaves,
-                    &logical_leaves,
-                    scan_cache,
-                    scan_faults,
-                )?;
-            }
-            scan.merge(&s);
+            let preds = prune_preds.get(name).map_or(&[][..], |v| v.as_slice());
+            let run = nf2_columnar::ScanRequest::new(table, &proj)
+                .capability(self.dialect.pushdown)
+                .cache(scan_cache)
+                .faults(scan_faults)
+                .trace(&self.trace)
+                .cancel(&self.cancel)
+                .prune(preds)
+                .run()?;
+            scan.merge(&run.stats);
+            let keep = run
+                .skip
+                .map(|skip| skip.iter().map(|s| !s).collect())
+                .unwrap_or_else(|| vec![true; table.row_groups().len()]);
+            masks.insert(name.clone(), keep);
             table_projs.insert(name.clone(), proj);
         }
-        if scan_span.is_enabled() {
-            scan_span.add_rows_in(scan.rows);
-            scan_span.add_rows_out(scan.rows);
-            scan_span.add_bytes(scan.bytes_scanned);
-        }
-        scan_span.finish();
+        let skipped_groups = scan.groups_pruned;
 
         let cpu = Mutex::new(0.0f64);
         // Compiled execution binds to the template's base table; the
@@ -341,7 +313,7 @@ impl SqlEngine {
                 _ => {
                     let t0 = Instant::now();
                     let rel =
-                        self.run_serial(&script, &udfs, &table_projs, &masks, &filter_preds)?;
+                        self.run_serial(&script, &udfs, &table_projs, &masks, filter_preds)?;
                     *cpu.lock() += t0.elapsed().as_secs_f64();
                     (rel, 1)
                 }

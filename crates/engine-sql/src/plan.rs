@@ -644,139 +644,21 @@ mod tests {
     }
 }
 
-// ---------------------------------------------------------------- pruning
+// ------------------------------------------------- filter/prune extraction
 
-/// Comparison kinds usable for zone-map pruning.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PruneCmp {
-    /// `<`
-    Lt,
-    /// `<=`
-    Le,
-    /// `>`
-    Gt,
-    /// `>=`
-    Ge,
-    /// `=`
-    Eq,
-}
-
-/// A conjunct of the root WHERE clause usable to skip whole row groups via
-/// per-chunk min/max statistics (zone maps).
-#[derive(Clone, Debug, PartialEq)]
-pub struct PrunePredicate {
-    /// Base table name (lowercase).
-    pub table: String,
-    /// Non-repeated scalar leaf path, e.g. `MET.pt`.
-    pub leaf: String,
-    /// Comparison.
-    pub cmp: PruneCmp,
-    /// Literal bound.
-    pub value: f64,
-}
-
-impl PrunePredicate {
-    /// Can a chunk with the given min/max contain a satisfying row?
-    pub fn may_match(&self, min: f64, max: f64) -> bool {
-        match self.cmp {
-            PruneCmp::Lt => min < self.value,
-            PruneCmp::Le => min <= self.value,
-            PruneCmp::Gt => max > self.value,
-            PruneCmp::Ge => max >= self.value,
-            PruneCmp::Eq => min <= self.value && self.value <= max,
-        }
-    }
-}
-
-/// Extracts zone-map-prunable predicates from the script's root query.
+/// Extracts WHERE conjuncts usable as a **vectorized pre-filter** (late
+/// materialization; see [`nf2_columnar::select`]) and as **zone-map
+/// pruning predicates** ([`nf2_columnar::stats`]), keyed by table.
 ///
 /// Sound only when (a) the predicate is a top-level AND-conjunct of the
 /// root `WHERE`, (b) it compares a **non-repeated scalar leaf** of a base
 /// table against a numeric literal, and (c) that base table is scanned
-/// exactly once in the whole script (pruning a shared materialization
-/// would corrupt other readers).
-pub fn prunable_predicates(
-    script: &Script,
-    schemas: &HashMap<String, &Schema>,
-) -> Vec<PrunePredicate> {
-    let select = &script.query.select;
-    // (c): count table scans over the whole script.
-    let mut scan_counts: HashMap<String, usize> = HashMap::new();
-    count_table_scans_query(&script.query, &mut scan_counts);
-
-    // The root FROM must directly scan the base table (possibly aliased,
-    // possibly with additional unnest joins — those only multiply rows).
-    let mut frame: Frame = Vec::new();
-    let mut a = Analyzer {
-        schemas,
-        out: HashMap::new(),
-    };
-    for item in &select.from {
-        a.visit_from_item(item, &mut frame, &[]);
-    }
-    let frames = vec![frame];
-
-    let Some(pred) = &select.where_clause else {
-        return Vec::new();
-    };
-    let mut conjuncts = Vec::new();
-    collect_conjuncts(pred, &mut conjuncts);
-
-    let mut out = Vec::new();
-    for c in conjuncts {
-        let Expr::Binary(l, op, r) = c else { continue };
-        let (name_side, lit_side, flip) = match (literal_f64(l), literal_f64(r)) {
-            (None, Some(v)) => (l.as_ref(), v, false),
-            (Some(v), None) => (r.as_ref(), v, true),
-            _ => continue,
-        };
-        let Some((table, path)) = a.trace(name_side, &frames) else {
-            continue;
-        };
-        let Some(schema) = schemas.get(&table) else {
-            continue;
-        };
-        let leaf_path = nested_value::Path::parse(&path.join("."));
-        let Some(leaf) = schema.leaf(&leaf_path) else {
-            continue;
-        };
-        if leaf.repeated {
-            continue; // array elements: min/max of the flat buffer is per
-                      // group, but the predicate semantics are per element
-                      // within events — conservatively skip.
-        }
-        if scan_counts.get(&table).copied().unwrap_or(0) != 1 {
-            continue;
-        }
-        let cmp = match (op, flip) {
-            (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => PruneCmp::Lt,
-            (BinaryOp::Lte, false) | (BinaryOp::Gte, true) => PruneCmp::Le,
-            (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => PruneCmp::Gt,
-            (BinaryOp::Gte, false) | (BinaryOp::Lte, true) => PruneCmp::Ge,
-            (BinaryOp::Eq, _) => PruneCmp::Eq,
-            _ => continue,
-        };
-        out.push(PrunePredicate {
-            table,
-            leaf: path.join("."),
-            cmp,
-            value: lit_side,
-        });
-    }
-    out
-}
-
-/// Extracts WHERE conjuncts usable as a **vectorized pre-filter** (late
-/// materialization; see [`nf2_columnar::select`]), keyed by table.
-///
-/// Shares the soundness conditions of [`prunable_predicates`] — top-level
-/// AND-conjunct of the root `WHERE`, non-repeated scalar leaf of a base
-/// table scanned exactly once — but differs in what it keeps:
+/// exactly once in the whole script (pruning or pre-filtering a shared
+/// materialization would corrupt other readers). Additionally:
 ///
 /// * the literal's source type is preserved ([`SelValue::Int`] vs
 ///   [`SelValue::Float`]), because integer and float literals compare
 ///   differently against integer columns;
-/// * `<>` is admitted (zone maps cannot use it, row filters can);
 /// * boolean leaves are excluded — the selection kernels are numeric-only;
 /// * the leaf path is canonicalized to the schema's casing, since the
 ///   kernel looks chunks up by exact path (zone maps tolerate a miss by
@@ -904,15 +786,6 @@ fn collect_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
     }
 }
 
-fn literal_f64(e: &Expr) -> Option<f64> {
-    match e {
-        Expr::Int(i) => Some(*i as f64),
-        Expr::Float(f) => Some(*f),
-        Expr::Unary(crate::ast::UnaryOp::Neg, inner) => literal_f64(inner).map(|v| -v),
-        _ => None,
-    }
-}
-
 fn count_table_scans_query(q: &Query, counts: &mut HashMap<String, usize>) {
     for (_, cte) in &q.ctes {
         count_table_scans_query(cte, counts);
@@ -972,57 +845,6 @@ mod prune_tests {
         .unwrap()
     }
 
-    fn preds(sql: &str) -> Vec<PrunePredicate> {
-        let script = parse_script(sql).unwrap();
-        let s = schema();
-        let mut schemas = HashMap::new();
-        schemas.insert("events".to_string(), &s);
-        prunable_predicates(&script, &schemas)
-    }
-
-    #[test]
-    fn extracts_scalar_conjuncts() {
-        let p = preds("SELECT COUNT(*) FROM events WHERE MET.pt > 100.0 AND event >= 5");
-        assert_eq!(p.len(), 2);
-        assert_eq!(p[0].leaf, "MET.pt");
-        assert_eq!(p[0].cmp, PruneCmp::Gt);
-        assert_eq!(p[1].leaf, "event");
-        assert_eq!(p[1].cmp, PruneCmp::Ge);
-    }
-
-    #[test]
-    fn flipped_literal_side() {
-        let p = preds("SELECT 1 FROM events WHERE 100.0 < MET.pt");
-        assert_eq!(p[0].cmp, PruneCmp::Gt);
-        assert_eq!(p[0].value, 100.0);
-        let p = preds("SELECT 1 FROM events e WHERE -3.5 >= e.MET.pt");
-        assert_eq!(p[0].cmp, PruneCmp::Le);
-        assert_eq!(p[0].value, -3.5);
-    }
-
-    #[test]
-    fn repeated_leaves_are_not_prunable() {
-        // Jet.pt is per-element; the conjunct shape is not sound for
-        // group-level skipping in general queries.
-        let p = preds("SELECT COUNT(*) FROM events CROSS JOIN UNNEST(Jet) AS j WHERE j.pt > 40.0");
-        assert!(p.is_empty());
-    }
-
-    #[test]
-    fn or_disjunction_not_prunable() {
-        let p = preds("SELECT 1 FROM events WHERE MET.pt > 100.0 OR event = 1");
-        assert!(p.is_empty());
-    }
-
-    #[test]
-    fn multiply_scanned_tables_not_pruned() {
-        let p = preds(
-            "WITH a AS (SELECT event FROM events) \
-             SELECT COUNT(*) FROM events WHERE MET.pt > 10.0",
-        );
-        assert!(p.is_empty());
-    }
-
     fn filt(sql: &str) -> Vec<ScalarPredicate> {
         let script = parse_script(sql).unwrap();
         let s = schema();
@@ -1053,6 +875,12 @@ mod prune_tests {
         assert_eq!(p[0].value, SelValue::Float(-2.5));
         let p = filt("SELECT 1 FROM events WHERE event >= -3");
         assert_eq!(p[0].value, SelValue::Int(-3));
+        let p = filt("SELECT 1 FROM events WHERE 100.0 < MET.pt");
+        assert_eq!(p[0].cmp, SelCmp::Gt);
+        assert_eq!(p[0].value, SelValue::Float(100.0));
+        let p = filt("SELECT 1 FROM events e WHERE -3.5 >= e.MET.pt");
+        assert_eq!(p[0].cmp, SelCmp::Le);
+        assert_eq!(p[0].value, SelValue::Float(-3.5));
     }
 
     #[test]
@@ -1067,24 +895,5 @@ mod prune_tests {
         )
         .is_empty());
         assert!(filt("SELECT 1 FROM events WHERE MET.pt > 1.0 OR event = 1").is_empty());
-    }
-
-    #[test]
-    fn may_match_logic() {
-        let gt = PrunePredicate {
-            table: "t".into(),
-            leaf: "x".into(),
-            cmp: PruneCmp::Gt,
-            value: 40.0,
-        };
-        assert!(!gt.may_match(0.0, 39.0));
-        assert!(!gt.may_match(0.0, 40.0));
-        assert!(gt.may_match(0.0, 41.0));
-        let eq = PrunePredicate {
-            cmp: PruneCmp::Eq,
-            ..gt.clone()
-        };
-        assert!(eq.may_match(39.0, 41.0));
-        assert!(!eq.may_match(41.0, 99.0));
     }
 }

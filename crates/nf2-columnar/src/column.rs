@@ -1,7 +1,8 @@
 //! Physical column chunks.
 
-use crate::compress;
+use crate::compress::{self, Encoding};
 use crate::schema::PhysicalType;
+use crate::stats::ZoneMap;
 
 /// The physical buffer of one leaf column within one row group.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,31 +97,42 @@ pub struct ColumnChunk {
     /// For repeated leaves: `n_rows + 1` offsets into `data`; row `i` owns
     /// entries `offsets[i]..offsets[i+1]`. `None` for non-repeated leaves.
     pub offsets: Option<Vec<u32>>,
-    /// Byte size after the honest lightweight compression of [`compress`].
+    /// Byte size under the adaptively chosen [`encoding`](Self::encoding)
+    /// of [`compress`] (values) plus delta-varint offsets.
     pub compressed_bytes: usize,
     /// Minimum value (numeric view), if any entries exist.
     pub min: Option<f64>,
     /// Maximum value (numeric view), if any entries exist.
     pub max: Option<f64>,
+    /// The encoding [`compress::choose`] picked for the value buffer
+    /// (smallest measured payload among the applicable candidates).
+    pub encoding: Encoding,
+    /// Zone map for row-group pruning (see [`crate::stats`]).
+    pub zone: ZoneMap,
 }
 
 impl ColumnChunk {
-    /// Seals a buffer into a chunk: computes compressed size and statistics.
+    /// Seals a buffer into a chunk: picks the cheapest encoding, computes
+    /// the compressed size under it, and builds min/max statistics.
     pub fn seal(data: ColumnData, offsets: Option<Vec<u32>>) -> ColumnChunk {
-        let compressed_bytes = compress::compressed_size(&data)
-            + offsets.as_ref().map_or(0, |o| compress::offsets_size(o));
+        let (encoding, value_bytes) = compress::choose(&data);
+        let compressed_bytes =
+            value_bytes + offsets.as_ref().map_or(0, |o| compress::offsets_size(o));
         let (mut min, mut max) = (None::<f64>, None::<f64>);
         for i in 0..data.len() {
             let x = data.get_f64(i);
             min = Some(min.map_or(x, |m: f64| m.min(x)));
             max = Some(max.map_or(x, |m: f64| m.max(x)));
         }
+        let zone = ZoneMap::build(&data);
         ColumnChunk {
             data,
             offsets,
             compressed_bytes,
             min,
             max,
+            encoding,
+            zone,
         }
     }
 
@@ -196,6 +208,21 @@ mod tests {
         assert_eq!(c.n_entries(), 3);
         assert_eq!(c.uncompressed_bytes(), 24);
         assert!(c.compressed_bytes > 0);
+        assert_eq!(c.zone.min, Some(-1.0));
+        assert_eq!(c.zone.max, Some(3.0));
+        assert_eq!(c.zone.n_entries, 3);
+    }
+
+    #[test]
+    fn seal_picks_smallest_encoding() {
+        let constant = ColumnChunk::seal(ColumnData::F64(vec![9.81; 2000]), None);
+        assert_eq!(constant.encoding, compress::Encoding::Dict);
+        assert!(
+            constant.compressed_bytes <= compress::compressed_size(&constant.data),
+            "adaptive choice must never exceed the type-default estimate"
+        );
+        let sequential = ColumnChunk::seal(ColumnData::I64((0..2000).collect()), None);
+        assert_eq!(sequential.encoding, compress::Encoding::DeltaVarint);
     }
 
     #[test]

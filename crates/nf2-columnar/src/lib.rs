@@ -24,11 +24,15 @@
 //!   compressed bytes read, uncompressed sizes, and the BigQuery-style
 //!   *logical* bytes (every number priced as 8 B regardless of physical
 //!   precision), feeding the cost models of the `cloud-sim` crate.
-//! * **Compression** — physical leaf buffers are assigned an honest
-//!   compressed size by actually running lightweight encodings
-//!   (bit-packing, delta+varint, byte-plane RLE) over the data; see
-//!   [`compress`]. Floating-point columns barely compress — the very
-//!   property the paper uses to explain Athena's pricing.
+//! * **Compression** — each chunk is sealed with the smallest of several
+//!   real lightweight encodings (bit-packed RLE, delta+varint, byte-plane
+//!   RLE, value dictionaries); see [`compress`]. Floating-point columns
+//!   barely compress — the very property the paper uses to explain
+//!   Athena's pricing.
+//! * **Zone maps & pruning** — every chunk carries min/max statistics
+//!   ([`stats::ZoneMap`]); a [`scan::ScanRequest`] with filter predicates
+//!   attached skips row groups proven empty before decoding them, billing
+//!   the skipped bytes separately as `bytes_pruned`.
 //!
 //! The crate also provides a simple on-disk container format ([`mod@file`]) so
 //! data sets can be materialized and re-read, with real file sizes.
@@ -44,6 +48,7 @@ pub mod rowgroup;
 pub mod scan;
 pub mod schema;
 pub mod select;
+pub mod stats;
 pub mod table;
 
 pub use cache::{CacheCounters, ChunkCache, ChunkKey};
@@ -52,9 +57,10 @@ pub use error::ColumnarError;
 pub use fault::{FaultClass, FaultConfig, FaultCounters, FaultInjector, ScanError};
 pub use project::{Projection, PushdownCapability};
 pub use rowgroup::{GroupReader, RowGroup};
-pub use scan::{ExecStats, ScanCache, ScanFaults, ScanStats};
+pub use scan::{ExecStats, ScanCache, ScanFaults, ScanRequest, ScanRun, ScanStats};
 pub use schema::{DataType, Field, LeafInfo, PhysicalType, Schema};
 pub use select::{apply_predicates, ScalarPredicate, SelCmp, SelValue, SelectionVector};
+pub use stats::ZoneMap;
 pub use table::{Table, TableBuilder};
 
 #[cfg(test)]

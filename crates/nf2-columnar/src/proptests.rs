@@ -11,7 +11,7 @@ use nested_value::Value;
 use crate::cache::{ChunkCache, ChunkKey};
 use crate::column::{ColumnChunk, ColumnData};
 use crate::project::{Projection, PushdownCapability};
-use crate::scan::scan_stats;
+use crate::scan::ScanRequest;
 use crate::schema::{DataType, Field, Schema};
 use crate::select::{apply_predicates, ScalarPredicate, SelCmp, SelValue};
 use crate::table::TableBuilder;
@@ -207,15 +207,60 @@ proptest! {
         b.append_all(&rows).unwrap();
         let t = b.finish();
         let p = Projection::of(["Jet.pt", "MET.pt"]);
-        let fine = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
-        let coarse = scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap();
-        let none = scan_stats(&t, &p, PushdownCapability::None).unwrap();
+        let run = |cap| ScanRequest::new(&t, &p).capability(cap).run().unwrap().stats;
+        let fine = run(PushdownCapability::IndividualLeaves);
+        let coarse = run(PushdownCapability::WholeStructs);
+        let none = run(PushdownCapability::None);
         prop_assert!(fine.bytes_scanned <= coarse.bytes_scanned);
         prop_assert!(coarse.bytes_scanned <= none.bytes_scanned);
         prop_assert!(fine.columns_read <= coarse.columns_read);
         // Ideal accounting does not depend on capability.
         prop_assert_eq!(fine.ideal_compressed_bytes, none.ideal_compressed_bytes);
         prop_assert_eq!(fine.rows, rows.len() as u64);
+    }
+
+    /// Zone-map pruning is sound and conservative: a pruned row group
+    /// never contains a row the full conjunction would accept (so results
+    /// are identical with pruning on and off), and the pruned scan's
+    /// bytes decompose exactly into the unpruned scan's
+    /// (`bytes_scanned + bytes_pruned` is conserved).
+    #[test]
+    fn pruning_never_drops_matching_rows(
+        rows in proptest::collection::vec(arb_row(), 0..40),
+        preds in proptest::collection::vec(arb_pred(), 0..4),
+        rg in 1usize..9,
+    ) {
+        let mut b = TableBuilder::new("t", test_schema(), rg);
+        b.append_all(&rows).unwrap();
+        let t = b.finish();
+        let skip = crate::stats::skip_mask(&t, &preds);
+        let leaves: Vec<_> = t.schema().leaves().iter().collect();
+        for (g, skipped) in t.row_groups().iter().zip(&skip) {
+            if !*skipped {
+                continue;
+            }
+            let all = g.read_rows(t.schema(), &leaves).unwrap();
+            for row in &all {
+                prop_assert!(
+                    !preds.iter().all(|p| naive_matches(row, p)),
+                    "pruned group contains a matching row: {row:?} under {preds:?}"
+                );
+            }
+        }
+        let p = Projection::of(["event", "MET.pt", "MET.phi"]);
+        let off = ScanRequest::new(&t, &p)
+            .capability(PushdownCapability::IndividualLeaves)
+            .run().unwrap();
+        let on = ScanRequest::new(&t, &p)
+            .capability(PushdownCapability::IndividualLeaves)
+            .prune(&preds)
+            .run().unwrap();
+        prop_assert_eq!(
+            on.stats.bytes_scanned + on.stats.bytes_pruned,
+            off.stats.bytes_scanned
+        );
+        prop_assert_eq!(on.stats.groups_pruned as usize,
+                        skip.iter().filter(|&&s| s).count());
     }
 
     /// The chunk cache behaves as an exact byte-budgeted LRU: replayed

@@ -7,6 +7,7 @@ use crate::fault::FaultInjector;
 use crate::project::{Projection, PushdownCapability};
 use crate::rowgroup::RowGroup;
 use crate::schema::LeafInfo;
+use crate::select::ScalarPredicate;
 use crate::table::Table;
 
 /// Byte- and row-level accounting for one table scan.
@@ -45,6 +46,15 @@ pub struct ScanStats {
     pub cache_misses: u64,
     /// Buffer-pool evictions this scan's admissions caused.
     pub cache_evictions: u64,
+    /// Row groups skipped by zone-map pruning before any byte was read.
+    pub groups_pruned: u64,
+    /// Compressed bytes the pruned groups would have cost under the same
+    /// projection. Pruned groups contribute to *no* other counter (no
+    /// rows, no billing bytes — Athena-style engines do not charge for
+    /// skipped groups), so `bytes_scanned + bytes_pruned` with pruning on
+    /// equals `bytes_scanned` with pruning off. That conservation law is
+    /// what the invariant tests pin across worker counts.
+    pub bytes_pruned: u64,
 }
 
 impl ScanStats {
@@ -62,6 +72,8 @@ impl ScanStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.groups_pruned += other.groups_pruned;
+        self.bytes_pruned += other.bytes_pruned;
     }
 
     /// Bytes physically read from storage: `bytes_scanned` minus the part
@@ -163,32 +175,236 @@ pub fn account_group_scan(
     Ok(())
 }
 
+/// Accounts one *pruned* row group into `stats`: the group was proven
+/// empty by its zone maps and skipped before decode, so it contributes
+/// only `groups_pruned` and `bytes_pruned` — no rows, no billed bytes,
+/// no cache or fault-injector traffic (the bytes were never read).
+pub fn account_group_pruned(stats: &mut ScanStats, group: &RowGroup, read_leaves: &[&LeafInfo]) {
+    stats.groups_pruned += 1;
+    stats.bytes_pruned += group.compressed_bytes(read_leaves) as u64;
+}
+
+/// The outcome of a [`ScanRequest`]: scan statistics plus the pruning
+/// decision, so the caller can drive its execution loop off the same mask
+/// the billing used.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanRun {
+    /// Byte/row accounting of the scan.
+    pub stats: ScanStats,
+    /// Per-row-group skip mask (`true` = pruned), present iff
+    /// [`ScanRequest::prune`] was supplied. Execution must skip exactly
+    /// these groups or billing and results disagree.
+    pub skip: Option<Vec<bool>>,
+}
+
+/// A table scan, declaratively configured.
+///
+/// This is the single entry point for scan accounting; the former
+/// `scan_stats*` free-function family survives as `#[deprecated]` shims.
+///
+/// ```
+/// # use nf2_columnar::project::{Projection, PushdownCapability};
+/// # use nf2_columnar::scan::ScanRequest;
+/// # use nf2_columnar::schema::{DataType, Field, Schema};
+/// # use nf2_columnar::table::TableBuilder;
+/// # use nested_value::Value;
+/// # let schema = Schema::new(vec![Field::new("x", DataType::f64())]).unwrap();
+/// # let mut b = TableBuilder::new("t", schema, 64);
+/// # b.append(&Value::struct_from(vec![("x", Value::Float(1.0))])).unwrap();
+/// # let table = b.finish();
+/// let projection = Projection::of(["x"]);
+/// let run = ScanRequest::new(&table, &projection)
+///     .capability(PushdownCapability::IndividualLeaves)
+///     .run()
+///     .unwrap();
+/// assert_eq!(run.stats.rows, 1);
+/// assert!(run.skip.is_none()); // no predicates, no pruning pass
+/// ```
+///
+/// Optional attachments compose freely: a buffer pool ([`Self::cache`]),
+/// a fault injector ([`Self::faults`]), a tracing context
+/// ([`Self::trace`]), a cooperative cancel token ([`Self::cancel`]), and
+/// zone-map pruning predicates ([`Self::prune`]). Every attachment left
+/// off keeps the scan bit-identical to the bare form.
+#[derive(Clone, Copy)]
+pub struct ScanRequest<'a> {
+    table: &'a Table,
+    projection: &'a Projection,
+    capability: PushdownCapability,
+    cache: Option<ScanCache<'a>>,
+    faults: Option<ScanFaults<'a>>,
+    trace: Option<&'a obs::TraceCtx>,
+    cancel: Option<&'a obs::CancelToken>,
+    prune: Option<&'a [ScalarPredicate]>,
+}
+
+impl<'a> ScanRequest<'a> {
+    /// A scan of `projection` over `table` with individual-leaf pushdown
+    /// and no attachments.
+    pub fn new(table: &'a Table, projection: &'a Projection) -> ScanRequest<'a> {
+        ScanRequest {
+            table,
+            projection,
+            capability: PushdownCapability::IndividualLeaves,
+            cache: None,
+            faults: None,
+            trace: None,
+            cancel: None,
+            prune: None,
+        }
+    }
+
+    /// Sets the reader's pushdown capability (default: individual leaves).
+    pub fn capability(mut self, cap: PushdownCapability) -> Self {
+        self.capability = cap;
+        self
+    }
+
+    /// Attaches a buffer pool in front of the physical chunk reads. With
+    /// `None` the result is bit-identical to no pool (all cache counters
+    /// zero).
+    pub fn cache(mut self, cache: Option<ScanCache<'a>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches a fault injector to the physical chunk reads. With `None`
+    /// the scan is infallible in practice.
+    pub fn faults(mut self, faults: Option<ScanFaults<'a>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Wraps the scan in an [`obs::Stage::Scan`] span (plus an
+    /// [`obs::Stage::Prune`] child span when pruning runs). A disabled
+    /// context is a no-op.
+    pub fn trace(mut self, trace: &'a obs::TraceCtx) -> Self {
+        self.trace = trace.is_enabled().then_some(trace);
+        self
+    }
+
+    /// Attaches a cooperative cancel token, checked once per row group
+    /// *before* the group is accounted: an expired deadline or explicit
+    /// cancel stops the scan within one row group of work, and no bytes
+    /// of the aborted group are billed.
+    pub fn cancel(mut self, cancel: &'a obs::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Enables zone-map pruning: row groups whose statistics prove that
+    /// some predicate matches nothing are skipped before decode, billed
+    /// as `bytes_pruned`, and reported in [`ScanRun::skip`]. The
+    /// predicates must be a conjunction the query also applies row-wise
+    /// (pruning only ever removes groups the filter would have emptied).
+    pub fn prune(mut self, predicates: &'a [ScalarPredicate]) -> Self {
+        self.prune = Some(predicates);
+        self
+    }
+
+    /// Runs the scan.
+    pub fn run(self) -> Result<ScanRun, ColumnarError> {
+        let disabled_trace = obs::TraceCtx::disabled();
+        let trace = self.trace.unwrap_or(&disabled_trace);
+        let none_token = obs::CancelToken::none();
+        let cancel = self.cancel.unwrap_or(&none_token);
+        let mut span = trace.span_with(obs::Stage::Scan, || self.table.name().to_string());
+        let read_leaves = self
+            .projection
+            .resolve(self.table.schema(), self.capability)?;
+        let logical_leaves = self.projection.logical_leaves(self.table.schema())?;
+        let mut stats = ScanStats {
+            columns_read: read_leaves.len() as u64,
+            ..ScanStats::default()
+        };
+        let (skip, mut prune_span) = match self.prune {
+            // An empty conjunction prunes nothing: skip the zone-map pass
+            // (and its span) but still report an all-false mask, so the
+            // `skip.is_some() ⇔ prune() was called` contract holds.
+            Some([]) => (Some(vec![false; self.table.row_groups().len()]), None),
+            Some(preds) => {
+                let mut ps = span
+                    .ctx()
+                    .span_with(obs::Stage::Prune, || self.table.name().to_string());
+                let mask = crate::stats::skip_mask(self.table, preds);
+                if ps.is_enabled() {
+                    ps.add_rows_in(mask.len() as u64);
+                    ps.add_rows_out(mask.iter().filter(|&&pruned| !pruned).count() as u64);
+                }
+                (Some(mask), Some(ps))
+            }
+            None => (None, None),
+        };
+        for (idx, g) in self.table.row_groups().iter().enumerate() {
+            if skip.as_ref().is_some_and(|m| m[idx]) {
+                account_group_pruned(&mut stats, g, &read_leaves);
+                continue;
+            }
+            cancel.check(obs::Stage::Scan, stats.rows)?;
+            account_group_scan(
+                &mut stats,
+                g,
+                idx,
+                &read_leaves,
+                &logical_leaves,
+                self.cache,
+                self.faults,
+            )?;
+        }
+        if let Some(ps) = prune_span.as_mut() {
+            ps.add_bytes(stats.bytes_pruned);
+        }
+        drop(prune_span);
+        if span.is_enabled() {
+            span.add_rows_in(stats.rows);
+            span.add_rows_out(stats.rows);
+            span.add_bytes(stats.bytes_scanned);
+            if stats.cache_hits > 0 || stats.cache_misses > 0 {
+                span.set_label(format!(
+                    "{} cache_hits={} cache_misses={}",
+                    self.table.name(),
+                    stats.cache_hits,
+                    stats.cache_misses
+                ));
+            }
+        }
+        Ok(ScanRun { stats, skip })
+    }
+}
+
 /// Computes the scan statistics a reader with capability `cap` incurs for
 /// `projection` over `table`.
+#[deprecated(note = "use ScanRequest::new(table, projection).capability(cap).run()")]
 pub fn scan_stats(
     table: &Table,
     projection: &Projection,
     cap: PushdownCapability,
 ) -> Result<ScanStats, ColumnarError> {
-    scan_stats_faulted(table, projection, cap, None, None)
+    ScanRequest::new(table, projection)
+        .capability(cap)
+        .run()
+        .map(|r| r.stats)
 }
 
-/// [`scan_stats`] with an optional buffer pool in front of the physical
-/// chunk reads. With `cache: None` the result is bit-identical to
-/// [`scan_stats`] (all cache counters zero).
+/// [`ScanRequest`] with an optional buffer pool in front of the physical
+/// chunk reads.
+#[deprecated(note = "use ScanRequest::new(table, projection).capability(cap).cache(cache).run()")]
 pub fn scan_stats_cached(
     table: &Table,
     projection: &Projection,
     cap: PushdownCapability,
     cache: Option<ScanCache<'_>>,
 ) -> Result<ScanStats, ColumnarError> {
-    scan_stats_faulted(table, projection, cap, cache, None)
+    ScanRequest::new(table, projection)
+        .capability(cap)
+        .cache(cache)
+        .run()
+        .map(|r| r.stats)
 }
 
-/// [`scan_stats_faulted`] under a tracing context: wraps the whole scan
-/// in a [`obs::Stage::Scan`] span carrying the row, byte and cache
-/// counters. With a disabled context this is exactly
-/// [`scan_stats_faulted`] (the span machinery is a no-op).
+/// [`ScanRequest`] under a tracing context: wraps the whole scan in a
+/// [`obs::Stage::Scan`] span carrying the row, byte and cache counters.
+#[deprecated(note = "use ScanRequest::new(table, projection).trace(trace).run()")]
 pub fn scan_stats_traced(
     table: &Table,
     projection: &Projection,
@@ -197,22 +413,18 @@ pub fn scan_stats_traced(
     faults: Option<ScanFaults<'_>>,
     trace: &obs::TraceCtx,
 ) -> Result<ScanStats, ColumnarError> {
-    scan_stats_guarded(
-        table,
-        projection,
-        cap,
-        cache,
-        faults,
-        trace,
-        &obs::CancelToken::none(),
-    )
+    ScanRequest::new(table, projection)
+        .capability(cap)
+        .cache(cache)
+        .faults(faults)
+        .trace(trace)
+        .run()
+        .map(|r| r.stats)
 }
 
-/// The full-featured scan: [`scan_stats_traced`] plus a cooperative
-/// [`obs::CancelToken`] checked once per row group *before* the group is
-/// accounted, so an expired deadline or explicit cancel stops the scan
-/// within one row group of work and no bytes of the aborted group are
-/// billed. With a disabled token this is exactly [`scan_stats_traced`].
+/// The full-featured scan: tracing plus a cooperative [`obs::CancelToken`]
+/// checked once per row group.
+#[deprecated(note = "use ScanRequest::new(table, projection).trace(trace).cancel(cancel).run()")]
 #[allow(clippy::too_many_arguments)]
 pub fn scan_stats_guarded(
     table: &Table,
@@ -223,44 +435,19 @@ pub fn scan_stats_guarded(
     trace: &obs::TraceCtx,
     cancel: &obs::CancelToken,
 ) -> Result<ScanStats, ColumnarError> {
-    let mut span = trace.span_with(obs::Stage::Scan, || table.name().to_string());
-    let read_leaves = projection.resolve(table.schema(), cap)?;
-    let logical_leaves = projection.logical_leaves(table.schema())?;
-    let mut stats = ScanStats {
-        columns_read: read_leaves.len() as u64,
-        ..ScanStats::default()
-    };
-    for (idx, g) in table.row_groups().iter().enumerate() {
-        cancel.check(obs::Stage::Scan, stats.rows)?;
-        account_group_scan(
-            &mut stats,
-            g,
-            idx,
-            &read_leaves,
-            &logical_leaves,
-            cache,
-            faults,
-        )?;
-    }
-    if span.is_enabled() {
-        span.add_rows_in(stats.rows);
-        span.add_rows_out(stats.rows);
-        span.add_bytes(stats.bytes_scanned);
-        if stats.cache_hits > 0 || stats.cache_misses > 0 {
-            span.set_label(format!(
-                "{} cache_hits={} cache_misses={}",
-                table.name(),
-                stats.cache_hits,
-                stats.cache_misses
-            ));
-        }
-    }
-    Ok(stats)
+    ScanRequest::new(table, projection)
+        .capability(cap)
+        .cache(cache)
+        .faults(faults)
+        .trace(trace)
+        .cancel(cancel)
+        .run()
+        .map(|r| r.stats)
 }
 
-/// [`scan_stats_cached`] with an optional fault injector on the physical
-/// chunk reads. With `faults: None` the result is bit-identical to
-/// [`scan_stats_cached`].
+/// [`ScanRequest`] with an optional fault injector on the physical chunk
+/// reads.
+#[deprecated(note = "use ScanRequest::new(table, projection).faults(faults).run()")]
 pub fn scan_stats_faulted(
     table: &Table,
     projection: &Projection,
@@ -268,15 +455,12 @@ pub fn scan_stats_faulted(
     cache: Option<ScanCache<'_>>,
     faults: Option<ScanFaults<'_>>,
 ) -> Result<ScanStats, ColumnarError> {
-    scan_stats_guarded(
-        table,
-        projection,
-        cap,
-        cache,
-        faults,
-        &obs::TraceCtx::default(),
-        &obs::CancelToken::none(),
-    )
+    ScanRequest::new(table, projection)
+        .capability(cap)
+        .cache(cache)
+        .faults(faults)
+        .run()
+        .map(|r| r.stats)
 }
 
 #[cfg(test)]
@@ -331,13 +515,17 @@ mod tests {
         b.finish()
     }
 
+    fn stats(t: &Table, p: &Projection, cap: PushdownCapability) -> ScanStats {
+        ScanRequest::new(t, p).capability(cap).run().unwrap().stats
+    }
+
     #[test]
     fn pushdown_reduces_bytes() {
         let t = table();
         let p = Projection::of(["MET.pt"]);
-        let ideal = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
-        let coarse = scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap();
-        let none = scan_stats(&t, &p, PushdownCapability::None).unwrap();
+        let ideal = stats(&t, &p, PushdownCapability::IndividualLeaves);
+        let coarse = stats(&t, &p, PushdownCapability::WholeStructs);
+        let none = stats(&t, &p, PushdownCapability::None);
         assert!(ideal.bytes_scanned < coarse.bytes_scanned);
         assert!(coarse.bytes_scanned < none.bytes_scanned);
         assert_eq!(ideal.columns_read, 1);
@@ -351,7 +539,7 @@ mod tests {
     fn logical_bytes_use_8_byte_floats() {
         let t = table();
         let p = Projection::of(["MET.pt"]);
-        let s = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let s = stats(&t, &p, PushdownCapability::IndividualLeaves);
         // 100 entries × 8 B logical vs 4 B physical.
         assert_eq!(s.logical_bytes, 800);
         assert_eq!(s.ideal_uncompressed_bytes, 400);
@@ -364,16 +552,7 @@ mod tests {
         let p = Projection::of(["MET.pt"]);
         let token = obs::CancelToken::new();
         token.cancel();
-        let err = scan_stats_guarded(
-            &t,
-            &p,
-            PushdownCapability::IndividualLeaves,
-            None,
-            None,
-            &obs::TraceCtx::default(),
-            &token,
-        )
-        .unwrap_err();
+        let err = ScanRequest::new(&t, &p).cancel(&token).run().unwrap_err();
         let c = err.cancelled().copied().expect("typed cancellation");
         assert_eq!(c.stage, obs::Stage::Scan);
         assert_eq!(c.rows_processed, 0);
@@ -384,30 +563,136 @@ mod tests {
     fn disabled_token_scan_is_byte_identical() {
         let t = table();
         let p = Projection::of(["MET.pt"]);
-        let plain = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
-        let guarded = scan_stats_guarded(
-            &t,
-            &p,
-            PushdownCapability::IndividualLeaves,
-            None,
-            None,
-            &obs::TraceCtx::default(),
-            &obs::CancelToken::none(),
-        )
-        .unwrap();
-        assert_eq!(plain, guarded);
+        let plain = stats(&t, &p, PushdownCapability::IndividualLeaves);
+        let guarded = ScanRequest::new(&t, &p)
+            .trace(&obs::TraceCtx::default())
+            .cancel(&obs::CancelToken::none())
+            .run()
+            .unwrap();
+        assert_eq!(plain, guarded.stats);
+        assert!(guarded.skip.is_none());
     }
 
     #[test]
     fn merge_accumulates() {
         let t = table();
         let p = Projection::of(["MET.pt"]);
-        let s = scan_stats(&t, &p, PushdownCapability::IndividualLeaves).unwrap();
+        let s = stats(&t, &p, PushdownCapability::IndividualLeaves);
         let mut twice = s;
         twice.merge(&s);
         assert_eq!(twice.rows, 200);
         assert_eq!(twice.bytes_scanned, 2 * s.bytes_scanned);
         assert!((s.bytes_per_row() - s.bytes_scanned as f64 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let builder = stats(&t, &p, PushdownCapability::WholeStructs);
+        assert_eq!(
+            scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap(),
+            builder
+        );
+        assert_eq!(
+            scan_stats_cached(&t, &p, PushdownCapability::WholeStructs, None).unwrap(),
+            builder
+        );
+        assert_eq!(
+            scan_stats_faulted(&t, &p, PushdownCapability::WholeStructs, None, None).unwrap(),
+            builder
+        );
+        assert_eq!(
+            scan_stats_traced(
+                &t,
+                &p,
+                PushdownCapability::WholeStructs,
+                None,
+                None,
+                &obs::TraceCtx::default(),
+            )
+            .unwrap(),
+            builder
+        );
+        assert_eq!(
+            scan_stats_guarded(
+                &t,
+                &p,
+                PushdownCapability::WholeStructs,
+                None,
+                None,
+                &obs::TraceCtx::default(),
+                &obs::CancelToken::none(),
+            )
+            .unwrap(),
+            builder
+        );
+    }
+
+    #[test]
+    fn pruning_conserves_bytes_and_skips_groups() {
+        use crate::select::{ScalarPredicate, SelCmp, SelValue};
+        let t = table(); // MET.pt = row index 0..100, groups of 100 rows? (row_group=100 → 1 group)
+        let p = Projection::of(["MET.pt"]);
+        let off = stats(&t, &p, PushdownCapability::IndividualLeaves);
+        // MET.pt ∈ [0, 99]: a cut above the max prunes the (single) group.
+        let preds = vec![ScalarPredicate {
+            leaf: nested_value::Path::parse("MET.pt"),
+            cmp: SelCmp::Gt,
+            value: SelValue::Float(1000.0),
+        }];
+        let on = ScanRequest::new(&t, &p).prune(&preds).run().unwrap();
+        assert_eq!(on.skip.as_deref(), Some(&[true][..]));
+        assert_eq!(on.stats.groups_pruned, 1);
+        assert_eq!(on.stats.rows, 0);
+        assert_eq!(on.stats.bytes_scanned, 0);
+        assert_eq!(
+            on.stats.bytes_scanned + on.stats.bytes_pruned,
+            off.bytes_scanned,
+            "pruned bytes + scanned bytes must equal the unpruned scan"
+        );
+        // A satisfiable cut keeps the group and prunes nothing.
+        let sat = vec![ScalarPredicate {
+            leaf: nested_value::Path::parse("MET.pt"),
+            cmp: SelCmp::Ge,
+            value: SelValue::Float(50.0),
+        }];
+        let kept = ScanRequest::new(&t, &p).prune(&sat).run().unwrap();
+        assert_eq!(kept.skip.as_deref(), Some(&[false][..]));
+        assert_eq!(kept.stats, off, "unpruned scan must be byte-identical");
+    }
+
+    #[test]
+    fn prune_span_is_recorded_under_scan() {
+        use crate::select::{ScalarPredicate, SelCmp, SelValue};
+        let t = table();
+        let p = Projection::of(["MET.pt"]);
+        let preds = vec![ScalarPredicate {
+            leaf: nested_value::Path::parse("MET.pt"),
+            cmp: SelCmp::Lt,
+            value: SelValue::Float(-1.0),
+        }];
+        let trace = obs::TraceCtx::enabled();
+        ScanRequest::new(&t, &p)
+            .trace(&trace)
+            .prune(&preds)
+            .run()
+            .unwrap();
+        let tree = trace.take_tree();
+        let spans = tree.flatten();
+        let prune = spans
+            .iter()
+            .find(|s| s.stage == obs::Stage::Prune)
+            .expect("prune span recorded");
+        assert_eq!(prune.rows_in, 1); // one row group considered
+        assert_eq!(prune.rows_out, 0); // none kept
+        assert!(prune.bytes > 0); // pruned bytes attributed to the span
+        let scan = spans
+            .iter()
+            .find(|s| s.stage == obs::Stage::Scan)
+            .expect("scan span recorded");
+        assert_eq!(prune.parent, Some(scan.id));
     }
 }
 

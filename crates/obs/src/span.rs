@@ -19,6 +19,9 @@ pub enum Stage {
     Plan,
     /// Scan accounting over row groups (bytes touched, cache traffic).
     Scan,
+    /// Zone-map evaluation: row groups proven empty by min/max statistics
+    /// and skipped before decode.
+    Prune,
     /// Decoding chunk bytes into in-memory values.
     Decode,
     /// Predicate evaluation / selection-vector construction.
@@ -38,11 +41,12 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Query,
         Stage::Parse,
         Stage::Plan,
         Stage::Scan,
+        Stage::Prune,
         Stage::Decode,
         Stage::Filter,
         Stage::Materialize,
@@ -59,6 +63,7 @@ impl Stage {
             Stage::Parse => "parse",
             Stage::Plan => "plan",
             Stage::Scan => "scan",
+            Stage::Prune => "prune",
             Stage::Decode => "decode",
             Stage::Filter => "filter",
             Stage::Materialize => "materialize",

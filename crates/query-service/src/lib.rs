@@ -97,6 +97,13 @@ pub struct ServiceConfig {
     /// serving deployment typically pins this to 1 and gets its
     /// parallelism across concurrent queries instead.
     pub intra_query_threads: usize,
+    /// Zone-map row-group pruning in every engine's scan (on by
+    /// default). Results are byte-identical either way; pruned bytes are
+    /// billed separately (`ScanStats::bytes_pruned`) and surface as the
+    /// `row_groups_pruned` / `bytes_pruned` metrics. Off under
+    /// [`ServiceConfig::paper_fairness`]: the paper's systems read every
+    /// row group, and fairness mode reproduces that byte-for-byte.
+    pub zone_map_pruning: bool,
     /// Instance whose hourly price converts measured wall seconds into
     /// self-managed serving cost.
     pub pricing_instance: &'static str,
@@ -171,6 +178,7 @@ impl Default for ServiceConfig {
             result_cache: true,
             chunk_cache_bytes: 64 << 20,
             intra_query_threads: 1,
+            zone_map_pruning: true,
             pricing_instance: "m5d.4xlarge",
             fault_injector: None,
             max_retries: 3,
@@ -196,6 +204,7 @@ impl ServiceConfig {
             result_cache: false,
             chunk_cache_bytes: 0,
             intra_query_threads: 0,
+            zone_map_pruning: false,
             ..ServiceConfig::default()
         }
     }
@@ -670,6 +679,12 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .note_completed(resp.total_seconds, resp.queue_seconds);
                 shared.metrics.counter_inc("queries_completed");
+                shared
+                    .metrics
+                    .counter_add("row_groups_pruned", resp.stats.scan.groups_pruned);
+                shared
+                    .metrics
+                    .counter_add("bytes_pruned", resp.stats.scan.bytes_pruned);
                 observe_outcome(shared, "completed", job.enqueued);
             }
             Err(ServiceError::Cancelled { .. }) => {
@@ -757,6 +772,7 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
         intra_query_threads: (shared.config.intra_query_threads > 0)
             .then_some(shared.config.intra_query_threads),
         parallel_workers: req.parallel_workers,
+        zone_map_pruning: Some(shared.config.zone_map_pruning),
         fault_injector: shared.config.fault_injector.clone(),
         trace: trace.clone(),
         cancel: job.cancel.clone(),
