@@ -200,6 +200,7 @@ fn measure_point(
     let opts = ParOptions {
         workers,
         steal_seed,
+        recovery: None,
     };
     let mut wall = f64::INFINITY;
     let mut stats = exec_par::ParStats::default();

@@ -20,6 +20,11 @@
 //!   [`query_service::QueryService`] with a transient injector across the
 //!   (system × query) grid and asserts every request completes with the
 //!   fault-free histogram while `retried > 0` shows the retry path ran.
+//!   A third phase re-runs the storm against a service with **morsel
+//!   recovery** on and asserts compiled-parallel requests absorb every
+//!   fault below the attempt boundary: whole-query retries drop to zero
+//!   while the per-response recovery counters show the morsel surface
+//!   fired.
 //! * default — both, with the same budgets.
 //!
 //! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`,
@@ -213,6 +218,86 @@ fn run_service_faults(table: &Arc<Table>) -> u32 {
     failures
 }
 
+/// Fault phase 3: the same transient storm against a service with
+/// **morsel recovery** on. Compiled-parallel requests must absorb every
+/// fault below the attempt boundary: zero whole-query retries, recovery
+/// counters > 0, fault-free histograms.
+fn run_service_morsel_recovery(table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_FUZZ_SEED", 0x5EED);
+    let injector = Arc::new(FaultInjector::new(FaultConfig {
+        p_io: 0.15,
+        transient_attempts: 1,
+        ..FaultConfig::off(seed ^ 0x4ec0)
+    }));
+    let service = QueryService::start(
+        table.clone(),
+        ServiceConfig {
+            n_workers: 2,
+            result_cache: false,
+            morsel_recovery: true,
+            fault_injector: Some(injector.clone()),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut failures = 0;
+    let mut interventions = 0;
+    // Q6 is the only query the SQL frontend lowers, and Presto/Athena
+    // share the canonical template — the grid that actually reaches the
+    // compiled-parallel morsel path.
+    for &system in &[System::Presto, System::AthenaV2] {
+        for query in [hepbench_core::QueryId::Q6a, hepbench_core::QueryId::Q6b] {
+            let req = QueryRequest::new("chaos", system, query)
+                .via_compiled()
+                .with_parallel_workers(4);
+            let served = match service.execute(req) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    eprintln!(
+                        "FAIL: {} {} compiled-parallel did not recover at morsel level: {e}",
+                        system.name(),
+                        query.name()
+                    );
+                    failures += 1;
+                    continue;
+                }
+            };
+            let clean =
+                execute_engine(system, table, query, &ExecEnv::seed()).expect("fault-free run");
+            if !served.histogram.counts_equal(&clean.histogram) {
+                eprintln!(
+                    "FAIL: {} {} served a wrong histogram under morsel recovery",
+                    system.name(),
+                    query.name()
+                );
+                failures += 1;
+            }
+            interventions += served.stats.recovery.interventions();
+        }
+    }
+    let snap = service.stats();
+    eprintln!(
+        "  morsel recovery: {} completed, {} whole-query retries, {} morsel interventions",
+        snap.completed, snap.retried, interventions
+    );
+    // The whole point: transient faults that previously cost whole-query
+    // retries are absorbed per morsel on the compiled-parallel path.
+    if snap.retried != 0 {
+        eprintln!(
+            "FAIL: {} whole-query retries despite morsel recovery",
+            snap.retried
+        );
+        failures += 1;
+    }
+    if interventions == 0 {
+        eprintln!("FAIL: morsel recovery never intervened — faults not routed to morsels?");
+        failures += 1;
+    }
+    if failures == 0 {
+        eprintln!("# morsel-recovery service phase OK");
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
@@ -230,6 +315,7 @@ fn main() {
         if faults || both {
             failures += run_fault_sweep(&events, &table);
             failures += run_service_faults(&table);
+            failures += run_service_morsel_recovery(&table);
         }
         let _ = done_tx.send(failures);
     });

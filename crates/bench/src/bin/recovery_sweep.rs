@@ -1,0 +1,152 @@
+//! Morsel-recovery gate: seeded fault schedules × steal seeds × worker
+//! counts over the parallel compiled executor, watchdog-guarded.
+//!
+//! `--check` runs [`chaos::recovery_sweep`] — every seeded plan under
+//! every adversarial schedule (transient io/checksum/truncated faults,
+//! poison-pill panics, worker kills, persistent faults) at 1/2/4/8
+//! workers with two steal seeds each — and exits non-zero unless every
+//! recovering run is **byte-identical** to the serial oracle with exact
+//! row/morsel conservation and zero duplicate partials, every persistent
+//! schedule fails fast with a typed error, and the engine-level probes
+//! show `ScanStats` (billing) untouched by recovery. A JSON summary of
+//! the sweep is written for CI artifact upload.
+//!
+//! Scale knobs: `HEPQUERY_EVENTS`, `HEPQUERY_ROW_GROUP`,
+//! `HEPQUERY_RECOVERY_SEED`, `HEPQUERY_RECOVERY_PLANS`,
+//! `HEPQUERY_RECOVERY_WATCHDOG`; the artifact path is
+//! `HEPQUERY_RECOVERY_OUT` (default `recovery_sweep.json`).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chaos::recovery_sweep;
+use hep_model::generator::build_dataset;
+use hep_model::{DatasetSpec, Event};
+use nf2_columnar::Table;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dataset() -> (Vec<Event>, Arc<Table>) {
+    let (events, table) = build_dataset(DatasetSpec {
+        n_events: env_u64("HEPQUERY_EVENTS", 2_000) as usize,
+        row_group_size: env_u64("HEPQUERY_ROW_GROUP", 256) as usize,
+        seed: env_u64("HEPQUERY_SEED", 0xAD1B70),
+    });
+    (events, Arc::new(table))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn report_json(seed: u64, n_plans: usize, r: &chaos::RecoveryReport) -> String {
+    let violations: Vec<String> = r
+        .violations
+        .iter()
+        .map(|v| format!("    \"{}\"", json_escape(v)))
+        .collect();
+    format!(
+        "{{\n  \"seed\": {seed},\n  \"plans\": {n_plans},\n  \"workers\": {:?},\n  \
+         \"runs\": {},\n  \"clean_results\": {},\n  \"typed_errors\": {},\n  \
+         \"interventions\": {},\n  \"workers_lost\": {},\n  \"passed\": {},\n  \
+         \"violations\": [\n{}\n  ]\n}}\n",
+        chaos::RECOVERY_SWEEP_WORKERS,
+        r.runs,
+        r.clean_results,
+        r.typed_errors,
+        r.interventions,
+        r.workers_lost,
+        r.passed(),
+        violations.join(",\n")
+    )
+}
+
+fn run_sweep(events: &[Event], table: &Arc<Table>) -> u32 {
+    let seed = env_u64("HEPQUERY_RECOVERY_SEED", 0x09EC_04E9);
+    let n_plans = env_u64("HEPQUERY_RECOVERY_PLANS", 6) as usize;
+    eprintln!("# recovery_sweep --check: {n_plans} plans, seed {seed:#x}");
+    let report = recovery_sweep(seed, n_plans, events, table);
+    for v in &report.violations {
+        eprintln!("FAIL: {v}");
+    }
+    eprintln!(
+        "  {} runs: {} recovered byte-identically, {} typed fail-fast errors, \
+         {} interventions, {} workers retired",
+        report.runs,
+        report.clean_results,
+        report.typed_errors,
+        report.interventions,
+        report.workers_lost
+    );
+    let mut failures = report.violations.len() as u32;
+    if report.interventions == 0 {
+        eprintln!("FAIL: sweep never recovered anything — dead injector?");
+        failures += 1;
+    }
+    if report.workers_lost == 0 {
+        eprintln!("FAIL: worker-kill schedules never retired a worker");
+        failures += 1;
+    }
+    if report.typed_errors == 0 {
+        eprintln!("FAIL: persistent schedules never surfaced a typed error");
+        failures += 1;
+    }
+    let out = std::env::var("HEPQUERY_RECOVERY_OUT")
+        .unwrap_or_else(|_| "recovery_sweep.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create artifact dir");
+        }
+    }
+    std::fs::write(&out, report_json(seed, n_plans, &report)).expect("write sweep json");
+    eprintln!("# wrote {out}");
+    if failures == 0 {
+        eprintln!("# recovery sweep OK");
+    }
+    failures
+}
+
+fn main() {
+    // The only mode is the gate itself; `--check` is accepted for
+    // symmetry with the other CI binaries.
+    let _ = std::env::args().any(|a| a == "--check");
+    // The panic schedules unwind hundreds of injected panics through
+    // `catch_unwind`; keep them out of the CI log while leaving genuine
+    // panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("injected panic") {
+            default_hook(info);
+        }
+    }));
+    let watchdog = Duration::from_secs(env_u64("HEPQUERY_RECOVERY_WATCHDOG", 600));
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let (events, table) = dataset();
+        let _ = done_tx.send(run_sweep(&events, &table));
+    });
+    let failures = match done_rx.recv_timeout(watchdog) {
+        Ok(f) => f,
+        Err(_) => {
+            eprintln!(
+                "FAIL: recovery_sweep did not finish within {}s — wedged pool?",
+                watchdog.as_secs()
+            );
+            std::process::exit(1);
+        }
+    };
+    worker.join().expect("sweep worker");
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

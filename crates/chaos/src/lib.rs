@@ -696,6 +696,7 @@ pub fn cancellation_sweep(
         let opts = exec_par::ParOptions {
             workers: PARALLEL_FUZZ_WORKERS,
             steal_seed: splitmix64_once(plan.id),
+            recovery: None,
         };
         match exec_par::run_morsels(
             &phys,
@@ -772,6 +773,402 @@ pub fn cancellation_sweep(
     report
 }
 
+/// Outcome of the morsel-recovery sweep.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Executor runs performed (plans × schedules × workers × steal seeds,
+    /// plus the engine-level conservation probes).
+    pub runs: usize,
+    /// Runs that converged to the byte-identical serial oracle.
+    pub clean_results: usize,
+    /// Persistent-fault runs that failed fast with the right typed error.
+    pub typed_errors: usize,
+    /// Total recovery interventions observed (retries, quarantines,
+    /// reassignments, speculations, worker retirements). Zero means the
+    /// injector never fired — a dead sweep.
+    pub interventions: u64,
+    /// Workers retired across the sweep (worker-kill schedules).
+    pub workers_lost: u64,
+    /// Contract violations. Empty ⇒ pass.
+    pub violations: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Whether every run met the recovery contract.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Worker counts the recovery sweep exercises (1 covers the
+/// recovery-through-the-pool serial case, 8 oversubscribes the default
+/// fuzz dataset's row groups).
+pub const RECOVERY_SWEEP_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// What a recovery schedule must end in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecoveryOutcome {
+    /// Byte-identical oracle bins despite the injected faults.
+    Recovers,
+    /// A typed scan fault of the injected class after bounded retries.
+    FailsTypedFault,
+    /// A typed [`physical_ir::PirError::MorselPanic`].
+    FailsMorselPanic,
+}
+
+/// One adversarial fault schedule of the recovery sweep.
+struct RecoverySchedule {
+    name: &'static str,
+    class: FaultClass,
+    p: f64,
+    transient_attempts: u32,
+    panic_budget: u32,
+    expect: RecoveryOutcome,
+}
+
+/// The sweep's schedules: every retryable class transient, panics as
+/// poison pills (quarantine) and as worker killers (`panic_budget 0` ⇒
+/// retire + reassign, degrading to the serial fallback at one worker),
+/// and persistent faults that must fail fast with typed errors.
+/// Transient probabilities stay below saturation: morsel probes fail
+/// fast (one leaf per attempt), so a morsel's faulting-leaf count must
+/// not exceed the retry budget.
+const RECOVERY_SCHEDULES: &[RecoverySchedule] = &[
+    RecoverySchedule {
+        name: "transient-io",
+        class: FaultClass::Io,
+        p: 0.35,
+        transient_attempts: 1,
+        panic_budget: 1,
+        expect: RecoveryOutcome::Recovers,
+    },
+    RecoverySchedule {
+        name: "transient-checksum",
+        class: FaultClass::ChecksumMismatch,
+        p: 0.35,
+        transient_attempts: 1,
+        panic_budget: 1,
+        expect: RecoveryOutcome::Recovers,
+    },
+    RecoverySchedule {
+        name: "transient-truncated",
+        class: FaultClass::TruncatedRowGroup,
+        p: 0.35,
+        transient_attempts: 1,
+        panic_budget: 1,
+        expect: RecoveryOutcome::Recovers,
+    },
+    RecoverySchedule {
+        name: "poison-pill",
+        class: FaultClass::Panic,
+        p: 0.2,
+        transient_attempts: 1,
+        panic_budget: u32::MAX,
+        expect: RecoveryOutcome::Recovers,
+    },
+    RecoverySchedule {
+        name: "worker-kill",
+        class: FaultClass::Panic,
+        p: 0.2,
+        transient_attempts: 1,
+        panic_budget: 0,
+        expect: RecoveryOutcome::Recovers,
+    },
+    RecoverySchedule {
+        name: "persistent-io",
+        class: FaultClass::Io,
+        p: 1.0,
+        transient_attempts: 0,
+        panic_budget: 1,
+        expect: RecoveryOutcome::FailsTypedFault,
+    },
+    RecoverySchedule {
+        name: "persistent-panic",
+        class: FaultClass::Panic,
+        p: 1.0,
+        transient_attempts: 0,
+        panic_budget: 1,
+        expect: RecoveryOutcome::FailsMorselPanic,
+    },
+];
+
+/// Morsel-level fault-recovery sweep over the parallel compiled
+/// executor: every seeded plan runs under every adversarial fault
+/// schedule at every [`RECOVERY_SWEEP_WORKERS`] count with two adversarial
+/// steal seeds, against a fresh deterministic injector per run.
+///
+/// Gates, per recovering run:
+///
+/// * **byte identity** — the merged bin sequence equals the serial
+///   interpreter-free oracle ([`physical_ir::execute`]) exactly;
+/// * **conservation** — every row and every morsel is accounted exactly
+///   once (`rows`/`morsels`/`recovery.ok` match the table), and the
+///   exchange dropped zero duplicate partials (no double counting from
+///   retries, reassignments or speculation);
+/// * **fail-fast typing** — persistent schedules surface the injected
+///   class as a typed [`nf2_columnar::ScanError`] (or
+///   [`physical_ir::PirError::MorselPanic`] for persistent panics),
+///   never a wrong histogram.
+///
+/// A final engine-level probe runs Q6 through the SQL engine's compiled
+/// deployment with morsel recovery on and asserts `ScanStats` — and
+/// therefore billing — is byte-identical to the fault-free run: the
+/// injector moves to the morsel surface, the billing pre-pass stays
+/// fault-free, so no recovered or re-executed morsel can be
+/// double-billed.
+pub fn recovery_sweep(
+    seed: u64,
+    n_plans: usize,
+    _events: &[Event],
+    table: &Arc<Table>,
+) -> RecoveryReport {
+    let plans = generate_plans(seed, n_plans);
+    let mut report = RecoveryReport {
+        runs: 0,
+        clean_results: 0,
+        typed_errors: 0,
+        interventions: 0,
+        workers_lost: 0,
+        violations: Vec::new(),
+    };
+    let trace = obs::TraceCtx::disabled();
+    let cancel = obs::CancelToken::none();
+    let n_groups = table.row_groups().len() as u64;
+    let total_rows: u64 = table.row_groups().iter().map(|g| g.n_rows() as u64).sum();
+    for plan in &plans {
+        let phys = plan.physical();
+        let oracle = match physical_ir::execute(&phys, table, None, &trace, &cancel) {
+            Ok(bins) => bins,
+            Err(e) => {
+                report.violations.push(format!(
+                    "{}: fault-free serial oracle failed: {e}",
+                    plan.label()
+                ));
+                continue;
+            }
+        };
+        for (s_idx, schedule) in RECOVERY_SCHEDULES.iter().enumerate() {
+            for &workers in RECOVERY_SWEEP_WORKERS {
+                for seed_idx in 0..2u64 {
+                    let steal_seed = splitmix64_once(
+                        plan.id ^ (s_idx as u64) << 8 ^ (workers as u64) << 16 ^ seed_idx,
+                    );
+                    report.runs += 1;
+                    run_recovery_case(
+                        &mut report,
+                        schedule,
+                        plan,
+                        &phys,
+                        &oracle,
+                        table,
+                        workers,
+                        steal_seed,
+                        n_groups,
+                        total_rows,
+                        seed,
+                    );
+                }
+            }
+        }
+    }
+    engine_conservation_probe(&mut report, seed, table);
+    report
+}
+
+/// One (plan × schedule × workers × steal seed) recovery run.
+#[allow(clippy::too_many_arguments)]
+fn run_recovery_case(
+    report: &mut RecoveryReport,
+    schedule: &RecoverySchedule,
+    plan: &FuzzPlan,
+    phys: &physical_ir::PhysPlan,
+    oracle: &[i64],
+    table: &Arc<Table>,
+    workers: usize,
+    steal_seed: u64,
+    n_groups: u64,
+    total_rows: u64,
+    seed: u64,
+) {
+    let ctx = || {
+        format!(
+            "{} {} x{workers} steal {steal_seed:#x}",
+            plan.label(),
+            schedule.name
+        )
+    };
+    // A fresh injector per run: transient sites heal statefully, so a
+    // shared one would let earlier runs defuse later schedules.
+    let injector = FaultInjector::new(FaultConfig {
+        transient_attempts: schedule.transient_attempts,
+        ..FaultConfig::only(schedule.class, schedule.p, seed ^ steal_seed)
+    });
+    let faults = nf2_columnar::ScanFaults {
+        injector: &injector,
+        table_name: table.name(),
+        table_fingerprint: table.fingerprint(),
+    };
+    let opts = exec_par::ParOptions {
+        workers,
+        steal_seed,
+        recovery: Some(exec_par::RecoveryOptions {
+            max_retries: 16,
+            panic_budget: schedule.panic_budget,
+            // Speculation is latency-driven and exercised by the
+            // executor's own tests; the sweep keeps it off so every
+            // intervention here is provoked by the fault schedule alone.
+            // (The *fault* schedule is pure in the seeds; intervention
+            // totals still vary with thread timing — only the merged
+            // bins are asserted identical.)
+            speculate_factor: 0.0,
+            ..exec_par::RecoveryOptions::default()
+        }),
+    };
+    let trace = obs::TraceCtx::disabled();
+    let cancel = obs::CancelToken::none();
+    let outcome = exec_par::run_morsels_with_faults(
+        phys,
+        table,
+        None,
+        &trace,
+        &cancel,
+        None,
+        &opts,
+        Some(faults),
+    );
+    match (schedule.expect, outcome) {
+        (RecoveryOutcome::Recovers, Ok((exchange, stats))) => {
+            report.interventions += stats.recovery.interventions();
+            report.workers_lost += stats.recovery.workers_lost;
+            if exchange.duplicates_dropped() != 0 {
+                report.violations.push(format!(
+                    "{}: {} duplicate partials reached the exchange",
+                    ctx(),
+                    exchange.duplicates_dropped()
+                ));
+                return;
+            }
+            let bins = match exchange.merge(&cancel) {
+                Ok(b) => b,
+                Err(c) => {
+                    report
+                        .violations
+                        .push(format!("{}: merge cancelled without a token: {c}", ctx()));
+                    return;
+                }
+            };
+            if bins != oracle {
+                report
+                    .violations
+                    .push(format!("{}: bins diverged from the serial oracle", ctx()));
+            } else if stats.rows != total_rows
+                || stats.morsels != n_groups
+                || stats.recovery.ok != n_groups
+            {
+                report.violations.push(format!(
+                    "{}: conservation broken: rows {}/{total_rows}, morsels {}/{n_groups}, ok {}/{n_groups}",
+                    ctx(),
+                    stats.rows,
+                    stats.morsels,
+                    stats.recovery.ok
+                ));
+            } else {
+                report.clean_results += 1;
+            }
+        }
+        (RecoveryOutcome::Recovers, Err(e)) => report.violations.push(format!(
+            "{}: did not recover from a transient schedule: {e}",
+            ctx()
+        )),
+        (
+            RecoveryOutcome::FailsTypedFault,
+            Err(physical_ir::PirError::Columnar(nf2_columnar::ColumnarError::Fault(s))),
+        ) if s.class == schedule.class => report.typed_errors += 1,
+        (RecoveryOutcome::FailsMorselPanic, Err(physical_ir::PirError::MorselPanic { .. })) => {
+            report.typed_errors += 1
+        }
+        (RecoveryOutcome::FailsTypedFault | RecoveryOutcome::FailsMorselPanic, Err(e)) => {
+            report.violations.push(format!(
+                "{}: wrong error type for a persistent fault: {e}",
+                ctx()
+            ))
+        }
+        (RecoveryOutcome::FailsTypedFault | RecoveryOutcome::FailsMorselPanic, Ok(_)) => report
+            .violations
+            .push(format!("{}: a persistent fault produced a result", ctx())),
+    }
+}
+
+/// Engine-level conservation: Q6 on the SQL engine's compiled deployment
+/// with morsel recovery on and a transient injector. The served
+/// histogram and — critically — the billed `ScanStats` must be
+/// byte-identical to the fault-free run, and the recovery counters must
+/// show the morsel surface actually fired.
+fn engine_conservation_probe(report: &mut RecoveryReport, seed: u64, table: &Arc<Table>) {
+    use hepbench_core::adapters::run_sql_env;
+    use hepbench_core::QueryId;
+    let options = engine_sql::SqlOptions {
+        parallel_workers: 4,
+        morsel_recovery: true,
+        ..engine_sql::SqlOptions::default()
+    };
+    for q in [QueryId::Q6a, QueryId::Q6b] {
+        report.runs += 1;
+        let clean = match run_sql_env(
+            engine_sql::Dialect::presto(),
+            table,
+            q,
+            options,
+            &ExecEnv::seed(),
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("{} fault-free engine run failed: {e}", q.name()));
+                continue;
+            }
+        };
+        let env = ExecEnv {
+            fault_injector: Some(Arc::new(FaultInjector::new(FaultConfig {
+                transient_attempts: 1,
+                ..FaultConfig::only(FaultClass::Io, 0.3, seed ^ 0xB111)
+            }))),
+            ..ExecEnv::seed()
+        };
+        match run_sql_env(engine_sql::Dialect::presto(), table, q, options, &env) {
+            Ok(run) => {
+                if !run.histogram.counts_equal(&clean.histogram) {
+                    report.violations.push(format!(
+                        "{}: histogram diverged under recovered morsel faults",
+                        q.name()
+                    ));
+                } else if run.stats.scan != clean.stats.scan {
+                    report.violations.push(format!(
+                        "{}: ScanStats not conserved under morsel recovery (double billing?): \
+                         faulted {:?} != clean {:?}",
+                        q.name(),
+                        run.stats.scan,
+                        clean.stats.scan
+                    ));
+                } else if run.stats.recovery.interventions() == 0 {
+                    report.violations.push(format!(
+                        "{}: injector attached but no morsel intervention recorded",
+                        q.name()
+                    ));
+                } else {
+                    report.clean_results += 1;
+                    report.interventions += run.stats.recovery.interventions();
+                }
+            }
+            Err(e) => report.violations.push(format!(
+                "{}: compiled engine did not recover from transient faults: {e}",
+                q.name()
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -824,6 +1221,26 @@ mod tests {
             .map(|r| r.typed_errors + r.retries)
             .sum();
         assert!(errors > 0, "sweep never injected an error fault");
+    }
+
+    #[test]
+    fn small_recovery_sweep_is_byte_identical_and_conserving() {
+        let (events, table) = dataset();
+        let report = recovery_sweep(0x09EC_04E9, 2, &events, &table);
+        assert!(report.passed(), "{:#?}", report.violations);
+        // 2 plans × 7 schedules × 4 worker counts × 2 steal seeds, plus
+        // the two engine-level conservation probes.
+        assert_eq!(report.runs, 2 * RECOVERY_SCHEDULES.len() * 4 * 2 + 2);
+        assert_eq!(report.clean_results + report.typed_errors, report.runs);
+        assert!(
+            report.interventions > 0,
+            "sweep never recovered anything — dead injector?"
+        );
+        assert!(
+            report.workers_lost > 0,
+            "worker-kill schedule never retired a worker"
+        );
+        assert!(report.typed_errors > 0, "persistent schedules never fired");
     }
 
     #[test]

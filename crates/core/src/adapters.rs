@@ -113,7 +113,7 @@ impl EngineError for physical_ir::PirError {
     fn scan_error(&self) -> Option<&ScanError> {
         match self {
             physical_ir::PirError::Columnar(e) => e.scan_error(),
-            physical_ir::PirError::Cancelled(_) => None,
+            physical_ir::PirError::Cancelled(_) | physical_ir::PirError::MorselPanic { .. } => None,
         }
     }
 
@@ -121,6 +121,7 @@ impl EngineError for physical_ir::PirError {
         match self {
             physical_ir::PirError::Cancelled(c) => Some(c),
             physical_ir::PirError::Columnar(e) => e.cancelled(),
+            physical_ir::PirError::MorselPanic { .. } => None,
         }
     }
 }
@@ -180,6 +181,14 @@ pub struct ExecEnv {
     /// system reads every row group and pruning never perturbs the
     /// measured scan bytes (see [`nf2_columnar::ScanStats`]).
     pub zone_map_pruning: Option<bool>,
+    /// Morsel-level fault recovery override for compiled execution
+    /// (`None` ⇒ engine option default, which is off). With
+    /// `Some(true)`, transient scan faults are retried per morsel,
+    /// panicking morsels are quarantined, dead workers' deques are
+    /// reassigned and the pool degrades down to a serial fallback
+    /// instead of failing the whole query (see `exec_par`); results are
+    /// byte-identical, only failure handling changes.
+    pub morsel_recovery: Option<bool>,
     /// Chaos-layer fault injector on physical chunk reads (`None`, the
     /// default, reproduces the fault-free path byte-for-byte; see
     /// [`nf2_columnar::fault`]).
@@ -230,6 +239,9 @@ pub fn run_sql_env(
     }
     if let Some(p) = env.zone_map_pruning {
         options.zone_map_pruning = p;
+    }
+    if let Some(r) = env.morsel_recovery {
+        options.morsel_recovery = r;
     }
     let setup_span = env
         .trace
@@ -296,6 +308,9 @@ pub fn run_jsoniq_env(
     if let Some(p) = env.zone_map_pruning {
         options.zone_map_pruning = p;
     }
+    if let Some(r) = env.morsel_recovery {
+        options.morsel_recovery = r;
+    }
     let setup_span = env
         .trace
         .span_with(obs::Stage::Plan, || "setup".to_string());
@@ -345,6 +360,9 @@ pub fn run_rdf_env(
     }
     if let Some(p) = env.zone_map_pruning {
         options.zone_map_pruning = p;
+    }
+    if let Some(r) = env.morsel_recovery {
+        options.morsel_recovery = r;
     }
     let setup_span = env
         .trace

@@ -744,6 +744,7 @@ impl FuzzPlan {
         let opts = exec_par::ParOptions {
             workers,
             steal_seed,
+            recovery: None,
         };
         let skip = compiled_skip_mask(&plan, table, env);
         let (bins, _stats) = exec_par::execute(

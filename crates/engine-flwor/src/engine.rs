@@ -52,6 +52,15 @@ pub struct FlworOptions {
     /// serial compiled executor; ignored when `compile` is off or the
     /// module does not lower.
     pub parallel_workers: usize,
+    /// Morsel-level fault recovery for compiled execution (default off):
+    /// transient scan faults are retried per morsel, panicking morsels
+    /// are quarantined and re-executed, dead workers' deques are
+    /// reassigned and the pool degrades down to a serial fallback
+    /// instead of failing the query (see `exec_par`). When active the
+    /// fault injector is routed to the morsel fault surface instead of
+    /// the scan pre-pass, keeping billing fault-free and byte-identical.
+    /// Ignored when the module does not lower to the compiled path.
+    pub morsel_recovery: bool,
 }
 
 impl Default for FlworOptions {
@@ -63,6 +72,7 @@ impl Default for FlworOptions {
             zone_map_pruning: true,
             compile: true,
             parallel_workers: 0,
+            morsel_recovery: false,
         }
     }
 }
@@ -177,6 +187,7 @@ impl FlworEngine {
                     scan: Default::default(),
                     threads_used: 1,
                     row_groups_skipped: 0,
+                    recovery: Default::default(),
                 },
             });
         };
@@ -237,11 +248,21 @@ impl FlworEngine {
             cache,
             table_fingerprint: table.fingerprint(),
         });
-        let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
-            injector,
-            table_name: table.name(),
-            table_fingerprint: table.fingerprint(),
-        });
+        // With morsel recovery active on the compiled path, the injector
+        // moves to the morsel fault surface (exec_par probes the same
+        // (fingerprint, group, leaf) coordinates per morsel) and the
+        // billing pre-pass here stays fault-free, so ScanStats are
+        // byte-identical under injected faults.
+        let faults_at_morsels = self.options.morsel_recovery && compiled.is_some();
+        let scan_faults = if faults_at_morsels {
+            None
+        } else {
+            self.fault_injector.as_deref().map(|injector| ScanFaults {
+                injector,
+                table_name: table.name(),
+                table_fingerprint: table.fingerprint(),
+            })
+        };
         let projection = Projection::all();
         let run = nf2_columnar::ScanRequest::new(&table, &projection)
             .capability(PushdownCapability::None)
@@ -257,6 +278,7 @@ impl FlworEngine {
 
         let cpu = Mutex::new(0.0f64);
         let mut threads_used = n_threads;
+        let mut morsel_rec = nf2_columnar::MorselRecovery::default();
         let items = if let Some(plan) = &compiled {
             // Fused batch kernels over decoded column chunks: no row
             // materialization, no per-record interpretation (and hence no
@@ -266,18 +288,34 @@ impl FlworEngine {
             // sequence the interpreter produces for the template.
             let t0 = Instant::now();
             let workers = self.options.parallel_workers;
-            let bins = if workers > 1 {
-                exec_par::execute(
+            let recovering = self.options.morsel_recovery;
+            let bins = if workers > 1 || recovering {
+                let opts = exec_par::ParOptions {
+                    recovery: recovering.then(exec_par::RecoveryOptions::default),
+                    ..exec_par::ParOptions::new(workers.max(1))
+                };
+                let morsel_faults = recovering
+                    .then(|| {
+                        self.fault_injector.as_deref().map(|injector| ScanFaults {
+                            injector,
+                            table_name: table.name(),
+                            table_fingerprint: table.fingerprint(),
+                        })
+                    })
+                    .flatten();
+                exec_par::execute_with_faults(
                     plan,
                     &table,
                     Some(&skip),
                     &self.trace,
                     &self.cancel,
                     None,
-                    &exec_par::ParOptions::new(workers),
+                    &opts,
+                    morsel_faults,
                 )
                 .map(|(bins, stats)| {
                     threads_used = stats.workers;
+                    morsel_rec = stats.recovery;
                     bins
                 })
             } else {
@@ -286,6 +324,7 @@ impl FlworEngine {
             .map_err(|e| match e {
                 physical_ir::PirError::Columnar(c) => FlworError::from(c),
                 physical_ir::PirError::Cancelled(c) => FlworError::Cancelled(c),
+                e @ physical_ir::PirError::MorselPanic { .. } => FlworError::Dynamic(e.to_string()),
             })?;
             let out: Seq = bins.into_iter().map(Value::Int).collect();
             *cpu.lock() += t0.elapsed().as_secs_f64();
@@ -415,6 +454,7 @@ impl FlworEngine {
                 threads_used,
                 row_groups_skipped: scan.groups_pruned,
                 scan,
+                recovery: morsel_rec,
             },
         })
     }

@@ -19,6 +19,10 @@ pub enum RdfError {
     NotScalar(String),
     /// Substrate error (projection, I/O).
     Columnar(nf2_columnar::ColumnarError),
+    /// Compiled execution failed outside the substrate — e.g. a morsel
+    /// whose kernel panicked persistently through the parallel
+    /// executor's recovery budget.
+    Exec(String),
 }
 
 impl fmt::Display for RdfError {
@@ -29,6 +33,7 @@ impl fmt::Display for RdfError {
                 write!(f, "filter_scalar on non-scalar column: {c}")
             }
             RdfError::Columnar(e) => write!(f, "columnar error: {e}"),
+            RdfError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -100,6 +105,15 @@ pub struct Options {
     /// any value and scan accounting is unaffected. `0`/`1` keeps the
     /// serial compiled executor; ignored when the graph does not lower.
     pub parallel_workers: usize,
+    /// Morsel-level fault recovery for compiled execution (default off):
+    /// transient scan faults are retried per morsel, panicking morsels
+    /// are quarantined and re-executed, dead workers' deques are
+    /// reassigned and the pool degrades down to a serial fallback
+    /// instead of failing the query (see `exec_par`). When active the
+    /// fault injector is routed to the morsel fault surface instead of
+    /// the scan pre-pass, keeping billing fault-free and bin-identical.
+    /// Ignored when the graph does not lower to the compiled path.
+    pub morsel_recovery: bool,
 }
 
 impl Default for Options {
@@ -111,6 +125,7 @@ impl Default for Options {
             zone_map_pruning: true,
             compile: true,
             parallel_workers: 0,
+            morsel_recovery: false,
         }
     }
 }

@@ -170,6 +170,7 @@ impl EventLoop {
                 scan,
                 threads_used: n_threads,
                 row_groups_skipped: 0,
+                recovery: Default::default(),
             },
         ))
     }

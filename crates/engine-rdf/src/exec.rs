@@ -110,14 +110,15 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             cache,
             table_fingerprint: table.fingerprint(),
         });
-    let scan_faults = df
-        .fault_injector
-        .as_deref()
-        .map(|injector| nf2_columnar::ScanFaults {
-            injector,
-            table_name: table.name(),
-            table_fingerprint: table.fingerprint(),
-        });
+    let mk_faults = || {
+        df.fault_injector
+            .as_deref()
+            .map(|injector| nf2_columnar::ScanFaults {
+                injector,
+                table_name: table.name(),
+                table_fingerprint: table.fingerprint(),
+            })
+    };
     // Resolve booking targets.
     let booking_cols: Vec<ColumnId> = df
         .bookings
@@ -181,6 +182,13 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     } else {
         &[]
     };
+    // With morsel recovery active on the compiled path, the injector
+    // moves to the morsel fault surface (exec_par probes the same
+    // (fingerprint, group, leaf) coordinates per morsel) and the billing
+    // pre-pass here stays fault-free, so ScanStats are byte-identical
+    // under injected faults.
+    let faults_at_morsels = df.options.morsel_recovery && compiled.is_some();
+    let scan_faults = if faults_at_morsels { None } else { mk_faults() };
     let run = nf2_columnar::ScanRequest::new(table, &projection)
         .capability(PushdownCapability::IndividualLeaves)
         .cache(scan_cache)
@@ -195,24 +203,32 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
     if let Some(plan) = &compiled {
         let t0 = Instant::now();
         let workers = df.options.parallel_workers;
-        let (bins, compiled_threads) = if workers > 1 {
-            exec_par::execute(
+        let recovering = df.options.morsel_recovery;
+        let (bins, compiled_threads, morsel_rec) = if workers > 1 || recovering {
+            let opts = exec_par::ParOptions {
+                recovery: recovering.then(exec_par::RecoveryOptions::default),
+                ..exec_par::ParOptions::new(workers.max(1))
+            };
+            let morsel_faults = if recovering { mk_faults() } else { None };
+            exec_par::execute_with_faults(
                 plan,
                 table,
                 Some(&skip),
                 &df.trace,
                 &df.cancel,
                 None,
-                &exec_par::ParOptions::new(workers),
+                &opts,
+                morsel_faults,
             )
-            .map(|(bins, stats)| (bins, stats.workers))
+            .map(|(bins, stats)| (bins, stats.workers, stats.recovery))
         } else {
             physical_ir::execute(plan, table, Some(&skip), &df.trace, &df.cancel)
-                .map(|bins| (bins, 1))
+                .map(|bins| (bins, 1, nf2_columnar::MorselRecovery::default()))
         }
         .map_err(|e| match e {
             physical_ir::PirError::Columnar(c) => RdfError::from(c),
             physical_ir::PirError::Cancelled(c) => RdfError::from(c),
+            e @ physical_ir::PirError::MorselPanic { .. } => RdfError::Exec(e.to_string()),
         })?;
         let mut h = Histogram::new(df.bookings[0].spec);
         for b in bins {
@@ -226,6 +242,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
                 threads_used: compiled_threads,
                 row_groups_skipped: scan.groups_pruned,
                 scan,
+                recovery: morsel_rec,
             },
         });
     }
@@ -430,6 +447,7 @@ pub(crate) fn run(df: &RDataFrame) -> Result<RunOutput, RdfError> {
             threads_used: n_threads,
             row_groups_skipped: scan.groups_pruned,
             scan,
+            recovery: Default::default(),
         },
     })
 }

@@ -58,6 +58,17 @@ pub struct SqlOptions {
     /// accounting is unaffected (it is a serial pre-pass either way).
     /// Ignored when `compile` is off or the script does not lower.
     pub parallel_workers: usize,
+    /// Morsel-level fault recovery for compiled execution (default off):
+    /// each morsel runs under `catch_unwind`, transient scan faults are
+    /// retried in place, panicking morsels are quarantined and
+    /// re-executed, dead workers' deques are reassigned and the pool
+    /// degrades down to a serial fallback instead of failing the query
+    /// (see `exec_par`). When active the fault injector is routed to the
+    /// morsel fault surface instead of the scan pre-pass, so billing
+    /// stays fault-free and byte-identical by construction. Results are
+    /// unchanged; only failure handling differs. Ignored when the script
+    /// does not lower to the compiled path.
+    pub morsel_recovery: bool,
 }
 
 impl Default for SqlOptions {
@@ -69,6 +80,7 @@ impl Default for SqlOptions {
             vectorized_filter: true,
             compile: true,
             parallel_workers: 0,
+            morsel_recovery: false,
         }
     }
 }
@@ -229,11 +241,23 @@ impl SqlEngine {
                 cache,
                 table_fingerprint: table.fingerprint(),
             });
-            let scan_faults = self.fault_injector.as_deref().map(|injector| ScanFaults {
-                injector,
-                table_name: table.name(),
-                table_fingerprint: table.fingerprint(),
-            });
+            // With morsel recovery active on the compiled path, the
+            // injector moves to the morsel fault surface (exec_par probes
+            // the same (fingerprint, group, leaf) coordinates per morsel),
+            // and the billing pre-pass here stays fault-free — which is
+            // what makes ScanStats byte-identical under injected faults
+            // and recovered morsels impossible to double-bill.
+            let faults_at_morsels =
+                self.options.morsel_recovery && compiled.is_some() && name == "events";
+            let scan_faults = if faults_at_morsels {
+                None
+            } else {
+                self.fault_injector.as_deref().map(|injector| ScanFaults {
+                    injector,
+                    table_name: table.name(),
+                    table_fingerprint: table.fingerprint(),
+                })
+            };
             let preds = prune_preds.get(name).map_or(&[][..], |v| v.as_slice());
             let run = nf2_columnar::ScanRequest::new(table, &proj)
                 .capability(self.dialect.pushdown)
@@ -262,28 +286,47 @@ impl SqlEngine {
             let mask = masks.get("events")?;
             Some((p, table, mask))
         });
-        let (relation, threads_used) = if let Some((cplan, table, mask)) = compiled_exec {
+        let (relation, threads_used, morsel_rec) = if let Some((cplan, table, mask)) = compiled_exec
+        {
             let t0 = Instant::now();
             let skip: Vec<bool> = mask.iter().map(|keep| !keep).collect();
             let workers = self.options.parallel_workers;
-            let (bins, compiled_threads) = if workers > 1 {
-                exec_par::execute(
+            let recovering = self.options.morsel_recovery;
+            // Recovery runs through the pool even at one worker so a
+            // serial compiled query still gets the retry/quarantine path.
+            let (bins, compiled_threads, recovery) = if workers > 1 || recovering {
+                let opts = exec_par::ParOptions {
+                    recovery: recovering.then(exec_par::RecoveryOptions::default),
+                    ..exec_par::ParOptions::new(workers.max(1))
+                };
+                let morsel_faults = recovering
+                    .then(|| {
+                        self.fault_injector.as_deref().map(|injector| ScanFaults {
+                            injector,
+                            table_name: table.name(),
+                            table_fingerprint: table.fingerprint(),
+                        })
+                    })
+                    .flatten();
+                exec_par::execute_with_faults(
                     cplan,
                     table,
                     Some(&skip),
                     &self.trace,
                     &self.cancel,
                     None,
-                    &exec_par::ParOptions::new(workers),
+                    &opts,
+                    morsel_faults,
                 )
-                .map(|(bins, stats)| (bins, stats.workers))
+                .map(|(bins, stats)| (bins, stats.workers, stats.recovery))
             } else {
                 physical_ir::execute(cplan, table, Some(&skip), &self.trace, &self.cancel)
-                    .map(|bins| (bins, 1))
+                    .map(|bins| (bins, 1, nf2_columnar::MorselRecovery::default()))
             }
             .map_err(|e| match e {
                 physical_ir::PirError::Columnar(c) => SqlError::from(c),
                 physical_ir::PirError::Cancelled(c) => SqlError::Cancelled(c),
+                e @ physical_ir::PirError::MorselPanic { .. } => SqlError::Eval(e.to_string()),
             })?;
             // The trivial final count, matching the binning tail's output
             // contract: two columns (bin, n), one row per non-empty bin.
@@ -300,9 +343,9 @@ impl SqlEngine {
                     .collect(),
             };
             *cpu.lock() += t0.elapsed().as_secs_f64();
-            (rel, compiled_threads)
+            (rel, compiled_threads, recovery)
         } else {
-            match (&merge_spec, table_projs.len()) {
+            let (rel, threads) = match (&merge_spec, table_projs.len()) {
                 (Some(spec), 1) if self.options.partition_parallel => {
                     let (name, proj) = table_projs.iter().next().expect("one table");
                     let table = self.tables.get(name).expect("registered");
@@ -317,7 +360,8 @@ impl SqlEngine {
                     *cpu.lock() += t0.elapsed().as_secs_f64();
                     (rel, 1)
                 }
-            }
+            };
+            (rel, threads, nf2_columnar::MorselRecovery::default())
         };
 
         Ok(QueryOutput {
@@ -328,6 +372,7 @@ impl SqlEngine {
                 scan,
                 threads_used,
                 row_groups_skipped: skipped_groups,
+                recovery: morsel_rec,
             },
         })
     }

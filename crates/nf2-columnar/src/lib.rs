@@ -57,7 +57,7 @@ pub use error::ColumnarError;
 pub use fault::{FaultClass, FaultConfig, FaultCounters, FaultInjector, ScanError};
 pub use project::{Projection, PushdownCapability};
 pub use rowgroup::{GroupReader, RowGroup};
-pub use scan::{ExecStats, ScanCache, ScanFaults, ScanRequest, ScanRun, ScanStats};
+pub use scan::{ExecStats, MorselRecovery, ScanCache, ScanFaults, ScanRequest, ScanRun, ScanStats};
 pub use schema::{DataType, Field, LeafInfo, PhysicalType, Schema};
 pub use select::{apply_predicates, ScalarPredicate, SelCmp, SelValue, SelectionVector};
 pub use stats::ZoneMap;

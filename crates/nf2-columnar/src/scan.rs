@@ -115,12 +115,39 @@ pub struct ScanFaults<'f> {
     pub table_fingerprint: u64,
 }
 
+impl ScanFaults<'_> {
+    /// Probes every given leaf chunk of one row group through the
+    /// injector — the **morsel-level fault surface**. A parallel executor
+    /// re-reading a row group as a morsel calls this with the plan's read
+    /// set; because injector decisions are pure functions of
+    /// `(fingerprint, group, leaf)`, the fault schedule is identical to
+    /// the serial scan pre-pass probing the same coordinates, which is
+    /// what lets morsel-level recovery replay the exact faults the
+    /// whole-query path would have seen. Panic faults unwind out of the
+    /// probe, like a panicking decode kernel would.
+    pub fn probe_group(
+        &self,
+        group_idx: u32,
+        leaves: &[nested_value::Path],
+    ) -> Result<(), crate::fault::ScanError> {
+        for leaf in leaves {
+            self.injector.on_chunk_read(
+                self.table_name,
+                self.table_fingerprint,
+                group_idx,
+                leaf,
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Accounts one row group's scan into `stats`, routing each physically
 /// read chunk through the buffer pool when one is attached and through the
 /// fault injector when one is attached.
 ///
-/// This is the single accounting primitive every engine uses (directly or
-/// via [`scan_stats_cached`]), so billing bytes are computed identically
+/// This is the single accounting primitive every engine uses (via
+/// [`ScanRequest`]), so billing bytes are computed identically
 /// with and without a cache; only the `cache_*`/`bytes_from_cache` fields
 /// differ. A faulted chunk read aborts the group's cache admissions and
 /// surfaces as [`ColumnarError::Fault`]; with `faults: None` the function
@@ -199,8 +226,9 @@ pub struct ScanRun {
 
 /// A table scan, declaratively configured.
 ///
-/// This is the single entry point for scan accounting; the former
-/// `scan_stats*` free-function family survives as `#[deprecated]` shims.
+/// This is the single entry point for scan accounting (the former
+/// `scan_stats*` free-function family is gone; every caller builds a
+/// request).
 ///
 /// ```
 /// # use nf2_columnar::project::{Projection, PushdownCapability};
@@ -372,97 +400,6 @@ impl<'a> ScanRequest<'a> {
     }
 }
 
-/// Computes the scan statistics a reader with capability `cap` incurs for
-/// `projection` over `table`.
-#[deprecated(note = "use ScanRequest::new(table, projection).capability(cap).run()")]
-pub fn scan_stats(
-    table: &Table,
-    projection: &Projection,
-    cap: PushdownCapability,
-) -> Result<ScanStats, ColumnarError> {
-    ScanRequest::new(table, projection)
-        .capability(cap)
-        .run()
-        .map(|r| r.stats)
-}
-
-/// [`ScanRequest`] with an optional buffer pool in front of the physical
-/// chunk reads.
-#[deprecated(note = "use ScanRequest::new(table, projection).capability(cap).cache(cache).run()")]
-pub fn scan_stats_cached(
-    table: &Table,
-    projection: &Projection,
-    cap: PushdownCapability,
-    cache: Option<ScanCache<'_>>,
-) -> Result<ScanStats, ColumnarError> {
-    ScanRequest::new(table, projection)
-        .capability(cap)
-        .cache(cache)
-        .run()
-        .map(|r| r.stats)
-}
-
-/// [`ScanRequest`] under a tracing context: wraps the whole scan in a
-/// [`obs::Stage::Scan`] span carrying the row, byte and cache counters.
-#[deprecated(note = "use ScanRequest::new(table, projection).trace(trace).run()")]
-pub fn scan_stats_traced(
-    table: &Table,
-    projection: &Projection,
-    cap: PushdownCapability,
-    cache: Option<ScanCache<'_>>,
-    faults: Option<ScanFaults<'_>>,
-    trace: &obs::TraceCtx,
-) -> Result<ScanStats, ColumnarError> {
-    ScanRequest::new(table, projection)
-        .capability(cap)
-        .cache(cache)
-        .faults(faults)
-        .trace(trace)
-        .run()
-        .map(|r| r.stats)
-}
-
-/// The full-featured scan: tracing plus a cooperative [`obs::CancelToken`]
-/// checked once per row group.
-#[deprecated(note = "use ScanRequest::new(table, projection).trace(trace).cancel(cancel).run()")]
-#[allow(clippy::too_many_arguments)]
-pub fn scan_stats_guarded(
-    table: &Table,
-    projection: &Projection,
-    cap: PushdownCapability,
-    cache: Option<ScanCache<'_>>,
-    faults: Option<ScanFaults<'_>>,
-    trace: &obs::TraceCtx,
-    cancel: &obs::CancelToken,
-) -> Result<ScanStats, ColumnarError> {
-    ScanRequest::new(table, projection)
-        .capability(cap)
-        .cache(cache)
-        .faults(faults)
-        .trace(trace)
-        .cancel(cancel)
-        .run()
-        .map(|r| r.stats)
-}
-
-/// [`ScanRequest`] with an optional fault injector on the physical chunk
-/// reads.
-#[deprecated(note = "use ScanRequest::new(table, projection).faults(faults).run()")]
-pub fn scan_stats_faulted(
-    table: &Table,
-    projection: &Projection,
-    cap: PushdownCapability,
-    cache: Option<ScanCache<'_>>,
-    faults: Option<ScanFaults<'_>>,
-) -> Result<ScanStats, ColumnarError> {
-    ScanRequest::new(table, projection)
-        .capability(cap)
-        .cache(cache)
-        .faults(faults)
-        .run()
-        .map(|r| r.stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,51 +523,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let t = table();
-        let p = Projection::of(["MET.pt"]);
-        let builder = stats(&t, &p, PushdownCapability::WholeStructs);
-        assert_eq!(
-            scan_stats(&t, &p, PushdownCapability::WholeStructs).unwrap(),
-            builder
-        );
-        assert_eq!(
-            scan_stats_cached(&t, &p, PushdownCapability::WholeStructs, None).unwrap(),
-            builder
-        );
-        assert_eq!(
-            scan_stats_faulted(&t, &p, PushdownCapability::WholeStructs, None, None).unwrap(),
-            builder
-        );
-        assert_eq!(
-            scan_stats_traced(
-                &t,
-                &p,
-                PushdownCapability::WholeStructs,
-                None,
-                None,
-                &obs::TraceCtx::default(),
-            )
-            .unwrap(),
-            builder
-        );
-        assert_eq!(
-            scan_stats_guarded(
-                &t,
-                &p,
-                PushdownCapability::WholeStructs,
-                None,
-                None,
-                &obs::TraceCtx::default(),
-                &obs::CancelToken::none(),
-            )
-            .unwrap(),
-            builder
-        );
-    }
-
-    #[test]
     fn pruning_conserves_bytes_and_skips_groups() {
         use crate::select::{ScalarPredicate, SelCmp, SelValue};
         let t = table(); // MET.pt = row index 0..100, groups of 100 rows? (row_group=100 → 1 group)
@@ -696,6 +588,50 @@ mod tests {
     }
 }
 
+/// Typed outcome counters of morsel-level fault recovery in a parallel
+/// executor (see `exec-par`). Every non-skipped morsel contributes to
+/// `ok` exactly once — recovery changes *which attempt* produced the
+/// winning partial, never how many partials exist — so `ok` equals the
+/// morsel count whenever the run succeeded, and the remaining counters
+/// record the recovery work it took to get there. All zero on the serial
+/// path and whenever recovery is disabled, keeping [`ExecStats`]
+/// byte-identical to the pre-recovery engines by default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MorselRecovery {
+    /// Morsels whose winning partial was produced (first try or after
+    /// recovery) — exactly the non-skipped row-group count on success.
+    pub ok: u64,
+    /// In-place re-executions of a morsel after a retryable fault.
+    pub retried: u64,
+    /// Speculative re-executions launched against straggler morsels.
+    pub respeculated: u64,
+    /// Morsels moved from a dead worker's deque to the shared retry
+    /// queue (plus the panicked morsel itself when its owner retired).
+    pub reassigned: u64,
+    /// Morsels quarantined after a panicking kernel (re-run elsewhere
+    /// instead of poisoning the pool).
+    pub quarantined: u64,
+    /// Workers retired after exhausting their panic budget.
+    pub workers_lost: u64,
+}
+
+impl MorselRecovery {
+    /// Accumulates another run's counters.
+    pub fn merge(&mut self, other: &MorselRecovery) {
+        self.ok += other.ok;
+        self.retried += other.retried;
+        self.respeculated += other.respeculated;
+        self.reassigned += other.reassigned;
+        self.quarantined += other.quarantined;
+        self.workers_lost += other.workers_lost;
+    }
+
+    /// Total recovery interventions (everything except `ok`).
+    pub fn interventions(&self) -> u64 {
+        self.retried + self.respeculated + self.reassigned + self.quarantined + self.workers_lost
+    }
+}
+
 /// Engine-level execution accounting shared by all engines in the
 /// workspace (placed here because every engine executes over this
 /// substrate and `core` compares them uniformly).
@@ -713,4 +649,7 @@ pub struct ExecStats {
     /// Row groups skipped by zone-map (min/max) pruning before any byte
     /// was read.
     pub row_groups_skipped: u64,
+    /// Morsel-level fault-recovery outcomes (all zero unless the
+    /// compiled-parallel path ran with recovery enabled).
+    pub recovery: MorselRecovery,
 }

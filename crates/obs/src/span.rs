@@ -37,11 +37,16 @@ pub enum Stage {
     Retry,
     /// Result-cache probe in the serving layer.
     CacheLookup,
+    /// Morsel-level fault recovery in the parallel executor: in-place
+    /// retries of transient morsels, quarantine after a panic, deque
+    /// reassignment from a dead worker, speculative straggler
+    /// re-execution, and the serial fallback pass.
+    Recovery,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Query,
         Stage::Parse,
         Stage::Plan,
@@ -54,6 +59,7 @@ impl Stage {
         Stage::QueueWait,
         Stage::Retry,
         Stage::CacheLookup,
+        Stage::Recovery,
     ];
 
     /// Stable display name.
@@ -71,6 +77,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::Retry => "retry",
             Stage::CacheLookup => "cache_lookup",
+            Stage::Recovery => "recovery",
         }
     }
 }

@@ -25,7 +25,37 @@
 //! all-or-nothing contract: a typed [`Cancelled`] error, never a partial
 //! result.
 
+use std::collections::HashSet;
+
 use obs::{CancelToken, Cancelled, Stage};
+
+/// Which execution attempt produced a [`PartialAgg`] — recovery
+/// bookkeeping, not part of the result. Two partials for the same group
+/// index are byte-identical regardless of provenance (the per-group
+/// kernel is deterministic), so the exchange may keep whichever arrived
+/// first; provenance exists so tests and traces can tell a first-try
+/// partial from a retried, reassigned, or speculated one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Worker that produced the partial (0 on the serial path).
+    pub worker: usize,
+    /// 1-based execution attempt of the morsel (1 = first try; retries,
+    /// quarantine re-runs and the serial fallback increment it).
+    pub attempt: u32,
+    /// Whether this partial came from a speculative straggler re-run.
+    pub speculative: bool,
+}
+
+impl Provenance {
+    /// First-try provenance for `worker`.
+    pub fn first(worker: usize) -> Provenance {
+        Provenance {
+            worker,
+            attempt: 1,
+            speculative: false,
+        }
+    }
+}
 
 /// One morsel's partial aggregate: the bin indices its row group
 /// produced, tagged with the group's position for deterministic merging.
@@ -37,6 +67,9 @@ pub struct PartialAgg {
     pub bins: Vec<i64>,
     /// Rows the morsel processed (cancellation progress accounting).
     pub rows: u64,
+    /// Which attempt produced this partial (recovery bookkeeping; does
+    /// not participate in merging).
+    pub provenance: Provenance,
 }
 
 /// Collects per-morsel [`PartialAgg`]s in any completion order and
@@ -45,6 +78,8 @@ pub struct PartialAgg {
 #[derive(Clone, Debug, Default)]
 pub struct Exchange {
     partials: Vec<PartialAgg>,
+    groups_seen: HashSet<usize>,
+    duplicates_dropped: u64,
 }
 
 impl Exchange {
@@ -53,9 +88,29 @@ impl Exchange {
         Exchange::default()
     }
 
-    /// Adds one morsel's partial (any order; merging sorts).
+    /// Adds one morsel's partial (any order; merging sorts). **Idempotent
+    /// per group index**: the first partial pushed for a group wins and
+    /// any later push for the same group is dropped (and counted in
+    /// [`Exchange::duplicates_dropped`]). Recovery and speculation can
+    /// therefore race a morsel's re-execution against its original
+    /// without ever double-counting the group — one partial per row-group
+    /// index survives, which, combined with the per-group kernel being
+    /// deterministic, keeps the merge byte-identical no matter which
+    /// attempt won.
     pub fn push(&mut self, partial: PartialAgg) {
-        self.partials.push(partial);
+        if self.groups_seen.insert(partial.group) {
+            self.partials.push(partial);
+        } else {
+            self.duplicates_dropped += 1;
+        }
+    }
+
+    /// Partials dropped because their group index already had a winner —
+    /// nonzero only if a caller pushed the same group twice (the parallel
+    /// executor's first-result-wins gate normally prevents this; the
+    /// exchange is the defense in depth behind it).
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
     }
 
     /// Number of partials collected so far.
@@ -99,7 +154,41 @@ mod tests {
 
     fn partial(group: usize, bins: Vec<i64>) -> PartialAgg {
         let rows = bins.len() as u64;
-        PartialAgg { group, bins, rows }
+        PartialAgg {
+            group,
+            bins,
+            rows,
+            provenance: Provenance::first(0),
+        }
+    }
+
+    #[test]
+    fn duplicate_group_pushes_are_dropped_first_wins() {
+        let mut x = Exchange::new();
+        x.push(partial(0, vec![1]));
+        x.push(PartialAgg {
+            provenance: Provenance {
+                worker: 3,
+                attempt: 2,
+                speculative: true,
+            },
+            ..partial(1, vec![2, 3])
+        });
+        // A speculative loser for group 1 and a retried duplicate of
+        // group 0 both arrive late: neither may change the result.
+        x.push(partial(1, vec![2, 3]));
+        x.push(PartialAgg {
+            provenance: Provenance {
+                worker: 0,
+                attempt: 3,
+                speculative: false,
+            },
+            ..partial(0, vec![9])
+        });
+        assert_eq!(x.len(), 2);
+        assert_eq!(x.duplicates_dropped(), 2);
+        assert_eq!(x.rows(), 3, "losers accrue nothing");
+        assert_eq!(x.merge(&CancelToken::none()).unwrap(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod exec;
 pub mod kernel;
 pub mod plan;
 
-pub use agg::{Exchange, PartialAgg};
+pub use agg::{Exchange, PartialAgg, Provenance};
 pub use combi::{for_each_pair, for_each_triple, CombiBuffer};
 pub use exec::{execute, execute_group, GroupScratch, PirError};
 pub use kernel::TrijetScratch;

@@ -116,8 +116,33 @@ pub struct ServiceConfig {
     /// truncated row group) before surfacing the error.
     pub max_retries: u32,
     /// Base backoff between retries; attempt `k` sleeps
-    /// `retry_backoff × 2^(k−1)`.
+    /// `retry_backoff × 2^(k−1)`, shrunk by seeded jitter (see
+    /// [`ServiceConfig::retry_jitter`]).
     pub retry_backoff: Duration,
+    /// Fraction of each backoff that deterministic jitter may subtract
+    /// (decorrelates retry storms across concurrent jobs without an RNG
+    /// dependency). Attempt `k` of job `j` sleeps
+    /// `retry_backoff × 2^(k−1) × (1 − retry_jitter × u(j, k))` with
+    /// `u ∈ [0, 1)` a splitmix64 hash of
+    /// `(retry_jitter_seed, job sequence number, k)` — fully
+    /// reproducible under a fixed seed, shrink-only so a jittered sleep
+    /// never exceeds the exponential bound. `0` disables jitter;
+    /// clamped to `[0, 1]`.
+    pub retry_jitter: f64,
+    /// Seed of the deterministic retry jitter stream (see
+    /// [`ServiceConfig::retry_jitter`]).
+    pub retry_jitter_seed: u64,
+    /// Morsel-level fault recovery on the compiled-parallel path
+    /// (default off, and off under
+    /// [`ServiceConfig::paper_fairness`]). When on, a compiled request's
+    /// transient scan faults are retried per morsel inside `exec_par` —
+    /// quarantine, deque reassignment and serial fallback included —
+    /// instead of failing the attempt and re-running the *whole query*
+    /// through this service's retry loop. Morsel-level recoveries are
+    /// invisible to the whole-query retry counter and the per-system
+    /// circuit breakers: the attempt simply succeeds, and the recovery
+    /// counters surface in [`QueryResponse::stats`].
+    pub morsel_recovery: bool,
     /// Record a span tree per served query (queue wait, cache lookup,
     /// retries, engine stages) and return it in
     /// [`QueryResponse::trace`]. Off by default — and off under
@@ -183,6 +208,9 @@ impl Default for ServiceConfig {
             fault_injector: None,
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
+            retry_jitter: 0.5,
+            retry_jitter_seed: 0x5EED_0FF5,
+            morsel_recovery: false,
             trace: false,
             load_shedding: false,
             breaker: None,
@@ -310,6 +338,10 @@ struct Shared {
     exec_samples: Mutex<Vec<f64>>,
     /// One breaker per servable system when breakers are configured.
     breakers: Option<HashMap<System, CircuitBreaker>>,
+    /// Monotone per-job sequence feeding the retry-jitter nonce, so two
+    /// jobs retrying the same attempt number draw different (but still
+    /// seed-pinned) jitter and don't re-collide on every backoff.
+    jitter_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -405,6 +437,7 @@ impl QueryService {
                     .map(|s| (*s, CircuitBreaker::new(cfg.clone())))
                     .collect()
             }),
+            jitter_seq: std::sync::atomic::AtomicU64::new(0),
             config,
         });
         let workers = (0..n_workers)
@@ -773,6 +806,7 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
             .then_some(shared.config.intra_query_threads),
         parallel_workers: req.parallel_workers,
         zone_map_pruning: Some(shared.config.zone_map_pruning),
+        morsel_recovery: Some(shared.config.morsel_recovery),
         fault_injector: shared.config.fault_injector.clone(),
         trace: trace.clone(),
         cancel: job.cancel.clone(),
@@ -794,6 +828,9 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
     // so the final drained tree shows every attempt's stages plus a
     // `Retry` span per backoff.
     let mut attempt: u32 = 0;
+    let jitter_nonce = shared
+        .jitter_seq
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let run = loop {
         match execute_attempt(shared, engine.as_ref(), &spec, &env) {
             Ok(run) => {
@@ -825,7 +862,13 @@ fn serve(shared: &Shared, job: &Job, queue_seconds: f64) -> Result<QueryResponse
                 // sleep, never sleep past the deadline, and check again
                 // after waking — a retry must not overshoot an expired
                 // deadline by a backoff period.
-                let backoff = shared.config.retry_backoff * (1u32 << (attempt - 1).min(8));
+                let backoff = jittered_backoff(
+                    shared.config.retry_backoff,
+                    attempt,
+                    shared.config.retry_jitter,
+                    shared.config.retry_jitter_seed,
+                    jitter_nonce,
+                );
                 let sleep = match job.deadline {
                     Some(deadline) => {
                         let now = Instant::now();
@@ -981,6 +1024,42 @@ fn hedge_delay(shared: &Shared, hedge: &HedgeConfig) -> Duration {
     let rank = (hedge.percentile * samples.len() as f64).ceil() as usize;
     let p = samples[rank.clamp(1, samples.len()) - 1];
     Duration::from_secs_f64(p.max(0.0)).max(hedge.min_delay)
+}
+
+/// Deterministic, shrink-only jittered exponential backoff.
+///
+/// Attempt `k ≥ 1` starts from the exponential bound
+/// `base × 2^(k−1)` (exponent capped at 8) and is shrunk by
+/// `jitter × u`, where `u ∈ [0, 1)` is a splitmix64 hash of
+/// `(seed, nonce, k)`. The function is pure in its inputs, so a fixed
+/// seed pins the whole schedule — the decorrelation of concurrent
+/// retry storms is reproducible run to run — and because jitter only
+/// ever *shrinks* the sleep, the deadline-clamping math at the call
+/// site stays conservative. `jitter` is clamped to `[0, 1]`; `0`
+/// reproduces the pure exponential schedule exactly.
+pub fn jittered_backoff(
+    base: Duration,
+    attempt: u32,
+    jitter: f64,
+    seed: u64,
+    nonce: u64,
+) -> Duration {
+    let exp = base * (1u32 << attempt.saturating_sub(1).min(8));
+    let jitter = jitter.clamp(0.0, 1.0);
+    if jitter == 0.0 {
+        return exp;
+    }
+    // splitmix64 over a mix of (seed, nonce, attempt); same finalizer
+    // constants as the chaos schedule generator and exec-par's victim
+    // shuffler.
+    let mut z =
+        seed ^ nonce.rotate_left(32) ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    exp.mul_f64(1.0 - jitter * u)
 }
 
 /// Feeds one execution outcome into the system's breaker, when breakers

@@ -61,6 +61,7 @@ fn parallel_bins_byte_identical_across_workers_and_steal_orders() {
                     &ParOptions {
                         workers,
                         steal_seed,
+                        recovery: None,
                     },
                 )
                 .unwrap();

@@ -201,6 +201,7 @@ fn pruning_conserves_accounting_bytes_across_steal_schedules() {
                 &ParOptions {
                     workers,
                     steal_seed,
+                    recovery: None,
                 },
             )
             .unwrap();
